@@ -1,0 +1,95 @@
+// Fault-tolerance ablation: replication factor vs recovery and cost.
+// Loads a cluster, lets replicas form, then crashes a growing fraction
+// of servers and measures how much state survives and what the
+// replication traffic costs per server per second.
+//
+// Usage: abl_failover [--servers=64] [--sources=4000] [--seed=42]
+#include <cstdio>
+
+#include "clash/client.hpp"
+#include "common/argparse.hpp"
+#include "common/rng.hpp"
+#include "sim/cluster.hpp"
+#include "tests/clash/test_util.hpp"
+
+using namespace clash;
+using namespace clash::sim;
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const auto n_servers = std::size_t(args.get_int("servers", 64));
+  const auto n_sources = std::size_t(args.get_int("sources", 4000));
+  const auto seed = std::uint64_t(args.get_int("seed", 42));
+
+  std::printf("# Failover ablation: %zu servers, %zu streams, crash 25%% "
+              "of the cluster\n",
+              n_servers, n_sources);
+  std::printf("%-10s %12s %12s %12s %14s %16s\n", "replicas", "failovers",
+              "recovered", "lost", "streams_kept_%", "repl msg/s/srv");
+
+  for (const unsigned factor : {0u, 1u, 2u, 3u}) {
+    SimCluster::Config cfg;
+    cfg.num_servers = n_servers;
+    cfg.seed = seed;
+    cfg.clash.key_width = 24;
+    cfg.clash.initial_depth = 6;
+    cfg.clash.capacity = 1e9;  // isolate replication from splitting
+    cfg.clash.replication_factor = factor;
+    SimCluster cluster(cfg);
+    cluster.bootstrap();
+
+    ClashClient client(cluster.clash_config(),
+                       cluster.client_env(ServerId{0}), cluster.hasher());
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n_sources; ++i) {
+      AcceptObject obj;
+      obj.key = Key(rng.next() & 0xFFFFFF, 24);
+      obj.kind = ObjectKind::kData;
+      obj.source = ClientId{i};
+      obj.stream_rate = 1;
+      if (!client.insert(obj).ok) return 1;
+    }
+    // Two check periods of replica refresh.
+    for (int round = 1; round <= 2; ++round) {
+      cluster.set_now(SimTime::from_minutes(5 * round));
+      cluster.run_all_load_checks();
+    }
+    const auto stats_before = cluster.total_stats();
+
+    std::size_t recovered = 0;
+    Rng crash_rng(seed + 1);
+    for (std::size_t i = 0; i < n_servers / 4; ++i) {
+      for (;;) {
+        const ServerId victim{crash_rng.below(n_servers)};
+        if (cluster.is_alive(victim)) {
+          recovered += cluster.fail_server(victim);
+          break;
+        }
+      }
+    }
+
+    std::size_t streams_kept = 0;
+    for (std::size_t i = 0; i < n_servers; ++i) {
+      if (!cluster.is_alive(ServerId{i})) continue;
+      streams_kept += cluster.server(ServerId{i}).total_streams();
+    }
+    const auto total = cluster.total_stats();
+    const double repl_rate =
+        double(stats_before.replications) /
+        (600.0 /* 2 periods */) / double(n_servers);
+    std::printf("%-10u %12llu %12zu %12llu %14.1f %16.3f\n", factor,
+                (unsigned long long)total.failovers, recovered,
+                (unsigned long long)total.groups_lost,
+                100.0 * double(streams_kept) / double(n_sources), repl_rate);
+    if (const auto err = cluster.check_invariants()) {
+      std::fprintf(stderr, "INVARIANT VIOLATION: %s\n", err->c_str());
+      return 1;
+    }
+  }
+
+  std::printf(
+      "\n# expectation: factor 0 loses every crashed group's state; "
+      "factor >= 2 keeps ~100%% through a 25%% cluster loss at a small "
+      "per-server message cost\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 3: the three workload skew curves over the 8-bit base portion
+// of the key. Prints one row per base value with the expected number of
+// sources (out of --sources) choosing it, plus calibration summaries.
+//
+// Usage: fig3_workloads [--sources=100000] [--csv]
+#include <cstdio>
+#include <numeric>
+
+#include "common/argparse.hpp"
+#include "sim/workload.hpp"
+
+using namespace clash;
+using namespace clash::sim;
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const double sources = args.get_double("sources", 100000);
+  const bool csv = args.get_bool("csv", false);
+
+  const WorkloadSpec specs[] = {workload_a(), workload_b(), workload_c()};
+  double totals[3];
+  for (int w = 0; w < 3; ++w) {
+    totals[w] = std::accumulate(specs[w].base_weights.begin(),
+                                specs[w].base_weights.end(), 0.0);
+  }
+
+  std::printf("# Figure 3: workloads used in simulation\n");
+  std::printf("# expected sources per 8-bit base key value (of %.0f)\n",
+              sources);
+  std::printf(csv ? "base,workload_A,workload_B,workload_C\n"
+                  : "%-6s %12s %12s %12s\n",
+              "base", "workload_A", "workload_B", "workload_C");
+  for (std::size_t i = 0; i < 256; ++i) {
+    const double a = sources * specs[0].base_weights[i] / totals[0];
+    const double b = sources * specs[1].base_weights[i] / totals[1];
+    const double c = sources * specs[2].base_weights[i] / totals[2];
+    if (csv) {
+      std::printf("%zu,%.1f,%.1f,%.1f\n", i, a, b, c);
+    } else {
+      std::printf("%-6zu %12.1f %12.1f %12.1f\n", i, a, b, c);
+    }
+  }
+
+  std::printf("\n# calibration summary (see DESIGN.md)\n");
+  for (int w = 0; w < 3; ++w) {
+    const auto& s = specs[w];
+    std::printf(
+        "workload %s: rate=%.0f pkt/s  hottest 6-bit group mass=%.3f  "
+        "support=%zu/256 base values\n",
+        s.name.c_str(), s.source_rate, s.hottest_group_mass(6),
+        s.support_size(1e-3));
+  }
+  std::printf(
+      "# paper shape check: A near-uniform, B moderate bump, C sharp "
+      "spike (~30%% mass in hottest 6-bit group => DHT(6) peak ~25x "
+      "capacity)\n");
+  return 0;
+}

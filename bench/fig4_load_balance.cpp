@@ -1,0 +1,154 @@
+// Figure 4: server load, utilisation, depth variation and active
+// servers for CLASH vs basic DHT(6/12/24) over the 6-hour A->B->C run.
+//
+// Prints all four panels as time-series tables plus the paper's headline
+// summary rows. Defaults are scaled down to finish quickly; run with
+// --full for the paper-scale experiment (1000 servers, 100k sources,
+// 50k query clients, 2 h per workload).
+//
+// Usage: fig4_load_balance [--full] [--servers=N] [--clients=F]
+//                          [--duration=F] [--seed=N]
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/argparse.hpp"
+#include "sim/experiment.hpp"
+
+using namespace clash;
+using namespace clash::sim;
+
+namespace {
+
+struct SystemRun {
+  std::string name;
+  RunResult result;
+};
+
+void print_series(const char* title, const std::vector<SystemRun>& runs,
+                  TimeSeries RunResult::*series) {
+  std::printf("\n## %s\n", title);
+  std::printf("%-10s", "t_hours");
+  for (const auto& run : runs) std::printf(" %12s", run.name.c_str());
+  std::printf("\n");
+  const auto& base = (runs[0].result.*series).samples();
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    std::printf("%-10.2f", base[i].t.hours());
+    for (const auto& run : runs) {
+      const auto& samples = (run.result.*series).samples();
+      std::printf(" %12.1f", i < samples.size() ? samples[i].value : 0.0);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const bool full = args.get_bool("full", false);
+
+  // Default: the paper's full 1000 servers (server count sets the
+  // utilisation and active-server shapes) with fewer clients (capacity
+  // auto-scales, so utilisation is preserved) and 1 h per workload.
+  Scale scale;
+  scale.servers = args.get_double("servers", 1000) / 1000.0;
+  scale.clients = args.get_double("clients", full ? 1.0 : 0.1);
+  scale.duration = args.get_double("duration", full ? 1.0 : 0.5);
+  const auto seed = std::uint64_t(args.get_int("seed", 42));
+
+  const std::size_t n_servers =
+      std::size_t(std::max(8.0, 1000 * scale.servers));
+  std::printf(
+      "# Figure 4 reproduction: %zu servers, %.0f sources, %.0f query "
+      "clients, %.2f h per workload (A->B->C)\n",
+      n_servers, 100000 * scale.clients, 50000 * scale.clients,
+      2.0 * scale.duration);
+
+  struct System {
+    const char* name;
+    Mode mode;
+    unsigned depth;
+  };
+  const System systems[] = {
+      {"CLASH", Mode::kClash, 0},
+      {"DHT(6)", Mode::kFixedDepth, 6},
+      {"DHT(12)", Mode::kFixedDepth, 12},
+      {"DHT(24)", Mode::kFixedDepth, 24},
+  };
+
+  // Ring positions per server: default log(S) ~ 8 (uniform hash-space
+  // partitioning); --vs=1 shows bare Chord arcs.
+  const auto virtual_servers = unsigned(args.get_int("vs", 8));
+
+  std::vector<SystemRun> runs;
+  for (const auto& sys : systems) {
+    RuntimeConfig rc = fig4_config(sys.mode, sys.depth, scale, seed);
+    rc.cluster.virtual_servers = virtual_servers;
+    Runtime rt(std::move(rc));
+    runs.push_back({sys.name, rt.run()});
+    const auto& r = runs.back().result;
+    std::fprintf(stderr, "[fig4] %s done: %llu events, %llu splits\n",
+                 sys.name, (unsigned long long)r.events_processed,
+                 (unsigned long long)r.totals.splits);
+    if (!r.invariant_violation.empty()) {
+      std::fprintf(stderr, "[fig4] INVARIANT VIOLATION (%s): %s\n", sys.name,
+                   r.invariant_violation.c_str());
+      return 1;
+    }
+  }
+
+  print_series("Figure 4a: max server load (% of capacity)", runs,
+               &RunResult::max_load_pct);
+  print_series("Figure 4b: avg load of loaded servers (% of capacity)",
+               runs, &RunResult::avg_load_pct);
+  print_series("Figure 4d: active servers", runs, &RunResult::active_servers);
+
+  std::printf("\n## Figure 4c: CLASH depth variation (starting depth = 6)\n");
+  std::printf("%-10s %8s %8s %8s\n", "t_hours", "min", "avg", "max");
+  const auto& clash = runs[0].result;
+  for (std::size_t i = 0; i < clash.depth_avg.samples().size(); ++i) {
+    std::printf("%-10.2f %8.0f %8.2f %8.0f\n",
+                clash.depth_avg.samples()[i].t.hours(),
+                clash.depth_min.samples()[i].value,
+                clash.depth_avg.samples()[i].value,
+                clash.depth_max.samples()[i].value);
+  }
+
+  // Headline summary rows (one phase == one third of the run).
+  std::printf("\n## Summary (per workload phase, steady state = 2nd half "
+              "of phase)\n");
+  std::printf("%-10s %-9s %14s %14s %14s\n", "system", "workload",
+              "max_load_%", "avg_load_%", "servers_used");
+  SimTime t0{0};
+  const char* phases[] = {"A", "B", "C"};
+  const SimTime phase_len = SimTime::from_hours(2.0 * scale.duration);
+  for (int p = 0; p < 3; ++p) {
+    const SimTime lo = t0 + SimTime(phase_len.usec / 2);
+    const SimTime hi = t0 + phase_len;
+    for (const auto& run : runs) {
+      std::printf("%-10s %-9s %14.1f %14.1f %14.1f\n", run.name.c_str(),
+                  phases[p], run.result.max_load_pct.max_between(lo, hi),
+                  run.result.avg_load_pct.mean_between(lo, hi),
+                  run.result.active_servers.mean_between(lo, hi));
+    }
+    t0 = t0 + phase_len;
+  }
+
+  const double clash_servers = runs[0].result.active_servers.mean_between(
+      SimTime(phase_len.usec / 2), phase_len);
+  const double dht12_servers = runs[2].result.active_servers.mean_between(
+      SimTime(phase_len.usec / 2), phase_len);
+  std::printf(
+      "\n# paper claims: CLASH max load < 90%% after transient; avg load "
+      "~50-60%%; CLASH uses ~70-80 of 1000 servers (A), DHT(12) ~450-800, "
+      "DHT(24) ~1000; server reduction vs DHT(12): measured %.0f%%\n",
+      dht12_servers > 0 ? 100.0 * (1.0 - clash_servers / dht12_servers) : 0);
+  std::printf("# depth-search: avg %.2f probes/search (log2(24)=4.58), "
+              "%.1f%% cache hits\n",
+              runs[0].result.probes_per_search.mean(),
+              100.0 * double(runs[0].result.cache_hits) /
+                  double(std::max<std::uint64_t>(1, runs[0].result.searches)));
+  return 0;
+}

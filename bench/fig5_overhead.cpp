@@ -1,0 +1,80 @@
+// Figure 5: CLASH communication overhead — messages/sec/server for
+// workloads A/B/C, virtual stream lengths Ld in {50, 1000}, with and
+// without query clients (state transfer).
+//
+// Defaults are scaled down; --full runs the paper-scale configuration.
+//
+// Usage: fig5_overhead [--full] [--servers=N] [--clients=F] [--duration=F]
+#include <cstdio>
+#include <vector>
+
+#include "common/argparse.hpp"
+#include "sim/experiment.hpp"
+
+using namespace clash;
+using namespace clash::sim;
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const bool full = args.get_bool("full", false);
+
+  // Messages/sec/server depends on the client:server ratio, so both
+  // scale together by default (keeping the paper's 100 sources and 50
+  // query clients per server) while the duration shrinks.
+  Scale scale;
+  scale.servers = args.get_double("servers", full ? 1000 : 200) / 1000.0;
+  scale.clients = args.get_double("clients", full ? 1.0 : 0.2);
+  scale.duration = args.get_double("duration", full ? 1.0 : 0.15);
+  const auto seed = std::uint64_t(args.get_int("seed", 42));
+
+  const std::size_t n_servers =
+      std::size_t(std::max(8.0, 1000 * scale.servers));
+  const std::size_t n_queries = std::size_t(50000 * scale.clients);
+
+  std::printf(
+      "# Figure 5 reproduction: CLASH overhead, %zu servers, %.0f sources, "
+      "%.2f h per workload\n",
+      n_servers, 100000 * scale.clients, 2.0 * scale.duration);
+  std::printf(
+      "# columns: control = probes+replies+DHT hops+split/merge traffic; "
+      "total adds state-transfer messages\n");
+
+  struct Case {
+    const char* label;
+    double ld;
+    std::size_t queries;
+  };
+  const Case cases[] = {
+      {"no queries, Ld=50", 50, 0},
+      {"no queries, Ld=1000", 1000, 0},
+      {"50k queries, Ld=50", 50, n_queries},
+      {"50k queries, Ld=1000", 1000, n_queries},
+  };
+
+  std::printf("\n%-24s %-9s %16s %16s %12s\n", "case", "workload",
+              "control msg/s/srv", "total msg/s/srv", "state msgs");
+  for (const auto& c : cases) {
+    Runtime rt(fig5_config(c.ld, c.queries, scale, seed));
+    const RunResult r = rt.run();
+    if (!r.invariant_violation.empty()) {
+      std::fprintf(stderr, "[fig5] INVARIANT VIOLATION: %s\n",
+                   r.invariant_violation.c_str());
+      return 1;
+    }
+    for (const auto& phase : r.phase_stats) {
+      std::printf("%-24s %-9s %16.2f %16.2f %12llu\n", c.label,
+                  phase.workload.c_str(),
+                  phase.msgs_per_sec_per_server(n_servers, false),
+                  phase.msgs_per_sec_per_server(n_servers, true),
+                  (unsigned long long)phase.delta.state_transfer_msgs);
+    }
+    std::fprintf(stderr, "[fig5] %s done: %llu events\n", c.label,
+                 (unsigned long long)r.events_processed);
+  }
+
+  std::printf(
+      "\n# paper shape: <= ~10-12 msg/s/server across skews; overhead "
+      "falls with larger Ld; query-state transfer adds only ~1-2 "
+      "msg/s/server\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Corporate pub/sub messaging: content-sensitive clustering in action.
+// Topics are hierarchical (tenant / topic / subtopic) and packed into a
+// 24-bit key by the AttributeEncoder, so one tenant's subscriptions
+// share a key prefix. CLASH keeps each tenant on as few servers as load
+// allows; a fine-grained basic DHT scatters the same subscriptions
+// across the whole pool — the query-replication cost the paper's
+// Section 1 motivates.
+#include <cstdio>
+#include <set>
+
+#include "clash/client.hpp"
+#include "common/rng.hpp"
+#include "cq/query.hpp"
+#include "keys/attribute_encoder.hpp"
+#include "sim/cluster.hpp"
+
+using namespace clash;
+
+namespace {
+
+std::unique_ptr<sim::SimCluster> make_cluster(bool clash_mode) {
+  sim::SimCluster::Config cfg;
+  cfg.num_servers = 48;
+  cfg.clash.key_width = 24;
+  cfg.clash.capacity = 500.0;
+  if (clash_mode) {
+    cfg.clash.initial_depth = 4;
+  } else {
+    // Basic DHT at full key granularity: every subtopic is hashed
+    // independently (ephemeral groups, no adaptation).
+    cfg.clash.initial_depth = 24;
+    cfg.clash.overload_frac = 1e18;
+    cfg.clash.underload_frac = 0;
+    cfg.clash.ephemeral_groups = true;
+    cfg.clash.enable_consolidation = false;
+  }
+  auto cluster = std::make_unique<sim::SimCluster>(cfg);
+  if (clash_mode) cluster->bootstrap();
+  return cluster;
+}
+
+}  // namespace
+
+int main() {
+  const auto enc =
+      AttributeEncoder::create({{"tenant", 6}, {"topic", 8}, {"subtopic", 10}})
+          .value();
+  std::printf("topic space: %u-bit keys (tenant/topic/subtopic)\n",
+              enc.key_width());
+
+  Rng rng(99);
+  // Tenant 13's messaging deployment: 120 subscriptions across 40
+  // subtopics of 6 topics.
+  std::vector<Key> sub_keys;
+  for (int i = 0; i < 120; ++i) {
+    const std::uint64_t vals[] = {13, rng.below(6), rng.below(40)};
+    sub_keys.push_back(enc.encode(vals).value());
+  }
+
+  for (const bool clash_mode : {true, false}) {
+    auto cluster = make_cluster(clash_mode);
+    ClashClient client(cluster->clash_config(),
+                       cluster->client_env(ServerId{0}), cluster->hasher());
+
+    std::set<std::uint64_t> servers_used;
+    unsigned total_probes = 0, total_hops = 0;
+    std::uint64_t qid = 1;
+    for (const Key& k : sub_keys) {
+      if (!clash_mode) {
+        cluster->ensure_group(KeyGroup::of(k, 24));
+      }
+      AcceptObject obj;
+      obj.key = k;
+      obj.kind = ObjectKind::kQuery;
+      obj.query_id = QueryId{qid++};
+      const auto out = client.insert(obj);
+      servers_used.insert(out.server.value);
+      total_probes += out.probes;
+      total_hops += out.dht_hops;
+    }
+    std::printf(
+        "%-10s tenant 13's 120 subscriptions -> %2zu servers "
+        "(%u probes, %u DHT hops total)\n",
+        clash_mode ? "CLASH:" : "DHT(24):", servers_used.size(), total_probes,
+        total_hops);
+
+    // A publisher pushing one message per subtopic must contact every
+    // server hosting a matching subscription: fan-out == clustering.
+    std::set<std::uint64_t> publish_fanout;
+    for (const Key& k : sub_keys) {
+      publish_fanout.insert(cluster->find_owner(k)->value);
+    }
+    std::printf("%-10s publish fan-out for tenant 13: %zu server contacts\n",
+                clash_mode ? "CLASH:" : "DHT(24):", publish_fanout.size());
+  }
+
+  std::printf(
+      "\n# clustering pay-off: CLASH co-locates a tenant's subscriptions "
+      "(1-2 servers until load demands more); per-subtopic hashing "
+      "scatters them across most of the pool\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "clash/baseline.hpp"
+
+#include <limits>
+
+namespace clash {
+
+ClashConfig fixed_depth_config(const ClashConfig& base, unsigned fixed_depth) {
+  ClashConfig cfg = base;
+  cfg.initial_depth = fixed_depth;
+  // Thresholds no basic-DHT server ever crosses: never split, never merge.
+  cfg.overload_frac = std::numeric_limits<double>::infinity();
+  cfg.underload_frac = 0.0;
+  cfg.enable_consolidation = false;
+  cfg.max_splits_per_check = 0;
+  cfg.ephemeral_groups = true;
+  return cfg;
+}
+
+PowerOfDChoices::PowerOfDChoices(unsigned fixed_depth, unsigned d,
+                                 unsigned hash_bits, dht::KeyHasher::Algo algo,
+                                 std::uint64_t salt_base)
+    : fixed_depth_(fixed_depth) {
+  hashers_.reserve(d);
+  for (unsigned i = 0; i < d; ++i) {
+    hashers_.emplace_back(hash_bits, algo,
+                          salt_base + 0x9e3779b97f4a7c15ULL * (i + 1));
+  }
+}
+
+std::vector<dht::HashKey> PowerOfDChoices::candidates(const Key& key) const {
+  std::vector<dht::HashKey> out;
+  out.reserve(hashers_.size());
+  const Key vkey = shape(key, fixed_depth_);
+  for (const auto& h : hashers_) out.push_back(h.hash_key(vkey));
+  return out;
+}
+
+}  // namespace clash

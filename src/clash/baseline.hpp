@@ -1,0 +1,45 @@
+// Baseline placement schemes CLASH is evaluated against.
+//
+// 1. Fixed-depth "basic DHT(x)" (the paper's comparator): identifier
+//    keys truncated to a fixed depth x, no adaptation. Expressed as a
+//    ClashConfig with splitting and consolidation disabled, so the same
+//    server/client/simulator code paths measure it.
+// 2. Power-of-d-choices ([5] in the paper, Byers et al. IPTPS'03):
+//    each key group hashes to d candidate servers; objects go to the
+//    least loaded candidate. Used by bench/abl_policies to show why
+//    server-choice balancing cannot defuse a single hot group.
+#pragma once
+
+#include <vector>
+
+#include "clash/config.hpp"
+#include "dht/hash.hpp"
+#include "keys/key.hpp"
+
+namespace clash {
+
+/// ClashConfig for the paper's DHT(x) baseline: all groups pinned at
+/// depth x, thresholds pushed out of reach so no split/merge ever runs.
+[[nodiscard]] ClashConfig fixed_depth_config(const ClashConfig& base,
+                                             unsigned fixed_depth);
+
+/// Candidate hash keys for power-of-d-choices placement.
+class PowerOfDChoices {
+ public:
+  PowerOfDChoices(unsigned fixed_depth, unsigned d, unsigned hash_bits,
+                  dht::KeyHasher::Algo algo, std::uint64_t salt_base);
+
+  [[nodiscard]] unsigned fixed_depth() const { return fixed_depth_; }
+  [[nodiscard]] unsigned choices() const {
+    return unsigned(hashers_.size());
+  }
+
+  /// The d candidate positions for `key`'s fixed-depth group.
+  [[nodiscard]] std::vector<dht::HashKey> candidates(const Key& key) const;
+
+ private:
+  unsigned fixed_depth_;
+  std::vector<dht::KeyHasher> hashers_;
+};
+
+}  // namespace clash

@@ -1,0 +1,57 @@
+#include "clash/bootstrap.hpp"
+
+namespace clash {
+
+std::map<ServerId, std::vector<ServerTableEntry>> compute_bootstrap_entries(
+    const dht::Dht& dht, const dht::KeyHasher& hasher,
+    const ClashConfig& cfg) {
+  std::map<ServerId, std::vector<ServerTableEntry>> out;
+
+  // Walk the split cascade exactly as ClashServer::split_group would:
+  // the left child stays with its parent's owner (same virtual key);
+  // the right child goes to Map(f(right virtual key)).
+  struct Pending {
+    KeyGroup group;
+    ServerId owner;
+    bool lineage_root;  // depth-0 entry has ParentID = -1
+    ServerId parent;
+  };
+
+  const KeyGroup root = KeyGroup::root(cfg.key_width);
+  const ServerId root_owner = dht.map(hasher.hash_key(root.virtual_key()));
+  std::vector<Pending> stack{{root, root_owner, true, ServerId{}}};
+
+  while (!stack.empty()) {
+    const Pending cur = stack.back();
+    stack.pop_back();
+
+    ServerTableEntry entry;
+    entry.group = cur.group;
+    entry.parent = cur.parent;
+
+    if (cur.group.depth() >= cfg.initial_depth) {
+      // A leaf of the bootstrap tree: an active root entry — the
+      // administrative floor consolidation cannot collapse through.
+      entry.root = true;
+      entry.active = true;
+      out[cur.owner].push_back(entry);
+      continue;
+    }
+
+    const KeyGroup left = cur.group.left_child();
+    const KeyGroup right = cur.group.right_child();
+    const ServerId right_owner =
+        dht.map(hasher.hash_key(right.virtual_key()));
+
+    entry.root = cur.lineage_root;
+    entry.active = false;
+    entry.right_child = right_owner;
+    out[cur.owner].push_back(entry);
+
+    stack.push_back({left, cur.owner, false, cur.owner});
+    stack.push_back({right, right_owner, false, cur.owner});
+  }
+  return out;
+}
+
+}  // namespace clash

@@ -1,0 +1,24 @@
+// Deterministic bootstrap tree: the administrative split cascade from
+// the depth-0 root down to ClashConfig::initial_depth, computed as pure
+// data. The simulator reaches the same state by running force_split;
+// the networked deployment installs these entries directly at startup
+// (both paths are cross-checked by tests).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "clash/config.hpp"
+#include "clash/server_table.hpp"
+#include "dht/dht.hpp"
+
+namespace clash {
+
+/// Every table entry each server must hold after bootstrap: the
+/// depth-initial_depth root groups (active) plus the inactive lineage
+/// entries above them.
+[[nodiscard]] std::map<ServerId, std::vector<ServerTableEntry>>
+compute_bootstrap_entries(const dht::Dht& dht, const dht::KeyHasher& hasher,
+                          const ClashConfig& cfg);
+
+}  // namespace clash

@@ -1,0 +1,205 @@
+#include "clash/client.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "common/bits.hpp"
+
+namespace clash {
+
+std::size_t RangeResolveOutcome::distinct_servers() const {
+  std::set<ServerId> unique;
+  for (const auto& [group, server] : segments) unique.insert(server);
+  return unique.size();
+}
+namespace {
+
+unsigned midpoint(unsigned low, unsigned high) {
+  return low + (high - low + 1) / 2;
+}
+
+}  // namespace
+
+ClashClient::ClashClient(const ClashConfig& cfg, ClientEnv& env,
+                         dht::KeyHasher hasher)
+    : ClashClient(cfg, env, hasher, Options(), 1) {}
+
+ClashClient::ClashClient(const ClashConfig& cfg, ClientEnv& env,
+                         dht::KeyHasher hasher, Options opts,
+                         std::uint64_t seed)
+    : cfg_(cfg),
+      env_(env),
+      hasher_(hasher),
+      opts_(opts),
+      depth_hint_(cfg.initial_depth),
+      rng_state_(seed * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL) {}
+
+std::optional<ClashClient::CacheEntry> ClashClient::cache_find(
+    const Key& key) const {
+  for (const auto& entry : cache_) {
+    if (entry.group.contains(key)) return entry;
+  }
+  return std::nullopt;
+}
+
+void ClashClient::cache_store(const KeyGroup& group, ServerId server) {
+  // Evict anything overlapping the new binding: after a split/merge the
+  // shallower/deeper binding is stale and must not shadow this one.
+  cache_.remove_if([&](const CacheEntry& e) {
+    return e.group.covers(group) || group.covers(e.group);
+  });
+  cache_.push_front(CacheEntry{group, server});
+  while (cache_.size() > opts_.cache_capacity) cache_.pop_back();
+}
+
+void ClashClient::invalidate(const Key& key) {
+  cache_.remove_if(
+      [&](const CacheEntry& e) { return e.group.contains(key); });
+}
+
+void ClashClient::clear_cache() { cache_.clear(); }
+
+ResolveOutcome ClashClient::insert(AcceptObject obj) { return search(obj); }
+
+ResolveOutcome ClashClient::resolve(const Key& key) {
+  AcceptObject obj;
+  obj.key = key;
+  obj.probe_only = true;
+  return search(obj);
+}
+
+RangeResolveOutcome ClashClient::resolve_range(const Key& lo, const Key& hi) {
+  assert(lo.width() == cfg_.key_width && hi.width() == cfg_.key_width);
+  assert(lo.value() <= hi.value());
+  RangeResolveOutcome out;
+
+  // Walk left to right: each resolution returns the active group
+  // covering the cursor; skip to the first key past that group. Active
+  // groups are prefix-free, so the walk partitions [lo, hi] exactly.
+  std::uint64_t cursor = lo.value();
+  // 2 * N * segments is far beyond any legal outcome; bound the walk so
+  // a broken deployment cannot loop forever.
+  const std::size_t max_segments = 64 * std::size_t(cfg_.key_width) + 64;
+  while (out.segments.size() < max_segments) {
+    const Key k(cursor, cfg_.key_width);
+    const ResolveOutcome r = resolve(k);
+    out.probes += r.probes;
+    out.dht_hops += r.dht_hops;
+    out.dht_lookups += r.dht_lookups;
+    out.cache_hits += r.cache_hit ? 1 : 0;
+    if (!r.ok) return out;  // out.ok stays false
+
+    const KeyGroup group = KeyGroup::of(k, r.depth);
+    out.segments.emplace_back(group, r.server);
+
+    const unsigned free_bits = cfg_.key_width - group.depth();
+    const std::uint64_t group_end =
+        group.virtual_key().value() | bits::low_mask(free_bits);
+    if (group_end >= hi.value()) break;
+    cursor = group_end + 1;
+  }
+  out.ok = out.segments.size() < max_segments;
+  return out;
+}
+
+RangeResolveOutcome ClashClient::resolve_scope(const KeyGroup& scope) {
+  const unsigned free_bits = scope.key_width() - scope.depth();
+  const Key lo = scope.virtual_key();
+  const Key hi(scope.virtual_key().value() | bits::low_mask(free_bits),
+               scope.key_width());
+  return resolve_range(lo, hi);
+}
+
+ResolveOutcome ClashClient::search(AcceptObject& obj) {
+  assert(obj.key.width() == cfg_.key_width);
+  const unsigned n = cfg_.key_width;
+  const unsigned max_probes =
+      opts_.max_probes != 0 ? opts_.max_probes : 4 * n + 8;
+  ResolveOutcome out;
+
+  // Fast path: a cached binding covering this key ("the client simply
+  // caches this server value and sends all subsequent packets with the
+  // same key to this server", Section 6) — no DHT lookup at all.
+  if (opts_.use_cache) {
+    if (const auto hit = cache_find(obj.key)) {
+      obj.depth = hit->group.depth();
+      ++out.probes;
+      const AcceptObjectReply reply =
+          env_.rpc_accept_object(hit->server, obj);
+      if (const auto* ok = std::get_if<AcceptObjectOk>(&reply)) {
+        out.ok = true;
+        out.server = hit->server;
+        out.depth = ok->depth;
+        out.cache_hit = true;
+        depth_hint_ = ok->depth;
+        if (ok->depth != hit->group.depth()) {
+          cache_store(KeyGroup::of(obj.key, ok->depth), hit->server);
+        }
+        return out;
+      }
+      invalidate(obj.key);  // stale; fall into the full search
+    }
+  }
+
+  unsigned low = 0;
+  unsigned high = n;
+  unsigned d = midpoint(low, high);
+  switch (opts_.guess) {
+    case Options::Guess::kHint:
+      d = std::clamp(depth_hint_, low, high);
+      break;
+    case Options::Guess::kRandom:
+      rng_state_ = rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      d = low + unsigned((rng_state_ >> 33) % (high - low + 1));
+      break;
+    case Options::Guess::kMidpoint:
+      d = midpoint(low, high);
+      break;
+  }
+
+  while (out.probes < max_probes) {
+    const dht::LookupResult route =
+        env_.dht_lookup(hasher_.hash_key(shape(obj.key, d)));
+    ++out.dht_lookups;
+    out.dht_hops += route.hops;
+
+    obj.depth = d;
+    ++out.probes;
+    const AcceptObjectReply reply = env_.rpc_accept_object(route.owner, obj);
+
+    if (const auto* ok = std::get_if<AcceptObjectOk>(&reply)) {
+      out.ok = true;
+      out.server = route.owner;
+      out.depth = ok->depth;
+      depth_hint_ = ok->depth;
+      if (opts_.use_cache) {
+        cache_store(KeyGroup::of(obj.key, ok->depth), route.owner);
+      }
+      return out;
+    }
+
+    const unsigned dmin = std::get<IncorrectDepth>(reply).dmin;
+    // Section 5's update rules. The true depth d_c always satisfies
+    // d_c >= dmin + 1; when dmin < d it additionally satisfies
+    // d_c <= d - 1.
+    if (dmin >= d) {
+      low = std::max(low, dmin + 1);
+    } else {
+      low = std::max(low, dmin + 1);
+      high = d - 1;  // d > dmin >= 0, so d >= 1
+    }
+    if (low > high || low > n) {
+      // The tree changed under us (split/merge between probes); restart
+      // the search over the full range.
+      low = 0;
+      high = n;
+      ++out.restarts;
+    }
+    d = midpoint(low, high);
+  }
+  out.ok = false;
+  return out;
+}
+
+}  // namespace clash

@@ -1,0 +1,127 @@
+// ClashClient: the client side of the protocol (Section 5). Resolves
+// the correct depth d_c for an identifier key via the paper's modified
+// binary search over (0, N], caches resolved (group -> server) bindings
+// per virtual stream, and inserts objects.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "clash/config.hpp"
+#include "clash/messages.hpp"
+#include "common/types.hpp"
+#include "dht/dht.hpp"
+
+namespace clash {
+
+/// Runtime services a client needs. The implementation accounts for the
+/// messages each call costs.
+class ClientEnv {
+ public:
+  virtual ~ClientEnv() = default;
+
+  /// Route `h` through the DHT from the client's access point.
+  virtual dht::LookupResult dht_lookup(dht::HashKey h) = 0;
+
+  /// Synchronous ACCEPT_OBJECT round trip.
+  virtual AcceptObjectReply rpc_accept_object(ServerId to,
+                                              const AcceptObject& msg) = 0;
+};
+
+/// Per-operation cost accounting (feeds Figure 5 and the depth-search
+/// convergence benches).
+struct ResolveOutcome {
+  bool ok = false;
+  ServerId server{};
+  unsigned depth = 0;
+  unsigned probes = 0;     // ACCEPT_OBJECT round trips
+  unsigned dht_hops = 0;   // overlay hops spent on Map() lookups
+  unsigned dht_lookups = 0;
+  bool cache_hit = false;
+  unsigned restarts = 0;   // stale-range restarts under churn
+};
+
+/// Result of a range resolution (Section 7 future work): the active key
+/// groups covering a contiguous key range and the servers managing
+/// them. Because CLASH clusters prefixes, a range usually spans few
+/// segments — the basis of its lower query-replication overhead.
+struct RangeResolveOutcome {
+  bool ok = false;
+  std::vector<std::pair<KeyGroup, ServerId>> segments;
+  unsigned probes = 0;
+  unsigned dht_hops = 0;
+  unsigned dht_lookups = 0;
+  unsigned cache_hits = 0;
+
+  /// Distinct servers a range query/subscription must contact.
+  [[nodiscard]] std::size_t distinct_servers() const;
+};
+
+class ClashClient {
+ public:
+  struct Options {
+    /// First-probe policy. kHint starts from the last resolved depth
+    /// (falling back to initial_depth); kMidpoint is a pure binary
+    /// search; kRandom matches the paper's "picks at random".
+    enum class Guess : std::uint8_t { kHint, kMidpoint, kRandom };
+    Guess guess = Guess::kHint;
+    /// Max cached (group -> server) bindings.
+    std::size_t cache_capacity = 128;
+    /// Give up after this many probes (churn storms); 0 = 4*N + 8.
+    unsigned max_probes = 0;
+    /// Use the cached binding for a key's group when present.
+    bool use_cache = true;
+  };
+
+  ClashClient(const ClashConfig& cfg, ClientEnv& env, dht::KeyHasher hasher);
+  ClashClient(const ClashConfig& cfg, ClientEnv& env, dht::KeyHasher hasher,
+              Options opts, std::uint64_t seed = 1);
+
+  /// Insert a data-stream registration / query / probe. `obj.depth` is
+  /// ignored; the search fills it. On success the binding is cached.
+  ResolveOutcome insert(AcceptObject obj);
+
+  /// Resolve without storing (probe_only).
+  ResolveOutcome resolve(const Key& key);
+
+  /// Resolve every active group intersecting the inclusive key range
+  /// [lo, hi] by walking successive group boundaries left to right.
+  /// Supports the paper's range-query extension: a range subscription
+  /// registers on each returned (group, server) segment.
+  RangeResolveOutcome resolve_range(const Key& lo, const Key& hi);
+
+  /// Convenience: resolve all groups inside a prefix scope.
+  RangeResolveOutcome resolve_scope(const KeyGroup& scope);
+
+  /// Drop any cached binding covering `key` (e.g. when the application
+  /// learns the stream was redirected).
+  void invalidate(const Key& key);
+  void clear_cache();
+
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  struct CacheEntry {
+    KeyGroup group;
+    ServerId server;
+  };
+
+  [[nodiscard]] std::optional<CacheEntry> cache_find(const Key& key) const;
+  void cache_store(const KeyGroup& group, ServerId server);
+
+  ResolveOutcome search(AcceptObject& obj);
+
+  ClashConfig cfg_;
+  ClientEnv& env_;
+  dht::KeyHasher hasher_;
+  Options opts_;
+  // Small FIFO cache; clients track few concurrent streams.
+  std::list<CacheEntry> cache_;
+  unsigned depth_hint_;
+  std::uint64_t rng_state_;
+};
+
+}  // namespace clash

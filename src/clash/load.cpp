@@ -1,0 +1,52 @@
+#include "clash/load.hpp"
+
+#include <cmath>
+
+namespace clash {
+
+double group_load(const ClashConfig& cfg, double data_rate,
+                  std::size_t query_count) {
+  return cfg.load_alpha * data_rate +
+         cfg.load_beta * std::log2(1.0 + double(query_count));
+}
+
+RateEstimator::RateEstimator(SimDuration half_life) {
+  decay_per_usec_ = std::log(2.0) / double(half_life.usec);
+}
+
+void RateEstimator::record(SimTime now, double amount) {
+  if (!primed_) {
+    value_ = 0;
+    last_ = now;
+    primed_ = true;
+  }
+  const double dt_usec = double(now.usec - last_.usec);
+  if (dt_usec > 0) {
+    value_ *= std::exp(-decay_per_usec_ * dt_usec);
+    last_ = now;
+  }
+  // An impulse of `amount` events adds amount * decay_rate to the
+  // steady-state estimate (unit-area exponential kernel).
+  value_ += amount * decay_per_usec_ * 1e6;  // convert to events/sec
+}
+
+double RateEstimator::rate(SimTime now) const {
+  if (!primed_) return 0;
+  const double dt_usec = double(now.usec - last_.usec);
+  return dt_usec <= 0 ? value_ : value_ * std::exp(-decay_per_usec_ * dt_usec);
+}
+
+void RateEstimator::reset() {
+  value_ = 0;
+  primed_ = false;
+}
+
+LoadVerdict classify_load(const ClashConfig& cfg, double load) {
+  if (load > cfg.overload_frac * cfg.capacity) return LoadVerdict::kOverloaded;
+  if (load < cfg.underload_frac * cfg.capacity) {
+    return LoadVerdict::kUnderloaded;
+  }
+  return LoadVerdict::kNormal;
+}
+
+}  // namespace clash

@@ -1,0 +1,44 @@
+// Load model (Section 6): a key group's load is linear in the data rate
+// it handles and logarithmic in the number of continuous queries it
+// stores. A server's load is the sum over its active groups, compared
+// to overload/underload thresholds each LOAD_CHECK_PERIOD.
+#pragma once
+
+#include <cstddef>
+
+#include "clash/config.hpp"
+#include "common/sim_time.hpp"
+
+namespace clash {
+
+/// Load units contributed by one key group.
+[[nodiscard]] double group_load(const ClashConfig& cfg, double data_rate,
+                                std::size_t query_count);
+
+/// Exponentially-weighted moving average rate estimator for the
+/// per-packet (non-simulated) deployment path. update() on each event;
+/// rate() decays between events.
+class RateEstimator {
+ public:
+  explicit RateEstimator(SimDuration half_life = SimTime::from_seconds(30));
+
+  void record(SimTime now, double amount = 1.0);
+
+  /// Estimated events/sec as of `now`.
+  [[nodiscard]] double rate(SimTime now) const;
+
+  void reset();
+
+ private:
+  double decay_per_usec_;
+  double value_ = 0;  // smoothed events/sec
+  SimTime last_{0};
+  bool primed_ = false;
+};
+
+/// Tri-state verdict of a load check.
+enum class LoadVerdict { kUnderloaded, kNormal, kOverloaded };
+
+[[nodiscard]] LoadVerdict classify_load(const ClashConfig& cfg, double load);
+
+}  // namespace clash

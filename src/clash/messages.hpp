@@ -1,0 +1,128 @@
+// CLASH protocol messages (Section 5). Plain structs so the same
+// handlers run under the simulator (direct dispatch), unit tests, and
+// the TCP transport (via wire/codec).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "keys/key.hpp"
+#include "keys/key_group.hpp"
+
+namespace clash {
+
+/// What an ACCEPT_OBJECT carries: a data packet (transient, processed
+/// and dropped) or a continuous query (stored state, migrated on split).
+enum class ObjectKind : std::uint8_t { kData, kQuery };
+
+/// A stored stream registration: the sim registers each source's
+/// per-stream data rate with the server managing its group so loads are
+/// exact without per-packet events.
+struct StreamInfo {
+  ClientId source;
+  Key key{0, 24};
+  double rate = 0;  // packets/sec
+};
+
+/// A stored continuous query.
+struct QueryInfo {
+  QueryId id;
+  Key key{0, 24};
+};
+
+/// Client -> server. The client believes `key`'s group has depth
+/// `depth`. `probe_only` resolves without storing (used by lookups).
+struct AcceptObject {
+  Key key{0, 24};
+  unsigned depth = 0;
+  ObjectKind kind = ObjectKind::kData;
+  QueryId query_id{};     // valid when kind == kQuery
+  double stream_rate = 0; // valid when kind == kData (sim rate model)
+  ClientId source{};
+  bool probe_only = false;
+};
+
+/// Server -> client, cases (a) and (b) of Section 5: object accepted;
+/// `depth` echoes the correct depth (== request depth in case (a)).
+struct AcceptObjectOk {
+  unsigned depth = 0;
+};
+
+/// Server -> client, case (c): not responsible; `dmin` is the longest
+/// prefix match between the key and any ServerTable entry.
+struct IncorrectDepth {
+  unsigned dmin = 0;
+};
+
+/// Parent -> child: transfer responsibility for `group`. Receivers MUST
+/// accept (they may immediately split further to shed). Carries the
+/// migrated state, including an opaque application payload produced by
+/// the AppHooks state-distribution API (Section 7: the game-middleware
+/// extension).
+struct AcceptKeyGroup {
+  KeyGroup group;
+  ServerId parent;  // who keeps the parent table entry
+  std::vector<StreamInfo> streams;
+  std::vector<QueryInfo> queries;
+  std::vector<std::uint8_t> app_state;
+};
+
+struct AcceptKeyGroupAck {
+  KeyGroup group;
+};
+
+/// Leaf -> server holding the parent entry: periodic load report
+/// enabling bottom-up consolidation.
+struct LoadReport {
+  KeyGroup group;
+  double load = 0;       // load units of this group at the reporting leaf
+  bool is_leaf = true;   // false once the reporter split the group
+};
+
+/// Parent -> right child: reclaim `group` (consolidation). Child
+/// accepts only if its entry is still an active leaf.
+struct ReclaimKeyGroup {
+  KeyGroup group;
+};
+
+/// Child -> parent: reclaim accepted; carries migrated-back state.
+struct ReclaimAck {
+  KeyGroup group;
+  std::vector<StreamInfo> streams;
+  std::vector<QueryInfo> queries;
+  std::vector<std::uint8_t> app_state;
+};
+
+/// Child -> parent: reclaim refused (group was split further meanwhile).
+struct ReclaimRefused {
+  KeyGroup group;
+};
+
+/// Owner -> ring successors: lease-style replica refresh of an active
+/// group (fault-tolerance extension; ClashConfig::replication_factor).
+struct ReplicateGroup {
+  KeyGroup group;
+  ServerId owner;
+  bool root = false;
+  ServerId parent{};
+  std::vector<StreamInfo> streams;
+  std::vector<QueryInfo> queries;
+};
+
+/// Owner -> replica holder: the group is no longer active here (split
+/// or merged away); discard the replica.
+struct DropReplica {
+  KeyGroup group;
+};
+
+using Message =
+    std::variant<AcceptObject, AcceptObjectOk, IncorrectDepth, AcceptKeyGroup,
+                 AcceptKeyGroupAck, LoadReport, ReclaimKeyGroup, ReclaimAck,
+                 ReclaimRefused, ReplicateGroup, DropReplica>;
+
+/// Reply to an ACCEPT_OBJECT.
+using AcceptObjectReply = std::variant<AcceptObjectOk, IncorrectDepth>;
+
+}  // namespace clash

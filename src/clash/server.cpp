@@ -1,0 +1,709 @@
+#include "clash/server.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace clash {
+
+ClashServer::ClashServer(ServerId self, const ClashConfig& cfg, ServerEnv& env,
+                         dht::KeyHasher hasher)
+    : self_(self),
+      cfg_(cfg),
+      env_(env),
+      hasher_(hasher),
+      table_(cfg.key_width),
+      rng_(self.value * 0x9e3779b97f4a7c15ULL + 17) {}
+
+void ClashServer::install_entry(const ServerTableEntry& entry) {
+  table_.insert(entry);
+  if (entry.active) {
+    state_.try_emplace(entry.group);
+    env_.on_group_activated(entry.group);
+  }
+}
+
+bool ClashServer::mark_group_root(const KeyGroup& group) {
+  ServerTableEntry* entry = table_.find(group);
+  if (entry == nullptr || !entry->active) return false;
+  entry->root = true;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Client RPC: the three cases of Section 5.
+// ---------------------------------------------------------------------------
+
+AcceptObjectReply ClashServer::handle_accept_object(const AcceptObject& m) {
+  ServerTableEntry* entry = table_.active_entry_for(m.key);
+  if (entry == nullptr) {
+    // Case (c): not responsible. Reply with the longest prefix match
+    // across all entries so the client can narrow its depth search.
+    return IncorrectDepth{table_.longest_prefix_match(m.key)};
+  }
+  // Cases (a) (right depth) and (b) (wrong depth, right server) differ
+  // only in the echoed depth; the client compares.
+  if (!m.probe_only) {
+    GroupState& gs = state_[entry->group];
+    if (m.kind == ObjectKind::kQuery) {
+      gs.queries[m.query_id] = QueryInfo{m.query_id, m.key};
+    } else {
+      auto [it, inserted] = gs.streams.try_emplace(m.source);
+      if (!inserted) gs.stream_rate -= it->second.rate;
+      it->second = StreamInfo{m.source, m.key, m.stream_rate};
+      gs.stream_rate += m.stream_rate;
+    }
+  }
+  return AcceptObjectOk{entry->group.depth()};
+}
+
+void ClashServer::remove_stream(ClientId source, const Key& key) {
+  ServerTableEntry* entry = table_.active_entry_for(key);
+  if (entry == nullptr) return;
+  const auto st = state_.find(entry->group);
+  if (st == state_.end()) return;
+  const auto it = st->second.streams.find(source);
+  if (it == st->second.streams.end()) return;
+  st->second.stream_rate -= it->second.rate;
+  if (st->second.stream_rate < 0) st->second.stream_rate = 0;  // fp dust
+  st->second.streams.erase(it);
+  maybe_gc_group(entry->group);
+}
+
+void ClashServer::remove_query(QueryId id, const Key& key) {
+  ServerTableEntry* entry = table_.active_entry_for(key);
+  if (entry == nullptr) return;
+  const auto st = state_.find(entry->group);
+  if (st == state_.end()) return;
+  st->second.queries.erase(id);
+  maybe_gc_group(entry->group);
+}
+
+void ClashServer::maybe_gc_group(const KeyGroup& group) {
+  if (!cfg_.ephemeral_groups) return;
+  const auto st = state_.find(group);
+  if (st == state_.end() || !st->second.empty()) return;
+  state_.erase(st);
+  table_.erase(group);
+  env_.on_group_deactivated(group);
+  retire_replicas(group);
+}
+
+// ---------------------------------------------------------------------------
+// Peer message dispatch.
+// ---------------------------------------------------------------------------
+
+void ClashServer::deliver(ServerId from, const Message& msg) {
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, AcceptKeyGroup>) {
+          handle_accept_keygroup(from, m);
+        } else if constexpr (std::is_same_v<T, LoadReport>) {
+          handle_load_report(from, m);
+        } else if constexpr (std::is_same_v<T, ReclaimKeyGroup>) {
+          handle_reclaim(from, m);
+        } else if constexpr (std::is_same_v<T, ReclaimAck>) {
+          handle_reclaim_ack(from, m);
+        } else if constexpr (std::is_same_v<T, ReclaimRefused>) {
+          handle_reclaim_refused(from, m);
+        } else if constexpr (std::is_same_v<T, ReplicateGroup>) {
+          handle_replicate(from, m);
+        } else if constexpr (std::is_same_v<T, DropReplica>) {
+          handle_drop_replica(from, m);
+        } else if constexpr (std::is_same_v<T, AcceptKeyGroupAck>) {
+          // Acknowledgement only; transfer already applied locally.
+        } else {
+          CLASH_WARN << to_string(self_)
+                     << ": unexpected message variant from peer";
+        }
+      },
+      msg);
+}
+
+void ClashServer::handle_accept_keygroup(ServerId from,
+                                         const AcceptKeyGroup& m) {
+  // Section 5: a node must accept every ACCEPT_KEYGROUP (it can always
+  // split further itself if overloaded).
+  ServerTableEntry entry;
+  entry.group = m.group;
+  entry.parent = m.parent;
+  entry.active = true;
+  table_.insert(entry);
+  env_.on_group_activated(m.group);
+
+  GroupState& gs = state_[m.group];
+  for (const auto& s : m.streams) {
+    gs.streams[s.source] = s;
+    gs.stream_rate += s.rate;
+  }
+  for (const auto& q : m.queries) gs.queries[q.id] = q;
+  if (app_hooks_ != nullptr && !m.app_state.empty()) {
+    app_hooks_->import_state(m.group, m.app_state);
+  }
+
+  env_.send(from, AcceptKeyGroupAck{m.group});
+}
+
+void ClashServer::handle_load_report(ServerId from, const LoadReport& m) {
+  child_reports_[m.group] = ChildReport{m.load, m.is_leaf, env_.now()};
+  // Self-healing child pointer: after a failover the group's new owner
+  // reports here; update the lineage entry so consolidation can still
+  // reach it.
+  if (m.group.is_right_child()) {
+    ServerTableEntry* parent_entry = table_.find(m.group.parent());
+    if (parent_entry != nullptr && !parent_entry->active &&
+        parent_entry->right_child.valid() &&
+        parent_entry->right_child != from &&
+        pending_reclaims_.count(m.group) == 0) {
+      parent_entry->right_child = from;
+    }
+  }
+}
+
+void ClashServer::handle_reclaim(ServerId from, const ReclaimKeyGroup& m) {
+  ServerTableEntry* entry = table_.find(m.group);
+  // Refuse unless the group is still an active leaf we hold for this
+  // parent (it may have been split further since the last report).
+  if (entry == nullptr || !entry->active || entry->root ||
+      entry->parent != from) {
+    stats_.merge_refusals++;
+    env_.send(from, ReclaimRefused{m.group});
+    return;
+  }
+  GroupState st;
+  const auto it = state_.find(m.group);
+  if (it != state_.end()) {
+    st = std::move(it->second);
+    state_.erase(it);
+  }
+  table_.erase(m.group);
+  child_reports_.erase(m.group);
+  env_.on_group_deactivated(m.group);
+  retire_replicas(m.group);
+
+  ReclaimAck ack;
+  ack.group = m.group;
+  ack.streams.reserve(st.streams.size());
+  for (const auto& [_, s] : st.streams) ack.streams.push_back(s);
+  ack.queries.reserve(st.queries.size());
+  for (const auto& [_, q] : st.queries) ack.queries.push_back(q);
+  if (app_hooks_ != nullptr) {
+    ack.app_state = app_hooks_->export_state(m.group, from);
+  }
+  stats_.state_transfer_msgs += state_msgs_for(ack.queries.size());
+  env_.send(from, std::move(ack));
+}
+
+void ClashServer::handle_reclaim_ack(ServerId from, const ReclaimAck& m) {
+  pending_reclaims_.erase(m.group);
+  child_reports_.erase(m.group);
+
+  const KeyGroup parent_group = m.group.parent();
+  ServerTableEntry* parent_entry = table_.find(parent_group);
+  if (parent_entry == nullptr || parent_entry->active ||
+      parent_entry->right_child != from) {
+    // Should not happen with the pending-reclaim guard; drop the state
+    // loudly rather than corrupt the table.
+    CLASH_ERROR << to_string(self_) << ": stray ReclaimAck for "
+                << m.group.label();
+    return;
+  }
+
+  const KeyGroup left = parent_group.left_child();
+  ServerTableEntry* left_entry = table_.find(left);
+  assert(left_entry != nullptr && left_entry->active);
+
+  GroupState merged;
+  const auto left_state = state_.find(left);
+  if (left_state != state_.end()) {
+    merged = std::move(left_state->second);
+    state_.erase(left_state);
+  }
+  for (const auto& s : m.streams) {
+    merged.streams[s.source] = s;
+    merged.stream_rate += s.rate;
+  }
+  for (const auto& q : m.queries) merged.queries[q.id] = q;
+  if (app_hooks_ != nullptr && !m.app_state.empty()) {
+    app_hooks_->import_state(parent_group, m.app_state);
+  }
+
+  table_.erase(left);
+  (void)left_entry;
+  env_.on_group_deactivated(left);
+  retire_replicas(left);
+  parent_entry->active = true;
+  parent_entry->right_child = ServerId{};
+  state_[parent_group] = std::move(merged);
+  env_.on_group_activated(parent_group);
+  stats_.merges++;
+}
+
+void ClashServer::handle_reclaim_refused(ServerId /*from*/,
+                                         const ReclaimRefused& m) {
+  pending_reclaims_.erase(m.group);
+  // Mark the report non-leaf so we stop trying until a fresh report.
+  const auto it = child_reports_.find(m.group);
+  if (it != child_reports_.end()) it->second.is_leaf = false;
+}
+
+// ---------------------------------------------------------------------------
+// Splitting (Section 4/5).
+// ---------------------------------------------------------------------------
+
+bool ClashServer::force_split(const KeyGroup& group) {
+  ServerTableEntry* entry = table_.find(group);
+  if (entry == nullptr || !entry->active ||
+      group.depth() >= cfg_.key_width) {
+    return false;
+  }
+  split_group(group, /*reshed_on_self_map=*/false);
+  return true;
+}
+
+void ClashServer::split_group(const KeyGroup& group,
+                              bool reshed_on_self_map) {
+  [[maybe_unused]] ServerTableEntry* entry = table_.find(group);
+  assert(entry != nullptr && entry->active);
+  assert(group.depth() < cfg_.key_width);
+
+  GroupState st;
+  const auto state_it = state_.find(group);
+  if (state_it != state_.end()) {
+    st = std::move(state_it->second);
+    state_.erase(state_it);
+  }
+
+  KeyGroup current = group;
+  for (;;) {
+    const KeyGroup left = current.left_child();
+    const KeyGroup right = current.right_child();
+
+    // The left child expands to the same N-bit virtual key, so it maps
+    // back to this server by construction; only the right child needs a
+    // DHT lookup.
+    const dht::LookupResult owner =
+        env_.dht_lookup(hasher_.hash_key(right.virtual_key()));
+
+    GroupState right_state = extract_subset(st, right);
+
+    ServerTableEntry* cur_entry = table_.find(current);
+    assert(cur_entry != nullptr);
+    cur_entry->active = false;
+    cur_entry->right_child = owner.owner;
+    env_.on_group_deactivated(current);
+    retire_replicas(current);
+
+    ServerTableEntry left_entry;
+    left_entry.group = left;
+    left_entry.parent = self_;
+    left_entry.active = true;
+    table_.insert(left_entry);
+    state_[left] = std::move(st);
+    env_.on_group_activated(left);
+
+    if (owner.owner != self_ || right.depth() >= cfg_.key_width ||
+        !reshed_on_self_map) {
+      if (owner.owner == self_) {
+        // Administrative split, or a maximal-depth right child that
+        // still maps here: keep the right child local and active.
+        ServerTableEntry right_entry;
+        right_entry.group = right;
+        right_entry.parent = self_;
+        right_entry.active = true;
+        cur_entry = table_.find(current);
+        cur_entry->right_child = self_;
+        table_.insert(right_entry);
+        state_[right] = std::move(right_state);
+        env_.on_group_activated(right);
+        stats_.self_remaps++;
+      } else {
+        AcceptKeyGroup msg;
+        msg.group = right;
+        msg.parent = self_;
+        msg.streams.reserve(right_state.streams.size());
+        for (const auto& [_, s] : right_state.streams) {
+          msg.streams.push_back(s);
+        }
+        msg.queries.reserve(right_state.queries.size());
+        for (const auto& [_, q] : right_state.queries) {
+          msg.queries.push_back(q);
+        }
+        if (app_hooks_ != nullptr) {
+          msg.app_state = app_hooks_->export_state(right, owner.owner);
+        }
+        stats_.state_transfer_msgs += state_msgs_for(msg.queries.size());
+        env_.send(owner.owner, std::move(msg));
+      }
+      stats_.splits++;
+      return;
+    }
+
+    // Right child mapped back to us: make "another randomized attempt"
+    // by increasing the depth of the right group again (Section 5).
+    stats_.self_remaps++;
+    ServerTableEntry right_entry;
+    right_entry.group = right;
+    right_entry.parent = self_;
+    right_entry.active = true;  // immediately re-split below
+    table_.insert(right_entry);
+    env_.on_group_activated(right);
+    st = std::move(right_state);
+    current = right;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Periodic load management.
+// ---------------------------------------------------------------------------
+
+void ClashServer::run_load_check() {
+  send_load_reports();
+  if (cfg_.replication_factor > 0) send_replicas();
+  const double load = server_load();
+  switch (classify_load(cfg_, load)) {
+    case LoadVerdict::kOverloaded:
+      try_split_for_overload();
+      break;
+    case LoadVerdict::kUnderloaded:
+      if (cfg_.enable_consolidation) try_consolidate();
+      break;
+    case LoadVerdict::kNormal:
+      break;
+  }
+}
+
+void ClashServer::send_load_reports() {
+  for (const ServerTableEntry* e : table_.all_entries()) {
+    if (e->root || !e->parent.valid() || e->parent == self_) continue;
+    LoadReport r;
+    r.group = e->group;
+    r.is_leaf = e->active;
+    r.load = e->active ? load_of(e->group) : 0.0;
+    env_.send(e->parent, r);
+  }
+}
+
+void ClashServer::try_split_for_overload() {
+  for (unsigned i = 0; i < cfg_.max_splits_per_check; ++i) {
+    if (classify_load(cfg_, server_load()) != LoadVerdict::kOverloaded) break;
+    const auto candidate = pick_split_candidate();
+    if (!candidate) break;  // nothing splittable (all at max depth)
+    split_group(*candidate, /*reshed_on_self_map=*/true);
+  }
+}
+
+std::optional<KeyGroup> ClashServer::pick_split_candidate() {
+  std::vector<const ServerTableEntry*> eligible;
+  for (const ServerTableEntry* e : table_.active_entries()) {
+    if (e->group.depth() >= cfg_.key_width) continue;
+    // Never split the local left child of a reclaim in flight: the
+    // merge handler needs it to still be an active leaf.
+    if (!e->group.is_root() &&
+        pending_reclaims_.count(e->group.sibling()) > 0) {
+      continue;
+    }
+    eligible.push_back(e);
+  }
+  if (eligible.empty()) return std::nullopt;
+
+  switch (cfg_.split_policy) {
+    case ClashConfig::SplitPolicy::kRandom:
+      return eligible[rng_.below(eligible.size())]->group;
+    case ClashConfig::SplitPolicy::kMostKeys: {
+      const auto it = std::max_element(
+          eligible.begin(), eligible.end(), [](const auto* a, const auto* b) {
+            return a->group.cardinality() < b->group.cardinality();
+          });
+      return (*it)->group;
+    }
+    case ClashConfig::SplitPolicy::kHottest:
+      break;
+  }
+  const auto it = std::max_element(
+      eligible.begin(), eligible.end(), [this](const auto* a, const auto* b) {
+        return load_of(a->group) < load_of(b->group);
+      });
+  // Splitting a zero-load group cannot shed anything.
+  if (load_of((*it)->group) <= 0.0) return std::nullopt;
+  return (*it)->group;
+}
+
+std::optional<KeyGroup> ClashServer::pick_merge_candidate() const {
+  // Candidates: inactive local entries whose left child is a local
+  // active non-root leaf and whose right child reported being a cold
+  // leaf recently.
+  const SimTime now = env_.now();
+  const auto fresh_within =
+      SimTime(cfg_.load_check_period.usec * 3);  // staleness bound
+
+  std::optional<KeyGroup> best;
+  double best_combined = 0;
+  for (const ServerTableEntry* e : table_.all_entries()) {
+    if (e->active || !e->right_child.valid()) continue;
+    if (pending_reclaims_.count(e->group.right_child()) > 0) continue;
+
+    const KeyGroup left = e->group.left_child();
+    const ServerTableEntry* left_entry = table_.find(left);
+    if (left_entry == nullptr || !left_entry->active || left_entry->root) {
+      continue;
+    }
+
+    const KeyGroup right = e->group.right_child();
+    double right_load = 0;
+    if (e->right_child == self_) {
+      const ServerTableEntry* right_entry = table_.find(right);
+      if (right_entry == nullptr || !right_entry->active ||
+          right_entry->root) {
+        continue;
+      }
+      right_load = load_of(right);
+    } else {
+      const auto rep = child_reports_.find(right);
+      if (rep == child_reports_.end() || !rep->second.is_leaf) continue;
+      if (now - rep->second.at > fresh_within) continue;
+      right_load = rep->second.load;
+    }
+
+    const double combined = load_of(left) + right_load;
+    if (combined > cfg_.merge_target_frac * cfg_.capacity) continue;
+    // Absorbing the right child must not push us over the overload
+    // threshold.
+    if (server_load() + right_load > cfg_.overload_frac * cfg_.capacity) {
+      continue;
+    }
+    if (!best) {
+      best = e->group;
+      best_combined = combined;
+    } else if (cfg_.merge_policy == ClashConfig::MergePolicy::kColdest &&
+               combined < best_combined) {
+      best = e->group;
+      best_combined = combined;
+    }
+  }
+  return best;
+}
+
+void ClashServer::try_consolidate() {
+  const auto candidate = pick_merge_candidate();
+  if (!candidate) return;
+  const ServerTableEntry* entry = table_.find(*candidate);
+  assert(entry != nullptr && !entry->active);
+  const KeyGroup right = candidate->right_child();
+
+  if (entry->right_child == self_) {
+    // Both halves local: merge without messages.
+    ServerTableEntry* right_entry = table_.find(right);
+    assert(right_entry != nullptr && right_entry->active);
+    (void)right_entry;
+    GroupState right_state;
+    const auto rs = state_.find(right);
+    if (rs != state_.end()) {
+      right_state = std::move(rs->second);
+      state_.erase(rs);
+    }
+    table_.erase(right);
+    env_.on_group_deactivated(right);
+    retire_replicas(right);
+
+    ReclaimAck local_ack;
+    local_ack.group = right;
+    for (const auto& [_, s] : right_state.streams) {
+      local_ack.streams.push_back(s);
+    }
+    for (const auto& [_, q] : right_state.queries) {
+      local_ack.queries.push_back(q);
+    }
+    handle_reclaim_ack(self_, local_ack);
+    return;
+  }
+
+  pending_reclaims_.insert(right);
+  env_.send(entry->right_child, ReclaimKeyGroup{right});
+}
+
+// ---------------------------------------------------------------------------
+// State partitioning and introspection.
+// ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Fault tolerance: lease replication and failover promotion.
+// ---------------------------------------------------------------------------
+
+void ClashServer::send_replicas() {
+  for (const ServerTableEntry* e : table_.active_entries()) {
+    const auto targets = env_.replica_targets(
+        hasher_.hash_key(e->group.virtual_key()), cfg_.replication_factor);
+    if (targets.empty()) continue;
+    ReplicateGroup msg;
+    msg.group = e->group;
+    msg.owner = self_;
+    msg.root = e->root;
+    msg.parent = e->parent;
+    const auto st = state_.find(e->group);
+    if (st != state_.end()) {
+      msg.streams.reserve(st->second.streams.size());
+      for (const auto& [_, s] : st->second.streams) msg.streams.push_back(s);
+      msg.queries.reserve(st->second.queries.size());
+      for (const auto& [_, q] : st->second.queries) msg.queries.push_back(q);
+    }
+    for (const ServerId target : targets) {
+      if (target == self_) continue;
+      env_.send(target, msg);
+    }
+  }
+}
+
+void ClashServer::retire_replicas(const KeyGroup& group) {
+  if (cfg_.replication_factor == 0) return;
+  const auto targets = env_.replica_targets(
+      hasher_.hash_key(group.virtual_key()), cfg_.replication_factor);
+  for (const ServerId target : targets) {
+    if (target == self_) continue;
+    env_.send(target, DropReplica{group});
+  }
+}
+
+void ClashServer::handle_replicate(ServerId /*from*/,
+                                   const ReplicateGroup& m) {
+  ReplicaRecord rec;
+  rec.owner = m.owner;
+  rec.root = m.root;
+  rec.parent = m.parent;
+  for (const auto& s : m.streams) {
+    rec.state.streams[s.source] = s;
+    rec.state.stream_rate += s.rate;
+  }
+  for (const auto& q : m.queries) rec.state.queries[q.id] = q;
+  replicas_[m.group] = std::move(rec);
+}
+
+void ClashServer::handle_drop_replica(ServerId /*from*/,
+                                      const DropReplica& m) {
+  replicas_.erase(m.group);
+}
+
+bool ClashServer::promote_replica(const KeyGroup& group) {
+  // Stale or duplicate promotion requests must never corrupt the
+  // table: refuse when any entry for (or active entry overlapping) the
+  // group already exists here.
+  if (const auto* existing = table_.find(group)) {
+    return existing->active;
+  }
+  for (const ServerTableEntry* e : table_.active_entries()) {
+    if (e->group.covers(group) || group.covers(e->group)) {
+      CLASH_WARN << to_string(self_) << ": refusing promotion of "
+                 << group.label() << " (overlaps active "
+                 << e->group.label() << ")";
+      return false;
+    }
+  }
+  const auto it = replicas_.find(group);
+  ServerTableEntry entry;
+  entry.group = group;
+  entry.active = true;
+  const bool recovered = it != replicas_.end();
+  if (recovered) {
+    entry.root = it->second.root;
+    entry.parent = it->second.parent;
+    table_.insert(entry);
+    state_[group] = std::move(it->second.state);
+    replicas_.erase(it);
+    env_.on_group_activated(group);
+    stats_.failovers++;
+  } else {
+    // No replica: adopt the bare group so the key space stays covered.
+    // Lineage above is unknown, so the entry becomes a root.
+    entry.root = true;
+    table_.insert(entry);
+    state_.try_emplace(group);
+    env_.on_group_activated(group);
+    stats_.failovers++;
+    stats_.groups_lost++;
+  }
+  return recovered;
+}
+
+GroupState ClashServer::extract_subset(GroupState& st,
+                                       const KeyGroup& subset) {
+  GroupState out;
+  for (auto it = st.streams.begin(); it != st.streams.end();) {
+    if (subset.contains(it->second.key)) {
+      out.stream_rate += it->second.rate;
+      st.stream_rate -= it->second.rate;
+      out.streams.insert(*it);
+      it = st.streams.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (st.stream_rate < 0) st.stream_rate = 0;
+  for (auto it = st.queries.begin(); it != st.queries.end();) {
+    if (subset.contains(it->second.key)) {
+      out.queries.insert(*it);
+      it = st.queries.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::uint64_t ClashServer::state_msgs_for(std::size_t query_count) const {
+  const unsigned batch = std::max(1u, cfg_.state_batch);
+  return (query_count + batch - 1) / batch;
+}
+
+double ClashServer::server_load() const {
+  double total = 0;
+  for (const ServerTableEntry* e : table_.active_entries()) {
+    total += load_of(e->group);
+  }
+  return total;
+}
+
+double ClashServer::load_of(const KeyGroup& group) const {
+  const auto it = state_.find(group);
+  if (it == state_.end()) return 0;
+  double load =
+      group_load(cfg_, it->second.stream_rate, it->second.queries.size());
+  if (app_hooks_ != nullptr) load += app_hooks_->app_load(group);
+  return load;
+}
+
+bool ClashServer::signal_overload() {
+  const auto candidate = pick_split_candidate();
+  if (!candidate) return false;
+  split_group(*candidate, /*reshed_on_self_map=*/true);
+  return true;
+}
+
+const GroupState* ClashServer::group_state(const KeyGroup& group) const {
+  const auto it = state_.find(group);
+  return it == state_.end() ? nullptr : &it->second;
+}
+
+std::size_t ClashServer::total_queries() const {
+  std::size_t n = 0;
+  for (const auto& [_, gs] : state_) n += gs.queries.size();
+  return n;
+}
+
+std::size_t ClashServer::total_streams() const {
+  std::size_t n = 0;
+  for (const auto& [_, gs] : state_) n += gs.streams.size();
+  return n;
+}
+
+std::vector<unsigned> ClashServer::active_depths() const {
+  std::vector<unsigned> out;
+  for (const ServerTableEntry* e : table_.active_entries()) {
+    out.push_back(e->group.depth());
+  }
+  return out;
+}
+
+}  // namespace clash

@@ -1,0 +1,245 @@
+// ClashServer: the server side of the protocol (Sections 4 and 5).
+// Transport-agnostic: all I/O goes through ServerEnv, so the same logic
+// runs under the discrete-event simulator, unit tests, and the TCP
+// deployment layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "clash/config.hpp"
+#include "clash/load.hpp"
+#include "clash/messages.hpp"
+#include "clash/server_table.hpp"
+#include "clash/stats.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "dht/dht.hpp"
+
+namespace clash {
+
+/// Runtime services a ClashServer needs. Implementations count the
+/// messages they carry (that is how the Figure 5 overheads are
+/// measured).
+class ServerEnv {
+ public:
+  virtual ~ServerEnv() = default;
+
+  /// Route `h` through the DHT from this server; the implementation
+  /// accounts for the O(log S) overlay hops.
+  virtual dht::LookupResult dht_lookup(dht::HashKey h) = 0;
+
+  /// The `n` servers after the owner of `h` on the ring (Chord's
+  /// replica set). Empty when the substrate offers no replication.
+  [[nodiscard]] virtual std::vector<ServerId> replica_targets(
+      dht::HashKey h, unsigned n) {
+    (void)h;
+    (void)n;
+    return {};
+  }
+
+  /// Deliver a protocol message to a peer server.
+  virtual void send(ServerId to, const Message& msg) = 0;
+
+  [[nodiscard]] virtual SimTime now() const = 0;
+
+  /// Table-change notifications: `group` became / stopped being an
+  /// active leaf on this server. Default no-ops; the simulator uses
+  /// them to maintain a global owner index for exact metrics.
+  virtual void on_group_activated(const KeyGroup& group) { (void)group; }
+  virtual void on_group_deactivated(const KeyGroup& group) { (void)group; }
+};
+
+/// Application integration (Section 7's game-middleware API): the
+/// hosted application can contribute to a group's load ("indicate
+/// application overload") and ship opaque state when CLASH moves a
+/// group ("distribute application-specific state"). All callbacks run
+/// on the server's protocol thread.
+class AppHooks {
+ public:
+  virtual ~AppHooks() = default;
+
+  /// Extra load units the application attributes to `group` (e.g. game
+  /// physics cost); added to the data-rate/query model each check.
+  [[nodiscard]] virtual double app_load(const KeyGroup& group) {
+    (void)group;
+    return 0;
+  }
+
+  /// Serialise and relinquish the application state belonging to
+  /// `group` (it is moving to `destination`).
+  [[nodiscard]] virtual std::vector<std::uint8_t> export_state(
+      const KeyGroup& group, ServerId destination) {
+    (void)group;
+    (void)destination;
+    return {};
+  }
+
+  /// Install state exported by a peer for `group`.
+  virtual void import_state(const KeyGroup& group,
+                            const std::vector<std::uint8_t>& state) {
+    (void)group;
+    (void)state;
+  }
+};
+
+/// Objects (stream registrations + stored queries) held by one group.
+struct GroupState {
+  std::map<ClientId, StreamInfo> streams;
+  std::map<QueryId, QueryInfo> queries;
+  double stream_rate = 0;  // invariant: sum of streams[*].rate
+
+  [[nodiscard]] bool empty() const {
+    return streams.empty() && queries.empty();
+  }
+};
+
+class ClashServer {
+ public:
+  ClashServer(ServerId self, const ClashConfig& cfg, ServerEnv& env,
+              dht::KeyHasher hasher);
+
+  [[nodiscard]] ServerId id() const { return self_; }
+  [[nodiscard]] const ClashConfig& config() const { return cfg_; }
+  [[nodiscard]] const ServerTable& table() const { return table_; }
+  [[nodiscard]] const MessageStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = MessageStats{}; }
+
+  // --- Bootstrap -----------------------------------------------------
+  /// Install an entry directly (used by the bootstrap splitter and by
+  /// tests building Figure 1/2 scenarios).
+  void install_entry(const ServerTableEntry& entry);
+
+  /// Force-split an active group regardless of load (bootstrap path;
+  /// also the paper's administrative splitting). Returns false if the
+  /// group is absent/inactive/at max depth.
+  bool force_split(const KeyGroup& group);
+
+  /// Mark an active group as a root entry (ParentID = -1): an
+  /// administrative floor consolidation never collapses through.
+  bool mark_group_root(const KeyGroup& group);
+
+  // --- Application API (Section 7 extension) --------------------------
+  /// Attach application callbacks (load contribution, state shipping).
+  /// The hooks must outlive the server.
+  void set_app_hooks(AppHooks* hooks) { app_hooks_ = hooks; }
+
+  /// Application-signalled overload: shed the hottest group now, ahead
+  /// of the periodic check. Returns false when nothing is splittable.
+  bool signal_overload();
+
+  // --- Fault tolerance (replication extension) ------------------------
+  /// Promote this server's replica of `group` to active ownership
+  /// (called by the failover coordinator after the previous owner
+  /// died and the DHT now maps the group here). Falls back to an empty
+  /// root entry when no replica exists; returns whether state was
+  /// recovered.
+  bool promote_replica(const KeyGroup& group);
+
+  [[nodiscard]] std::size_t replica_count() const {
+    return replicas_.size();
+  }
+  [[nodiscard]] bool has_replica(const KeyGroup& group) const {
+    return replicas_.count(group) > 0;
+  }
+
+  // --- Client RPC (Section 5, three cases) ----------------------------
+  [[nodiscard]] AcceptObjectReply handle_accept_object(const AcceptObject& m);
+
+  // --- Peer messages ---------------------------------------------------
+  void deliver(ServerId from, const Message& msg);
+
+  // --- Periodic driver --------------------------------------------------
+  /// One LOAD_CHECK_PERIOD tick: emit load reports, then split when
+  /// overloaded / consolidate when underloaded.
+  void run_load_check();
+
+  // --- Bookkeeping used by the simulator and applications ---------------
+  /// Remove a stream registration (source key changed or went away).
+  /// Not a protocol message: equivalent to the rate decaying to zero in
+  /// a per-packet deployment.
+  void remove_stream(ClientId source, const Key& key);
+
+  /// Remove an expired continuous query.
+  void remove_query(QueryId id, const Key& key);
+
+  // --- Introspection ----------------------------------------------------
+  [[nodiscard]] double server_load() const;
+  [[nodiscard]] double load_of(const KeyGroup& group) const;
+  [[nodiscard]] const GroupState* group_state(const KeyGroup& group) const;
+  [[nodiscard]] std::size_t total_queries() const;
+  [[nodiscard]] std::size_t total_streams() const;
+  /// Depths of this server's active groups (for Figure 4c).
+  [[nodiscard]] std::vector<unsigned> active_depths() const;
+  [[nodiscard]] bool is_active() const { return table_.active_count() > 0; }
+
+ private:
+  struct ChildReport {
+    double load = 0;
+    bool is_leaf = false;
+    SimTime at{0};
+  };
+
+  void handle_accept_keygroup(ServerId from, const AcceptKeyGroup& m);
+  void handle_load_report(ServerId from, const LoadReport& m);
+  void handle_reclaim(ServerId from, const ReclaimKeyGroup& m);
+  void handle_reclaim_ack(ServerId from, const ReclaimAck& m);
+  void handle_reclaim_refused(ServerId from, const ReclaimRefused& m);
+  void handle_replicate(ServerId from, const ReplicateGroup& m);
+  void handle_drop_replica(ServerId from, const DropReplica& m);
+
+  /// Push lease-replicas of every active group to its ring successors.
+  void send_replicas();
+  /// Tell replica holders a group stopped being active here.
+  void retire_replicas(const KeyGroup& group);
+
+  /// Split `group`, shedding its right half (Section 5). When
+  /// `reshed_on_self_map` is set and the right child maps back to this
+  /// server, the right group's depth is increased again for "another
+  /// randomized attempt" (load-shedding semantics); otherwise both
+  /// children simply stay local (administrative splitting).
+  void split_group(const KeyGroup& group, bool reshed_on_self_map);
+
+  void send_load_reports();
+  void try_split_for_overload();
+  void try_consolidate();
+
+  [[nodiscard]] std::optional<KeyGroup> pick_split_candidate();
+  [[nodiscard]] std::optional<KeyGroup> pick_merge_candidate() const;
+
+  /// Move the members of `subset` out of `st` into the returned state.
+  static GroupState extract_subset(GroupState& st, const KeyGroup& subset);
+
+  /// Drop an emptied ephemeral group (fixed-depth baseline mode).
+  void maybe_gc_group(const KeyGroup& group);
+
+  /// Queries-to-STATE_TRANSFER-message accounting.
+  [[nodiscard]] std::uint64_t state_msgs_for(std::size_t query_count) const;
+
+  ServerId self_;
+  ClashConfig cfg_;
+  ServerEnv& env_;
+  dht::KeyHasher hasher_;
+  AppHooks* app_hooks_ = nullptr;
+  ServerTable table_;
+  std::map<KeyGroup, GroupState> state_;
+  std::map<KeyGroup, ChildReport> child_reports_;  // right-child group -> report
+  std::set<KeyGroup> pending_reclaims_;            // right-child groups asked back
+
+  /// Replicas held on behalf of other owners (replication extension).
+  struct ReplicaRecord {
+    ServerId owner{};
+    bool root = false;
+    ServerId parent{};
+    GroupState state;
+  };
+  std::map<KeyGroup, ReplicaRecord> replicas_;
+
+  Rng rng_;
+  MessageStats stats_;
+};
+
+}  // namespace clash

@@ -1,0 +1,126 @@
+#include "clash/server_table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace clash {
+
+void ServerTable::insert(const ServerTableEntry& entry) {
+  if (entry.group.key_width() != key_width_) {
+    throw std::invalid_argument("entry key width mismatch");
+  }
+  const auto [it, inserted] = entries_.emplace(entry.group, entry);
+  (void)it;
+  if (!inserted) {
+    throw std::invalid_argument("duplicate key group in server table: " +
+                                entry.group.label());
+  }
+}
+
+void ServerTable::erase(const KeyGroup& group) { entries_.erase(group); }
+
+ServerTableEntry* ServerTable::find(const KeyGroup& group) {
+  const auto it = entries_.find(group);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const ServerTableEntry* ServerTable::find(const KeyGroup& group) const {
+  const auto it = entries_.find(group);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+ServerTableEntry* ServerTable::active_entry_for(const Key& k) {
+  return const_cast<ServerTableEntry*>(
+      static_cast<const ServerTable*>(this)->active_entry_for(k));
+}
+
+const ServerTableEntry* ServerTable::active_entry_for(const Key& k) const {
+  // A server's table is small (lineage depth x managed groups), so a
+  // linear scan is both simple and fast; prefix-freeness guarantees at
+  // most one active match.
+  for (const auto& [group, entry] : entries_) {
+    if (entry.active && group.contains(k)) return &entry;
+  }
+  return nullptr;
+}
+
+unsigned ServerTable::longest_prefix_match(const Key& k) const {
+  unsigned best = 0;
+  for (const auto& [group, entry] : entries_) {
+    const unsigned match = std::min(group.virtual_key().common_prefix_len(k),
+                                    group.depth());
+    best = std::max(best, match);
+  }
+  return best;
+}
+
+std::size_t ServerTable::active_count() const {
+  return std::size_t(std::count_if(
+      entries_.begin(), entries_.end(),
+      [](const auto& kv) { return kv.second.active; }));
+}
+
+std::vector<const ServerTableEntry*> ServerTable::active_entries() const {
+  std::vector<const ServerTableEntry*> out;
+  for (const auto& [_, entry] : entries_) {
+    if (entry.active) out.push_back(&entry);
+  }
+  return out;
+}
+
+std::vector<const ServerTableEntry*> ServerTable::all_entries() const {
+  std::vector<const ServerTableEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [_, entry] : entries_) out.push_back(&entry);
+  return out;
+}
+
+std::optional<std::string> ServerTable::check_invariants() const {
+  std::vector<const ServerTableEntry*> active;
+  for (const auto& [group, entry] : entries_) {
+    if (group.key_width() != key_width_) {
+      return "entry " + group.label() + " has wrong key width";
+    }
+    if (shape(group.virtual_key(), group.depth()) != group.virtual_key()) {
+      return "entry " + group.label() + " has non-zero suffix bits";
+    }
+    if (!entry.active && !entry.right_child.valid()) {
+      return "inactive entry " + group.label() + " lacks a right child";
+    }
+    if (entry.active) active.push_back(&entry);
+  }
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    for (std::size_t j = i + 1; j < active.size(); ++j) {
+      if (active[i]->group.covers(active[j]->group) ||
+          active[j]->group.covers(active[i]->group)) {
+        return "active groups overlap: " + active[i]->group.label() + " and " +
+               active[j]->group.label();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string ServerTable::to_string() const {
+  std::ostringstream os;
+  os << "No.  VirtualKeyGroup  Depth  Parent  RightChild  Active\n";
+  std::size_t n = 1;
+  for (const auto& [group, entry] : entries_) {
+    os << n++ << "    " << group.label() << "  " << group.depth() << "  ";
+    if (entry.root) {
+      os << "-1";
+    } else if (entry.parent.valid()) {
+      os << clash::to_string(entry.parent);
+    } else {
+      os << "?";
+    }
+    os << "  ";
+    os << (entry.right_child.valid() ? clash::to_string(entry.right_child)
+                                     : std::string("-"));
+    os << "  " << (entry.active ? "Y" : "N") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace clash

@@ -1,0 +1,100 @@
+// Message/operation counters. The simulator aggregates these to produce
+// the paper's Figure 5 (messages/sec/server by class) and the split/
+// merge/depth statistics behind Figure 4.
+#pragma once
+
+#include <cstdint>
+
+namespace clash {
+
+struct MessageStats {
+  // Overlay routing cost: one unit per DHT forwarding hop.
+  std::uint64_t dht_hops = 0;
+  // ACCEPT_OBJECT probes and their replies.
+  std::uint64_t object_probes = 0;
+  std::uint64_t object_replies = 0;
+  // Group-transfer control traffic.
+  std::uint64_t keygroup_transfers = 0;
+  std::uint64_t keygroup_acks = 0;
+  std::uint64_t load_reports = 0;
+  std::uint64_t reclaim_requests = 0;
+  std::uint64_t reclaim_replies = 0;
+  // Migrated state, in STATE_TRANSFER message units.
+  std::uint64_t state_transfer_msgs = 0;
+  // Fault-tolerance extension traffic.
+  std::uint64_t replications = 0;
+  std::uint64_t replica_drops = 0;
+
+  // Protocol events (not messages).
+  std::uint64_t splits = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t self_remaps = 0;      // right child mapped back to self
+  std::uint64_t merge_refusals = 0;
+  std::uint64_t depth_searches = 0;   // client resolution rounds
+  std::uint64_t search_restarts = 0;  // stale-range restarts under churn
+  std::uint64_t failovers = 0;        // groups promoted from replicas
+  std::uint64_t groups_lost = 0;      // failovers without replica state
+  std::uint64_t dropped_msgs = 0;     // sends to dead servers
+
+  /// Total protocol messages excluding migrated state (Figure 5 case A).
+  [[nodiscard]] std::uint64_t control_messages() const {
+    return dht_hops + object_probes + object_replies + keygroup_transfers +
+           keygroup_acks + load_reports + reclaim_requests + reclaim_replies +
+           replications + replica_drops;
+  }
+
+  /// Total including state transfer (Figure 5 case B).
+  [[nodiscard]] std::uint64_t total_messages() const {
+    return control_messages() + state_transfer_msgs;
+  }
+
+  MessageStats& operator+=(const MessageStats& o) {
+    dht_hops += o.dht_hops;
+    object_probes += o.object_probes;
+    object_replies += o.object_replies;
+    keygroup_transfers += o.keygroup_transfers;
+    keygroup_acks += o.keygroup_acks;
+    load_reports += o.load_reports;
+    reclaim_requests += o.reclaim_requests;
+    reclaim_replies += o.reclaim_replies;
+    state_transfer_msgs += o.state_transfer_msgs;
+    replications += o.replications;
+    replica_drops += o.replica_drops;
+    splits += o.splits;
+    merges += o.merges;
+    self_remaps += o.self_remaps;
+    merge_refusals += o.merge_refusals;
+    depth_searches += o.depth_searches;
+    search_restarts += o.search_restarts;
+    failovers += o.failovers;
+    groups_lost += o.groups_lost;
+    dropped_msgs += o.dropped_msgs;
+    return *this;
+  }
+
+  friend MessageStats operator-(MessageStats a, const MessageStats& b) {
+    a.dht_hops -= b.dht_hops;
+    a.object_probes -= b.object_probes;
+    a.object_replies -= b.object_replies;
+    a.keygroup_transfers -= b.keygroup_transfers;
+    a.keygroup_acks -= b.keygroup_acks;
+    a.load_reports -= b.load_reports;
+    a.reclaim_requests -= b.reclaim_requests;
+    a.reclaim_replies -= b.reclaim_replies;
+    a.state_transfer_msgs -= b.state_transfer_msgs;
+    a.replications -= b.replications;
+    a.replica_drops -= b.replica_drops;
+    a.splits -= b.splits;
+    a.merges -= b.merges;
+    a.self_remaps -= b.self_remaps;
+    a.merge_refusals -= b.merge_refusals;
+    a.depth_searches -= b.depth_searches;
+    a.search_restarts -= b.search_restarts;
+    a.failovers -= b.failovers;
+    a.groups_lost -= b.groups_lost;
+    a.dropped_msgs -= b.dropped_msgs;
+    return a;
+  }
+};
+
+}  // namespace clash

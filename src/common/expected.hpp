@@ -1,0 +1,75 @@
+// Small Expected<T, E> for error propagation without exceptions on hot
+// protocol paths (std::expected is C++23; we target C++20).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace clash {
+
+/// Default error payload: a code plus human-readable context.
+struct Error {
+  enum class Code {
+    kUnknown,
+    kInvalidArgument,
+    kNotFound,
+    kWrongServer,
+    kWouldBlock,
+    kClosed,
+    kProtocol,
+    kTimeout,
+    kRefused,
+  };
+
+  Code code = Code::kUnknown;
+  std::string message;
+
+  static Error invalid(std::string msg) {
+    return {Code::kInvalidArgument, std::move(msg)};
+  }
+  static Error not_found(std::string msg) {
+    return {Code::kNotFound, std::move(msg)};
+  }
+  static Error protocol(std::string msg) {
+    return {Code::kProtocol, std::move(msg)};
+  }
+};
+
+template <typename T, typename E = Error>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Expected(E error) : storage_(std::in_place_index<1>, std::move(error)) {}
+
+  [[nodiscard]] bool ok() const { return storage_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(storage_));
+  }
+
+  [[nodiscard]] const E& error() const {
+    assert(!ok());
+    return std::get<1>(storage_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+}  // namespace clash

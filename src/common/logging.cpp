@@ -1,0 +1,48 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace clash::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_emit_mutex;
+
+constexpr const char* name(Level lvl) {
+  switch (lvl) {
+    case Level::kTrace:
+      return "TRACE";
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO ";
+    case Level::kWarn:
+      return "WARN ";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+bool enabled(Level lvl) { return lvl >= level() && lvl != Level::kOff; }
+
+namespace detail {
+
+void emit(Level lvl, std::string_view message) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %.*s\n", name(lvl), int(message.size()),
+               message.data());
+}
+
+}  // namespace detail
+}  // namespace clash::log

@@ -1,0 +1,53 @@
+// Minimal leveled logger. Single global sink, printf-free (iostream-based
+// formatting via operator<< chaining into a fixed buffer per statement).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace clash::log {
+
+enum class Level { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global threshold; messages below it are discarded cheaply.
+void set_level(Level level);
+Level level();
+
+/// True when `lvl` would currently be emitted.
+bool enabled(Level lvl);
+
+namespace detail {
+void emit(Level lvl, std::string_view message);
+
+class Statement {
+ public:
+  explicit Statement(Level lvl) : lvl_(lvl) {}
+  Statement(const Statement&) = delete;
+  Statement& operator=(const Statement&) = delete;
+  ~Statement() { emit(lvl_, stream_.str()); }
+
+  template <typename T>
+  Statement& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace clash::log
+
+#define CLASH_LOG(lvl)                     \
+  if (!::clash::log::enabled(lvl)) {       \
+  } else                                   \
+    ::clash::log::detail::Statement(lvl)
+
+#define CLASH_TRACE CLASH_LOG(::clash::log::Level::kTrace)
+#define CLASH_DEBUG CLASH_LOG(::clash::log::Level::kDebug)
+#define CLASH_INFO CLASH_LOG(::clash::log::Level::kInfo)
+#define CLASH_WARN CLASH_LOG(::clash::log::Level::kWarn)
+#define CLASH_ERROR CLASH_LOG(::clash::log::Level::kError)

@@ -1,0 +1,92 @@
+// Deterministic, seedable random number generation and the sampling
+// distributions the simulation engine needs. All simulator randomness
+// flows through Rng so experiments are reproducible from a single seed.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace clash {
+
+/// xoshiro256++ generator (Blackman & Vigna). Fast, 256-bit state,
+/// seeded via splitmix64 so any 64-bit seed yields a good state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// UniformRandomBitGenerator interface (usable with <random> adapters).
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~std::uint64_t{0}; }
+
+  /// Uniform integer in [0, bound). Unbiased (rejection sampling).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponentially distributed with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (no cached spare; stateless).
+  double normal(double mean, double stddev);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Split off an independently-seeded child generator. Children of the
+  /// same parent with distinct salts are statistically independent.
+  Rng split(std::uint64_t salt);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Samples indices 0..n-1 from a fixed discrete distribution in O(1)
+/// per sample using Walker's alias method. Weights need not be
+/// normalised.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+
+  /// Normalised probability of index i (for tests / reporting).
+  [[nodiscard]] double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> prob_;   // alias-method acceptance probabilities
+  std::vector<std::uint32_t> alias_;
+  std::vector<double> norm_;   // normalised input weights
+};
+
+/// Zipf(s) over {0, .., n-1} via inverse-CDF table (exact, O(log n)
+/// per sample).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace clash

@@ -1,0 +1,51 @@
+// Self-contained SHA-1 (FIPS 180-1), used as the DHT's base hash f().
+// Chord historically hashes identifiers with SHA-1; we implement it from
+// scratch to avoid an OpenSSL dependency. Not for security use.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace clash {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data);
+
+  /// Finalises and returns the digest. The object must not be reused
+  /// afterwards without calling reset().
+  Digest finish();
+
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data);
+  static Digest hash(std::string_view data);
+
+  /// First 8 bytes of the digest as a big-endian uint64 — the form the
+  /// DHT layer consumes before truncating to its hash-space width.
+  static std::uint64_t hash64(std::span<const std::uint8_t> data);
+  static std::uint64_t hash64(std::uint64_t value);
+
+  static std::string hex(const Digest& d);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t h_[5];
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace clash

@@ -1,0 +1,62 @@
+// Simulated-time vocabulary. The simulator advances an integer
+// microsecond clock; protocol code only ever sees SimTime so the same
+// logic runs under simulation and (via a wall-clock adapter) real time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace clash {
+
+/// A point in simulated time, in microseconds since simulation start.
+struct SimTime {
+  std::int64_t usec = 0;
+
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t us) : usec(us) {}
+
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e6));
+  }
+  static constexpr SimTime from_minutes(double m) {
+    return from_seconds(m * 60.0);
+  }
+  static constexpr SimTime from_hours(double h) {
+    return from_seconds(h * 3600.0);
+  }
+
+  [[nodiscard]] constexpr double seconds() const { return double(usec) / 1e6; }
+  [[nodiscard]] constexpr double minutes() const { return seconds() / 60.0; }
+  [[nodiscard]] constexpr double hours() const { return seconds() / 3600.0; }
+
+  friend constexpr bool operator==(SimTime a, SimTime b) {
+    return a.usec == b.usec;
+  }
+  friend constexpr bool operator<(SimTime a, SimTime b) {
+    return a.usec < b.usec;
+  }
+  friend constexpr bool operator<=(SimTime a, SimTime b) {
+    return a.usec <= b.usec;
+  }
+  friend constexpr bool operator>(SimTime a, SimTime b) {
+    return a.usec > b.usec;
+  }
+  friend constexpr bool operator>=(SimTime a, SimTime b) {
+    return a.usec >= b.usec;
+  }
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.usec + b.usec);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.usec - b.usec);
+  }
+};
+
+/// A duration, same representation as SimTime for simplicity.
+using SimDuration = SimTime;
+
+[[nodiscard]] inline std::string to_string(SimTime t) {
+  return std::to_string(t.seconds()) + "s";
+}
+
+}  // namespace clash

@@ -1,0 +1,91 @@
+// Core vocabulary types shared by every CLASH subsystem.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace clash {
+
+/// Identifies a physical server in the overlay. CLASH itself never
+/// interprets the value; it is assigned by the DHT substrate (for Chord,
+/// the server's position on the ring) or by the deployment layer.
+struct ServerId {
+  std::uint64_t value = kInvalid;
+
+  static constexpr std::uint64_t kInvalid =
+      std::numeric_limits<std::uint64_t>::max();
+
+  constexpr ServerId() = default;
+  constexpr explicit ServerId(std::uint64_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+
+  friend constexpr bool operator==(ServerId a, ServerId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(ServerId a, ServerId b) {
+    return a.value != b.value;
+  }
+  friend constexpr bool operator<(ServerId a, ServerId b) {
+    return a.value < b.value;
+  }
+};
+
+/// Identifies a client node (data source or query client).
+struct ClientId {
+  std::uint64_t value = std::numeric_limits<std::uint64_t>::max();
+
+  constexpr ClientId() = default;
+  constexpr explicit ClientId(std::uint64_t v) : value(v) {}
+
+  friend constexpr bool operator==(ClientId a, ClientId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator<(ClientId a, ClientId b) {
+    return a.value < b.value;
+  }
+};
+
+/// Identifies a continuous query stored in the system.
+struct QueryId {
+  std::uint64_t value = 0;
+
+  constexpr QueryId() = default;
+  constexpr explicit QueryId(std::uint64_t v) : value(v) {}
+
+  friend constexpr bool operator==(QueryId a, QueryId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator<(QueryId a, QueryId b) {
+    return a.value < b.value;
+  }
+};
+
+[[nodiscard]] inline std::string to_string(ServerId id) {
+  return id.valid() ? "s" + std::to_string(id.value) : "s<invalid>";
+}
+
+}  // namespace clash
+
+template <>
+struct std::hash<clash::ServerId> {
+  std::size_t operator()(clash::ServerId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<clash::ClientId> {
+  std::size_t operator()(clash::ClientId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<clash::QueryId> {
+  std::size_t operator()(clash::QueryId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

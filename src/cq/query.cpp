@@ -1,0 +1,38 @@
+#include "cq/query.hpp"
+
+namespace clash::cq {
+
+bool Predicate::eval(std::int64_t x) const {
+  switch (op) {
+    case Op::kEq:
+      return x == value;
+    case Op::kNe:
+      return x != value;
+    case Op::kLt:
+      return x < value;
+    case Op::kLe:
+      return x <= value;
+    case Op::kGt:
+      return x > value;
+    case Op::kGe:
+      return x >= value;
+  }
+  return false;
+}
+
+std::string Predicate::to_string() const {
+  static constexpr const char* kOps[] = {"==", "!=", "<", "<=", ">", ">="};
+  return "a" + std::to_string(attr) + " " + kOps[int(op)] + " " +
+         std::to_string(value);
+}
+
+bool ContinuousQuery::matches(const Record& r) const {
+  if (!scope.contains(r.key)) return false;
+  for (const auto& p : predicates) {
+    const auto v = r.attr(p.attr);
+    if (!v || !p.eval(*v)) return false;
+  }
+  return true;
+}
+
+}  // namespace clash::cq

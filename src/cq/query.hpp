@@ -1,0 +1,52 @@
+// Continuous queries over streaming data — the application substrate
+// the paper's evaluation simulates (NiagaraCQ/Xfilter-style filtering,
+// Mobiscope-style spatial queries). A query subscribes to a key-space
+// region (a prefix — e.g. a quad-tree cell) plus optional attribute
+// predicates evaluated on each matching data record.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "keys/key.hpp"
+#include "keys/key_group.hpp"
+
+namespace clash::cq {
+
+/// A single attribute predicate: `attr <op> value`.
+struct Predicate {
+  enum class Op : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+  std::uint32_t attr = 0;
+  Op op = Op::kEq;
+  std::int64_t value = 0;
+
+  [[nodiscard]] bool eval(std::int64_t x) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A data record flowing through the system: its identifier key (which
+/// routes it) plus attribute values predicates can inspect.
+struct Record {
+  Key key{0, 24};
+  std::vector<std::int64_t> attrs;
+
+  [[nodiscard]] std::optional<std::int64_t> attr(std::uint32_t id) const {
+    return id < attrs.size() ? std::optional(attrs[id]) : std::nullopt;
+  }
+};
+
+/// A continuous query: fires for records inside `scope` whose attributes
+/// satisfy every predicate (conjunctive semantics).
+struct ContinuousQuery {
+  QueryId id;
+  KeyGroup scope;
+  std::vector<Predicate> predicates;
+
+  [[nodiscard]] bool matches(const Record& r) const;
+};
+
+}  // namespace clash::cq

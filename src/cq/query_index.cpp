@@ -1,0 +1,80 @@
+#include "cq/query_index.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace clash::cq {
+
+QueryIndex::QueryIndex(unsigned key_width) : key_width_(key_width) {
+  by_depth_.resize(key_width + 1);
+}
+
+void QueryIndex::insert(const ContinuousQuery& q) {
+  if (q.scope.key_width() != key_width_) {
+    throw std::invalid_argument("query scope width mismatch");
+  }
+  const auto [it, inserted] = by_id_.emplace(q.id, q);
+  (void)it;
+  if (!inserted) throw std::invalid_argument("duplicate query id");
+  by_depth_[q.scope.depth()]
+      .by_prefix[q.scope.virtual_key().prefix_value(q.scope.depth())]
+      .push_back(q.id);
+}
+
+bool QueryIndex::erase(QueryId id) {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return false;
+  const KeyGroup scope = it->second.scope;
+  auto& bucket = by_depth_[scope.depth()].by_prefix;
+  const auto prefix = scope.virtual_key().prefix_value(scope.depth());
+  const auto vec_it = bucket.find(prefix);
+  if (vec_it != bucket.end()) {
+    auto& vec = vec_it->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), id), vec.end());
+    if (vec.empty()) bucket.erase(vec_it);
+  }
+  by_id_.erase(it);
+  return true;
+}
+
+const ContinuousQuery* QueryIndex::find(QueryId id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ContinuousQuery*> QueryIndex::match(const Record& r) const {
+  std::vector<const ContinuousQuery*> out;
+  // One bucket probe per scope depth: all scopes containing r.key at
+  // depth d share the same d-bit prefix of r.key.
+  for (unsigned d = 0; d <= key_width_; ++d) {
+    const auto& bucket = by_depth_[d].by_prefix;
+    if (bucket.empty()) continue;
+    const auto it = bucket.find(r.key.prefix_value(d));
+    if (it == bucket.end()) continue;
+    for (const QueryId id : it->second) {
+      const ContinuousQuery& q = by_id_.at(id);
+      if (q.matches(r)) out.push_back(&q);
+    }
+  }
+  return out;
+}
+
+std::vector<QueryId> QueryIndex::queries_within(const KeyGroup& group) const {
+  std::vector<QueryId> out;
+  for (const auto& [id, q] : by_id_) {
+    if (group.covers(q.scope)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<ContinuousQuery> QueryIndex::extract_within(
+    const KeyGroup& group) {
+  std::vector<ContinuousQuery> out;
+  for (const QueryId id : queries_within(group)) {
+    out.push_back(by_id_.at(id));
+    erase(id);
+  }
+  return out;
+}
+
+}  // namespace clash::cq

@@ -1,0 +1,55 @@
+// Prefix-indexed query store. Queries are bucketed by their scope's
+// virtual key prefix, so matching a record costs O(N) bucket probes
+// (one per prefix length present) instead of O(#queries) — the
+// "efficient indices over streams and queries with intersecting
+// attribute values" clustering pay-off Section 1 motivates. This is
+// also why CLASH's per-group query count enters the load model
+// logarithmically rather than linearly.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "cq/query.hpp"
+
+namespace clash::cq {
+
+class QueryIndex {
+ public:
+  explicit QueryIndex(unsigned key_width);
+
+  void insert(const ContinuousQuery& q);
+  bool erase(QueryId id);
+
+  [[nodiscard]] const ContinuousQuery* find(QueryId id) const;
+
+  /// All queries whose scope contains — and whose predicates accept —
+  /// the record.
+  [[nodiscard]] std::vector<const ContinuousQuery*> match(
+      const Record& r) const;
+
+  /// Queries whose scope lies inside `group` (used to migrate state
+  /// when CLASH splits/merges the group).
+  [[nodiscard]] std::vector<QueryId> queries_within(
+      const KeyGroup& group) const;
+
+  /// Remove and return every query inside `group`.
+  std::vector<ContinuousQuery> extract_within(const KeyGroup& group);
+
+  [[nodiscard]] std::size_t size() const { return by_id_.size(); }
+  [[nodiscard]] bool empty() const { return by_id_.empty(); }
+
+ private:
+  struct Bucket {
+    // Scope prefix value -> queries anchored at that exact prefix.
+    std::unordered_map<std::uint64_t, std::vector<QueryId>> by_prefix;
+  };
+
+  unsigned key_width_;
+  std::vector<Bucket> by_depth_;  // index = scope depth
+  std::map<QueryId, ContinuousQuery> by_id_;
+};
+
+}  // namespace clash::cq

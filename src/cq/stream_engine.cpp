@@ -1,0 +1,32 @@
+#include "cq/stream_engine.hpp"
+
+namespace clash::cq {
+
+StreamEngine::StreamEngine(unsigned key_width, MatchSink sink)
+    : index_(key_width), sink_(std::move(sink)) {}
+
+void StreamEngine::register_query(const ContinuousQuery& q) {
+  index_.insert(q);
+}
+
+bool StreamEngine::unregister_query(QueryId id) { return index_.erase(id); }
+
+std::size_t StreamEngine::process(const Record& r) {
+  ++records_processed_;
+  const auto matched = index_.match(r);
+  matches_fired_ += matched.size();
+  if (sink_) {
+    for (const auto* q : matched) sink_(*q, r);
+  }
+  return matched.size();
+}
+
+std::vector<ContinuousQuery> StreamEngine::migrate_out(const KeyGroup& group) {
+  return index_.extract_within(group);
+}
+
+void StreamEngine::migrate_in(const std::vector<ContinuousQuery>& queries) {
+  for (const auto& q : queries) index_.insert(q);
+}
+
+}  // namespace clash::cq

@@ -1,0 +1,52 @@
+// Per-server stream-processing engine: stores the continuous queries of
+// the key groups a CLASH server manages and evaluates incoming records
+// against them. Implements the state-migration hooks a split/merge
+// needs, so examples can run a full query-processing application on top
+// of the protocol.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cq/query_index.hpp"
+
+namespace clash::cq {
+
+class StreamEngine {
+ public:
+  /// Callback fired for each (query, record) match.
+  using MatchSink =
+      std::function<void(const ContinuousQuery&, const Record&)>;
+
+  explicit StreamEngine(unsigned key_width, MatchSink sink = {});
+
+  void register_query(const ContinuousQuery& q);
+  bool unregister_query(QueryId id);
+
+  /// Process one record: evaluates it against the stored queries and
+  /// fires the sink per match. Returns the match count.
+  std::size_t process(const Record& r);
+
+  /// Extract the queries belonging to `group` for migration to another
+  /// server (CLASH split), removing them locally.
+  std::vector<ContinuousQuery> migrate_out(const KeyGroup& group);
+
+  /// Install queries migrated from another server (split arrival or
+  /// merge reclaim).
+  void migrate_in(const std::vector<ContinuousQuery>& queries);
+
+  [[nodiscard]] std::size_t query_count() const { return index_.size(); }
+  [[nodiscard]] std::uint64_t records_processed() const {
+    return records_processed_;
+  }
+  [[nodiscard]] std::uint64_t matches_fired() const { return matches_fired_; }
+
+ private:
+  QueryIndex index_;
+  MatchSink sink_;
+  std::uint64_t records_processed_ = 0;
+  std::uint64_t matches_fired_ = 0;
+};
+
+}  // namespace clash::cq

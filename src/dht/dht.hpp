@@ -1,0 +1,42 @@
+// The substrate interface CLASH consumes: Map(h) -> server, plus a
+// routed lookup that reports how many overlay hops the DHT would take.
+// CLASH deliberately layers *above* this interface (Section 2: "CLASH
+// operates in the identifier key space, leaving the base DHT protocol
+// unchanged"), so any DHT can be plugged in.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dht/hash.hpp"
+
+namespace clash::dht {
+
+struct LookupResult {
+  ServerId owner;
+  unsigned hops = 0;  // overlay message hops (0 when origin is the owner)
+};
+
+class Dht {
+ public:
+  virtual ~Dht() = default;
+
+  /// The paper's Map(): owner of hash key `h`. O(log S) or better.
+  [[nodiscard]] virtual ServerId map(HashKey h) const = 0;
+
+  /// Routed lookup starting at `origin`, counting overlay hops.
+  [[nodiscard]] virtual LookupResult lookup(HashKey h,
+                                            ServerId origin) const = 0;
+
+  [[nodiscard]] virtual std::size_t server_count() const = 0;
+
+  [[nodiscard]] virtual std::vector<ServerId> servers() const = 0;
+
+  /// The first `n` distinct physical servers clockwise from `h`
+  /// (element 0 is the owner). Chord's replica set.
+  [[nodiscard]] virtual std::vector<ServerId> successors(
+      HashKey h, std::size_t n) const = 0;
+};
+
+}  // namespace clash::dht

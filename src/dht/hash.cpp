@@ -1,0 +1,49 @@
+#include "dht/hash.hpp"
+
+#include <cassert>
+
+#include "common/bits.hpp"
+#include "common/sha1.hpp"
+
+namespace clash::dht {
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+KeyHasher::KeyHasher(unsigned hash_bits, Algo algo, std::uint64_t salt)
+    : hash_bits_(hash_bits), algo_(algo), salt_(salt) {
+  assert(hash_bits >= 1 && hash_bits <= 64);
+}
+
+std::uint64_t KeyHasher::space_size() const {
+  return hash_bits_ >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << hash_bits_);
+}
+
+std::uint64_t KeyHasher::raw(std::uint64_t payload) const {
+  switch (algo_) {
+    case Algo::kSha1:
+      return Sha1::hash64(payload ^ salt_);
+    case Algo::kMix64:
+      return mix64(payload ^ mix64(salt_ ^ 0x2545f4914f6cdd1dULL));
+  }
+  return 0;
+}
+
+HashKey KeyHasher::hash_key(const Key& k) const {
+  const std::uint64_t payload =
+      k.value() ^ (std::uint64_t(k.width()) * 0x9e3779b97f4a7c15ULL);
+  return HashKey(raw(payload) & bits::low_mask(hash_bits_));
+}
+
+HashKey KeyHasher::hash_token(std::uint64_t token) const {
+  return HashKey(raw(token * 0xda942042e4dd58b5ULL) &
+                 bits::low_mask(hash_bits_));
+}
+
+}  // namespace clash::dht

@@ -1,0 +1,95 @@
+// The hash side of the DHT: identifier keys are hashed by f() into an
+// M-bit circular hash space H; the DHT maps hash keys to servers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "keys/key.hpp"
+
+namespace clash::dht {
+
+/// A position in the M-bit circular hash space.
+struct HashKey {
+  std::uint64_t value = 0;
+
+  constexpr HashKey() = default;
+  constexpr explicit HashKey(std::uint64_t v) : value(v) {}
+
+  friend constexpr bool operator==(HashKey a, HashKey b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator<(HashKey a, HashKey b) {
+    return a.value < b.value;
+  }
+};
+
+/// f(): maps identifier keys (and arbitrary 64-bit tokens, e.g. server
+/// bootstrap seeds) into the M-bit hash space.
+///
+/// Two algorithms:
+///  - kSha1  : SHA-1 truncated to M bits — what Chord deployments use.
+///  - kMix64 : splitmix64 finaliser — 20x faster, same uniformity for
+///             simulation purposes. The simulator uses this by default;
+///             tests cover both.
+class KeyHasher {
+ public:
+  enum class Algo { kSha1, kMix64 };
+
+  explicit KeyHasher(unsigned hash_bits, Algo algo = Algo::kMix64,
+                     std::uint64_t salt = 0);
+
+  [[nodiscard]] unsigned hash_bits() const { return hash_bits_; }
+  [[nodiscard]] std::uint64_t space_size() const;
+
+  /// Hash an identifier key. Width participates so that e.g. "01*"
+  /// viewed in different key widths hashes differently.
+  [[nodiscard]] HashKey hash_key(const Key& k) const;
+
+  /// Hash an arbitrary token (used to place servers on the ring).
+  [[nodiscard]] HashKey hash_token(std::uint64_t token) const;
+
+ private:
+  [[nodiscard]] std::uint64_t raw(std::uint64_t payload) const;
+
+  unsigned hash_bits_;
+  Algo algo_;
+  std::uint64_t salt_;
+};
+
+/// Circular-interval helpers over an M-bit ring.
+/// in_open(x, a, b): x in (a, b) going clockwise from a.
+[[nodiscard]] constexpr bool ring_in_open(std::uint64_t x, std::uint64_t a,
+                                          std::uint64_t b,
+                                          std::uint64_t mask) {
+  x &= mask;
+  a &= mask;
+  b &= mask;
+  if (a == b) return x != a;  // full circle minus the endpoint
+  if (a < b) return x > a && x < b;
+  return x > a || x < b;
+}
+
+/// in_half_open(x, a, b]: x in (a, b] clockwise.
+[[nodiscard]] constexpr bool ring_in_half_open(std::uint64_t x,
+                                               std::uint64_t a,
+                                               std::uint64_t b,
+                                               std::uint64_t mask) {
+  return (x & mask) == (b & mask) || ring_in_open(x, a, b, mask);
+}
+
+/// Clockwise distance from a to b.
+[[nodiscard]] constexpr std::uint64_t ring_distance(std::uint64_t a,
+                                                    std::uint64_t b,
+                                                    std::uint64_t mask) {
+  return (b - a) & mask;
+}
+
+}  // namespace clash::dht
+
+template <>
+struct std::hash<clash::dht::HashKey> {
+  std::size_t operator()(clash::dht::HashKey h) const noexcept {
+    return std::hash<std::uint64_t>{}(h.value);
+  }
+};

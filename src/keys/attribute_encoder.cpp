@@ -1,0 +1,54 @@
+#include "keys/attribute_encoder.hpp"
+
+#include "common/bits.hpp"
+
+namespace clash {
+
+Expected<AttributeEncoder> AttributeEncoder::create(
+    std::vector<Field> fields) {
+  unsigned total = 0;
+  for (const auto& f : fields) {
+    if (f.bits == 0 || f.bits > Key::kMaxWidth) {
+      return Error::invalid("field '" + f.name + "' has invalid width");
+    }
+    total += f.bits;
+  }
+  if (total == 0 || total > Key::kMaxWidth) {
+    return Error::invalid("total key width must be 1..64 bits");
+  }
+  return AttributeEncoder(std::move(fields), total);
+}
+
+Expected<Key> AttributeEncoder::encode(
+    std::span<const std::uint64_t> values) const {
+  if (values.size() != fields_.size()) {
+    return Error::invalid("value count does not match field count");
+  }
+  std::uint64_t packed = 0;
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const auto& f = fields_[i];
+    if (values[i] > bits::low_mask(f.bits)) {
+      return Error::invalid("value for '" + f.name + "' exceeds field width");
+    }
+    packed = (packed << f.bits) | values[i];
+  }
+  return Key(packed, width_);
+}
+
+std::vector<std::uint64_t> AttributeEncoder::decode(const Key& key) const {
+  std::vector<std::uint64_t> out(fields_.size());
+  std::uint64_t v = key.value();
+  for (std::size_t i = fields_.size(); i-- > 0;) {
+    out[i] = v & bits::low_mask(fields_[i].bits);
+    v >>= fields_[i].bits;
+  }
+  return out;
+}
+
+unsigned AttributeEncoder::field_offset(std::size_t i) const {
+  unsigned off = 0;
+  for (std::size_t j = 0; j < i; ++j) off += fields_[j].bits;
+  return off;
+}
+
+}  // namespace clash

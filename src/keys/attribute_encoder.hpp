@@ -1,0 +1,49 @@
+// Attribute-field key encoder: packs a tuple of small categorical
+// attributes into an N-bit identifier key, most-significant field first.
+// Orders fields by clustering priority — objects agreeing on the leading
+// fields share key prefixes, so CLASH keeps them on one server while
+// load permits (the NiagaraCQ/Xfilter-style use case in Section 1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "keys/key.hpp"
+
+namespace clash {
+
+class AttributeEncoder {
+ public:
+  struct Field {
+    std::string name;
+    unsigned bits;  // width of this field in the key
+  };
+
+  /// Fields are laid out MSB-first in declaration order; total width
+  /// must be 1..64 bits.
+  static Expected<AttributeEncoder> create(std::vector<Field> fields);
+
+  [[nodiscard]] unsigned key_width() const { return width_; }
+  [[nodiscard]] const std::vector<Field>& fields() const { return fields_; }
+
+  /// Values must fit in each field's width.
+  [[nodiscard]] Expected<Key> encode(
+      std::span<const std::uint64_t> values) const;
+
+  [[nodiscard]] std::vector<std::uint64_t> decode(const Key& key) const;
+
+  /// Bit offset of field `i` from the MSB (for building range prefixes).
+  [[nodiscard]] unsigned field_offset(std::size_t i) const;
+
+ private:
+  explicit AttributeEncoder(std::vector<Field> fields, unsigned width)
+      : fields_(std::move(fields)), width_(width) {}
+
+  std::vector<Field> fields_;
+  unsigned width_;
+};
+
+}  // namespace clash

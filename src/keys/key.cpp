@@ -1,0 +1,36 @@
+#include "keys/key.hpp"
+
+namespace clash {
+
+Expected<Key> Key::parse(std::string_view bits) {
+  if (bits.empty() || bits.size() > kMaxWidth) {
+    return Error::invalid("key literal must have 1..64 bits");
+  }
+  std::uint64_t v = 0;
+  for (const char c : bits) {
+    if (c != '0' && c != '1') {
+      return Error::invalid("key literal may contain only 0/1");
+    }
+    v = (v << 1) | std::uint64_t(c == '1');
+  }
+  return Key(v, unsigned(bits.size()));
+}
+
+unsigned Key::common_prefix_len(const Key& other) const {
+  assert(other.width_ == width_);
+  const std::uint64_t diff = value_ ^ other.value_;
+  if (diff == 0) return width_;
+  // The highest set bit of diff marks the first disagreement.
+  const unsigned first_diff_from_msb =
+      width_ - bits::width(diff);  // bits::width = index of MSB + 1
+  return first_diff_from_msb;
+}
+
+std::string Key::to_string() const {
+  std::string out;
+  out.reserve(width_);
+  for (unsigned i = 0; i < width_; ++i) out.push_back(bit(i) ? '1' : '0');
+  return out;
+}
+
+}  // namespace clash

@@ -1,0 +1,108 @@
+// N-bit identifier keys (Section 3 of the paper). A Key is an ordered
+// bit string of fixed width N (<= 64); bit 0 is the MOST significant bit,
+// matching the paper's prefix notation where "0110*" names the keys whose
+// first four bits are 0,1,1,0.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/bits.hpp"
+#include "common/expected.hpp"
+
+namespace clash {
+
+class Key {
+ public:
+  static constexpr unsigned kMaxWidth = 64;
+
+  constexpr Key() = default;
+
+  /// Construct from the integer whose low `width` bits are the key,
+  /// MSB-first. E.g. Key(0b0110101, 7) is the paper's "0110101".
+  constexpr Key(std::uint64_t value, unsigned width)
+      : value_(value), width_(static_cast<std::uint8_t>(width)) {
+    assert(width >= 1 && width <= kMaxWidth);
+    assert(width == 64 || value < (std::uint64_t{1} << width));
+  }
+
+  /// Parse a binary literal such as "0110101". Width = string length.
+  static Expected<Key> parse(std::string_view bits);
+
+  [[nodiscard]] constexpr unsigned width() const { return width_; }
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+
+  /// Bit `i`, MSB-first (i in [0, width)).
+  [[nodiscard]] constexpr bool bit(unsigned i) const {
+    assert(i < width_);
+    return (value_ >> (width_ - 1 - i)) & 1U;
+  }
+
+  /// The first `d` bits as an integer (d in [0, width]).
+  [[nodiscard]] constexpr std::uint64_t prefix_value(unsigned d) const {
+    assert(d <= width_);
+    return d == 0 ? 0 : value_ >> (width_ - d);
+  }
+
+  /// Key with the same first `d` bits and the remaining width-d bits
+  /// zeroed: the paper's Shape() output (the "virtual key").
+  [[nodiscard]] constexpr Key with_suffix_zeroed(unsigned d) const {
+    assert(d <= width_);
+    if (d == 0) return Key(0, width_);
+    const std::uint64_t mask = bits::low_mask(width_ - d)
+                               << 0;  // low bits to clear
+    return Key(value_ & ~mask, width_);
+  }
+
+  /// Key with bit `i` (MSB-first) set to `v`.
+  [[nodiscard]] constexpr Key with_bit(unsigned i, bool v) const {
+    assert(i < width_);
+    const std::uint64_t m = std::uint64_t{1} << (width_ - 1 - i);
+    return Key(v ? (value_ | m) : (value_ & ~m), width_);
+  }
+
+  /// Length of the longest common prefix with `other` (same width).
+  [[nodiscard]] unsigned common_prefix_len(const Key& other) const;
+
+  /// True when the first `d` bits of both keys agree.
+  [[nodiscard]] constexpr bool matches_prefix(const Key& other,
+                                              unsigned d) const {
+    assert(other.width_ == width_ && d <= width_);
+    return prefix_value(d) == other.prefix_value(d);
+  }
+
+  /// Binary string, MSB first, e.g. "0110101".
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const Key& a, const Key& b) {
+    return a.value_ == b.value_ && a.width_ == b.width_;
+  }
+  friend constexpr bool operator!=(const Key& a, const Key& b) {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(const Key& a, const Key& b) {
+    return a.width_ == b.width_ ? a.value_ < b.value_ : a.width_ < b.width_;
+  }
+
+ private:
+  std::uint64_t value_ = 0;
+  std::uint8_t width_ = 1;
+};
+
+/// The paper's Shape(k, d): keep the first d bits of k, zero the rest.
+[[nodiscard]] constexpr Key shape(const Key& k, unsigned depth) {
+  return k.with_suffix_zeroed(depth);
+}
+
+}  // namespace clash
+
+template <>
+struct std::hash<clash::Key> {
+  std::size_t operator()(const clash::Key& k) const noexcept {
+    return std::hash<std::uint64_t>{}(k.value() ^
+                                      (std::uint64_t(k.width()) << 57));
+  }
+};

@@ -1,0 +1,41 @@
+#include "keys/key_group.hpp"
+
+namespace clash {
+
+Expected<KeyGroup> KeyGroup::parse(std::string_view label,
+                                   unsigned key_width) {
+  if (key_width == 0 || key_width > Key::kMaxWidth) {
+    return Error::invalid("key width must be 1..64");
+  }
+  const bool wildcard = !label.empty() && label.back() == '*';
+  std::string_view prefix = label;
+  if (wildcard) prefix.remove_suffix(1);
+  if (prefix.size() > key_width) {
+    return Error::invalid("prefix longer than key width");
+  }
+  if (!wildcard && prefix.size() != key_width) {
+    return Error::invalid("non-wildcard label must be full width");
+  }
+  std::uint64_t v = 0;
+  for (const char c : prefix) {
+    if (c != '0' && c != '1') {
+      return Error::invalid("label may contain only 0/1 and trailing *");
+    }
+    v = (v << 1) | std::uint64_t(c == '1');
+  }
+  const auto depth = unsigned(prefix.size());
+  const std::uint64_t value = depth == 0 ? 0 : v << (key_width - depth);
+  return KeyGroup::of(Key(value, key_width), depth);
+}
+
+std::string KeyGroup::label() const {
+  std::string out;
+  out.reserve(depth_ + 1);
+  for (unsigned i = 0; i < depth_; ++i) {
+    out.push_back(vkey_.bit(i) ? '1' : '0');
+  }
+  if (depth_ < key_width()) out.push_back('*');
+  return out;
+}
+
+}  // namespace clash

@@ -1,0 +1,119 @@
+// Key groups: a (virtual key, depth) pair naming the set of all N-bit
+// identifier keys sharing a d-bit prefix (Section 4). The binary
+// splitting algorithm operates entirely on this type.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/expected.hpp"
+#include "keys/key.hpp"
+
+namespace clash {
+
+class KeyGroup {
+ public:
+  constexpr KeyGroup() = default;
+
+  /// Group of all keys whose first `depth` bits equal those of `k`.
+  /// The stored virtual key has its suffix zeroed (paper's Shape()).
+  static constexpr KeyGroup of(const Key& k, unsigned depth) {
+    return KeyGroup(shape(k, depth), depth);
+  }
+
+  /// The root group covering the whole N-bit key space.
+  static constexpr KeyGroup root(unsigned key_width) {
+    return KeyGroup(Key(0, key_width), 0);
+  }
+
+  /// Parse the paper's wildcard notation, e.g. "0110*" with
+  /// key_width = 7 -> virtual key 0110000, depth 4. A literal without
+  /// '*' is a full-depth (leaf) group.
+  static Expected<KeyGroup> parse(std::string_view label, unsigned key_width);
+
+  [[nodiscard]] constexpr const Key& virtual_key() const { return vkey_; }
+  [[nodiscard]] constexpr unsigned depth() const { return depth_; }
+  [[nodiscard]] constexpr unsigned key_width() const { return vkey_.width(); }
+
+  /// Number of distinct identifier keys in the group: 2^(N-d).
+  [[nodiscard]] constexpr std::uint64_t cardinality() const {
+    const unsigned free_bits = key_width() - depth_;
+    return free_bits >= 64 ? ~std::uint64_t{0} : std::uint64_t{1} << free_bits;
+  }
+
+  [[nodiscard]] constexpr bool contains(const Key& k) const {
+    return k.width() == key_width() && k.matches_prefix(vkey_, depth_);
+  }
+
+  /// True when this group's prefix is a (proper or equal) prefix of
+  /// `other`'s, i.e. other's key set is a subset of ours.
+  [[nodiscard]] constexpr bool covers(const KeyGroup& other) const {
+    return other.key_width() == key_width() && other.depth_ >= depth_ &&
+           other.vkey_.matches_prefix(vkey_, depth_);
+  }
+
+  /// Splitting (depth d -> d+1). The left child keeps the parent's bit
+  /// pattern (and therefore hashes to the same server); the right child
+  /// sets the new bit.
+  [[nodiscard]] constexpr KeyGroup left_child() const {
+    return KeyGroup(vkey_, depth_ + 1);
+  }
+  [[nodiscard]] constexpr KeyGroup right_child() const {
+    return KeyGroup(vkey_.with_bit(depth_, true), depth_ + 1);
+  }
+
+  [[nodiscard]] constexpr bool is_root() const { return depth_ == 0; }
+
+  /// The enclosing group one level up (depth must be >= 1).
+  [[nodiscard]] constexpr KeyGroup parent() const {
+    return KeyGroup(vkey_.with_suffix_zeroed(depth_ - 1), depth_ - 1);
+  }
+
+  /// Whether this group is the right child of its parent.
+  [[nodiscard]] constexpr bool is_right_child() const {
+    return depth_ >= 1 && vkey_.bit(depth_ - 1);
+  }
+
+  [[nodiscard]] constexpr KeyGroup sibling() const {
+    return KeyGroup(vkey_.with_bit(depth_ - 1, !vkey_.bit(depth_ - 1)),
+                    depth_);
+  }
+
+  /// Paper notation: d-bit prefix followed by '*' (or the full bit
+  /// string for a maximal-depth group).
+  [[nodiscard]] std::string label() const;
+
+  friend constexpr bool operator==(const KeyGroup& a, const KeyGroup& b) {
+    return a.vkey_ == b.vkey_ && a.depth_ == b.depth_;
+  }
+  friend constexpr bool operator!=(const KeyGroup& a, const KeyGroup& b) {
+    return !(a == b);
+  }
+  /// Orders by (prefix bits, depth); gives deterministic iteration.
+  friend constexpr bool operator<(const KeyGroup& a, const KeyGroup& b) {
+    if (a.vkey_ != b.vkey_) return a.vkey_ < b.vkey_;
+    return a.depth_ < b.depth_;
+  }
+
+ private:
+  constexpr KeyGroup(const Key& vkey, unsigned depth)
+      : vkey_(vkey), depth_(static_cast<std::uint8_t>(depth)) {
+    assert(depth <= vkey.width());
+    // Invariant: all bits below `depth` are zero in the virtual key.
+    assert(vkey.with_suffix_zeroed(depth) == vkey);
+  }
+
+  Key vkey_{0, 24};
+  std::uint8_t depth_ = 0;
+};
+
+}  // namespace clash
+
+template <>
+struct std::hash<clash::KeyGroup> {
+  std::size_t operator()(const clash::KeyGroup& g) const noexcept {
+    return std::hash<clash::Key>{}(g.virtual_key()) * 1315423911u ^ g.depth();
+  }
+};

@@ -1,0 +1,51 @@
+#include "keys/quadtree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/bits.hpp"
+
+namespace clash {
+
+QuadTreeEncoder::QuadTreeEncoder(unsigned levels) : levels_(levels) {
+  assert(levels >= 1 && levels <= 32 && 2 * levels <= Key::kMaxWidth);
+}
+
+Key QuadTreeEncoder::encode(double x, double y) const {
+  x = std::clamp(x, 0.0, std::nexttoward(1.0, 0.0));
+  y = std::clamp(y, 0.0, std::nexttoward(1.0, 0.0));
+  const auto scale = double(std::uint64_t{1} << levels_);
+  const auto xi = std::uint64_t(x * scale);
+  const auto yi = std::uint64_t(y * scale);
+  // y bits take the first position of each 2-bit pair: quadrant labels
+  // are (row, column), matching the usual quad-tree formulation.
+  return Key(bits::interleave(yi, xi, levels_), key_width());
+}
+
+QuadTreeEncoder::Cell QuadTreeEncoder::cell(const KeyGroup& group) const {
+  assert(group.key_width() == key_width());
+  double x0 = 0, y0 = 0, size = 1.0;
+  const Key& k = group.virtual_key();
+  unsigned i = 0;
+  for (; i + 2 <= group.depth(); i += 2) {
+    size /= 2;
+    if (k.bit(i)) y0 += size;        // first bit of the pair: row
+    if (k.bit(i + 1)) x0 += size;    // second bit: column
+  }
+  if (i < group.depth()) {
+    // Odd depth: the group is half a quadrant, split along y.
+    size /= 2;
+    if (k.bit(i)) y0 += size;
+    return Cell{x0, y0, x0 + 2 * size, y0 + size};
+  }
+  return Cell{x0, y0, x0 + size, y0 + size};
+}
+
+QuadTreeEncoder::Point QuadTreeEncoder::decode(const Key& key) const {
+  assert(key.width() == key_width());
+  const Cell c = cell(KeyGroup::of(key, key.width()));
+  return Point{(c.x0 + c.x1) / 2, (c.y0 + c.y1) / 2};
+}
+
+}  // namespace clash

@@ -1,0 +1,45 @@
+// Quad-tree geographic key encoder (Section 3's motivating example and
+// the Mobiscope-style workloads): a point in a unit square maps to an
+// N-bit key of interleaved (y, x) bits, two bits per tree level, so keys
+// sharing a prefix are spatially co-located.
+#pragma once
+
+#include <cstdint>
+
+#include "keys/key.hpp"
+#include "keys/key_group.hpp"
+
+namespace clash {
+
+class QuadTreeEncoder {
+ public:
+  /// `levels` quad-tree levels -> keys of width 2*levels bits.
+  explicit QuadTreeEncoder(unsigned levels);
+
+  [[nodiscard]] unsigned levels() const { return levels_; }
+  [[nodiscard]] unsigned key_width() const { return 2 * levels_; }
+
+  /// Encode a point with x, y in [0, 1). Values outside are clamped.
+  [[nodiscard]] Key encode(double x, double y) const;
+
+  /// Axis-aligned cell covered by a key group of even depth 2L:
+  /// the level-L quadrant containing the group's keys.
+  struct Cell {
+    double x0, y0, x1, y1;
+    [[nodiscard]] bool contains(double x, double y) const {
+      return x >= x0 && x < x1 && y >= y0 && y < y1;
+    }
+  };
+  [[nodiscard]] Cell cell(const KeyGroup& group) const;
+
+  /// Center of the finest-resolution cell a full key identifies.
+  struct Point {
+    double x, y;
+  };
+  [[nodiscard]] Point decode(const Key& key) const;
+
+ private:
+  unsigned levels_;
+};
+
+}  // namespace clash

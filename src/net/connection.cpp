@@ -1,0 +1,137 @@
+#include "net/connection.hpp"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace clash::net {
+
+std::shared_ptr<Connection> Connection::adopt(EventLoop& loop, Fd fd,
+                                              FrameHandler on_frame,
+                                              CloseHandler on_close) {
+  set_nonblocking(fd);
+  auto conn = std::shared_ptr<Connection>(new Connection(
+      loop, std::move(fd), std::move(on_frame), std::move(on_close)));
+  conn->register_with_loop();
+  return conn;
+}
+
+Connection::Connection(EventLoop& loop, Fd fd, FrameHandler on_frame,
+                       CloseHandler on_close)
+    : loop_(loop),
+      fd_(std::move(fd)),
+      on_frame_(std::move(on_frame)),
+      on_close_(std::move(on_close)) {}
+
+Connection::~Connection() {
+  if (fd_.valid()) loop_.remove_fd(fd_.get());
+}
+
+void Connection::register_with_loop() {
+  // Keep a weak reference: the owner (node/transport) holds the shared
+  // pointer; the loop callback must not extend the lifetime on close.
+  std::weak_ptr<Connection> weak = shared_from_this();
+  loop_.add_fd(fd_.get(), EPOLLIN, [weak](std::uint32_t events) {
+    if (const auto self = weak.lock()) self->on_events(events);
+  });
+}
+
+void Connection::on_events(std::uint32_t events) {
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    close();
+    return;
+  }
+  if (events & EPOLLIN) handle_readable();
+  if (!closed() && (events & EPOLLOUT)) handle_writable();
+}
+
+void Connection::handle_readable() {
+  std::uint8_t chunk[16384];
+  for (;;) {
+    const ssize_t n = ::read(fd_.get(), chunk, sizeof(chunk));
+    if (n > 0) {
+      in_.insert(in_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n == 0) {
+      close();  // orderly shutdown by peer
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CLASH_DEBUG << "read error on fd " << fd_.get() << ": "
+                << std::strerror(errno);
+    close();
+    return;
+  }
+  parse_frames();
+}
+
+void Connection::parse_frames() {
+  std::size_t offset = 0;
+  while (in_.size() - offset >= 4) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, in_.data() + offset, 4);  // little-endian hosts
+    if (len > kMaxFrame) {
+      CLASH_WARN << "oversized frame (" << len << " bytes); closing";
+      close();
+      return;
+    }
+    if (in_.size() - offset - 4 < len) break;  // incomplete
+    on_frame_(std::span<const std::uint8_t>(in_.data() + offset + 4, len));
+    if (closed()) return;  // handler may close
+    offset += 4 + len;
+  }
+  if (offset > 0) in_.erase(in_.begin(), in_.begin() + std::ptrdiff_t(offset));
+}
+
+void Connection::send_frame(std::span<const std::uint8_t> payload) {
+  if (closed()) return;
+  const auto len = std::uint32_t(payload.size());
+  const auto* len_bytes = reinterpret_cast<const std::uint8_t*>(&len);
+  out_.insert(out_.end(), len_bytes, len_bytes + 4);
+  out_.insert(out_.end(), payload.begin(), payload.end());
+  handle_writable();
+}
+
+void Connection::handle_writable() {
+  while (out_offset_ < out_.size()) {
+    const ssize_t n = ::write(fd_.get(), out_.data() + out_offset_,
+                              out_.size() - out_offset_);
+    if (n > 0) {
+      out_offset_ += std::size_t(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CLASH_DEBUG << "write error on fd " << fd_.get() << ": "
+                << std::strerror(errno);
+    close();
+    return;
+  }
+  if (out_offset_ == out_.size()) {
+    out_.clear();
+    out_offset_ = 0;
+  }
+  update_interest();
+}
+
+void Connection::update_interest() {
+  const bool need_write = out_offset_ < out_.size();
+  if (need_write == want_write_) return;
+  want_write_ = need_write;
+  loop_.modify_fd(fd_.get(),
+                  EPOLLIN | (need_write ? std::uint32_t(EPOLLOUT) : 0u));
+}
+
+void Connection::close() {
+  if (closed()) return;
+  loop_.remove_fd(fd_.get());
+  fd_.reset();
+  if (on_close_) on_close_();
+}
+
+}  // namespace clash::net

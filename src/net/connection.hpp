@@ -1,0 +1,66 @@
+// A non-blocking, length-prefix framed TCP connection bound to an
+// EventLoop. Frames are u32 (little-endian) length + payload bytes;
+// oversized or malformed frames close the connection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+
+namespace clash::net {
+
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  /// 16 MiB: far above any legitimate CLASH frame; bounds memory per peer.
+  static constexpr std::uint32_t kMaxFrame = 16u << 20;
+
+  using FrameHandler =
+      std::function<void(std::span<const std::uint8_t> frame)>;
+  using CloseHandler = std::function<void()>;
+
+  /// Takes ownership of a connected fd; registers with the loop.
+  static std::shared_ptr<Connection> adopt(EventLoop& loop, Fd fd,
+                                           FrameHandler on_frame,
+                                           CloseHandler on_close);
+
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Queue one frame (length prefix added here). Loop thread only.
+  void send_frame(std::span<const std::uint8_t> payload);
+
+  /// Close immediately (loop thread only).
+  void close();
+
+  [[nodiscard]] bool closed() const { return !fd_.valid(); }
+  [[nodiscard]] int fd() const { return fd_.get(); }
+
+ private:
+  Connection(EventLoop& loop, Fd fd, FrameHandler on_frame,
+             CloseHandler on_close);
+
+  void register_with_loop();
+  void on_events(std::uint32_t events);
+  void handle_readable();
+  void handle_writable();
+  void update_interest();
+  void parse_frames();
+
+  EventLoop& loop_;
+  Fd fd_;
+  FrameHandler on_frame_;
+  CloseHandler on_close_;
+  std::vector<std::uint8_t> in_;
+  std::vector<std::uint8_t> out_;
+  std::size_t out_offset_ = 0;
+  bool want_write_ = false;
+};
+
+}  // namespace clash::net

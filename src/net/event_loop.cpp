@@ -1,0 +1,151 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace clash::net {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    throw std::runtime_error(std::string("epoll_create1: ") +
+                             std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw std::runtime_error(std::string("eventfd: ") +
+                             std::strerror(errno));
+  }
+  add_fd(wake_fd_, EPOLLIN, [this](std::uint32_t) {
+    std::uint64_t drained = 0;
+    while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+    }
+  });
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdHandler handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw std::runtime_error(std::string("epoll_ctl(add): ") +
+                             std::strerror(errno));
+  }
+  handlers_[fd] = std::move(handler);
+}
+
+void EventLoop::modify_fd(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    CLASH_WARN << "epoll_ctl(mod) failed for fd " << fd << ": "
+               << std::strerror(errno);
+  }
+}
+
+void EventLoop::remove_fd(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+std::uint64_t EventLoop::call_after(std::chrono::microseconds delay,
+                                    Task task) {
+  const std::uint64_t id = next_timer_id_++;
+  timers_.push(Timer{Clock::now() + delay, id});
+  timer_tasks_[id] = std::move(task);
+  return id;
+}
+
+void EventLoop::cancel_timer(std::uint64_t id) { timer_tasks_.erase(id); }
+
+void EventLoop::post(Task task) {
+  {
+    const std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::drain_posted() {
+  std::vector<Task> tasks;
+  {
+    const std::lock_guard<std::mutex> lock(posted_mutex_);
+    tasks.swap(posted_);
+  }
+  for (auto& t : tasks) t();
+}
+
+void EventLoop::fire_due_timers() {
+  const auto now = Clock::now();
+  while (!timers_.empty() && timers_.top().deadline <= now) {
+    const auto id = timers_.top().id;
+    timers_.pop();
+    const auto it = timer_tasks_.find(id);
+    if (it == timer_tasks_.end()) continue;  // cancelled
+    Task task = std::move(it->second);
+    timer_tasks_.erase(it);
+    task();
+  }
+}
+
+int EventLoop::next_timeout_ms() const {
+  if (timers_.empty()) return 100;
+  const auto now = Clock::now();
+  if (timers_.top().deadline <= now) return 0;
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      timers_.top().deadline - now)
+                      .count();
+  return int(us / 1000 + 1);
+}
+
+void EventLoop::run() {
+  running_ = true;
+  epoll_event events[64];
+  while (!stop_requested_) {
+    drain_posted();
+    fire_due_timers();
+    const int n =
+        ::epoll_wait(epoll_fd_, events, 64, next_timeout_ms());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      CLASH_ERROR << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;  // removed by earlier handler
+      // Copy: the handler may remove itself.
+      FdHandler handler = it->second;
+      handler(events[i].events);
+    }
+  }
+  drain_posted();
+  running_ = false;
+  stop_requested_ = false;
+}
+
+void EventLoop::stop() {
+  stop_requested_ = true;
+  wake();
+}
+
+}  // namespace clash::net

@@ -1,0 +1,77 @@
+// Single-threaded epoll reactor: fd readiness callbacks, monotonic
+// timers, and a thread-safe post() for cross-thread task injection.
+// Each networked CLASH node runs one loop on one thread, so protocol
+// handlers never need locks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+namespace clash::net {
+
+class EventLoop {
+ public:
+  using Task = std::function<void()>;
+  using FdHandler = std::function<void(std::uint32_t events)>;
+  using Clock = std::chrono::steady_clock;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Register interest in `events` (EPOLLIN/EPOLLOUT) for `fd`.
+  void add_fd(int fd, std::uint32_t events, FdHandler handler);
+  void modify_fd(int fd, std::uint32_t events);
+  void remove_fd(int fd);
+
+  /// One-shot timer relative to now. Returns a cancellation id.
+  std::uint64_t call_after(std::chrono::microseconds delay, Task task);
+  void cancel_timer(std::uint64_t id);
+
+  /// Enqueue a task from any thread; runs on the loop thread.
+  void post(Task task);
+
+  /// Run until stop(). Must be called from exactly one thread.
+  void run();
+  /// Signal the loop to exit (thread-safe).
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  struct Timer {
+    Clock::time_point deadline;
+    std::uint64_t id;
+    bool operator>(const Timer& o) const {
+      return deadline == o.deadline ? id > o.id : o.deadline < deadline;
+    }
+  };
+
+  void drain_posted();
+  void fire_due_timers();
+  [[nodiscard]] int next_timeout_ms() const;
+  void wake();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd
+  std::map<int, FdHandler> handlers_;
+
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::map<std::uint64_t, Task> timer_tasks_;
+  std::uint64_t next_timer_id_ = 1;
+
+  std::mutex posted_mutex_;
+  std::vector<Task> posted_;
+
+  volatile bool running_ = false;
+  volatile bool stop_requested_ = false;
+};
+
+}  // namespace clash::net

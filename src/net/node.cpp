@@ -1,0 +1,226 @@
+#include "net/node.hpp"
+
+#include <sys/epoll.h>
+
+#include <stdexcept>
+
+#include "common/logging.hpp"
+#include "wire/codec.hpp"
+
+namespace clash::net {
+
+// ServerEnv bridging the protocol logic onto the loop + transport.
+class ClashNode::Env final : public ServerEnv {
+ public:
+  explicit Env(ClashNode& node) : node_(node) {}
+
+  dht::LookupResult dht_lookup(dht::HashKey h) override {
+    return node_.ring_->lookup(h, node_.config_.id);
+  }
+
+  std::vector<ServerId> replica_targets(dht::HashKey h,
+                                        unsigned n) override {
+    auto servers = node_.ring_->successors(h, std::size_t(n) + 1);
+    if (!servers.empty()) servers.erase(servers.begin());  // drop owner
+    return servers;
+  }
+
+  void send(ServerId to, const Message& msg) override {
+    wire::Writer payload;
+    wire::encode_message(payload, msg);
+    const auto frame = wire::encode_frame(
+        wire::Envelope{wire::FrameKind::kOneway, 0, node_.config_.id},
+        payload.data());
+    node_.send_to_peer(to, frame);
+  }
+
+  [[nodiscard]] SimTime now() const override {
+    const auto elapsed = std::chrono::steady_clock::now() - node_.epoch_;
+    return SimTime(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count());
+  }
+
+ private:
+  ClashNode& node_;
+};
+
+ClashNode::ClashNode(NodeConfig config) : config_(std::move(config)) {
+  if (config_.members.count(config_.id) == 0) {
+    throw std::invalid_argument("node id missing from member list");
+  }
+  loop_ = std::make_unique<EventLoop>();
+  ring_ = std::make_unique<dht::ChordRing>(dht::ChordRing::Config{
+      config_.hash_bits, config_.virtual_servers, config_.hash_algo,
+      config_.ring_salt});
+  for (const auto& [id, _] : config_.members) ring_->add_server(id);
+  env_ = std::make_unique<Env>(*this);
+  server_ = std::make_unique<ClashServer>(config_.id, config_.clash, *env_,
+                                          ring_->hasher());
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+ClashNode::~ClashNode() { stop(); }
+
+void ClashNode::install_entries(
+    const std::vector<ServerTableEntry>& entries) {
+  const auto install = [entries](ClashServer& server) {
+    for (const auto& e : entries) server.install_entry(e);
+    return true;
+  };
+  (void)run_on_loop(install);
+}
+
+void ClashNode::start() {
+  if (running_) return;
+  auto listener = listen_tcp(config_.listen);
+  if (!listener.ok()) {
+    throw std::runtime_error("clash node listen failed: " +
+                             listener.error().message);
+  }
+  listener_ = std::move(listener).value();
+  const auto port = bound_port(listener_);
+  if (!port.ok()) throw std::runtime_error(port.error().message);
+  port_ = port.value();
+
+  loop_->add_fd(listener_.get(), EPOLLIN,
+                [this](std::uint32_t) { on_listener_ready(); });
+  schedule_load_check();
+  running_ = true;
+  thread_ = std::thread([this] { loop_->run(); });
+}
+
+void ClashNode::stop() {
+  if (!running_) return;
+  running_ = false;
+  loop_->stop();
+  if (thread_.joinable()) thread_.join();
+  peers_.clear();
+  inbound_.clear();
+  listener_.reset();
+}
+
+void ClashNode::schedule_load_check() {
+  loop_->call_after(config_.load_check_interval, [this] {
+    server_->run_load_check();
+    schedule_load_check();
+  });
+}
+
+void ClashNode::on_listener_ready() {
+  for (;;) {
+    auto fd = accept_tcp(listener_);
+    if (!fd.ok()) break;  // kWouldBlock or transient error
+    adopt_peer(std::move(fd).value());
+  }
+}
+
+void ClashNode::adopt_peer(Fd fd) {
+  // Inbound connections serve requests and peer messages; they are
+  // dropped from the roster when the peer closes.
+  auto conn_slot = std::make_shared<std::weak_ptr<Connection>>();
+  auto conn = Connection::adopt(
+      *loop_, std::move(fd),
+      [this, conn_slot](std::span<const std::uint8_t> frame) {
+        if (const auto c = conn_slot->lock()) handle_frame(c, frame);
+      },
+      [this, conn_slot] {
+        if (const auto c = conn_slot->lock()) {
+          std::erase_if(inbound_,
+                        [&](const auto& entry) { return entry == c; });
+        }
+      });
+  *conn_slot = conn;
+  inbound_.push_back(conn);
+}
+
+std::shared_ptr<Connection> ClashNode::peer_connection(ServerId to) {
+  const auto it = peers_.find(to);
+  if (it != peers_.end() && !it->second->closed()) return it->second;
+
+  const auto member = config_.members.find(to);
+  if (member == config_.members.end()) return nullptr;
+  auto fd = connect_tcp(member->second);
+  if (!fd.ok()) {
+    CLASH_WARN << to_string(config_.id) << ": connect to "
+               << to_string(to) << " failed: " << fd.error().message;
+    return nullptr;
+  }
+  auto conn_slot = std::make_shared<std::weak_ptr<Connection>>();
+  auto conn = Connection::adopt(
+      *loop_, std::move(fd).value(),
+      [this, conn_slot](std::span<const std::uint8_t> frame) {
+        if (const auto c = conn_slot->lock()) handle_frame(c, frame);
+      },
+      [this, to] { peers_.erase(to); });
+  *conn_slot = conn;
+  peers_[to] = conn;
+  return conn;
+}
+
+void ClashNode::send_to_peer(ServerId to,
+                             std::span<const std::uint8_t> frame) {
+  if (to == config_.id) {
+    // Loopback without a socket round trip.
+    const auto decoded = wire::decode_frame(frame);
+    if (decoded.ok()) {
+      const auto msg = wire::decode_message(decoded.value().payload);
+      if (msg.ok()) server_->deliver(config_.id, msg.value());
+    }
+    return;
+  }
+  const auto conn = peer_connection(to);
+  if (conn == nullptr) {
+    CLASH_WARN << to_string(config_.id) << ": dropping frame for "
+               << to_string(to) << " (unreachable)";
+    return;
+  }
+  conn->send_frame(frame);
+}
+
+void ClashNode::handle_frame(const std::shared_ptr<Connection>& conn,
+                             std::span<const std::uint8_t> frame) {
+  const auto decoded = wire::decode_frame(frame);
+  if (!decoded.ok()) {
+    CLASH_WARN << to_string(config_.id)
+               << ": bad frame: " << decoded.error().message;
+    conn->close();
+    return;
+  }
+  const auto& env = decoded.value().envelope;
+  const auto msg = wire::decode_message(decoded.value().payload);
+  if (!msg.ok()) {
+    CLASH_WARN << to_string(config_.id)
+               << ": bad payload: " << msg.error().message;
+    conn->close();
+    return;
+  }
+
+  switch (env.kind) {
+    case wire::FrameKind::kOneway:
+      server_->deliver(env.sender, msg.value());
+      break;
+    case wire::FrameKind::kRequest: {
+      const auto* obj = std::get_if<AcceptObject>(&msg.value());
+      if (obj == nullptr) {
+        CLASH_WARN << "request frame without AcceptObject";
+        conn->close();
+        return;
+      }
+      const AcceptObjectReply reply = server_->handle_accept_object(*obj);
+      wire::Writer payload;
+      wire::encode_reply(payload, reply);
+      const auto response = wire::encode_frame(
+          wire::Envelope{wire::FrameKind::kResponse, env.request_id,
+                         config_.id},
+          payload.data());
+      conn->send_frame(response);
+      break;
+    }
+    case wire::FrameKind::kResponse:
+      // Server nodes never issue requests; ignore.
+      break;
+  }
+}
+
+}  // namespace clash::net

@@ -1,0 +1,101 @@
+// ClashNode: one CLASH server deployed over real TCP. Hosts a
+// ClashServer on a single-threaded epoll loop; peers exchange the wire
+// protocol of wire/codec.hpp. Membership is static (full view), which
+// keeps Map() local — suitable for datacentre/cluster deployments; the
+// simulator is the place where O(log S) Chord routing costs are modelled.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "clash/server.hpp"
+#include "clash/server_table.hpp"
+#include "dht/chord.hpp"
+#include "net/connection.hpp"
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+
+namespace clash::net {
+
+struct NodeConfig {
+  ServerId id{};
+  Endpoint listen{};                      // port 0 = pick automatically
+  std::map<ServerId, Endpoint> members;   // full membership, incl. self
+  ClashConfig clash;
+  unsigned hash_bits = 32;
+  unsigned virtual_servers = 8;
+  dht::KeyHasher::Algo hash_algo = dht::KeyHasher::Algo::kSha1;
+  std::uint64_t ring_salt = 0;
+  /// Wall-clock cadence of load checks (the paper's LOAD_CHECK_PERIOD;
+  /// tests shrink it to tens of milliseconds).
+  std::chrono::microseconds load_check_interval = std::chrono::minutes(5);
+};
+
+class ClashNode {
+ public:
+  explicit ClashNode(NodeConfig config);
+  ~ClashNode();
+
+  ClashNode(const ClashNode&) = delete;
+  ClashNode& operator=(const ClashNode&) = delete;
+
+  /// Bind, start the loop thread, begin periodic load checks.
+  void start();
+  void stop();
+
+  [[nodiscard]] ServerId id() const { return config_.id; }
+  /// Actual listening port (after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Install bootstrap entries (before start, or routed to the loop).
+  void install_entries(const std::vector<ServerTableEntry>& entries);
+
+  /// Run `fn` on the loop thread and wait for its result — the
+  /// thread-safe introspection door for tests and operators.
+  template <typename Fn>
+  auto run_on_loop(Fn fn) -> decltype(fn(std::declval<ClashServer&>())) {
+    using R = decltype(fn(std::declval<ClashServer&>()));
+    if (!running_) return fn(*server_);
+    std::promise<R> promise;
+    auto future = promise.get_future();
+    loop_->post([&] { promise.set_value(fn(*server_)); });
+    return future.get();
+  }
+
+  /// Update the peer address table (all members must be known before
+  /// protocol traffic flows).
+  [[nodiscard]] const NodeConfig& config() const { return config_; }
+
+ private:
+  class Env;
+
+  void loop_main();
+  void on_listener_ready();
+  void adopt_peer(Fd fd);
+  void handle_frame(const std::shared_ptr<Connection>& conn,
+                    std::span<const std::uint8_t> frame);
+  void send_to_peer(ServerId to, std::span<const std::uint8_t> frame);
+  std::shared_ptr<Connection> peer_connection(ServerId to);
+  void schedule_load_check();
+
+  NodeConfig config_;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<dht::ChordRing> ring_;
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<ClashServer> server_;
+
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  std::map<ServerId, std::shared_ptr<Connection>> peers_;
+  std::vector<std::shared_ptr<Connection>> inbound_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace clash::net

@@ -1,0 +1,98 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace clash::net {
+namespace {
+
+Error sys_error(const std::string& what) {
+  return Error{Error::Code::kUnknown, what + ": " + std::strerror(errno)};
+}
+
+Expected<sockaddr_in> make_addr(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    return Error::invalid("bad IPv4 address: " + ep.host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Expected<Fd> listen_tcp(const Endpoint& ep, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return sys_error("socket");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  auto addr = make_addr(ep);
+  if (!addr.ok()) return addr.error();
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr.value()),
+             sizeof(sockaddr_in)) != 0) {
+    return sys_error("bind " + ep.to_string());
+  }
+  if (::listen(fd.get(), backlog) != 0) return sys_error("listen");
+  set_nonblocking(fd);
+  return fd;
+}
+
+Expected<std::uint16_t> bound_port(const Fd& listener) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener.get(), reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0) {
+    return sys_error("getsockname");
+  }
+  return std::uint16_t(ntohs(addr.sin_port));
+}
+
+Expected<Fd> connect_tcp(const Endpoint& ep) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return sys_error("socket");
+  auto addr = make_addr(ep);
+  if (!addr.ok()) return addr.error();
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr.value()),
+                sizeof(sockaddr_in)) != 0) {
+    return sys_error("connect " + ep.to_string());
+  }
+  set_nodelay(fd);
+  return fd;
+}
+
+Expected<Fd> accept_tcp(const Fd& listener) {
+  const int fd = ::accept4(listener.get(), nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Error{Error::Code::kWouldBlock, "no pending connection"};
+    }
+    return sys_error("accept");
+  }
+  Fd out(fd);
+  set_nodelay(out);
+  return out;
+}
+
+void set_nonblocking(const Fd& fd) {
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(const Fd& fd) {
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace clash::net

@@ -1,0 +1,66 @@
+// Thin RAII + error-handling layer over POSIX TCP sockets (IPv4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/expected.hpp"
+
+namespace clash::net {
+
+/// Owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& o) noexcept : fd_(o.release()) {}
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.release();
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string to_string() const {
+    return host + ":" + std::to_string(port);
+  }
+};
+
+/// Listen on host:port (port 0 picks a free port; see bound_port).
+[[nodiscard]] Expected<Fd> listen_tcp(const Endpoint& ep, int backlog = 64);
+
+/// Port a listening socket is actually bound to.
+[[nodiscard]] Expected<std::uint16_t> bound_port(const Fd& listener);
+
+/// Blocking connect (used at wiring time; data flow is non-blocking).
+[[nodiscard]] Expected<Fd> connect_tcp(const Endpoint& ep);
+
+/// Accept one pending connection (non-blocking listener).
+[[nodiscard]] Expected<Fd> accept_tcp(const Fd& listener);
+
+void set_nonblocking(const Fd& fd);
+void set_nodelay(const Fd& fd);
+
+}  // namespace clash::net

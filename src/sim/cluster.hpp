@@ -1,0 +1,145 @@
+// SimCluster: a full CLASH deployment in one address space — Chord ring,
+// one ClashServer per node, synchronous message delivery with per-class
+// counting, the bootstrap splitter, and a global owner index for exact
+// metrics. This is the substrate of every experiment (and reusable by
+// integration tests without the event queue).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "clash/client.hpp"
+#include "clash/config.hpp"
+#include "clash/server.hpp"
+#include "clash/stats.hpp"
+#include "dht/chord.hpp"
+
+namespace clash::sim {
+
+class SimCluster {
+ public:
+  struct Config {
+    std::size_t num_servers = 1000;
+    ClashConfig clash;
+    unsigned hash_bits = 32;
+    unsigned virtual_servers = 1;
+    dht::KeyHasher::Algo hash_algo = dht::KeyHasher::Algo::kMix64;
+    std::uint64_t seed = 42;
+  };
+
+  explicit SimCluster(Config config);
+  ~SimCluster();
+
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  /// Build the initial tree: a depth-0 lineage root force-split down to
+  /// clash.initial_depth, then mark the leaves as root entries (the
+  /// administrative consolidation floor). Resets stats afterwards.
+  void bootstrap();
+
+  // --- Topology -------------------------------------------------------
+  [[nodiscard]] std::size_t num_servers() const { return servers_.size(); }
+  [[nodiscard]] ClashServer& server(ServerId id);
+  [[nodiscard]] const ClashServer& server(ServerId id) const;
+  [[nodiscard]] const dht::ChordRing& ring() const { return ring_; }
+  [[nodiscard]] const dht::KeyHasher& hasher() const {
+    return ring_.hasher();
+  }
+  [[nodiscard]] const ClashConfig& clash_config() const {
+    return config_.clash;
+  }
+
+  // --- Client access ----------------------------------------------------
+  /// A ClientEnv whose DHT lookups originate at `access_point`.
+  /// The returned object stays valid for the cluster's lifetime.
+  [[nodiscard]] ClientEnv& client_env(ServerId access_point);
+
+  // --- Time & periodic work ----------------------------------------------
+  void set_now(SimTime t) { now_ = t; }
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Run one load check on one server (the runtime staggers these).
+  void run_load_check(ServerId id);
+  /// Run a load check on every server (tests).
+  void run_all_load_checks();
+
+  // --- Owner index & direct bookkeeping -----------------------------------
+  /// Server currently managing the active group containing `key`.
+  [[nodiscard]] std::optional<ServerId> find_owner(const Key& key) const;
+  /// The active group containing `key`.
+  [[nodiscard]] std::optional<KeyGroup> find_active_group(
+      const Key& key) const;
+
+  /// Remove a stream/query wherever it currently lives (bookkeeping for
+  /// key changes and query expiry; not a protocol message).
+  void withdraw_stream(ClientId source, const Key& key);
+  void withdraw_query(QueryId id, const Key& key);
+
+  /// Lazily materialise a fixed-depth group at its DHT owner (the
+  /// DHT(x) baselines never pre-split the tree). No-op if present.
+  void ensure_group(const KeyGroup& group);
+
+  // --- Failure injection (replication extension) -----------------------
+  /// Crash a server: it leaves the ring, its messages are dropped, and
+  /// every group it actively owned fails over to the DHT's new owner,
+  /// which promotes its replica (or adopts an empty group when none
+  /// exists). Returns the number of groups whose state was recovered.
+  std::size_t fail_server(ServerId id);
+
+  [[nodiscard]] bool is_alive(ServerId id) const {
+    return id.value < alive_.size() && alive_[id.value];
+  }
+  [[nodiscard]] std::size_t alive_count() const;
+
+  // --- Metrics -------------------------------------------------------------
+  struct LoadSnapshot {
+    double max_load_frac = 0;        // max over all servers, / capacity
+    double avg_active_load_frac = 0; // mean over loaded servers
+    std::size_t active_servers = 0;  // servers with load > 0
+    std::size_t active_groups = 0;
+    unsigned min_depth = 0;
+    unsigned max_depth = 0;
+    double avg_depth = 0;
+  };
+  [[nodiscard]] LoadSnapshot snapshot() const;
+
+  /// Transport+client counters plus the sum of per-server event stats.
+  [[nodiscard]] MessageStats total_stats() const;
+  /// Mutable access for client-side accounting (probes, hops, ...).
+  [[nodiscard]] MessageStats& transport_stats() { return stats_; }
+  void reset_stats();
+
+  /// Every active (group, owner) pair, for invariant checks.
+  [[nodiscard]] const std::unordered_map<KeyGroup, ServerId>& owner_index()
+      const {
+    return owners_;
+  }
+
+  /// Validates global invariants: every server table consistent, active
+  /// groups prefix-free *globally*, owner index matches server tables.
+  /// Returns the first violation, or nullopt.
+  [[nodiscard]] std::optional<std::string> check_invariants() const;
+
+ private:
+  class ServerEnvImpl;
+  class ClientEnvImpl;
+
+  void count_message(const Message& msg);
+
+  Config config_;
+  dht::ChordRing ring_;
+  std::vector<std::unique_ptr<ServerEnvImpl>> server_envs_;
+  std::vector<std::unique_ptr<ClashServer>> servers_;
+  std::deque<ClientEnvImpl> client_envs_;  // stable addresses
+  std::unordered_map<std::uint64_t, std::size_t> client_env_by_origin_;
+  std::unordered_map<KeyGroup, ServerId> owners_;
+  std::vector<bool> alive_;
+  MessageStats stats_;
+  SimTime now_{0};
+};
+
+}  // namespace clash::sim

@@ -1,0 +1,58 @@
+// Discrete-event core: a time-ordered queue of closures. Ties break by
+// insertion order, so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace clash::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  void at(SimTime t, Handler fn) {
+    heap_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  void after(SimDuration d, Handler fn) { at(now_ + d, std::move(fn)); }
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+  /// Run events with t <= end (inclusive); leaves now() == end.
+  void run_until(SimTime end) {
+    while (!heap_.empty() && heap_.top().t <= end) {
+      // Copy out before pop: the handler may schedule new events.
+      Event ev = heap_.top();
+      heap_.pop();
+      now_ = ev.t;
+      ++processed_;
+      ev.fn();
+    }
+    now_ = end;
+  }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    Handler fn;
+
+    bool operator>(const Event& o) const {
+      return t == o.t ? seq > o.seq : o.t < t;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  SimTime now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace clash::sim

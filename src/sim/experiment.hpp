@@ -1,0 +1,46 @@
+// Canned experiment configurations reproducing Section 6's setup:
+// 1000 servers, 100,000 data sources, 50,000 query clients, N = 24-bit
+// keys with an 8-bit skewed base, starting depth 6, LOAD_CHECK_PERIOD
+// 5 min, thresholds 90 % / 54 %, Ld = 1000 packets, Lq = 30 min,
+// workloads A -> B -> C for 2 simulated hours each.
+//
+// `Scale` shrinks an experiment proportionally so benches and tests
+// finish quickly; scale = 1 is the paper's full size.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/runtime.hpp"
+
+namespace clash::sim {
+
+struct Scale {
+  double servers = 1.0;   // x1000
+  double clients = 1.0;   // x100000 sources / x50000 query clients
+  double duration = 1.0;  // x2h per workload phase
+
+  /// Capacity shrinks with the client/server ratio so utilisation — and
+  /// therefore all Figure 4 shapes — is scale-invariant.
+  [[nodiscard]] double capacity_factor() const {
+    return servers > 0 ? clients / servers : 1.0;
+  }
+};
+
+/// The common cluster/protocol parameters (paper Section 6.1).
+[[nodiscard]] RuntimeConfig paper_base_config(const Scale& scale,
+                                              std::uint64_t seed);
+
+/// Figure 4: the six-hour A->B->C run. `mode` selects CLASH or a
+/// baseline; `fixed_depth` applies to kFixedDepth/kPowerOfTwo.
+[[nodiscard]] RuntimeConfig fig4_config(Mode mode, unsigned fixed_depth,
+                                        const Scale& scale,
+                                        std::uint64_t seed);
+
+/// Figure 5: CLASH communication overhead for a given virtual stream
+/// length Ld (packets) and query-client population.
+[[nodiscard]] RuntimeConfig fig5_config(double mean_stream_packets,
+                                        std::size_t query_clients,
+                                        const Scale& scale,
+                                        std::uint64_t seed);
+
+}  // namespace clash::sim

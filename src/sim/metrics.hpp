@@ -1,0 +1,94 @@
+// Light metric containers for experiment output: time series and
+// scalar summaries.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace clash::sim {
+
+struct Sample {
+  SimTime t;
+  double value;
+};
+
+class TimeSeries {
+ public:
+  void add(SimTime t, double v) { samples_.push_back({t, v}); }
+
+  [[nodiscard]] const std::vector<Sample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double max() const {
+    double m = -std::numeric_limits<double>::infinity();
+    for (const auto& s : samples_) m = std::max(m, s.value);
+    return m;
+  }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0;
+    double total = 0;
+    for (const auto& s : samples_) total += s.value;
+    return total / double(samples_.size());
+  }
+
+  /// Mean over samples with t in [from, to).
+  [[nodiscard]] double mean_between(SimTime from, SimTime to) const {
+    double total = 0;
+    std::size_t n = 0;
+    for (const auto& s : samples_) {
+      if (s.t >= from && s.t < to) {
+        total += s.value;
+        ++n;
+      }
+    }
+    return n == 0 ? 0 : total / double(n);
+  }
+
+  [[nodiscard]] double max_between(SimTime from, SimTime to) const {
+    double m = 0;
+    for (const auto& s : samples_) {
+      if (s.t >= from && s.t < to) m = std::max(m, s.value);
+    }
+    return m;
+  }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+struct Summary {
+  std::size_t count = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  double sum = 0;
+  double sum_sq = 0;
+
+  void add(double v) {
+    ++count;
+    min = std::min(min, v);
+    max = std::max(max, v);
+    sum += v;
+    sum_sq += v * v;
+  }
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0 : sum / double(count);
+  }
+  [[nodiscard]] double variance() const {
+    if (count < 2) return 0;
+    const double m = mean();
+    return std::max(0.0, sum_sq / double(count) - m * m);
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+};
+
+}  // namespace clash::sim

@@ -1,0 +1,144 @@
+#include "sim/workload.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace clash::sim {
+namespace {
+
+double mix_noise(std::uint64_t i) {
+  // Deterministic pseudo-noise in [0, 1) for workload A's ripple.
+  std::uint64_t z = (i + 0x9e3779b97f4a7c15ULL) * 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 31;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 29;
+  return double(z >> 11) * 0x1.0p-53;
+}
+
+std::vector<double> gaussian_weights(std::size_t n, double mu, double sigma) {
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double z = (double(i) - mu) / sigma;
+    w[i] = std::exp(-0.5 * z * z);
+  }
+  return w;
+}
+
+}  // namespace
+
+double WorkloadSpec::hottest_group_mass(unsigned group_bits) const {
+  assert(group_bits <= base_bits);
+  const std::size_t group_size = std::size_t{1}
+                                 << (base_bits - group_bits);
+  const double total =
+      std::accumulate(base_weights.begin(), base_weights.end(), 0.0);
+  double best = 0;
+  for (std::size_t start = 0; start < base_weights.size();
+       start += group_size) {
+    double mass = 0;
+    for (std::size_t i = start; i < start + group_size; ++i) {
+      mass += base_weights[i];
+    }
+    best = std::max(best, mass);
+  }
+  return total > 0 ? best / total : 0;
+}
+
+std::size_t WorkloadSpec::support_size(double eps) const {
+  const double total =
+      std::accumulate(base_weights.begin(), base_weights.end(), 0.0);
+  const double floor = eps * total / double(base_weights.size());
+  std::size_t n = 0;
+  for (const double w : base_weights) {
+    if (w > floor) ++n;
+  }
+  return n;
+}
+
+WorkloadSpec workload_a(unsigned base_bits) {
+  WorkloadSpec spec;
+  spec.name = "A";
+  spec.source_rate = 1.0;
+  spec.base_bits = base_bits;
+  const std::size_t n = std::size_t{1} << base_bits;
+  spec.base_weights.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Near-uniform with a +-10 % deterministic ripple.
+    spec.base_weights[i] = 1.0 + 0.2 * (mix_noise(i) - 0.5);
+  }
+  return spec;
+}
+
+WorkloadSpec workload_b(unsigned base_bits) {
+  WorkloadSpec spec;
+  spec.name = "B";
+  spec.source_rate = 2.0;
+  spec.base_bits = base_bits;
+  const std::size_t n = std::size_t{1} << base_bits;
+  // Moderate skew: a Gaussian bump covering ~3/8 of the base range.
+  spec.base_weights = gaussian_weights(n, 0.375 * double(n), 0.0625 * double(n));
+  return spec;
+}
+
+WorkloadSpec workload_c(unsigned base_bits) {
+  WorkloadSpec spec;
+  spec.name = "C";
+  spec.source_rate = 2.0;
+  spec.base_bits = base_bits;
+  const std::size_t n = std::size_t{1} << base_bits;
+  // Heavy skew: a sharp spike. sigma = n/51.2 (= 5 for X=8) puts ~30 %
+  // of the mass in the hottest 4-value group (see DESIGN.md).
+  spec.base_weights =
+      gaussian_weights(n, 0.625 * double(n), double(n) / 51.2);
+  return spec;
+}
+
+WorkloadSpec workload_by_name(char which, unsigned base_bits) {
+  switch (which) {
+    case 'A':
+    case 'a':
+      return workload_a(base_bits);
+    case 'B':
+    case 'b':
+      return workload_b(base_bits);
+    case 'C':
+    case 'c':
+      return workload_c(base_bits);
+    default:
+      throw std::invalid_argument("unknown workload (expected A, B, or C)");
+  }
+}
+
+KeyGenerator::KeyGenerator(const WorkloadSpec& spec, unsigned key_width)
+    : key_width_(key_width),
+      base_bits_(spec.base_bits),
+      base_sampler_(spec.base_weights) {
+  if (base_bits_ > key_width_) {
+    throw std::invalid_argument("base bits exceed key width");
+  }
+  if (spec.base_weights.size() != (std::size_t{1} << base_bits_)) {
+    throw std::invalid_argument("weight vector size != 2^base_bits");
+  }
+}
+
+Key KeyGenerator::sample(Rng& rng) const {
+  const std::uint64_t base = base_sampler_.sample(rng);
+  const unsigned rest_bits = key_width_ - base_bits_;
+  const std::uint64_t rest =
+      rest_bits == 0 ? 0 : (rng.next() & bits::low_mask(rest_bits));
+  return Key((base << rest_bits) | rest, key_width_);
+}
+
+Key KeyGenerator::local_move(const Key& current, unsigned local_bits,
+                             Rng& rng) const {
+  assert(current.width() == key_width_);
+  const unsigned moved = std::min(local_bits, key_width_);
+  const std::uint64_t keep = current.value() & ~bits::low_mask(moved);
+  return Key(keep | (rng.next() & bits::low_mask(moved)), key_width_);
+}
+
+}  // namespace clash::sim

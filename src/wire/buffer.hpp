@@ -1,0 +1,66 @@
+// Endian-safe binary read/write primitives for the wire protocol.
+// Integers are little-endian fixed width; doubles are IEEE-754 bit
+// patterns. The Reader is bounds-checked and latches an error state
+// instead of throwing, so malformed peer input can never crash a node.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clash::wire {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void bytes(std::span<const std::uint8_t> data);
+  /// Length-prefixed (u32) string.
+  void str(std::string_view s);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  bool boolean() { return u8() != 0; }
+  /// Length-prefixed (u32) string; empty on error.
+  std::string str();
+
+  /// True while all reads so far were in bounds.
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// Latch the error state (semantic validation failed upstream).
+  void fail() { ok_ = false; }
+  /// True when the payload was consumed exactly.
+  [[nodiscard]] bool exhausted() const { return ok_ && pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const {
+    return ok_ ? data_.size() - pos_ : 0;
+  }
+
+ private:
+  [[nodiscard]] bool take(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace clash::wire

@@ -1,0 +1,316 @@
+#include "wire/codec.hpp"
+
+namespace clash::wire {
+namespace {
+
+void encode_stream_info(Writer& w, const StreamInfo& s) {
+  w.u64(s.source.value);
+  encode_key(w, s.key);
+  w.f64(s.rate);
+}
+
+StreamInfo decode_stream_info(Reader& r) {
+  StreamInfo s;
+  s.source = ClientId{r.u64()};
+  s.key = decode_key(r);
+  s.rate = r.f64();
+  return s;
+}
+
+void encode_query_info(Writer& w, const QueryInfo& q) {
+  w.u64(q.id.value);
+  encode_key(w, q.key);
+}
+
+QueryInfo decode_query_info(Reader& r) {
+  QueryInfo q;
+  q.id = QueryId{r.u64()};
+  q.key = decode_key(r);
+  return q;
+}
+
+template <typename T, typename EncodeFn>
+void encode_vector(Writer& w, const std::vector<T>& v, EncodeFn fn) {
+  w.u32(std::uint32_t(v.size()));
+  for (const auto& item : v) fn(w, item);
+}
+
+// Guards against adversarial counts: a count claiming more elements
+// than bytes remain is rejected before any allocation.
+template <typename T, typename DecodeFn>
+bool decode_vector(Reader& r, std::vector<T>& out, std::size_t min_bytes,
+                   DecodeFn fn) {
+  const auto count = r.u32();
+  if (std::size_t(count) * min_bytes > r.remaining()) return false;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    out.push_back(fn(r));
+  }
+  return r.ok();
+}
+
+bool decode_blob(Reader& r, std::vector<std::uint8_t>& out) {
+  const auto len = r.u32();
+  if (std::size_t(len) > r.remaining()) return false;
+  out.resize(len);
+  for (auto& b : out) b = r.u8();
+  return r.ok();
+}
+
+}  // namespace
+
+void encode_key(Writer& w, const Key& k) {
+  w.u8(std::uint8_t(k.width()));
+  w.u64(k.value());
+}
+
+Key decode_key(Reader& r) {
+  const auto width = r.u8();
+  const auto value = r.u64();
+  if (!r.ok() || width == 0 || width > Key::kMaxWidth ||
+      (width < 64 && value >= (std::uint64_t{1} << width))) {
+    r.fail();
+    return Key(0, 1);
+  }
+  return Key(value, width);
+}
+
+void encode_group(Writer& w, const KeyGroup& g) {
+  encode_key(w, g.virtual_key());
+  w.u8(std::uint8_t(g.depth()));
+}
+
+KeyGroup decode_group(Reader& r) {
+  const Key vkey = decode_key(r);
+  const auto depth = r.u8();
+  if (!r.ok() || depth > vkey.width()) {
+    r.fail();
+    return KeyGroup::root(vkey.width());
+  }
+  // Reject non-canonical encodings (suffix bits below depth must be 0).
+  if (shape(vkey, depth) != vkey) {
+    r.fail();
+    return KeyGroup::root(vkey.width());
+  }
+  return KeyGroup::of(vkey, depth);
+}
+
+void encode_message(Writer& w, const Message& msg) {
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, AcceptObject>) {
+          w.u8(std::uint8_t(MsgType::kAcceptObject));
+          encode_key(w, m.key);
+          w.u8(std::uint8_t(m.depth));
+          w.u8(std::uint8_t(m.kind));
+          w.u64(m.query_id.value);
+          w.f64(m.stream_rate);
+          w.u64(m.source.value);
+          w.boolean(m.probe_only);
+        } else if constexpr (std::is_same_v<T, AcceptObjectOk>) {
+          w.u8(std::uint8_t(MsgType::kAcceptObjectOk));
+          w.u8(std::uint8_t(m.depth));
+        } else if constexpr (std::is_same_v<T, IncorrectDepth>) {
+          w.u8(std::uint8_t(MsgType::kIncorrectDepth));
+          w.u8(std::uint8_t(m.dmin));
+        } else if constexpr (std::is_same_v<T, AcceptKeyGroup>) {
+          w.u8(std::uint8_t(MsgType::kAcceptKeyGroup));
+          encode_group(w, m.group);
+          w.u64(m.parent.value);
+          encode_vector(w, m.streams, encode_stream_info);
+          encode_vector(w, m.queries, encode_query_info);
+          w.u32(std::uint32_t(m.app_state.size()));
+          w.bytes(m.app_state);
+        } else if constexpr (std::is_same_v<T, AcceptKeyGroupAck>) {
+          w.u8(std::uint8_t(MsgType::kAcceptKeyGroupAck));
+          encode_group(w, m.group);
+        } else if constexpr (std::is_same_v<T, LoadReport>) {
+          w.u8(std::uint8_t(MsgType::kLoadReport));
+          encode_group(w, m.group);
+          w.f64(m.load);
+          w.boolean(m.is_leaf);
+        } else if constexpr (std::is_same_v<T, ReclaimKeyGroup>) {
+          w.u8(std::uint8_t(MsgType::kReclaimKeyGroup));
+          encode_group(w, m.group);
+        } else if constexpr (std::is_same_v<T, ReclaimAck>) {
+          w.u8(std::uint8_t(MsgType::kReclaimAck));
+          encode_group(w, m.group);
+          encode_vector(w, m.streams, encode_stream_info);
+          encode_vector(w, m.queries, encode_query_info);
+          w.u32(std::uint32_t(m.app_state.size()));
+          w.bytes(m.app_state);
+        } else if constexpr (std::is_same_v<T, ReclaimRefused>) {
+          w.u8(std::uint8_t(MsgType::kReclaimRefused));
+          encode_group(w, m.group);
+        } else if constexpr (std::is_same_v<T, ReplicateGroup>) {
+          w.u8(std::uint8_t(MsgType::kReplicateGroup));
+          encode_group(w, m.group);
+          w.u64(m.owner.value);
+          w.boolean(m.root);
+          w.u64(m.parent.value);
+          encode_vector(w, m.streams, encode_stream_info);
+          encode_vector(w, m.queries, encode_query_info);
+        } else if constexpr (std::is_same_v<T, DropReplica>) {
+          w.u8(std::uint8_t(MsgType::kDropReplica));
+          encode_group(w, m.group);
+        }
+      },
+      msg);
+}
+
+Expected<Message> decode_message(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  const auto type = r.u8();
+  if (!r.ok()) return Error::protocol("empty message payload");
+
+  Message out = AcceptObjectOk{};
+  switch (MsgType(type)) {
+    case MsgType::kAcceptObject: {
+      AcceptObject m;
+      m.key = decode_key(r);
+      m.depth = r.u8();
+      const auto kind = r.u8();
+      if (kind > std::uint8_t(ObjectKind::kQuery)) {
+        return Error::protocol("bad object kind");
+      }
+      m.kind = ObjectKind(kind);
+      m.query_id = QueryId{r.u64()};
+      m.stream_rate = r.f64();
+      m.source = ClientId{r.u64()};
+      m.probe_only = r.boolean();
+      if (r.ok() && m.depth > m.key.width()) {
+        return Error::protocol("depth exceeds key width");
+      }
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kAcceptObjectOk: {
+      out = AcceptObjectOk{r.u8()};
+      break;
+    }
+    case MsgType::kIncorrectDepth: {
+      out = IncorrectDepth{r.u8()};
+      break;
+    }
+    case MsgType::kAcceptKeyGroup: {
+      AcceptKeyGroup m;
+      m.group = decode_group(r);
+      m.parent = ServerId{r.u64()};
+      if (!decode_vector(r, m.streams, 17, decode_stream_info) ||
+          !decode_vector(r, m.queries, 17, decode_query_info) ||
+          !decode_blob(r, m.app_state)) {
+        return Error::protocol("bad state vectors");
+      }
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kAcceptKeyGroupAck: {
+      out = AcceptKeyGroupAck{decode_group(r)};
+      break;
+    }
+    case MsgType::kLoadReport: {
+      LoadReport m;
+      m.group = decode_group(r);
+      m.load = r.f64();
+      m.is_leaf = r.boolean();
+      out = m;
+      break;
+    }
+    case MsgType::kReclaimKeyGroup: {
+      out = ReclaimKeyGroup{decode_group(r)};
+      break;
+    }
+    case MsgType::kReclaimAck: {
+      ReclaimAck m;
+      m.group = decode_group(r);
+      if (!decode_vector(r, m.streams, 17, decode_stream_info) ||
+          !decode_vector(r, m.queries, 17, decode_query_info) ||
+          !decode_blob(r, m.app_state)) {
+        return Error::protocol("bad state vectors");
+      }
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kReclaimRefused: {
+      out = ReclaimRefused{decode_group(r)};
+      break;
+    }
+    case MsgType::kReplicateGroup: {
+      ReplicateGroup m;
+      m.group = decode_group(r);
+      m.owner = ServerId{r.u64()};
+      m.root = r.boolean();
+      m.parent = ServerId{r.u64()};
+      if (!decode_vector(r, m.streams, 17, decode_stream_info) ||
+          !decode_vector(r, m.queries, 17, decode_query_info)) {
+        return Error::protocol("bad replica vectors");
+      }
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kDropReplica: {
+      out = DropReplica{decode_group(r)};
+      break;
+    }
+    default:
+      return Error::protocol("unknown message type " + std::to_string(type));
+  }
+  if (!r.exhausted()) {
+    return Error::protocol("truncated or oversized message payload");
+  }
+  return out;
+}
+
+void encode_reply(Writer& w, const AcceptObjectReply& reply) {
+  std::visit([&](const auto& m) { encode_message(w, Message(m)); }, reply);
+}
+
+Expected<AcceptObjectReply> decode_reply(
+    std::span<const std::uint8_t> payload) {
+  auto msg = decode_message(payload);
+  if (!msg.ok()) return msg.error();
+  if (const auto* ok = std::get_if<AcceptObjectOk>(&msg.value())) {
+    return AcceptObjectReply(*ok);
+  }
+  if (const auto* bad = std::get_if<IncorrectDepth>(&msg.value())) {
+    return AcceptObjectReply(*bad);
+  }
+  return Error::protocol("reply frame does not carry a reply message");
+}
+
+std::vector<std::uint8_t> encode_frame(
+    const Envelope& env, std::span<const std::uint8_t> payload) {
+  Writer w;
+  w.u8(kProtocolVersion);
+  w.u8(std::uint8_t(env.kind));
+  w.u64(env.request_id);
+  w.u64(env.sender.value);
+  w.bytes(payload);
+  return w.take();
+}
+
+Expected<DecodedFrame> decode_frame(std::span<const std::uint8_t> frame) {
+  Reader r(frame);
+  const auto version = r.u8();
+  if (!r.ok()) return Error::protocol("empty frame");
+  if (version != kProtocolVersion) {
+    return Error::protocol("unsupported protocol version " +
+                           std::to_string(version));
+  }
+  DecodedFrame out;
+  const auto kind = r.u8();
+  if (kind > std::uint8_t(FrameKind::kResponse)) {
+    return Error::protocol("bad frame kind");
+  }
+  out.envelope.kind = FrameKind(kind);
+  out.envelope.request_id = r.u64();
+  out.envelope.sender = ServerId{r.u64()};
+  if (!r.ok()) return Error::protocol("truncated frame header");
+  out.payload.assign(frame.begin() + std::ptrdiff_t(frame.size() -
+                                                    r.remaining()),
+                     frame.end());
+  return out;
+}
+
+}  // namespace clash::wire

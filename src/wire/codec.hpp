@@ -1,0 +1,77 @@
+// Wire codec for the CLASH protocol messages: every Message variant and
+// AcceptObjectReply can round-trip through a compact, versioned binary
+// encoding. Frames on the TCP transport are u32-length-prefixed
+// envelopes { version, kind, request id, sender } + payload.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clash/messages.hpp"
+#include "common/expected.hpp"
+#include "wire/buffer.hpp"
+
+namespace clash::wire {
+
+constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Message discriminants on the wire (stable across versions).
+enum class MsgType : std::uint8_t {
+  kAcceptObject = 1,
+  kAcceptObjectOk = 2,
+  kIncorrectDepth = 3,
+  kAcceptKeyGroup = 4,
+  kAcceptKeyGroupAck = 5,
+  kLoadReport = 6,
+  kReclaimKeyGroup = 7,
+  kReclaimAck = 8,
+  kReclaimRefused = 9,
+  kReplicateGroup = 10,
+  kDropReplica = 11,
+};
+
+/// RPC framing kinds.
+enum class FrameKind : std::uint8_t {
+  kOneway = 0,   // peer message, no reply expected
+  kRequest = 1,  // expects a response with the same request id
+  kResponse = 2,
+};
+
+struct Envelope {
+  FrameKind kind = FrameKind::kOneway;
+  std::uint64_t request_id = 0;
+  ServerId sender{};
+};
+
+// --- Message payloads -------------------------------------------------
+
+void encode_message(Writer& w, const Message& msg);
+[[nodiscard]] Expected<Message> decode_message(
+    std::span<const std::uint8_t> payload);
+
+void encode_reply(Writer& w, const AcceptObjectReply& reply);
+[[nodiscard]] Expected<AcceptObjectReply> decode_reply(
+    std::span<const std::uint8_t> payload);
+
+// --- Frames ------------------------------------------------------------
+
+/// Serialise a full frame (without the u32 length prefix).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    const Envelope& env, std::span<const std::uint8_t> payload);
+
+struct DecodedFrame {
+  Envelope envelope;
+  std::vector<std::uint8_t> payload;
+};
+[[nodiscard]] Expected<DecodedFrame> decode_frame(
+    std::span<const std::uint8_t> frame);
+
+// --- Field helpers (exposed for tests) ----------------------------------
+
+void encode_key(Writer& w, const Key& k);
+[[nodiscard]] Key decode_key(Reader& r);
+void encode_group(Writer& w, const KeyGroup& g);
+[[nodiscard]] KeyGroup decode_group(Reader& r);
+
+}  // namespace clash::wire

@@ -1,0 +1,169 @@
+// The application API (Section 7's game-middleware extension):
+// app-contributed load, application-signalled overload, and opaque
+// state distribution across splits and merges.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "clash/server.hpp"
+#include "tests/clash/test_util.hpp"
+
+namespace clash {
+namespace {
+
+using testing::MockServerEnv;
+using testing::group;
+using testing::key;
+
+ClashConfig cfg7() {
+  ClashConfig cfg;
+  cfg.key_width = 7;
+  cfg.initial_depth = 2;
+  cfg.capacity = 100;
+  return cfg;
+}
+
+/// A toy game world: one blob of state per zone (key group), exported
+/// and imported as CLASH moves zones between servers.
+class WorldState final : public AppHooks {
+ public:
+  std::map<std::string, std::string> zones;  // group label -> payload
+  double extra_load = 0;
+
+  double app_load(const KeyGroup& g) override {
+    return zones.count(g.label()) > 0 ? extra_load : 0;
+  }
+
+  std::vector<std::uint8_t> export_state(const KeyGroup& g,
+                                         ServerId) override {
+    // Ship every zone whose label sits under g's prefix.
+    std::string shipped;
+    for (auto it = zones.begin(); it != zones.end();) {
+      const auto zone = KeyGroup::parse(it->first, 7);
+      if (zone.ok() && g.covers(zone.value())) {
+        shipped += it->first + "=" + it->second + ";";
+        it = zones.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return {shipped.begin(), shipped.end()};
+  }
+
+  void import_state(const KeyGroup&,
+                    const std::vector<std::uint8_t>& state) override {
+    std::string text(state.begin(), state.end());
+    while (!text.empty()) {
+      const auto semi = text.find(';');
+      const auto item = text.substr(0, semi);
+      const auto eq = item.find('=');
+      if (eq != std::string::npos) {
+        zones[item.substr(0, eq)] = item.substr(eq + 1);
+      }
+      text.erase(0, semi == std::string::npos ? text.size() : semi + 1);
+    }
+  }
+};
+
+AcceptObject data_obj(const Key& k, ClientId src, double rate) {
+  AcceptObject obj;
+  obj.key = k;
+  obj.kind = ObjectKind::kData;
+  obj.source = src;
+  obj.stream_rate = rate;
+  return obj;
+}
+
+TEST(AppHooks, AppLoadContributesToGroupLoad) {
+  MockServerEnv env;
+  ClashServer s(ServerId{0}, cfg7(), env, dht::KeyHasher(32));
+  WorldState world;
+  world.zones["011*"] = "castle";
+  world.extra_load = 50;
+  s.set_app_hooks(&world);
+  s.install_entry({group("011*", 7), true, ServerId{}, ServerId{}, true});
+
+  EXPECT_DOUBLE_EQ(s.load_of(group("011*", 7)), 50.0);
+  (void)s.handle_accept_object(data_obj(key("0110000"), ClientId{1}, 45));
+  EXPECT_DOUBLE_EQ(s.server_load(), 95.0);
+
+  // 95 > 90: the app load tips the server into splitting.
+  env.lookup_fn = [](dht::HashKey) { return dht::LookupResult{ServerId{2}, 1}; };
+  s.run_load_check();
+  EXPECT_EQ(s.stats().splits, 1u);
+}
+
+TEST(AppHooks, StateShipsWithSplitAndBack) {
+  MockServerEnv env0, env1;
+  ClashServer s0(ServerId{0}, cfg7(), env0, dht::KeyHasher(32));
+  ClashServer s1(ServerId{1}, cfg7(), env1, dht::KeyHasher(32));
+  WorldState w0, w1;
+  s0.set_app_hooks(&w0);
+  s1.set_app_hooks(&w1);
+
+  s0.install_entry({group("011*", 7), true, ServerId{}, ServerId{}, true});
+  w0.zones["0111*"] = "arena";   // lives in the right half
+  w0.zones["0110*"] = "market";  // stays local
+
+  env0.lookup_fn = [](dht::HashKey) { return dht::LookupResult{ServerId{1}, 1}; };
+  ASSERT_TRUE(s0.force_split(group("011*", 7)));
+  const auto* transfer = env0.last_as<AcceptKeyGroup>();
+  ASSERT_NE(transfer, nullptr);
+  EXPECT_FALSE(transfer->app_state.empty());
+  s1.deliver(ServerId{0}, *transfer);
+
+  // The arena moved; the market stayed.
+  EXPECT_EQ(w1.zones.count("0111*"), 1u);
+  EXPECT_EQ(w1.zones.at("0111*"), "arena");
+  EXPECT_EQ(w0.zones.count("0111*"), 0u);
+  EXPECT_EQ(w0.zones.count("0110*"), 1u);
+
+  // Consolidation ships it back: drive the reclaim exchange by hand.
+  env1.sent.clear();
+  s1.deliver(ServerId{0}, ReclaimKeyGroup{group("0111*", 7)});
+  const auto* ack = env1.last_as<ReclaimAck>();
+  ASSERT_NE(ack, nullptr);
+  EXPECT_FALSE(ack->app_state.empty());
+  s0.deliver(ServerId{1}, *ack);
+  EXPECT_EQ(w0.zones.count("0111*"), 1u);
+  EXPECT_EQ(w1.zones.count("0111*"), 0u);
+  EXPECT_EQ(s0.stats().merges, 1u);
+}
+
+TEST(AppHooks, SignalOverloadShedsImmediately) {
+  MockServerEnv env;
+  env.lookup_fn = [](dht::HashKey) { return dht::LookupResult{ServerId{3}, 1}; };
+  ClashServer s(ServerId{0}, cfg7(), env, dht::KeyHasher(32));
+  s.install_entry({group("011*", 7), true, ServerId{}, ServerId{}, true});
+  (void)s.handle_accept_object(data_obj(key("0110000"), ClientId{1}, 10));
+
+  // Well below the load threshold, but the game knows better.
+  EXPECT_TRUE(s.signal_overload());
+  EXPECT_EQ(s.stats().splits, 1u);
+  EXPECT_FALSE(s.table().find(group("011*", 7))->active);
+}
+
+TEST(AppHooks, SignalOverloadFailsWithNothingToSplit) {
+  MockServerEnv env;
+  ClashServer s(ServerId{0}, cfg7(), env, dht::KeyHasher(32));
+  EXPECT_FALSE(s.signal_overload());  // empty table
+  s.install_entry({group("0110101", 7), true, ServerId{}, ServerId{}, true});
+  EXPECT_FALSE(s.signal_overload());  // only a max-depth group
+}
+
+TEST(AppHooks, ServerWorksWithoutHooks) {
+  MockServerEnv env;
+  env.lookup_fn = [](dht::HashKey) { return dht::LookupResult{ServerId{2}, 1}; };
+  ClashServer s(ServerId{0}, cfg7(), env, dht::KeyHasher(32));
+  s.install_entry({group("011*", 7), true, ServerId{}, ServerId{}, true});
+  (void)s.handle_accept_object(data_obj(key("0110000"), ClientId{1}, 95));
+  s.run_load_check();
+  EXPECT_EQ(s.stats().splits, 1u);
+  const auto* msg = env.last_as<AcceptKeyGroup>();
+  ASSERT_NE(msg, nullptr);
+  EXPECT_TRUE(msg->app_state.empty());
+}
+
+}  // namespace
+}  // namespace clash

@@ -1,0 +1,68 @@
+#include "clash/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clash/load.hpp"
+
+namespace clash {
+namespace {
+
+TEST(FixedDepthConfig, DisablesAdaptation) {
+  ClashConfig base;
+  base.key_width = 24;
+  const auto cfg = fixed_depth_config(base, 12);
+  EXPECT_EQ(cfg.initial_depth, 12u);
+  EXPECT_FALSE(cfg.enable_consolidation);
+  EXPECT_EQ(cfg.max_splits_per_check, 0u);
+  EXPECT_TRUE(cfg.ephemeral_groups);
+  EXPECT_EQ(classify_load(cfg, 1e15), LoadVerdict::kNormal);
+  EXPECT_EQ(classify_load(cfg, 0.0), LoadVerdict::kNormal);
+}
+
+TEST(FixedDepthConfig, PreservesBaseParameters) {
+  ClashConfig base;
+  base.key_width = 24;
+  base.capacity = 1234;
+  const auto cfg = fixed_depth_config(base, 6);
+  EXPECT_EQ(cfg.key_width, 24u);
+  EXPECT_DOUBLE_EQ(cfg.capacity, 1234.0);
+}
+
+TEST(PowerOfDChoices, CandidatesAreDeterministic) {
+  const PowerOfDChoices po2(6, 2, 32, dht::KeyHasher::Algo::kMix64, 99);
+  const Key k(0x123456, 24);
+  const auto a = po2.candidates(k);
+  const auto b = po2.candidates(k);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[1], b[1]);
+}
+
+TEST(PowerOfDChoices, CandidatesDiffer) {
+  const PowerOfDChoices po2(6, 2, 32, dht::KeyHasher::Algo::kMix64, 99);
+  int same = 0;
+  for (std::uint64_t v = 0; v < 100; ++v) {
+    const auto c = po2.candidates(Key(v << 16, 24));
+    same += (c[0] == c[1]);
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(PowerOfDChoices, SameGroupSameCandidates) {
+  // Keys sharing the fixed-depth prefix share candidates (placement is
+  // per group, not per key).
+  const PowerOfDChoices po2(6, 2, 32, dht::KeyHasher::Algo::kMix64, 7);
+  const Key a(0b110101'000000000000000000, 24);
+  const Key b(0b110101'111111111111111111, 24);
+  EXPECT_EQ(po2.candidates(a)[0], po2.candidates(b)[0]);
+  EXPECT_EQ(po2.candidates(a)[1], po2.candidates(b)[1]);
+}
+
+TEST(PowerOfDChoices, SupportsMoreChoices) {
+  const PowerOfDChoices po4(8, 4, 32, dht::KeyHasher::Algo::kMix64, 1);
+  EXPECT_EQ(po4.choices(), 4u);
+  EXPECT_EQ(po4.candidates(Key(1, 24)).size(), 4u);
+}
+
+}  // namespace
+}  // namespace clash

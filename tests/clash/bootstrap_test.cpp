@@ -1,0 +1,74 @@
+// The pure bootstrap computation must agree exactly with the state the
+// simulator reaches by running the administrative split cascade.
+#include "clash/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+#include "tests/clash/test_util.hpp"
+
+namespace clash {
+namespace {
+
+struct BootstrapParam {
+  std::size_t servers;
+  unsigned key_width;
+  unsigned initial_depth;
+};
+
+struct BootstrapSweep : ::testing::TestWithParam<BootstrapParam> {};
+
+TEST_P(BootstrapSweep, MatchesSimulatorBootstrap) {
+  const auto p = GetParam();
+  auto cfg = testing::small_cluster_config(p.servers, p.key_width,
+                                           p.initial_depth);
+  sim::SimCluster cluster(cfg);
+  cluster.bootstrap();
+
+  const auto computed = compute_bootstrap_entries(
+      cluster.ring(), cluster.hasher(), cfg.clash);
+
+  // Same entries on every server, field by field.
+  std::size_t computed_total = 0;
+  for (const auto& [server_id, entries] : computed) {
+    computed_total += entries.size();
+    const auto& table = cluster.server(server_id).table();
+    for (const auto& expect : entries) {
+      const auto* actual = table.find(expect.group);
+      ASSERT_NE(actual, nullptr)
+          << to_string(server_id) << " missing " << expect.group.label();
+      EXPECT_EQ(actual->active, expect.active) << expect.group.label();
+      EXPECT_EQ(actual->root, expect.root) << expect.group.label();
+      EXPECT_EQ(actual->right_child, expect.right_child)
+          << expect.group.label();
+      if (!expect.root) {
+        EXPECT_EQ(actual->parent, expect.parent) << expect.group.label();
+      }
+    }
+  }
+  // ... and no extras anywhere.
+  std::size_t actual_total = 0;
+  for (std::size_t i = 0; i < p.servers; ++i) {
+    actual_total += cluster.server(ServerId{i}).table().size();
+  }
+  EXPECT_EQ(actual_total, computed_total);
+
+  // Exactly 2^d active leaves and 2^d - 1 lineage entries in total.
+  const std::size_t leaves = std::size_t{1} << p.initial_depth;
+  EXPECT_EQ(cluster.owner_index().size(), leaves);
+  EXPECT_EQ(computed_total, 2 * leaves - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BootstrapSweep,
+    ::testing::Values(BootstrapParam{4, 8, 0}, BootstrapParam{4, 8, 1},
+                      BootstrapParam{16, 8, 3}, BootstrapParam{16, 24, 6},
+                      BootstrapParam{64, 24, 6}, BootstrapParam{8, 16, 5}),
+    [](const auto& info) {
+      return "s" + std::to_string(info.param.servers) + "w" +
+             std::to_string(info.param.key_width) + "d" +
+             std::to_string(info.param.initial_depth);
+    });
+
+}  // namespace
+}  // namespace clash

@@ -1,0 +1,212 @@
+// Client depth resolution (Section 5): the modified binary search, its
+// convergence bound, and the per-stream cache.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clash/client.hpp"
+#include "sim/cluster.hpp"
+#include "tests/clash/test_util.hpp"
+
+namespace clash {
+namespace {
+
+using sim::SimCluster;
+
+struct ClientFixture : ::testing::Test {
+  ClientFixture()
+      : cluster(testing::small_cluster_config(/*servers=*/16,
+                                              /*key_width=*/8,
+                                              /*initial_depth=*/3,
+                                              /*capacity=*/1e9)) {
+    cluster.bootstrap();
+  }
+
+  /// Split the active group containing `k` (wherever it lives).
+  void split_at(const Key& k) {
+    const auto group = cluster.find_active_group(k);
+    ASSERT_TRUE(group.has_value());
+    const auto owner = cluster.find_owner(k);
+    ASSERT_TRUE(owner.has_value());
+    ASSERT_TRUE(cluster.server(*owner).force_split(*group));
+  }
+
+  ClashClient make_client(ClashClient::Options opts = ClashClient::Options(),
+                          std::uint64_t seed = 7) {
+    return ClashClient(cluster.clash_config(), cluster.client_env(ServerId{0}),
+                       cluster.hasher(), opts, seed);
+  }
+
+  SimCluster cluster;
+};
+
+TEST_F(ClientFixture, ResolvesAtBootstrapDepth) {
+  auto client = make_client();
+  const Key k(0b10110011, 8);
+  const auto out = client.resolve(k);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.depth, 3u);
+  EXPECT_EQ(out.server, cluster.find_owner(k).value());
+  // The hint starts at initial_depth, so the first probe lands.
+  EXPECT_EQ(out.probes, 1u);
+}
+
+TEST_F(ClientFixture, ResolvesAfterDeepSplits) {
+  const Key k(0b10110011, 8);
+  for (int i = 0; i < 4; ++i) split_at(k);  // depth 3 -> 7
+  ASSERT_EQ(cluster.find_active_group(k)->depth(), 7u);
+
+  auto client = make_client();
+  const auto out = client.resolve(k);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.depth, 7u);
+  EXPECT_EQ(out.server, cluster.find_owner(k).value());
+  EXPECT_EQ(out.restarts, 0u);
+  EXPECT_EQ(cluster.check_invariants(), std::nullopt);
+}
+
+TEST_F(ClientFixture, ProbesBoundedByBinarySearch) {
+  const Key hot(0b11100001, 8);
+  for (int i = 0; i < 5; ++i) split_at(hot);  // depth 8 leaf
+  auto client = make_client();
+  ClashClient::Options opts;
+  opts.use_cache = false;
+  opts.guess = ClashClient::Options::Guess::kMidpoint;
+  auto fresh = make_client(opts);
+  for (std::uint64_t v = 0; v < 256; v += 5) {
+    const auto out = fresh.resolve(Key(v, 8));
+    ASSERT_TRUE(out.ok) << v;
+    // Pure binary search over (0, 8]: at most ceil(log2(9)) + 1 probes.
+    EXPECT_LE(out.probes, 5u) << v;
+  }
+}
+
+TEST_F(ClientFixture, CacheHitCostsOneProbeNoLookup) {
+  auto client = make_client();
+  const Key k(0b01010101, 8);
+  (void)client.resolve(k);
+  const auto out = client.resolve(k);
+  ASSERT_TRUE(out.ok);
+  EXPECT_TRUE(out.cache_hit);
+  EXPECT_EQ(out.probes, 1u);
+  EXPECT_EQ(out.dht_lookups, 0u);  // the paper's cached fast path
+}
+
+TEST_F(ClientFixture, CacheCoversWholeGroup) {
+  auto client = make_client();
+  (void)client.resolve(Key(0b01010000, 8));
+  // Another key in the same depth-3 group: still a cache hit.
+  const auto out = client.resolve(Key(0b01011111, 8));
+  EXPECT_TRUE(out.cache_hit);
+  EXPECT_EQ(out.dht_lookups, 0u);
+}
+
+TEST_F(ClientFixture, StaleCacheSelfCorrects) {
+  auto client = make_client();
+  const Key k(0b01010101, 8);
+  (void)client.resolve(k);
+
+  split_at(k);  // the cached binding may now be wrong
+  const auto out = client.resolve(k);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.depth, 4u);
+  EXPECT_EQ(out.server, cluster.find_owner(k).value());
+
+  // And the refreshed binding works again.
+  const auto again = client.resolve(k);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.depth, 4u);
+}
+
+TEST_F(ClientFixture, WrongDepthRightServerIsCorrected) {
+  // Case (b): force the client to probe the right server with the wrong
+  // depth by splitting so the left child stays on the same server.
+  const Key k(0b01010101, 8);
+  const auto owner_before = cluster.find_owner(k).value();
+  split_at(k);
+  // Left child keys stay on the same server (same virtual key).
+  const Key left_key = shape(k, 4);  // in the left half after split at 3
+  if (cluster.find_owner(left_key).value() == owner_before) {
+    auto client = make_client();
+    ClashClient::Options opts;  // hint = initial depth (3) is now wrong
+    auto c = make_client(opts);
+    const auto out = c.resolve(left_key);
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.depth, 4u);
+    EXPECT_EQ(out.probes, 1u);  // single probe: OK with corrected depth
+  }
+}
+
+TEST_F(ClientFixture, InsertStoresQuery) {
+  auto client = make_client();
+  AcceptObject obj;
+  obj.key = Key(0b11001100, 8);
+  obj.kind = ObjectKind::kQuery;
+  obj.query_id = QueryId{42};
+  const auto out = client.insert(obj);
+  ASSERT_TRUE(out.ok);
+  const auto owner = cluster.find_owner(obj.key).value();
+  EXPECT_EQ(cluster.server(owner).total_queries(), 1u);
+}
+
+TEST_F(ClientFixture, ProbeOnlyDoesNotStore) {
+  auto client = make_client();
+  const Key k(0b11001100, 8);
+  (void)client.resolve(k);
+  const auto owner = cluster.find_owner(k).value();
+  EXPECT_EQ(cluster.server(owner).total_queries(), 0u);
+  EXPECT_EQ(cluster.server(owner).total_streams(), 0u);
+}
+
+// Property sweep: random trees, random keys, three guess policies —
+// resolution always lands on the true owner within the probe budget.
+struct SearchSweep
+    : ClientFixture,
+      ::testing::WithParamInterface<ClashClient::Options::Guess> {};
+
+TEST_P(SearchSweep, AlwaysFindsTrueOwner) {
+  Rng rng(99);
+  // Random irregular tree: ~24 splits across the key space.
+  for (int i = 0; i < 24; ++i) {
+    const Key k(rng.next() & 0xFF, 8);
+    const auto g = cluster.find_active_group(k);
+    ASSERT_TRUE(g.has_value());
+    if (g->depth() >= 8) continue;
+    const auto owner = cluster.find_owner(k).value();
+    ASSERT_TRUE(cluster.server(owner).force_split(*g));
+  }
+  ASSERT_EQ(cluster.check_invariants(), std::nullopt);
+
+  ClashClient::Options opts;
+  opts.guess = GetParam();
+  opts.use_cache = false;
+  auto client = make_client(opts, /*seed=*/5);
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    const Key k(v, 8);
+    const auto out = client.resolve(k);
+    ASSERT_TRUE(out.ok) << v;
+    EXPECT_EQ(out.server, cluster.find_owner(k).value()) << v;
+    EXPECT_EQ(out.depth, cluster.find_active_group(k)->depth()) << v;
+    EXPECT_LE(out.probes, 6u) << v;  // <= ~log2(N)+2 for N=8
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GuessPolicies, SearchSweep,
+    ::testing::Values(ClashClient::Options::Guess::kHint,
+                      ClashClient::Options::Guess::kMidpoint,
+                      ClashClient::Options::Guess::kRandom),
+    [](const auto& info) {
+      switch (info.param) {
+        case ClashClient::Options::Guess::kHint:
+          return "Hint";
+        case ClashClient::Options::Guess::kMidpoint:
+          return "Midpoint";
+        case ClashClient::Options::Guess::kRandom:
+          return "Random";
+      }
+      return "Unknown";
+    });
+
+}  // namespace
+}  // namespace clash

@@ -1,0 +1,87 @@
+#include "clash/load.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace clash {
+namespace {
+
+ClashConfig base() {
+  ClashConfig cfg;
+  cfg.capacity = 1000;
+  cfg.overload_frac = 0.9;
+  cfg.underload_frac = 0.54;
+  cfg.load_alpha = 1.0;
+  cfg.load_beta = 8.0;
+  return cfg;
+}
+
+TEST(LoadModel, LinearInDataRate) {
+  const auto cfg = base();
+  EXPECT_DOUBLE_EQ(group_load(cfg, 100, 0), 100.0);
+  EXPECT_DOUBLE_EQ(group_load(cfg, 200, 0), 200.0);
+  EXPECT_DOUBLE_EQ(group_load(cfg, 0, 0), 0.0);
+}
+
+TEST(LoadModel, LogarithmicInQueries) {
+  const auto cfg = base();
+  const double one = group_load(cfg, 0, 1);
+  const double k = group_load(cfg, 0, 1023);
+  EXPECT_DOUBLE_EQ(one, 8.0 * std::log2(2.0));
+  EXPECT_DOUBLE_EQ(k, 8.0 * 10.0);
+  // Doubling queries adds a constant, not a factor.
+  EXPECT_NEAR(group_load(cfg, 0, 2047) - k, 8.0, 0.02);
+}
+
+TEST(LoadModel, Thresholds) {
+  const auto cfg = base();
+  EXPECT_EQ(classify_load(cfg, 950), LoadVerdict::kOverloaded);
+  EXPECT_EQ(classify_load(cfg, 900), LoadVerdict::kNormal);  // not strict >
+  EXPECT_EQ(classify_load(cfg, 700), LoadVerdict::kNormal);
+  EXPECT_EQ(classify_load(cfg, 500), LoadVerdict::kUnderloaded);
+  EXPECT_EQ(classify_load(cfg, 540), LoadVerdict::kNormal);
+}
+
+TEST(LoadModel, FixedDepthConfigNeverTriggers) {
+  ClashConfig cfg = base();
+  cfg.overload_frac = std::numeric_limits<double>::infinity();
+  cfg.underload_frac = 0.0;
+  EXPECT_EQ(classify_load(cfg, 1e12), LoadVerdict::kNormal);
+  EXPECT_EQ(classify_load(cfg, 0), LoadVerdict::kNormal);
+}
+
+TEST(RateEstimator, ConvergesToSteadyRate) {
+  RateEstimator est(SimTime::from_seconds(10));
+  // 50 events/sec for 60 seconds.
+  for (int ms = 0; ms < 60000; ms += 20) {
+    est.record(SimTime::from_seconds(ms / 1000.0));
+  }
+  EXPECT_NEAR(est.rate(SimTime::from_seconds(60)), 50.0, 5.0);
+}
+
+TEST(RateEstimator, DecaysWhenIdle) {
+  RateEstimator est(SimTime::from_seconds(10));
+  for (int ms = 0; ms < 20000; ms += 20) {
+    est.record(SimTime::from_seconds(ms / 1000.0));
+  }
+  const double busy = est.rate(SimTime::from_seconds(20));
+  const double later = est.rate(SimTime::from_seconds(40));
+  EXPECT_LT(later, busy / 3);           // two half-lives later
+  EXPECT_NEAR(later, busy / 4, busy / 8);
+}
+
+TEST(RateEstimator, ZeroBeforeFirstEvent) {
+  const RateEstimator est;
+  EXPECT_DOUBLE_EQ(est.rate(SimTime::from_seconds(5)), 0.0);
+}
+
+TEST(RateEstimator, ResetClears) {
+  RateEstimator est(SimTime::from_seconds(1));
+  est.record(SimTime::from_seconds(1));
+  est.reset();
+  EXPECT_DOUBLE_EQ(est.rate(SimTime::from_seconds(2)), 0.0);
+}
+
+}  // namespace
+}  // namespace clash

@@ -1,0 +1,129 @@
+// Range queries (Section 7 future work): resolve_range must partition
+// any key range into the prefix-free active groups covering it, and
+// CLASH's clustering must beat fine-grained hashing on server contacts.
+#include <gtest/gtest.h>
+
+#include "clash/client.hpp"
+#include "common/rng.hpp"
+#include "sim/cluster.hpp"
+#include "tests/clash/test_util.hpp"
+
+namespace clash {
+namespace {
+
+struct RangeFixture : ::testing::Test {
+  RangeFixture()
+      : cluster(testing::small_cluster_config(16, 8, 3, 1e9)) {
+    cluster.bootstrap();
+  }
+
+  void split_at(const Key& k) {
+    const auto group = cluster.find_active_group(k);
+    ASSERT_TRUE(group.has_value());
+    ASSERT_TRUE(
+        cluster.server(*cluster.find_owner(k)).force_split(*group));
+  }
+
+  ClashClient make_client() {
+    return ClashClient(cluster.clash_config(),
+                       cluster.client_env(ServerId{0}), cluster.hasher());
+  }
+
+  sim::SimCluster cluster;
+};
+
+TEST_F(RangeFixture, FullSpaceAtBootstrapYieldsAllRoots) {
+  auto client = make_client();
+  const auto out = client.resolve_range(Key(0, 8), Key(255, 8));
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.segments.size(), 8u);  // the 2^3 bootstrap groups
+  for (const auto& [group, server] : out.segments) {
+    EXPECT_EQ(group.depth(), 3u);
+    EXPECT_EQ(server, cluster.owner_index().at(group));
+  }
+}
+
+TEST_F(RangeFixture, SegmentsPartitionTheRange) {
+  // Make the tree irregular, then check exact partition on many ranges.
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) split_at(Key(rng.next() & 0xFF, 8));
+
+  auto client = make_client();
+  for (int trial = 0; trial < 60; ++trial) {
+    std::uint64_t a = rng.next() & 0xFF;
+    std::uint64_t b = rng.next() & 0xFF;
+    if (a > b) std::swap(a, b);
+    const auto out = client.resolve_range(Key(a, 8), Key(b, 8));
+    ASSERT_TRUE(out.ok);
+    // Consecutive segments tile [first_group_start, >= b] without gaps.
+    std::uint64_t expect_start =
+        out.segments.front().first.virtual_key().value();
+    EXPECT_LE(expect_start, a);
+    for (const auto& [group, server] : out.segments) {
+      EXPECT_EQ(group.virtual_key().value(), expect_start);
+      expect_start += group.cardinality();
+      EXPECT_EQ(server, cluster.owner_index().at(group));
+    }
+    EXPECT_GT(expect_start, b);
+  }
+}
+
+TEST_F(RangeFixture, SingleKeyRangeIsOneSegment) {
+  auto client = make_client();
+  const auto out = client.resolve_range(Key(0x42, 8), Key(0x42, 8));
+  ASSERT_TRUE(out.ok);
+  ASSERT_EQ(out.segments.size(), 1u);
+  EXPECT_TRUE(out.segments[0].first.contains(Key(0x42, 8)));
+}
+
+TEST_F(RangeFixture, ScopeConvenienceMatchesRange) {
+  auto client = make_client();
+  const auto scope = KeyGroup::parse("01*", 8).value();
+  const auto by_scope = client.resolve_scope(scope);
+  const auto by_range = client.resolve_range(Key(0x40, 8), Key(0x7F, 8));
+  ASSERT_TRUE(by_scope.ok);
+  ASSERT_EQ(by_scope.segments.size(), by_range.segments.size());
+  for (std::size_t i = 0; i < by_scope.segments.size(); ++i) {
+    EXPECT_EQ(by_scope.segments[i].first, by_range.segments[i].first);
+  }
+}
+
+TEST_F(RangeFixture, DeepHotspotOnlyAddsLocalSegments) {
+  // Split one subtree down to full depth; a range elsewhere is still a
+  // single segment, while the hotspot range fans out.
+  const Key hot(0b11100000, 8);
+  for (int i = 0; i < 5; ++i) split_at(hot);
+  auto client = make_client();
+
+  const auto cold = client.resolve_scope(KeyGroup::parse("000*", 8).value());
+  ASSERT_TRUE(cold.ok);
+  EXPECT_EQ(cold.segments.size(), 1u);
+
+  const auto hot_range =
+      client.resolve_scope(KeyGroup::parse("111*", 8).value());
+  ASSERT_TRUE(hot_range.ok);
+  EXPECT_GT(hot_range.segments.size(), 4u);
+}
+
+// The paper's claim: "For range queries, the CLASH overhead vis-a-vis
+// DHT will decrease, since CLASH will cluster ranges of objects on a
+// common server and thus incur lower query replication overhead."
+TEST_F(RangeFixture, FewerServerContactsThanFineGrainedHashing) {
+  auto client = make_client();
+  const auto scope = KeyGroup::parse("01*", 8).value();  // 64 keys
+  const auto out = client.resolve_scope(scope);
+  ASSERT_TRUE(out.ok);
+  // CLASH: the range is covered by a handful of clustered groups.
+  EXPECT_LE(out.distinct_servers(), 4u);
+
+  // Fine-grained DHT(8): every key hashes independently.
+  std::set<std::uint64_t> dht_servers;
+  for (std::uint64_t v = 0x40; v <= 0x7F; ++v) {
+    dht_servers.insert(
+        cluster.ring().map(cluster.hasher().hash_key(Key(v, 8))).value);
+  }
+  EXPECT_GT(dht_servers.size(), 2 * out.distinct_servers());
+}
+
+}  // namespace
+}  // namespace clash

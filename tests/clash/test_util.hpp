@@ -1,0 +1,70 @@
+// Shared helpers for CLASH protocol tests.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "clash/messages.hpp"
+#include "clash/server.hpp"
+#include "keys/key_group.hpp"
+#include "sim/cluster.hpp"
+
+namespace clash::testing {
+
+/// Records outbound messages and lets the test script DHT answers, so
+/// split/merge mechanics can be asserted message by message.
+class MockServerEnv final : public ServerEnv {
+ public:
+  std::vector<std::pair<ServerId, Message>> sent;
+  std::function<dht::LookupResult(dht::HashKey)> lookup_fn =
+      [](dht::HashKey) { return dht::LookupResult{ServerId{1}, 3}; };
+  SimTime t{0};
+
+  dht::LookupResult dht_lookup(dht::HashKey h) override {
+    return lookup_fn(h);
+  }
+  void send(ServerId to, const Message& msg) override {
+    sent.emplace_back(to, msg);
+  }
+  [[nodiscard]] SimTime now() const override { return t; }
+
+  template <typename T>
+  [[nodiscard]] const T* last_as() const {
+    if (sent.empty()) return nullptr;
+    return std::get_if<T>(&sent.back().second);
+  }
+};
+
+inline Key key(const char* bits) { return Key::parse(bits).value(); }
+
+inline KeyGroup group(const char* label, unsigned width) {
+  return KeyGroup::parse(label, width).value();
+}
+
+/// A small cluster with a deterministic seed for integration tests.
+inline sim::SimCluster::Config small_cluster_config(
+    std::size_t servers = 16, unsigned key_width = 8,
+    unsigned initial_depth = 2, double capacity = 100.0) {
+  sim::SimCluster::Config cfg;
+  cfg.num_servers = servers;
+  cfg.seed = 1234;
+  cfg.clash.key_width = key_width;
+  cfg.clash.initial_depth = initial_depth;
+  cfg.clash.capacity = capacity;
+  return cfg;
+}
+
+/// Registers a data stream through the full client path.
+inline ResolveOutcome add_stream(sim::SimCluster& cluster, ClashClient& client,
+                                 ClientId id, const Key& k, double rate) {
+  AcceptObject obj;
+  obj.key = k;
+  obj.kind = ObjectKind::kData;
+  obj.source = id;
+  obj.stream_rate = rate;
+  (void)cluster;
+  return client.insert(obj);
+}
+
+}  // namespace clash::testing

@@ -1,0 +1,76 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clash::bits {
+namespace {
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(8), 0xFFu);
+  EXPECT_EQ(low_mask(63), 0x7FFFFFFFFFFFFFFFull);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, Field) {
+  const std::uint64_t v = 0b1011'0110;
+  EXPECT_EQ(field(v, 3, 0), 0b0110u);
+  EXPECT_EQ(field(v, 7, 4), 0b1011u);
+  EXPECT_EQ(field(v, 7, 0), v);
+  EXPECT_EQ(field(v, 5, 5), 1u);
+}
+
+TEST(Bits, Width) {
+  EXPECT_EQ(width(0), 0u);
+  EXPECT_EQ(width(1), 1u);
+  EXPECT_EQ(width(2), 2u);
+  EXPECT_EQ(width(255), 8u);
+  EXPECT_EQ(width(256), 9u);
+  EXPECT_EQ(width(~std::uint64_t{0}), 64u);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(1000), 10u);
+}
+
+TEST(Bits, Reverse) {
+  EXPECT_EQ(reverse(0b001, 3), 0b100u);
+  EXPECT_EQ(reverse(0b1011, 4), 0b1101u);
+  EXPECT_EQ(reverse(0xFF, 8), 0xFFu);
+  EXPECT_EQ(reverse(0, 8), 0u);
+}
+
+TEST(Bits, ReverseIsInvolution) {
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    EXPECT_EQ(reverse(reverse(v, 8), 8), v);
+  }
+}
+
+TEST(Bits, Interleave) {
+  // a = 0b10, b = 0b01 -> pairs (1,0) then (0,1) -> 0b1001.
+  EXPECT_EQ(interleave(0b10, 0b01, 2), 0b1001u);
+  EXPECT_EQ(interleave(0b11, 0b11, 2), 0b1111u);
+  EXPECT_EQ(interleave(0b00, 0b11, 2), 0b0101u);
+}
+
+TEST(Bits, InterleaveRoundTrip) {
+  // De-interleaving even/odd bit positions recovers the inputs.
+  const std::uint64_t a = 0b10110;
+  const std::uint64_t b = 0b01101;
+  const std::uint64_t z = interleave(a, b, 5);
+  std::uint64_t ra = 0, rb = 0;
+  for (unsigned i = 0; i < 5; ++i) {
+    ra = (ra << 1) | ((z >> (2 * (4 - i) + 1)) & 1);
+    rb = (rb << 1) | ((z >> (2 * (4 - i))) & 1);
+  }
+  EXPECT_EQ(ra, a);
+  EXPECT_EQ(rb, b);
+}
+
+}  // namespace
+}  // namespace clash::bits

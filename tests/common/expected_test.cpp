@@ -1,0 +1,47 @@
+#include "common/expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace clash {
+namespace {
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(e.value_or(-1), 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e(Error::invalid("bad"));
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.error().code, Error::Code::kInvalidArgument);
+  EXPECT_EQ(e.error().message, "bad");
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(Expected, MoveOnlyValue) {
+  Expected<std::unique_ptr<int>> e(std::make_unique<int>(7));
+  ASSERT_TRUE(e.ok());
+  auto p = std::move(e).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(Expected, BoolConversion) {
+  const Expected<std::string> good(std::string("x"));
+  const Expected<std::string> bad(Error::not_found("y"));
+  EXPECT_TRUE(static_cast<bool>(good));
+  EXPECT_FALSE(static_cast<bool>(bad));
+}
+
+TEST(Expected, ErrorFactories) {
+  EXPECT_EQ(Error::invalid("a").code, Error::Code::kInvalidArgument);
+  EXPECT_EQ(Error::not_found("b").code, Error::Code::kNotFound);
+  EXPECT_EQ(Error::protocol("c").code, Error::Code::kProtocol);
+}
+
+}  // namespace
+}  // namespace clash

@@ -1,0 +1,151 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace clash {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(99);
+  std::array<int, 10> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.below(10)]++;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 10, 4 * std::sqrt(n / 10.0));
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  const double mean = 40.0;
+  double total = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) total += rng.exponential(mean);
+  // Standard error = mean / sqrt(n) ~ 0.09; allow 5 sigma.
+  EXPECT_NEAR(total / n, mean, 0.5);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, SplitIndependence) {
+  Rng parent(21);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(DiscreteSampler, MatchesWeights) {
+  const std::vector<double> w = {1, 2, 3, 4};
+  DiscreteSampler sampler(w);
+  Rng rng(5);
+  std::array<int, 4> counts{};
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[sampler.sample(rng)]++;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(double(counts[i]) / n, w[i] / 10.0, 0.01) << "index " << i;
+    EXPECT_NEAR(sampler.probability(i), w[i] / 10.0, 1e-12);
+  }
+}
+
+TEST(DiscreteSampler, SingleElement) {
+  const std::vector<double> w = {3.0};
+  DiscreteSampler sampler(w);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(DiscreteSampler, ZeroWeightNeverSampled) {
+  const std::vector<double> w = {1, 0, 1};
+  DiscreteSampler sampler(w);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(sampler.sample(rng), 1u);
+}
+
+TEST(DiscreteSampler, RejectsInvalid) {
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{1, -1}),
+               std::invalid_argument);
+}
+
+TEST(ZipfSampler, HeadHeavierThanTail) {
+  ZipfSampler zipf(100, 1.2);
+  Rng rng(31);
+  int head = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) head += (zipf.sample(rng) < 10);
+  EXPECT_GT(head, n / 2);  // top 10 % of ranks carry most mass
+  EXPECT_GT(zipf.probability(0), zipf.probability(50));
+}
+
+TEST(ZipfSampler, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(64, 0.8);
+  double total = 0;
+  for (std::size_t i = 0; i < 64; ++i) total += zipf.probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace clash

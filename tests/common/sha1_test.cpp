@@ -1,0 +1,77 @@
+#include "common/sha1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace clash {
+namespace {
+
+// FIPS 180-1 reference vectors.
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(Sha1::hex(Sha1::hash("")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(Sha1::hex(Sha1::hash("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(Sha1::hex(Sha1::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 s;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) s.update(chunk);
+  EXPECT_EQ(Sha1::hex(s.finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  Sha1 s;
+  s.update("hello ");
+  s.update("world");
+  EXPECT_EQ(Sha1::hex(s.finish()), Sha1::hex(Sha1::hash("hello world")));
+}
+
+TEST(Sha1, ResetAllowsReuse) {
+  Sha1 s;
+  s.update("garbage");
+  (void)s.finish();
+  s.reset();
+  s.update("abc");
+  EXPECT_EQ(Sha1::hex(s.finish()),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, Hash64IsPrefixOfDigest) {
+  const auto d = Sha1::hash("abc");
+  std::uint64_t expect = 0;
+  for (int i = 0; i < 8; ++i) expect = (expect << 8) | d[std::size_t(i)];
+  const std::uint8_t bytes[] = {'a', 'b', 'c'};
+  EXPECT_EQ(Sha1::hash64(std::span<const std::uint8_t>(bytes, 3)), expect);
+}
+
+TEST(Sha1, Hash64DiffersAcrossInputs) {
+  EXPECT_NE(Sha1::hash64(std::uint64_t{1}), Sha1::hash64(std::uint64_t{2}));
+}
+
+TEST(Sha1, BoundaryLengths) {
+  // Exercise the padding edge cases around the 64-byte block boundary.
+  for (const std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    const std::string msg(len, 'x');
+    Sha1 a;
+    a.update(msg);
+    Sha1 b;
+    for (const char c : msg) b.update(std::string_view(&c, 1));
+    EXPECT_EQ(Sha1::hex(a.finish()), Sha1::hex(b.finish())) << len;
+  }
+}
+
+}  // namespace
+}  // namespace clash

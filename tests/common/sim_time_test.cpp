@@ -1,0 +1,34 @@
+#include "common/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clash {
+namespace {
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(SimTime::from_seconds(1.5).usec, 1'500'000);
+  EXPECT_EQ(SimTime::from_minutes(2).usec, 120'000'000);
+  EXPECT_EQ(SimTime::from_hours(1).seconds(), 3600.0);
+  EXPECT_DOUBLE_EQ(SimTime::from_minutes(30).minutes(), 30.0);
+  EXPECT_DOUBLE_EQ(SimTime::from_hours(6).hours(), 6.0);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::from_seconds(10);
+  const SimTime b = SimTime::from_seconds(4);
+  EXPECT_EQ((a + b).seconds(), 14.0);
+  EXPECT_EQ((a - b).seconds(), 6.0);
+}
+
+TEST(SimTime, Comparisons) {
+  const SimTime a = SimTime::from_seconds(1);
+  const SimTime b = SimTime::from_seconds(2);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(b >= b);
+  EXPECT_TRUE(a == SimTime::from_seconds(1));
+}
+
+}  // namespace
+}  // namespace clash

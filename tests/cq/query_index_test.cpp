@@ -1,0 +1,112 @@
+#include "cq/query_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace clash::cq {
+namespace {
+
+ContinuousQuery query(std::uint64_t id, const char* scope,
+                      std::vector<Predicate> preds = {}) {
+  return ContinuousQuery{QueryId{id}, KeyGroup::parse(scope, 8).value(),
+                         std::move(preds)};
+}
+
+Record record(std::uint64_t key, std::vector<std::int64_t> attrs = {}) {
+  return Record{Key(key, 8), std::move(attrs)};
+}
+
+TEST(QueryIndex, MatchesByScopePrefix) {
+  QueryIndex idx(8);
+  idx.insert(query(1, "0110*"));
+  idx.insert(query(2, "01*"));
+  idx.insert(query(3, "1*"));
+
+  const auto hits = idx.match(record(0b01101010));
+  ASSERT_EQ(hits.size(), 2u);
+  // Matches arrive shallow-to-deep.
+  EXPECT_EQ(hits[0]->id, QueryId{2});
+  EXPECT_EQ(hits[1]->id, QueryId{1});
+}
+
+TEST(QueryIndex, PredicatesFilterWithinScope) {
+  QueryIndex idx(8);
+  idx.insert(query(1, "0110*", {{0, Predicate::Op::kGt, 10}}));
+  EXPECT_TRUE(idx.match(record(0b01100000, {5})).empty());
+  EXPECT_EQ(idx.match(record(0b01100000, {11})).size(), 1u);
+}
+
+TEST(QueryIndex, EraseRemoves) {
+  QueryIndex idx(8);
+  idx.insert(query(1, "0110*"));
+  EXPECT_TRUE(idx.erase(QueryId{1}));
+  EXPECT_FALSE(idx.erase(QueryId{1}));
+  EXPECT_TRUE(idx.match(record(0b01101010)).empty());
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+TEST(QueryIndex, DuplicateIdThrows) {
+  QueryIndex idx(8);
+  idx.insert(query(1, "0110*"));
+  EXPECT_THROW(idx.insert(query(1, "1*")), std::invalid_argument);
+}
+
+TEST(QueryIndex, QueriesWithinGroup) {
+  QueryIndex idx(8);
+  idx.insert(query(1, "0110*"));
+  idx.insert(query(2, "01101*"));
+  idx.insert(query(3, "0111*"));
+  idx.insert(query(4, "1*"));
+
+  const auto within = idx.queries_within(KeyGroup::parse("011*", 8).value());
+  ASSERT_EQ(within.size(), 3u);
+}
+
+TEST(QueryIndex, ExtractWithinMigratesState) {
+  QueryIndex idx(8);
+  idx.insert(query(1, "0110*"));
+  idx.insert(query(2, "1*"));
+  auto moved = idx.extract_within(KeyGroup::parse("0*", 8).value());
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved[0].id, QueryId{1});
+  EXPECT_EQ(idx.size(), 1u);
+  EXPECT_NE(idx.find(QueryId{2}), nullptr);
+  EXPECT_EQ(idx.find(QueryId{1}), nullptr);
+}
+
+TEST(QueryIndex, FullDepthScope) {
+  QueryIndex idx(8);
+  idx.insert(query(1, "01101010"));
+  EXPECT_EQ(idx.match(record(0b01101010)).size(), 1u);
+  EXPECT_TRUE(idx.match(record(0b01101011)).empty());
+}
+
+// Property: index results agree with brute-force evaluation over random
+// query sets and records.
+TEST(QueryIndex, MatchesBruteForce) {
+  Rng rng(4242);
+  QueryIndex idx(8);
+  std::vector<ContinuousQuery> all;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const unsigned depth = unsigned(rng.below(9));
+    const Key vk = shape(Key(rng.next() & 0xFF, 8), depth);
+    ContinuousQuery q{QueryId{i}, KeyGroup::of(vk, depth), {}};
+    if (rng.bernoulli(0.5)) {
+      q.predicates.push_back(
+          {0, Predicate::Op::kGe, std::int64_t(rng.below(10))});
+    }
+    idx.insert(q);
+    all.push_back(q);
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    const Record r{Key(rng.next() & 0xFF, 8),
+                   {std::int64_t(rng.below(10))}};
+    std::size_t expect = 0;
+    for (const auto& q : all) expect += q.matches(r);
+    EXPECT_EQ(idx.match(r).size(), expect);
+  }
+}
+
+}  // namespace
+}  // namespace clash::cq

@@ -1,0 +1,59 @@
+#include "cq/stream_engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clash::cq {
+namespace {
+
+ContinuousQuery query(std::uint64_t id, const char* scope) {
+  return ContinuousQuery{QueryId{id}, KeyGroup::parse(scope, 8).value(), {}};
+}
+
+TEST(StreamEngine, FiresSinkPerMatch) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> fired;
+  StreamEngine engine(8, [&](const ContinuousQuery& q, const Record& r) {
+    fired.emplace_back(q.id.value, r.key.value());
+  });
+  engine.register_query(query(1, "0110*"));
+  engine.register_query(query(2, "0*"));
+
+  EXPECT_EQ(engine.process(Record{Key(0b01101111, 8), {}}), 2u);
+  EXPECT_EQ(engine.process(Record{Key(0b11111111, 8), {}}), 0u);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(engine.records_processed(), 2u);
+  EXPECT_EQ(engine.matches_fired(), 2u);
+}
+
+TEST(StreamEngine, UnregisterStopsMatching) {
+  StreamEngine engine(8);
+  engine.register_query(query(1, "0*"));
+  EXPECT_TRUE(engine.unregister_query(QueryId{1}));
+  EXPECT_FALSE(engine.unregister_query(QueryId{1}));
+  EXPECT_EQ(engine.process(Record{Key(0, 8), {}}), 0u);
+}
+
+TEST(StreamEngine, MigrationMovesScopedQueries) {
+  StreamEngine a(8), b(8);
+  a.register_query(query(1, "0110*"));
+  a.register_query(query(2, "1*"));
+
+  // CLASH split of group 0* hands the right half... here migrate the
+  // whole 0-subtree to engine b, as a split-to-b of group 0* would.
+  const auto moved = a.migrate_out(KeyGroup::parse("0*", 8).value());
+  ASSERT_EQ(moved.size(), 1u);
+  b.migrate_in(moved);
+
+  EXPECT_EQ(a.query_count(), 1u);
+  EXPECT_EQ(b.query_count(), 1u);
+  EXPECT_EQ(a.process(Record{Key(0b01101111, 8), {}}), 0u);
+  EXPECT_EQ(b.process(Record{Key(0b01101111, 8), {}}), 1u);
+}
+
+TEST(StreamEngine, WorksWithoutSink) {
+  StreamEngine engine(8);
+  engine.register_query(query(1, "0*"));
+  EXPECT_EQ(engine.process(Record{Key(0, 8), {}}), 1u);
+}
+
+}  // namespace
+}  // namespace clash::cq

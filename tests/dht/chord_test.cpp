@@ -1,0 +1,174 @@
+#include "dht/chord.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace clash::dht {
+namespace {
+
+ChordRing make_ring(std::size_t n, unsigned vs = 1, std::uint64_t salt = 0) {
+  ChordRing::Config cfg;
+  cfg.hash_bits = 32;
+  cfg.virtual_servers = vs;
+  cfg.salt = salt;
+  ChordRing ring(cfg);
+  for (std::size_t i = 0; i < n; ++i) ring.add_server(ServerId{i});
+  return ring;
+}
+
+TEST(Chord, MapIsDeterministic) {
+  const auto ring = make_ring(50);
+  for (std::uint64_t h = 0; h < 1000; h += 37) {
+    EXPECT_EQ(ring.map(HashKey{h}), ring.map(HashKey{h}));
+  }
+}
+
+TEST(Chord, MapMatchesSuccessorDefinition) {
+  const auto ring = make_ring(20);
+  // The owner of h must be the server whose position is the first at or
+  // after h (with wrap-around).
+  for (std::uint64_t probe = 0; probe < 100; ++probe) {
+    const HashKey h{probe * 0x28F5C28ull};
+    const ServerId owner = ring.map(h);
+    const HashKey owner_pos = ring.successor_position(h);
+    bool owner_holds_pos = false;
+    for (const auto p : ring.positions_of(owner)) {
+      owner_holds_pos |= (p == owner_pos);
+    }
+    EXPECT_TRUE(owner_holds_pos);
+    // No other position lies in [h, owner_pos).
+    for (std::size_t s = 0; s < ring.server_count(); ++s) {
+      for (const auto p : ring.positions_of(ServerId{s})) {
+        if (p == owner_pos) continue;
+        EXPECT_FALSE(p.value >= h.value && p.value < owner_pos.value);
+      }
+    }
+  }
+}
+
+TEST(Chord, LookupFindsSameOwnerAsMap) {
+  const auto ring = make_ring(100);
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const HashKey h{rng.next() & 0xFFFFFFFFu};
+    const ServerId origin{rng.below(100)};
+    const auto result = ring.lookup(h, origin);
+    EXPECT_EQ(result.owner, ring.map(h));
+  }
+}
+
+TEST(Chord, LookupFromOwnerIsZeroHops) {
+  const auto ring = make_ring(64);
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    const HashKey h{rng.next() & 0xFFFFFFFFu};
+    const auto owner = ring.map(h);
+    // Starting at the owner: target already in (pred, self], zero hops.
+    EXPECT_EQ(ring.lookup(h, owner).hops, 0u);
+  }
+}
+
+TEST(Chord, HopsAreLogarithmic) {
+  const std::size_t n = 1000;
+  const auto ring = make_ring(n);
+  Rng rng(11);
+  double total_hops = 0;
+  unsigned max_hops = 0;
+  const int lookups = 2000;
+  for (int i = 0; i < lookups; ++i) {
+    const HashKey h{rng.next() & 0xFFFFFFFFu};
+    const ServerId origin{rng.below(n)};
+    const auto r = ring.lookup(h, origin);
+    total_hops += r.hops;
+    max_hops = std::max(max_hops, r.hops);
+  }
+  const double avg = total_hops / lookups;
+  const double log_n = std::log2(double(n));
+  // Chord theory: ~0.5 log2(S) average, O(log S) whp.
+  EXPECT_GT(avg, 0.25 * log_n);
+  EXPECT_LT(avg, 1.0 * log_n);
+  EXPECT_LE(max_hops, unsigned(3 * log_n));
+}
+
+TEST(Chord, LookupThrowsForUnknownOrigin) {
+  const auto ring = make_ring(4);
+  EXPECT_THROW((void)ring.lookup(HashKey{1}, ServerId{99}),
+               std::invalid_argument);
+}
+
+TEST(Chord, AddRemoveServer) {
+  auto ring = make_ring(10);
+  EXPECT_EQ(ring.server_count(), 10u);
+  ring.remove_server(ServerId{3});
+  EXPECT_EQ(ring.server_count(), 9u);
+  // Removed server never owns anything.
+  for (std::uint64_t h = 0; h < 5000; h += 13) {
+    EXPECT_NE(ring.map(HashKey{h}), ServerId{3});
+  }
+  ring.add_server(ServerId{3});
+  EXPECT_EQ(ring.server_count(), 10u);
+}
+
+TEST(Chord, RemovalOnlyMovesKeysToSuccessor) {
+  auto ring = make_ring(30);
+  std::map<std::uint64_t, ServerId> before;
+  for (std::uint64_t h = 0; h < 3000; h += 7) before[h] = ring.map(HashKey{h});
+  ring.remove_server(ServerId{5});
+  for (const auto& [h, owner] : before) {
+    const auto now = ring.map(HashKey{h});
+    if (owner != ServerId{5}) {
+      EXPECT_EQ(now, owner) << "key " << h << " moved unnecessarily";
+    } else {
+      EXPECT_NE(now, ServerId{5});
+    }
+  }
+}
+
+TEST(Chord, DuplicateAddThrows) {
+  auto ring = make_ring(3);
+  EXPECT_THROW(ring.add_server(ServerId{1}), std::invalid_argument);
+}
+
+TEST(Chord, VirtualServersSmoothAllocation) {
+  // Measure the spread of hash-space ownership with and without
+  // virtual servers; log(S) virtual servers should shrink it (Chord
+  // Section: uniform partitioning).
+  const std::size_t n = 128;
+  auto share_spread = [&](unsigned vs) {
+    const auto ring = make_ring(n, vs);
+    std::map<std::uint64_t, ServerId> ring_view;
+    std::vector<double> share(n, 0.0);
+    // Sample ownership over a fine grid.
+    const int grid = 1 << 16;
+    for (int i = 0; i < grid; ++i) {
+      const std::uint64_t h = (std::uint64_t(i) << 16);
+      share[ring.map(HashKey{h}).value] += 1.0 / grid;
+    }
+    double max_share = 0;
+    for (const double s : share) max_share = std::max(max_share, s);
+    return max_share * double(n);  // 1.0 == perfectly fair
+  };
+  const double plain = share_spread(1);
+  const double with_vs = share_spread(8);
+  EXPECT_LT(with_vs, plain);
+}
+
+TEST(Chord, PositionsPerServerMatchesConfig) {
+  const auto ring = make_ring(5, 4);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(ring.positions_of(ServerId{i}).size(), 4u);
+  }
+}
+
+TEST(Chord, EmptyRingMapsToInvalid) {
+  ChordRing ring(ChordRing::Config{});
+  EXPECT_FALSE(ring.map(HashKey{1}).valid());
+}
+
+}  // namespace
+}  // namespace clash::dht

@@ -1,0 +1,70 @@
+#include "keys/attribute_encoder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clash {
+namespace {
+
+AttributeEncoder make_encoder() {
+  auto enc = AttributeEncoder::create({{"region", 4}, {"type", 3}, {"id", 5}});
+  EXPECT_TRUE(enc.ok());
+  return enc.value();
+}
+
+TEST(AttributeEncoder, TotalWidth) {
+  const auto enc = make_encoder();
+  EXPECT_EQ(enc.key_width(), 12u);
+  EXPECT_EQ(enc.field_offset(0), 0u);
+  EXPECT_EQ(enc.field_offset(1), 4u);
+  EXPECT_EQ(enc.field_offset(2), 7u);
+}
+
+TEST(AttributeEncoder, EncodeDecodeRoundTrip) {
+  const auto enc = make_encoder();
+  const std::uint64_t values[] = {0b1010, 0b011, 0b10001};
+  const auto key = enc.encode(values);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(key.value().to_string(), "101001110001");
+  const auto decoded = enc.decode(key.value());
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0], values[0]);
+  EXPECT_EQ(decoded[1], values[1]);
+  EXPECT_EQ(decoded[2], values[2]);
+}
+
+TEST(AttributeEncoder, LeadingFieldGivesPrefixClustering) {
+  const auto enc = make_encoder();
+  const std::uint64_t a[] = {5, 1, 2};
+  const std::uint64_t b[] = {5, 7, 30};
+  // Same region -> identical 4-bit prefix, so CLASH can cluster them.
+  EXPECT_EQ(enc.encode(a).value().prefix_value(4),
+            enc.encode(b).value().prefix_value(4));
+}
+
+TEST(AttributeEncoder, RejectsOversizedValue) {
+  const auto enc = make_encoder();
+  const std::uint64_t bad[] = {16, 0, 0};  // region needs 5 bits
+  EXPECT_FALSE(enc.encode(bad).ok());
+}
+
+TEST(AttributeEncoder, RejectsWrongArity) {
+  const auto enc = make_encoder();
+  const std::uint64_t two[] = {1, 2};
+  EXPECT_FALSE(enc.encode(std::span(two, 2)).ok());
+}
+
+TEST(AttributeEncoder, RejectsBadSchemas) {
+  EXPECT_FALSE(AttributeEncoder::create({{"a", 0}}).ok());
+  EXPECT_FALSE(AttributeEncoder::create({{"a", 40}, {"b", 30}}).ok());
+  EXPECT_FALSE(AttributeEncoder::create({}).ok());
+}
+
+TEST(AttributeEncoder, SingleField) {
+  auto enc = AttributeEncoder::create({{"only", 8}});
+  ASSERT_TRUE(enc.ok());
+  const std::uint64_t v[] = {0xAB};
+  EXPECT_EQ(enc.value().encode(v).value().value(), 0xABu);
+}
+
+}  // namespace
+}  // namespace clash

@@ -1,0 +1,123 @@
+#include "keys/key_group.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clash {
+namespace {
+
+KeyGroup group(const char* label, unsigned width = 7) {
+  auto g = KeyGroup::parse(label, width);
+  EXPECT_TRUE(g.ok()) << label;
+  return g.value();
+}
+
+// Section 4: the key group "0110*" includes identifiers "0110101" and
+// "0110111"; its virtual key is "0110000" with depth 4.
+TEST(KeyGroup, PaperExampleMembership) {
+  const KeyGroup g = group("0110*");
+  EXPECT_EQ(g.depth(), 4u);
+  EXPECT_EQ(g.virtual_key().to_string(), "0110000");
+  EXPECT_TRUE(g.contains(Key(0b0110101, 7)));
+  EXPECT_TRUE(g.contains(Key(0b0110111, 7)));
+  EXPECT_FALSE(g.contains(Key(0b0111111, 7)));
+}
+
+// Expanding "0110*" creates "01100*" and "01101*"; "01100*" expands to
+// the same full virtual key as the parent (same hash, same server).
+TEST(KeyGroup, SplitMatchesPaperSemantics) {
+  const KeyGroup g = group("0110*");
+  const KeyGroup left = g.left_child();
+  const KeyGroup right = g.right_child();
+  EXPECT_EQ(left.label(), "01100*");
+  EXPECT_EQ(right.label(), "01101*");
+  EXPECT_EQ(left.depth(), 5u);
+  EXPECT_EQ(left.virtual_key(), g.virtual_key());  // same Map() target
+  EXPECT_NE(right.virtual_key(), g.virtual_key());
+  EXPECT_EQ(right.virtual_key().to_string(), "0110100");
+}
+
+TEST(KeyGroup, CardinalityHalvesPerDepth) {
+  EXPECT_EQ(group("*").cardinality(), 128u);
+  EXPECT_EQ(group("0*").cardinality(), 64u);
+  EXPECT_EQ(group("0110*").cardinality(), 8u);
+  EXPECT_EQ(group("0110101").cardinality(), 1u);
+}
+
+TEST(KeyGroup, ParentAndSibling) {
+  const KeyGroup g = group("01101*");
+  EXPECT_EQ(g.parent().label(), "0110*");
+  EXPECT_TRUE(g.is_right_child());
+  EXPECT_EQ(g.sibling().label(), "01100*");
+  EXPECT_FALSE(g.sibling().is_right_child());
+  EXPECT_EQ(g.sibling().sibling(), g);
+}
+
+TEST(KeyGroup, ChildrenPartitionParent) {
+  const KeyGroup g = group("011*");
+  const auto l = g.left_child();
+  const auto r = g.right_child();
+  for (std::uint64_t v = 0; v < 128; ++v) {
+    const Key k(v, 7);
+    EXPECT_EQ(g.contains(k), l.contains(k) || r.contains(k));
+    EXPECT_FALSE(l.contains(k) && r.contains(k));
+  }
+}
+
+TEST(KeyGroup, Covers) {
+  EXPECT_TRUE(group("011*").covers(group("0110*")));
+  EXPECT_TRUE(group("011*").covers(group("011*")));
+  EXPECT_FALSE(group("0110*").covers(group("011*")));
+  EXPECT_FALSE(group("010*").covers(group("0110*")));
+  EXPECT_TRUE(group("*").covers(group("0110101")));
+}
+
+TEST(KeyGroup, RootGroup) {
+  const KeyGroup root = KeyGroup::root(7);
+  EXPECT_TRUE(root.is_root());
+  EXPECT_EQ(root.depth(), 0u);
+  EXPECT_EQ(root.cardinality(), 128u);
+  for (std::uint64_t v = 0; v < 128; ++v) {
+    EXPECT_TRUE(root.contains(Key(v, 7)));
+  }
+}
+
+TEST(KeyGroup, ParseValidation) {
+  EXPECT_FALSE(KeyGroup::parse("011", 7).ok());       // not full width
+  EXPECT_FALSE(KeyGroup::parse("01101010*", 7).ok()); // too long
+  EXPECT_FALSE(KeyGroup::parse("01a*", 7).ok());
+  EXPECT_TRUE(KeyGroup::parse("0110101", 7).ok());    // full-depth leaf
+  EXPECT_TRUE(KeyGroup::parse("*", 7).ok());          // root
+}
+
+TEST(KeyGroup, LabelRoundTrips) {
+  for (const char* label : {"*", "0*", "1*", "0110*", "011010*", "0110101"}) {
+    EXPECT_EQ(group(label).label(), label);
+  }
+}
+
+TEST(KeyGroup, OfZeroesSuffix) {
+  const KeyGroup g = KeyGroup::of(Key(0b0110101, 7), 4);
+  EXPECT_EQ(g.virtual_key().to_string(), "0110000");
+  EXPECT_EQ(g.label(), "0110*");
+}
+
+TEST(KeyGroup, DeterministicOrdering) {
+  // Ordered by virtual key then depth: usable as map keys.
+  EXPECT_TRUE(group("0*") < group("1*"));
+  EXPECT_TRUE(group("0*") < group("01*"));
+}
+
+// Property: for any key and any two depths d1 < d2, the deeper group is
+// covered by the shallower one.
+TEST(KeyGroup, NestingProperty) {
+  const Key k(0b1011001, 7);
+  for (unsigned d1 = 0; d1 <= 7; ++d1) {
+    for (unsigned d2 = d1; d2 <= 7; ++d2) {
+      EXPECT_TRUE(KeyGroup::of(k, d1).covers(KeyGroup::of(k, d2)))
+          << d1 << " " << d2;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clash

@@ -1,0 +1,100 @@
+#include "keys/key.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clash {
+namespace {
+
+TEST(Key, ParseAndToString) {
+  const auto k = Key::parse("0110101");
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(k.value().width(), 7u);
+  EXPECT_EQ(k.value().value(), 0b0110101u);
+  EXPECT_EQ(k.value().to_string(), "0110101");
+}
+
+TEST(Key, ParseRejectsBadInput) {
+  EXPECT_FALSE(Key::parse("").ok());
+  EXPECT_FALSE(Key::parse("01x").ok());
+  EXPECT_FALSE(Key::parse(std::string(65, '0')).ok());
+}
+
+TEST(Key, BitIsMsbFirst) {
+  const Key k(0b1010, 4);
+  EXPECT_TRUE(k.bit(0));
+  EXPECT_FALSE(k.bit(1));
+  EXPECT_TRUE(k.bit(2));
+  EXPECT_FALSE(k.bit(3));
+}
+
+TEST(Key, PrefixValue) {
+  const Key k(0b0110101, 7);
+  EXPECT_EQ(k.prefix_value(0), 0u);
+  EXPECT_EQ(k.prefix_value(4), 0b0110u);
+  EXPECT_EQ(k.prefix_value(7), 0b0110101u);
+}
+
+// The paper's Section 4 example: the virtual key for "0110*" in a 7-bit
+// space is 0110000 (decimal 48); "01101*" expands to 0110100 (54).
+TEST(Key, ShapeMatchesPaperExample) {
+  const Key k(0b0110101, 7);
+  EXPECT_EQ(shape(k, 4).value(), 48u);
+  EXPECT_EQ(shape(k, 5).value(), 52u);  // "01101" + "00"
+  const Key k2(0b0110100, 7);
+  EXPECT_EQ(shape(k2, 5).value(), 52u);
+  // The paper's decimal-54 example corresponds to the full expansion of
+  // "0110110": check shape keeps d bits exactly.
+  EXPECT_EQ(shape(Key(54, 7), 5).to_string(), "0110100");
+}
+
+TEST(Key, ShapeZeroDepthIsZero) {
+  const Key k(0b1111, 4);
+  EXPECT_EQ(shape(k, 0).value(), 0u);
+  EXPECT_EQ(shape(k, 4), k);
+}
+
+TEST(Key, WithBit) {
+  const Key k(0b0000, 4);
+  EXPECT_EQ(k.with_bit(0, true).to_string(), "1000");
+  EXPECT_EQ(k.with_bit(3, true).to_string(), "0001");
+  EXPECT_EQ(Key(0b1111, 4).with_bit(1, false).to_string(), "1011");
+}
+
+TEST(Key, CommonPrefixLen) {
+  const Key a(0b0110101, 7);
+  EXPECT_EQ(a.common_prefix_len(Key(0b0110101, 7)), 7u);
+  EXPECT_EQ(a.common_prefix_len(Key(0b0110100, 7)), 6u);
+  EXPECT_EQ(a.common_prefix_len(Key(0b0110001, 7)), 4u);
+  EXPECT_EQ(a.common_prefix_len(Key(0b1110101, 7)), 0u);
+}
+
+TEST(Key, MatchesPrefix) {
+  const Key a(0b0110101, 7);
+  const Key b(0b0110011, 7);
+  EXPECT_TRUE(a.matches_prefix(b, 4));
+  EXPECT_FALSE(a.matches_prefix(b, 5));
+  EXPECT_TRUE(a.matches_prefix(b, 0));
+}
+
+TEST(Key, OrderingAndEquality) {
+  EXPECT_TRUE(Key(1, 4) < Key(2, 4));
+  EXPECT_TRUE(Key(3, 4) < Key(0, 8));  // width dominates
+  EXPECT_EQ(Key(5, 4), Key(5, 4));
+  EXPECT_NE(Key(5, 4), Key(5, 5));
+}
+
+TEST(Key, FullWidth64) {
+  const Key k(~std::uint64_t{0}, 64);
+  EXPECT_EQ(k.width(), 64u);
+  EXPECT_TRUE(k.bit(0));
+  EXPECT_TRUE(k.bit(63));
+  EXPECT_EQ(shape(k, 1).value(), std::uint64_t{1} << 63);
+}
+
+TEST(Key, HashDistinguishesWidth) {
+  const std::hash<Key> h;
+  EXPECT_NE(h(Key(5, 4)), h(Key(5, 5)));
+}
+
+}  // namespace
+}  // namespace clash

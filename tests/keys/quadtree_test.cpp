@@ -1,0 +1,87 @@
+#include "keys/quadtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace clash {
+namespace {
+
+TEST(QuadTree, KeyWidth) {
+  EXPECT_EQ(QuadTreeEncoder(4).key_width(), 8u);
+  EXPECT_EQ(QuadTreeEncoder(12).key_width(), 24u);
+}
+
+TEST(QuadTree, QuadrantLabels) {
+  const QuadTreeEncoder enc(1);
+  // One level: 2-bit keys (row, col).
+  EXPECT_EQ(enc.encode(0.1, 0.1).to_string(), "00");  // bottom-left
+  EXPECT_EQ(enc.encode(0.9, 0.1).to_string(), "01");  // bottom-right
+  EXPECT_EQ(enc.encode(0.1, 0.9).to_string(), "10");  // top-left
+  EXPECT_EQ(enc.encode(0.9, 0.9).to_string(), "11");  // top-right
+}
+
+TEST(QuadTree, NearbyPointsShareLongPrefixes) {
+  const QuadTreeEncoder enc(12);
+  const Key a = enc.encode(0.500001, 0.500001);
+  const Key b = enc.encode(0.500002, 0.500002);
+  EXPECT_GE(a.common_prefix_len(b), 16u);
+  const Key far = enc.encode(0.01, 0.99);
+  EXPECT_LE(a.common_prefix_len(far), 2u);
+}
+
+TEST(QuadTree, EncodeDecodeRoundTrip) {
+  const QuadTreeEncoder enc(12);
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform01();
+    const double y = rng.uniform01();
+    const auto p = enc.decode(enc.encode(x, y));
+    // Cell size = 2^-12; the decoded centre is within half a cell.
+    EXPECT_NEAR(p.x, x, 1.0 / 4096);
+    EXPECT_NEAR(p.y, y, 1.0 / 4096);
+  }
+}
+
+TEST(QuadTree, CellContainsItsPoints) {
+  const QuadTreeEncoder enc(6);
+  Rng rng(78);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform01();
+    const double y = rng.uniform01();
+    const Key k = enc.encode(x, y);
+    for (unsigned depth = 0; depth <= enc.key_width(); depth += 2) {
+      const auto cell = enc.cell(KeyGroup::of(k, depth));
+      EXPECT_TRUE(cell.contains(x, y)) << "depth " << depth;
+    }
+  }
+}
+
+TEST(QuadTree, OddDepthCellIsHalfQuadrant) {
+  const QuadTreeEncoder enc(2);
+  const Key k = enc.encode(0.1, 0.1);  // "0000"
+  const auto cell = enc.cell(KeyGroup::of(k, 1));
+  // Depth 1 splits on the row bit: bottom half, full width.
+  EXPECT_DOUBLE_EQ(cell.x0, 0.0);
+  EXPECT_DOUBLE_EQ(cell.x1, 1.0);
+  EXPECT_DOUBLE_EQ(cell.y0, 0.0);
+  EXPECT_DOUBLE_EQ(cell.y1, 0.5);
+}
+
+TEST(QuadTree, ClampsOutOfRange) {
+  const QuadTreeEncoder enc(4);
+  EXPECT_EQ(enc.encode(-1.0, -5.0), enc.encode(0.0, 0.0));
+  EXPECT_EQ(enc.encode(2.0, 7.0), enc.encode(0.999999, 0.999999));
+}
+
+TEST(QuadTree, RootCellIsUnitSquare) {
+  const QuadTreeEncoder enc(4);
+  const auto cell = enc.cell(KeyGroup::root(8));
+  EXPECT_DOUBLE_EQ(cell.x0, 0.0);
+  EXPECT_DOUBLE_EQ(cell.y0, 0.0);
+  EXPECT_DOUBLE_EQ(cell.x1, 1.0);
+  EXPECT_DOUBLE_EQ(cell.y1, 1.0);
+}
+
+}  // namespace
+}  // namespace clash

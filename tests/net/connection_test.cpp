@@ -1,0 +1,132 @@
+// Framing behaviour of the non-blocking Connection over a real socket
+// pair: reassembly of fragmented frames, batching of multiple frames,
+// oversized-frame rejection, close notification.
+#include "net/connection.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace clash::net {
+namespace {
+
+struct ConnFixture : ::testing::Test {
+  void SetUp() override {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    raw_peer = fds[1];
+    conn = Connection::adopt(
+        loop, Fd(fds[0]),
+        [this](std::span<const std::uint8_t> frame) {
+          frames.emplace_back(frame.begin(), frame.end());
+        },
+        [this] { closed = true; });
+  }
+
+  void TearDown() override {
+    if (raw_peer >= 0) ::close(raw_peer);
+  }
+
+  /// Drive the loop until it goes idle.
+  void pump(int ms = 50) {
+    loop.call_after(std::chrono::milliseconds(ms), [this] { loop.stop(); });
+    loop.run();
+  }
+
+  void send_raw(const void* data, std::size_t n) {
+    ASSERT_EQ(::write(raw_peer, data, n), ssize_t(n));
+  }
+
+  EventLoop loop;
+  std::shared_ptr<Connection> conn;
+  int raw_peer = -1;
+  std::vector<std::vector<std::uint8_t>> frames;
+  bool closed = false;
+};
+
+std::vector<std::uint8_t> frame_bytes(const std::string& payload) {
+  std::vector<std::uint8_t> out(4 + payload.size());
+  const auto len = std::uint32_t(payload.size());
+  std::memcpy(out.data(), &len, 4);
+  std::memcpy(out.data() + 4, payload.data(), payload.size());
+  return out;
+}
+
+TEST_F(ConnFixture, ReceivesWholeFrame) {
+  const auto bytes = frame_bytes("hello");
+  send_raw(bytes.data(), bytes.size());
+  pump();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(std::string(frames[0].begin(), frames[0].end()), "hello");
+}
+
+TEST_F(ConnFixture, ReassemblesFragmentedFrame) {
+  const auto bytes = frame_bytes("fragmented payload");
+  // Dribble the frame one byte at a time.
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    send_raw(bytes.data() + i, 1);
+    pump(5);
+  }
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(std::string(frames[0].begin(), frames[0].end()),
+            "fragmented payload");
+}
+
+TEST_F(ConnFixture, SplitsBatchedFrames) {
+  auto a = frame_bytes("first");
+  const auto b = frame_bytes("second");
+  a.insert(a.end(), b.begin(), b.end());
+  send_raw(a.data(), a.size());
+  pump();
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(std::string(frames[0].begin(), frames[0].end()), "first");
+  EXPECT_EQ(std::string(frames[1].begin(), frames[1].end()), "second");
+}
+
+TEST_F(ConnFixture, OversizedFrameClosesConnection) {
+  const std::uint32_t huge = Connection::kMaxFrame + 1;
+  send_raw(&huge, 4);
+  pump();
+  EXPECT_TRUE(closed);
+  EXPECT_TRUE(conn->closed());
+  EXPECT_TRUE(frames.empty());
+}
+
+TEST_F(ConnFixture, PeerShutdownNotifies) {
+  ::close(raw_peer);
+  raw_peer = -1;
+  pump();
+  EXPECT_TRUE(closed);
+}
+
+TEST_F(ConnFixture, SendFrameRoundTrip) {
+  const std::string payload = "pong";
+  loop.post([&] {
+    conn->send_frame(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(payload.data()),
+        payload.size()));
+  });
+  pump();
+  std::uint8_t buf[64];
+  const auto n = ::read(raw_peer, buf, sizeof(buf));
+  ASSERT_EQ(n, 8);  // 4-byte prefix + 4 bytes
+  std::uint32_t len = 0;
+  std::memcpy(&len, buf, 4);
+  EXPECT_EQ(len, 4u);
+  EXPECT_EQ(std::string(buf + 4, buf + 8), "pong");
+}
+
+TEST_F(ConnFixture, LargeFrameRoundTrip) {
+  // Larger than one read() chunk (16 KiB) to exercise buffered reads.
+  std::string big(100'000, 'x');
+  const auto bytes = frame_bytes(big);
+  send_raw(bytes.data(), bytes.size());
+  pump();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].size(), big.size());
+}
+
+}  // namespace
+}  // namespace clash::net

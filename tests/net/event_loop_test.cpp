@@ -1,0 +1,88 @@
+#include "net/event_loop.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <thread>
+
+namespace clash::net {
+namespace {
+
+TEST(EventLoop, TimersFireInOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.call_after(std::chrono::milliseconds(30), [&] {
+    order.push_back(3);
+    loop.stop();
+  });
+  loop.call_after(std::chrono::milliseconds(10), [&] { order.push_back(1); });
+  loop.call_after(std::chrono::milliseconds(20), [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, CancelledTimerDoesNotFire) {
+  EventLoop loop;
+  bool fired = false;
+  const auto id = loop.call_after(std::chrono::milliseconds(5),
+                                  [&] { fired = true; });
+  loop.cancel_timer(id);
+  loop.call_after(std::chrono::milliseconds(20), [&] { loop.stop(); });
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, PostFromAnotherThread) {
+  EventLoop loop;
+  bool ran = false;
+  std::thread poster([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    loop.post([&] {
+      ran = true;
+      loop.stop();
+    });
+  });
+  loop.run();
+  poster.join();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, FdReadiness) {
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::string received;
+  loop.add_fd(fds[0], EPOLLIN, [&](std::uint32_t) {
+    char buf[16];
+    const auto n = ::read(fds[0], buf, sizeof(buf));
+    if (n > 0) received.assign(buf, std::size_t(n));
+    loop.stop();
+  });
+  loop.call_after(std::chrono::milliseconds(5), [&] {
+    [[maybe_unused]] const auto n = ::write(fds[1], "ping", 4);
+  });
+  loop.run();
+  loop.remove_fd(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+  EXPECT_EQ(received, "ping");
+}
+
+TEST(EventLoop, TimerCanRescheduleItself) {
+  EventLoop loop;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks >= 3) {
+      loop.stop();
+    } else {
+      loop.call_after(std::chrono::milliseconds(2), tick);
+    }
+  };
+  loop.call_after(std::chrono::milliseconds(2), tick);
+  loop.run();
+  EXPECT_EQ(ticks, 3);
+}
+
+}  // namespace
+}  // namespace clash::net

@@ -1,0 +1,65 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace clash::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.at(SimTime::from_seconds(3), [&] { order.push_back(3); });
+  q.at(SimTime::from_seconds(1), [&] { order.push_back(1); });
+  q.at(SimTime::from_seconds(2), [&] { order.push_back(2); });
+  q.run_until(SimTime::from_seconds(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.processed(), 3u);
+}
+
+TEST(EventQueue, TieBreaksByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto t = SimTime::from_seconds(1);
+  for (int i = 0; i < 5; ++i) {
+    q.at(t, [&order, i] { order.push_back(i); });
+  }
+  q.run_until(t);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, StopsAtBoundary) {
+  EventQueue q;
+  int ran = 0;
+  q.at(SimTime::from_seconds(1), [&] { ++ran; });
+  q.at(SimTime::from_seconds(5), [&] { ++ran; });
+  q.run_until(SimTime::from_seconds(2));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.now(), SimTime::from_seconds(2));
+  q.run_until(SimTime::from_seconds(5));  // inclusive boundary
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueue, HandlersCanScheduleMore) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) q.after(SimTime::from_seconds(1), tick);
+  };
+  q.at(SimTime::from_seconds(1), tick);
+  q.run_until(SimTime::from_seconds(100));
+  EXPECT_EQ(count, 5);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NowAdvancesDuringRun) {
+  EventQueue q;
+  SimTime seen{0};
+  q.at(SimTime::from_seconds(7), [&] { seen = q.now(); });
+  q.run_until(SimTime::from_seconds(10));
+  EXPECT_EQ(seen, SimTime::from_seconds(7));
+}
+
+}  // namespace
+}  // namespace clash::sim

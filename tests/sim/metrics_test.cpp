@@ -1,0 +1,62 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clash::sim {
+namespace {
+
+TEST(TimeSeries, MaxAndMean) {
+  TimeSeries ts;
+  ts.add(SimTime::from_seconds(1), 10);
+  ts.add(SimTime::from_seconds(2), 30);
+  ts.add(SimTime::from_seconds(3), 20);
+  EXPECT_DOUBLE_EQ(ts.max(), 30);
+  EXPECT_DOUBLE_EQ(ts.mean(), 20);
+}
+
+TEST(TimeSeries, WindowedQueries) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) {
+    ts.add(SimTime::from_seconds(i), double(i));
+  }
+  // [from, to): samples 2, 3, 4.
+  EXPECT_DOUBLE_EQ(ts.mean_between(SimTime::from_seconds(2),
+                                   SimTime::from_seconds(5)),
+                   3.0);
+  EXPECT_DOUBLE_EQ(ts.max_between(SimTime::from_seconds(2),
+                                  SimTime::from_seconds(5)),
+                   4.0);
+  // Empty window.
+  EXPECT_DOUBLE_EQ(ts.mean_between(SimTime::from_seconds(100),
+                                   SimTime::from_seconds(200)),
+                   0.0);
+}
+
+TEST(TimeSeries, EmptyBehaviour) {
+  const TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_DOUBLE_EQ(ts.mean(), 0.0);
+}
+
+TEST(Summary, Moments) {
+  Summary s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(Summary, DegenerateCases) {
+  Summary s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(7);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);  // single sample
+}
+
+}  // namespace
+}  // namespace clash::sim

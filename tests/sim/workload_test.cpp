@@ -1,0 +1,120 @@
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace clash::sim {
+namespace {
+
+TEST(Workload, SpecsMatchPaperParameters) {
+  const auto a = workload_a();
+  const auto b = workload_b();
+  const auto c = workload_c();
+  EXPECT_EQ(a.base_weights.size(), 256u);
+  EXPECT_DOUBLE_EQ(a.source_rate, 1.0);  // A: 1 pkt/s
+  EXPECT_DOUBLE_EQ(b.source_rate, 2.0);  // B, C: 2 pkt/s
+  EXPECT_DOUBLE_EQ(c.source_rate, 2.0);
+}
+
+TEST(Workload, SkewOrderingAIsBelowBIsBelowC) {
+  const double a = workload_a().hottest_group_mass(6);
+  const double b = workload_b().hottest_group_mass(6);
+  const double c = workload_c().hottest_group_mass(6);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+// DESIGN.md calibration: workload C's hottest 6-bit group carries ~30 %
+// of the mass, which is what makes DHT(6) peak at ~25x capacity.
+TEST(Workload, CHotGroupMassCalibrated) {
+  const double mass = workload_c().hottest_group_mass(6);
+  EXPECT_GE(mass, 0.25);
+  EXPECT_LE(mass, 0.35);
+}
+
+TEST(Workload, AIsNearUniform) {
+  const auto a = workload_a();
+  const double total =
+      std::accumulate(a.base_weights.begin(), a.base_weights.end(), 0.0);
+  const double mean = total / 256.0;
+  for (const double w : a.base_weights) {
+    EXPECT_NEAR(w, mean, 0.15 * mean);
+  }
+  EXPECT_EQ(a.support_size(), 256u);
+}
+
+TEST(Workload, CSupportIsNarrow) {
+  // Effective support ~ a few dozen base values (DHT(12) only touches a
+  // few hundred servers under C, per Figure 4).
+  const auto c = workload_c();
+  EXPECT_LT(c.support_size(1e-3), 80u);
+  EXPECT_GT(c.support_size(1e-3), 10u);
+}
+
+TEST(Workload, ByNameDispatch) {
+  EXPECT_EQ(workload_by_name('A').name, "A");
+  EXPECT_EQ(workload_by_name('b').name, "B");
+  EXPECT_EQ(workload_by_name('C').name, "C");
+  EXPECT_THROW(workload_by_name('x'), std::invalid_argument);
+}
+
+TEST(KeyGen, SampledBaseFollowsWeights) {
+  const auto c = workload_c();
+  KeyGenerator gen(c, 24);
+  Rng rng(1);
+  std::vector<int> counts(256, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    counts[gen.sample(rng).prefix_value(8)]++;
+  }
+  // The hottest sampled base value must be near the spec's peak.
+  const auto peak_spec = std::max_element(c.base_weights.begin(),
+                                          c.base_weights.end()) -
+                         c.base_weights.begin();
+  const auto peak_seen =
+      std::max_element(counts.begin(), counts.end()) - counts.begin();
+  EXPECT_NEAR(double(peak_seen), double(peak_spec), 2.0);
+  // Empirical hot-group mass matches the analytic one.
+  double hot4 = 0;
+  const std::size_t start = (std::size_t(peak_spec) / 4) * 4;
+  for (std::size_t i = start; i < start + 4; ++i) hot4 += counts[i];
+  EXPECT_NEAR(hot4 / n, c.hottest_group_mass(6), 0.02);
+}
+
+TEST(KeyGen, SampleHasCorrectWidth) {
+  KeyGenerator gen(workload_a(), 24);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gen.sample(rng).width(), 24u);
+  }
+}
+
+TEST(KeyGen, LocalMoveKeepsPrefix) {
+  KeyGenerator gen(workload_a(), 24);
+  Rng rng(3);
+  const Key k = gen.sample(rng);
+  for (int i = 0; i < 50; ++i) {
+    const Key moved = gen.local_move(k, 8, rng);
+    EXPECT_EQ(moved.prefix_value(16), k.prefix_value(16));
+  }
+}
+
+TEST(KeyGen, LocalMoveActuallyMoves) {
+  KeyGenerator gen(workload_a(), 24);
+  Rng rng(4);
+  const Key k = gen.sample(rng);
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) changed += (gen.local_move(k, 8, rng) != k);
+  EXPECT_GT(changed, 40);
+}
+
+TEST(KeyGen, RejectsBadConfig) {
+  auto spec = workload_a();
+  EXPECT_THROW(KeyGenerator(spec, 4), std::invalid_argument);  // base > width
+  spec.base_weights.pop_back();
+  EXPECT_THROW(KeyGenerator(spec, 24), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clash::sim

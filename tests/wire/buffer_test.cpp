@@ -1,0 +1,78 @@
+#include "wire/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clash::wire {
+namespace {
+
+TEST(Buffer, RoundTripsScalars) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.str("hello");
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Buffer, ReaderLatchesOutOfBounds) {
+  Writer w;
+  w.u16(7);
+  Reader r(w.data());
+  (void)r.u32();  // needs 4 bytes, only 2 present
+  EXPECT_FALSE(r.ok());
+  // All subsequent reads stay failed and return zero.
+  EXPECT_EQ(r.u8(), 0);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Buffer, StringBoundsChecked) {
+  Writer w;
+  w.u32(1000);  // claims 1000 bytes, none follow
+  Reader r(w.data());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Buffer, ExplicitFail) {
+  Writer w;
+  w.u8(1);
+  Reader r(w.data());
+  r.fail();
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.exhausted());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Buffer, NegativeAndSpecialDoubles) {
+  Writer w;
+  w.f64(-0.0);
+  w.f64(1e300);
+  w.f64(-1e-300);
+  Reader r(w.data());
+  EXPECT_DOUBLE_EQ(r.f64(), -0.0);
+  EXPECT_DOUBLE_EQ(r.f64(), 1e300);
+  EXPECT_DOUBLE_EQ(r.f64(), -1e-300);
+}
+
+TEST(Buffer, EmptyString) {
+  Writer w;
+  w.str("");
+  Reader r(w.data());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+}  // namespace
+}  // namespace clash::wire
