@@ -1,0 +1,130 @@
+// Membership ablation: SWIM detection latency and gossip overhead vs
+// cluster size and suspicion timeout. Kills 25% of the cluster at
+// once and measures how many protocol periods the survivors need to
+// converge (every victim dead in every surviving view, ring matching
+// the alive set), what the gossip costs per server per period, and how
+// much replicated state survives the failover.
+//
+// Usage: abl_membership [--sources=2000] [--seed=42]
+#include <cstdio>
+#include <vector>
+
+#include "clash/client.hpp"
+#include "common/argparse.hpp"
+#include "common/rng.hpp"
+#include "sim/churn.hpp"
+
+using namespace clash;
+using namespace clash::sim;
+
+namespace {
+
+struct Outcome {
+  int periods = -1;
+  double gossip_per_server_per_period = 0;
+  double streams_kept_pct = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t groups_lost = 0;
+};
+
+Outcome run_one(std::size_t n_servers, unsigned suspicion_periods,
+                std::size_t n_sources, std::uint64_t seed) {
+  ChurnSim::Config cfg;
+  cfg.cluster.num_servers = n_servers;
+  cfg.cluster.seed = seed;
+  cfg.cluster.clash.key_width = 16;
+  cfg.cluster.clash.initial_depth = 5;
+  cfg.cluster.clash.capacity = 1e9;  // isolate membership from splitting
+  cfg.cluster.clash.replication_factor = 2;
+  cfg.membership.suspicion_periods = suspicion_periods;
+  cfg.seed = seed;
+  ChurnSim sim(cfg);
+  sim.start();
+
+  ClashClient client(sim.cluster().clash_config(),
+                     sim.cluster().client_env(ServerId{0}),
+                     sim.cluster().hasher());
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n_sources; ++i) {
+    AcceptObject obj;
+    obj.key = Key(rng.next() & 0xFFFF, 16);
+    obj.kind = ObjectKind::kData;
+    obj.source = ClientId{i};
+    obj.stream_rate = 1;
+    if (!client.insert(obj).ok) return {};
+  }
+  sim.run_for(SimTime::from_minutes(11));  // two replication rounds
+
+  std::vector<ServerId> victims;
+  Rng crash_rng(seed + 1);
+  while (victims.size() < n_servers / 4) {
+    const ServerId v{crash_rng.below(n_servers)};
+    if (sim.cluster().is_alive(v)) {
+      sim.kill(v);
+      victims.push_back(v);
+    }
+  }
+
+  Outcome out;
+  const auto gossip_before = sim.gossip_messages();
+  for (int period = 1; period <= 100; ++period) {
+    sim.run_for(sim.protocol_period());
+    bool all = sim.ring_matches_membership();
+    for (const ServerId v : victims) {
+      all = all && sim.all_survivors_see_dead(v);
+    }
+    if (all) {
+      out.periods = period;
+      break;
+    }
+  }
+  const double survivors = double(n_servers - victims.size());
+  out.gossip_per_server_per_period =
+      out.periods <= 0 ? 0
+                       : double(sim.gossip_messages() - gossip_before) /
+                             survivors / double(out.periods);
+
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n_servers; ++i) {
+    if (!sim.cluster().is_alive(ServerId{i})) continue;
+    kept += sim.cluster().server(ServerId{i}).total_streams();
+  }
+  out.streams_kept_pct =
+      n_sources == 0 ? 100.0 : 100.0 * double(kept) / double(n_sources);
+  out.failovers = sim.cluster().total_stats().failovers;
+  out.groups_lost = sim.cluster().total_stats().groups_lost;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const auto n_sources = std::size_t(args.get_int("sources", 2000));
+  const auto seed = std::uint64_t(args.get_int("seed", 42));
+
+  std::printf("# SWIM membership ablation: kill 25%% of the cluster, "
+              "measure convergence and overhead\n");
+  std::printf("%-8s %-10s %12s %18s %14s %10s %12s\n", "servers",
+              "suspicion", "periods", "gossip/srv/period", "streams_kept_%",
+              "failovers", "groups_lost");
+
+  for (const std::size_t n : {16u, 32u, 64u}) {
+    for (const unsigned suspicion : {1u, 3u, 6u}) {
+      const auto out = run_one(n, suspicion, n_sources, seed);
+      std::printf("%-8zu %-10u %12d %18.2f %14.1f %10llu %12llu\n", n,
+                  suspicion, out.periods, out.gossip_per_server_per_period,
+                  out.streams_kept_pct,
+                  (unsigned long long)out.failovers,
+                  (unsigned long long)out.groups_lost);
+    }
+  }
+
+  std::printf(
+      "\n# expectation: detection latency = probe timeouts + suspicion "
+      "fuse + dissemination, so it grows linearly in the suspicion "
+      "setting and ~logarithmically in cluster size; gossip stays a few "
+      "messages per server per period regardless; replication factor 2 "
+      "keeps ~100%% of streams through the 25%% loss\n");
+  return 0;
+}

@@ -117,10 +117,42 @@ struct DropReplica {
   KeyGroup group;
 };
 
+// --- SWIM membership (src/membership/) --------------------------------
+
+/// Member lifecycle states disseminated by the membership subsystem.
+/// Ordering matters for update precedence: at equal incarnation,
+/// kDead > kSuspect > kAlive.
+enum class MemberState : std::uint8_t { kAlive = 0, kSuspect = 1, kDead = 2 };
+
+/// One piggybacked membership rumour: `subject` was observed in `state`
+/// at `incarnation`. Incarnations are bumped only by the subject itself
+/// (to refute suspicion) and totally order conflicting rumours.
+struct MemberUpdate {
+  ServerId subject{};
+  MemberState state = MemberState::kAlive;
+  std::uint64_t incarnation = 0;
+};
+
+/// SWIM probe messages. Every gossip frame carries a bounded batch of
+/// membership updates, so dissemination rides on the failure-detection
+/// traffic instead of needing its own.
+enum class GossipKind : std::uint8_t {
+  kPing = 0,     // are you alive? (direct probe)
+  kPingReq = 1,  // please probe `target` on my behalf (indirection)
+  kAck = 2,      // `target` is alive; answers ping seq `sequence`
+};
+
+struct Gossip {
+  GossipKind kind = GossipKind::kPing;
+  std::uint64_t sequence = 0;  // correlates acks with pending probes
+  ServerId target{};           // kPingReq: node to probe; kAck: who acked
+  std::vector<MemberUpdate> updates;
+};
+
 using Message =
     std::variant<AcceptObject, AcceptObjectOk, IncorrectDepth, AcceptKeyGroup,
                  AcceptKeyGroupAck, LoadReport, ReclaimKeyGroup, ReclaimAck,
-                 ReclaimRefused, ReplicateGroup, DropReplica>;
+                 ReclaimRefused, ReplicateGroup, DropReplica, Gossip>;
 
 /// Reply to an ACCEPT_OBJECT.
 using AcceptObjectReply = std::variant<AcceptObjectOk, IncorrectDepth>;

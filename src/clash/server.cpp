@@ -22,6 +22,7 @@ void ClashServer::install_entry(const ServerTableEntry& entry) {
   if (entry.active) {
     state_.try_emplace(entry.group);
     env_.on_group_activated(entry.group);
+    if (cfg_.replication_factor > 0) replicate_group(entry);
   }
 }
 
@@ -144,6 +145,13 @@ void ClashServer::handle_accept_keygroup(ServerId from,
     app_hooks_->import_state(m.group, m.app_state);
   }
 
+  // Replicate the freshly adopted group now rather than at the next
+  // load check: a group must never live a whole check period with no
+  // replica, or its owner's crash in that window would lose it (and,
+  // in the deployed layer, leave its key range unroutable -- no
+  // survivor would even know the group existed).
+  if (cfg_.replication_factor > 0) replicate_group(entry);
+
   env_.send(from, AcceptKeyGroupAck{m.group});
 }
 
@@ -239,6 +247,7 @@ void ClashServer::handle_reclaim_ack(ServerId from, const ReclaimAck& m) {
   parent_entry->right_child = ServerId{};
   state_[parent_group] = std::move(merged);
   env_.on_group_activated(parent_group);
+  if (cfg_.replication_factor > 0) replicate_group(*parent_entry);
   stats_.merges++;
 }
 
@@ -304,6 +313,10 @@ void ClashServer::split_group(const KeyGroup& group,
     table_.insert(left_entry);
     state_[left] = std::move(st);
     env_.on_group_activated(left);
+    // The left child is a final placement: replicate it immediately so
+    // it never spends a check period unprotected (see
+    // handle_accept_keygroup).
+    if (cfg_.replication_factor > 0) replicate_group(left_entry);
 
     if (owner.owner != self_ || right.depth() >= cfg_.key_width ||
         !reshed_on_self_map) {
@@ -319,6 +332,7 @@ void ClashServer::split_group(const KeyGroup& group,
         table_.insert(right_entry);
         state_[right] = std::move(right_state);
         env_.on_group_activated(right);
+        if (cfg_.replication_factor > 0) replicate_group(right_entry);
         stats_.self_remaps++;
       } else {
         AcceptKeyGroup msg;
@@ -535,25 +549,29 @@ void ClashServer::try_consolidate() {
 
 void ClashServer::send_replicas() {
   for (const ServerTableEntry* e : table_.active_entries()) {
-    const auto targets = env_.replica_targets(
-        hasher_.hash_key(e->group.virtual_key()), cfg_.replication_factor);
-    if (targets.empty()) continue;
-    ReplicateGroup msg;
-    msg.group = e->group;
-    msg.owner = self_;
-    msg.root = e->root;
-    msg.parent = e->parent;
-    const auto st = state_.find(e->group);
-    if (st != state_.end()) {
-      msg.streams.reserve(st->second.streams.size());
-      for (const auto& [_, s] : st->second.streams) msg.streams.push_back(s);
-      msg.queries.reserve(st->second.queries.size());
-      for (const auto& [_, q] : st->second.queries) msg.queries.push_back(q);
-    }
-    for (const ServerId target : targets) {
-      if (target == self_) continue;
-      env_.send(target, msg);
-    }
+    replicate_group(*e);
+  }
+}
+
+void ClashServer::replicate_group(const ServerTableEntry& entry) {
+  const auto targets = env_.replica_targets(
+      hasher_.hash_key(entry.group.virtual_key()), cfg_.replication_factor);
+  if (targets.empty()) return;
+  ReplicateGroup msg;
+  msg.group = entry.group;
+  msg.owner = self_;
+  msg.root = entry.root;
+  msg.parent = entry.parent;
+  const auto st = state_.find(entry.group);
+  if (st != state_.end()) {
+    msg.streams.reserve(st->second.streams.size());
+    for (const auto& [_, s] : st->second.streams) msg.streams.push_back(s);
+    msg.queries.reserve(st->second.queries.size());
+    for (const auto& [_, q] : st->second.queries) msg.queries.push_back(q);
+  }
+  for (const ServerId target : targets) {
+    if (target == self_) continue;
+    env_.send(target, msg);
   }
 }
 
@@ -624,6 +642,11 @@ bool ClashServer::promote_replica(const KeyGroup& group) {
     stats_.failovers++;
     stats_.groups_lost++;
   }
+  // Re-replicate under the new ownership right away: the holders'
+  // records still name the dead owner, so until they are refreshed a
+  // second failure in this load-check period would strand a perfectly
+  // good replica (nobody would look it up under the new owner's id).
+  if (cfg_.replication_factor > 0) replicate_group(entry);
   return recovered;
 }
 

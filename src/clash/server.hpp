@@ -145,6 +145,16 @@ class ClashServer {
   [[nodiscard]] bool has_replica(const KeyGroup& group) const {
     return replicas_.count(group) > 0;
   }
+  /// Groups this server holds replicas of on behalf of `owner` — the
+  /// candidates for promotion when the membership layer declares the
+  /// owner dead.
+  [[nodiscard]] std::vector<KeyGroup> replicas_owned_by(ServerId owner) const {
+    std::vector<KeyGroup> out;
+    for (const auto& [group, rec] : replicas_) {
+      if (rec.owner == owner) out.push_back(group);
+    }
+    return out;
+  }
 
   // --- Client RPC (Section 5, three cases) ----------------------------
   [[nodiscard]] AcceptObjectReply handle_accept_object(const AcceptObject& m);
@@ -193,6 +203,8 @@ class ClashServer {
 
   /// Push lease-replicas of every active group to its ring successors.
   void send_replicas();
+  /// Push one group's replica to its ring successors now.
+  void replicate_group(const ServerTableEntry& entry);
   /// Tell replica holders a group stopped being active here.
   void retire_replicas(const KeyGroup& group);
 

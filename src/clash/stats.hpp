@@ -24,6 +24,10 @@ struct MessageStats {
   // Fault-tolerance extension traffic.
   std::uint64_t replications = 0;
   std::uint64_t replica_drops = 0;
+  // SWIM membership traffic (pings, ping-reqs, acks). Kept out of
+  // control_messages() so Figure 5's message classes stay paper-exact;
+  // bench/abl_membership reports this overhead separately.
+  std::uint64_t gossip_msgs = 0;
 
   // Protocol events (not messages).
   std::uint64_t splits = 0;
@@ -60,6 +64,7 @@ struct MessageStats {
     state_transfer_msgs += o.state_transfer_msgs;
     replications += o.replications;
     replica_drops += o.replica_drops;
+    gossip_msgs += o.gossip_msgs;
     splits += o.splits;
     merges += o.merges;
     self_remaps += o.self_remaps;
@@ -84,6 +89,7 @@ struct MessageStats {
     a.state_transfer_msgs -= b.state_transfer_msgs;
     a.replications -= b.replications;
     a.replica_drops -= b.replica_drops;
+    a.gossip_msgs -= b.gossip_msgs;
     a.splits -= b.splits;
     a.merges -= b.merges;
     a.self_remaps -= b.self_remaps;

@@ -64,7 +64,13 @@ struct QueryId {
 };
 
 [[nodiscard]] inline std::string to_string(ServerId id) {
-  return id.valid() ? "s" + std::to_string(id.value) : "s<invalid>";
+  // Build via append rather than operator+(const char*, string&&):
+  // the latter trips GCC 12's -Wrestrict false positive (PR105329)
+  // wherever this gets inlined at -O2.
+  if (!id.valid()) return "s<invalid>";
+  std::string out = "s";
+  out += std::to_string(id.value);
+  return out;
 }
 
 }  // namespace clash

@@ -34,6 +34,9 @@ class ChordRing final : public Dht {
   /// Position collisions are resolved by probing with a new salt.
   void add_server(ServerId id);
   void remove_server(ServerId id);
+  [[nodiscard]] bool contains(ServerId id) const {
+    return owned_positions_.count(id) > 0;
+  }
 
   /// Owner of `h`: the first ring position clockwise from h (successor).
   [[nodiscard]] ServerId map(HashKey h) const override;

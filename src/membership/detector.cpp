@@ -1,0 +1,95 @@
+#include "membership/detector.hpp"
+
+#include <algorithm>
+
+namespace clash::membership {
+
+FailureDetector::FailureDetector(ServerId self, DetectorConfig cfg,
+                                 std::uint64_t seed)
+    : self_(self), cfg_(cfg), rng_(seed) {}
+
+void FailureDetector::acknowledge(std::uint64_t sequence) {
+  pending_.erase(sequence);
+}
+
+void FailureDetector::forget(ServerId id) {
+  std::erase_if(pending_,
+                [&](const auto& kv) { return kv.second.target == id; });
+}
+
+bool FailureDetector::awaiting(ServerId id) const {
+  return std::any_of(pending_.begin(), pending_.end(),
+                     [&](const auto& kv) { return kv.second.target == id; });
+}
+
+std::optional<ServerId> FailureDetector::next_target(
+    const std::vector<ServerId>& candidates) {
+  // Randomized round-robin (SWIM 4.3): shuffle once per rotation and
+  // walk the list, so the worst-case time to first-probe any member is
+  // one full rotation, not unbounded as with pure random choice.
+  for (std::size_t attempts = 0; attempts < candidates.size() + 1;
+       ++attempts) {
+    if (rotation_pos_ >= rotation_.size()) {
+      rotation_ = candidates;
+      std::shuffle(rotation_.begin(), rotation_.end(), rng_);
+      rotation_pos_ = 0;
+      if (rotation_.empty()) return std::nullopt;
+    }
+    const ServerId candidate = rotation_[rotation_pos_++];
+    const bool still_member =
+        std::find(candidates.begin(), candidates.end(), candidate) !=
+        candidates.end();
+    if (still_member && candidate != self_ && !awaiting(candidate)) {
+      return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+FailureDetector::Actions FailureDetector::tick(
+    const std::vector<ServerId>& candidates) {
+  Actions actions;
+
+  // Age pending probes; escalate to indirection at the ping timeout and
+  // hand the target over as unresponsive when both stages expire.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    Pending& p = it->second;
+    const bool gone = std::find(candidates.begin(), candidates.end(),
+                                p.target) == candidates.end();
+    if (gone) {
+      it = pending_.erase(it);
+      continue;
+    }
+    ++p.age;
+    if (p.age >= cfg_.ping_timeout_periods + cfg_.indirect_timeout_periods) {
+      actions.unresponsive.push_back(p.target);
+      it = pending_.erase(it);
+      continue;
+    }
+    if (p.age >= cfg_.ping_timeout_periods && !p.indirect_sent) {
+      p.indirect_sent = true;
+      // k random proxies, excluding self and the silent target.
+      std::vector<ServerId> proxies;
+      for (const ServerId c : candidates) {
+        if (c != p.target && c != self_) proxies.push_back(c);
+      }
+      std::shuffle(proxies.begin(), proxies.end(), rng_);
+      if (proxies.size() > cfg_.ping_req_fanout) {
+        proxies.resize(cfg_.ping_req_fanout);
+      }
+      for (const ServerId proxy : proxies) {
+        actions.ping_reqs.emplace_back(proxy, Probe{p.target, it->first});
+      }
+    }
+    ++it;
+  }
+
+  if (const auto target = next_target(candidates)) {
+    const std::uint64_t seq = next_sequence_++;
+    pending_[seq] = Pending{*target, 0, false};
+    actions.pings.push_back(Probe{*target, seq});
+  }
+  return actions;
+}
+
+}  // namespace clash::membership

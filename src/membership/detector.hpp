@@ -1,0 +1,81 @@
+// FailureDetector: SWIM's probe scheduler. Each protocol period it
+// pings one member chosen by randomized round-robin (every member is
+// probed within one full rotation, so detection time is bounded);
+// unacknowledged pings escalate to ping-req indirection through k
+// proxies before the target is handed to the view as a suspect.
+//
+// The detector is pure scheduling state -- no transport, no clock. The
+// driver calls tick() once per protocol period and feeds acks back in,
+// which is what lets the identical logic run under the discrete-event
+// simulator and the epoll TCP node.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace clash::membership {
+
+struct DetectorConfig {
+  /// Periods to wait for a direct ack before trying indirection.
+  unsigned ping_timeout_periods = 1;
+  /// Further periods to wait for an indirect ack before suspecting.
+  unsigned indirect_timeout_periods = 1;
+  /// Proxies asked to ping-req on our behalf (SWIM's k).
+  unsigned ping_req_fanout = 2;
+};
+
+class FailureDetector {
+ public:
+  struct Probe {
+    ServerId target{};
+    std::uint64_t sequence = 0;
+  };
+
+  /// What one protocol period decided: pings/ping-reqs to send and
+  /// targets that exhausted both probe stages.
+  struct Actions {
+    std::vector<Probe> pings;
+    std::vector<std::pair<ServerId, Probe>> ping_reqs;  // (proxy, probe)
+    std::vector<ServerId> unresponsive;
+  };
+
+  FailureDetector(ServerId self, DetectorConfig cfg, std::uint64_t seed);
+
+  /// Advance one protocol period over the current (non-dead, non-self)
+  /// candidate set: age pending probes, escalate or expire them, then
+  /// launch the next round-robin ping.
+  [[nodiscard]] Actions tick(const std::vector<ServerId>& candidates);
+
+  /// An ack for `sequence` arrived (directly or relayed by a proxy).
+  void acknowledge(std::uint64_t sequence);
+
+  /// Drop any pending probe of `id` (it died or left).
+  void forget(ServerId id);
+
+  [[nodiscard]] bool awaiting(ServerId id) const;
+
+ private:
+  [[nodiscard]] std::optional<ServerId> next_target(
+      const std::vector<ServerId>& candidates);
+
+  struct Pending {
+    ServerId target{};
+    unsigned age = 0;  // periods since the direct ping went out
+    bool indirect_sent = false;
+  };
+
+  ServerId self_;
+  DetectorConfig cfg_;
+  Rng rng_;
+  std::uint64_t next_sequence_ = 1;
+  std::map<std::uint64_t, Pending> pending_;  // sequence -> probe state
+  std::vector<ServerId> rotation_;            // shuffled probe order
+  std::size_t rotation_pos_ = 0;
+};
+
+}  // namespace clash::membership

@@ -1,0 +1,113 @@
+#include "membership/driver.hpp"
+
+namespace clash::membership {
+
+MembershipDriver::MembershipDriver(ServerId self, MembershipConfig cfg,
+                                   MembershipEnv& env, std::uint64_t seed)
+    : self_(self),
+      cfg_(cfg),
+      env_(env),
+      view_(self, cfg.view),
+      detector_(self, cfg.detector, seed) {}
+
+void MembershipDriver::send(ServerId to, GossipKind kind,
+                            std::uint64_t sequence, ServerId target) {
+  Gossip msg;
+  msg.kind = kind;
+  msg.sequence = sequence;
+  msg.target = target;
+  msg.updates = view_.pick_updates(cfg_.gossip_max_updates);
+  env_.gossip_send(to, msg);
+}
+
+void MembershipDriver::drain_view_events() {
+  for (const ServerId id : view_.take_died()) {
+    detector_.forget(id);
+    suspected_at_.erase(id);
+    env_.on_member_dead(id);
+  }
+  for (const ServerId id : view_.take_joined()) {
+    env_.on_member_joined(id);
+  }
+}
+
+void MembershipDriver::tick() {
+  ++period_;
+
+  // Relays whose target never acked are dead weight; the requester has
+  // long since timed out on its own schedule.
+  std::erase_if(relays_, [&](const auto& kv) {
+    return period_ - kv.second.created_period >
+           cfg_.detector.ping_timeout_periods +
+               cfg_.detector.indirect_timeout_periods + 1;
+  });
+
+  // Start / expire suspicion timers. A member entering suspect state
+  // (locally or via gossip) gets suspicion_periods to refute before it
+  // is declared dead.
+  for (const ServerId id : view_.probe_candidates()) {
+    if (view_.state_of(id) == MemberState::kSuspect) {
+      const auto [it, fresh] = suspected_at_.try_emplace(id, period_);
+      if (!fresh && period_ - it->second >= cfg_.suspicion_periods) {
+        view_.declare_dead(id);
+      }
+    } else {
+      suspected_at_.erase(id);
+    }
+  }
+  drain_view_events();
+
+  const auto actions = detector_.tick(view_.probe_candidates());
+  for (const ServerId target : actions.unresponsive) {
+    view_.suspect(target);
+    suspected_at_.try_emplace(target, period_);
+  }
+  for (const auto& ping : actions.pings) {
+    send(ping.target, GossipKind::kPing, ping.sequence, ping.target);
+  }
+  for (const auto& [proxy, probe] : actions.ping_reqs) {
+    send(proxy, GossipKind::kPingReq, probe.sequence, probe.target);
+  }
+}
+
+void MembershipDriver::handle(ServerId from, const Gossip& msg) {
+  // A message from a member we hold suspect or dead contradicts the
+  // view; re-queue the rumour so our reply tells them and they can
+  // refute with a bumped incarnation (the revival path rides on this).
+  if (from != self_ && view_.state_of(from) != MemberState::kAlive) {
+    view_.regossip(from);
+  }
+
+  // Piggybacked rumours first: even a bare ack carries news.
+  for (const MemberUpdate& update : msg.updates) {
+    view_.apply(update);
+  }
+  drain_view_events();
+
+  switch (msg.kind) {
+    case GossipKind::kPing:
+      send(from, GossipKind::kAck, msg.sequence, self_);
+      break;
+    case GossipKind::kPingReq: {
+      // Probe the target on the requester's behalf; the relay entry
+      // routes the target's ack back with the requester's sequence.
+      const std::uint64_t relay_seq = kRelayBit | next_relay_sequence_++;
+      relays_[relay_seq] = Relay{from, msg.sequence, period_};
+      send(msg.target, GossipKind::kPing, relay_seq, msg.target);
+      break;
+    }
+    case GossipKind::kAck: {
+      const auto relay = relays_.find(msg.sequence);
+      if (relay != relays_.end()) {
+        send(relay->second.origin, GossipKind::kAck,
+             relay->second.origin_sequence, msg.target);
+        relays_.erase(relay);
+        break;
+      }
+      detector_.acknowledge(msg.sequence);
+      break;
+    }
+  }
+}
+
+}  // namespace clash::membership

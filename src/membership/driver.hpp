@@ -1,0 +1,91 @@
+// MembershipDriver: composes MembershipView + FailureDetector into the
+// full SWIM protocol, transport-agnostic the same way ClashServer is:
+// all I/O goes through MembershipEnv, so the identical logic runs under
+// the discrete-event simulator (sim::ChurnSim) and the epoll TCP node
+// (net::ClashNode). The host calls tick() once per protocol period and
+// routes incoming Gossip messages to handle().
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "clash/messages.hpp"
+#include "membership/detector.hpp"
+#include "membership/view.hpp"
+
+namespace clash::membership {
+
+struct MembershipConfig {
+  ViewConfig view;
+  DetectorConfig detector;
+  /// Periods a suspect stays refutable before it is declared dead
+  /// (SWIM's suspicion timeout, in protocol periods).
+  unsigned suspicion_periods = 3;
+  /// Max rumours piggybacked per gossip message.
+  std::size_t gossip_max_updates = 6;
+};
+
+/// Runtime services the driver needs, plus the membership-change
+/// callbacks the deployment layer reacts to (ring updates, failover).
+class MembershipEnv {
+ public:
+  virtual ~MembershipEnv() = default;
+
+  /// Deliver a gossip message to a peer (fire-and-forget).
+  virtual void gossip_send(ServerId to, const Gossip& msg) = 0;
+
+  /// `id` was declared dead: remove it from the ring and fail its
+  /// groups over. Fired once per death (until a revival).
+  virtual void on_member_dead(ServerId id) { (void)id; }
+
+  /// `id` joined (or returned from the dead with a fresher
+  /// incarnation): add it to the ring.
+  virtual void on_member_joined(ServerId id) { (void)id; }
+};
+
+class MembershipDriver {
+ public:
+  MembershipDriver(ServerId self, MembershipConfig cfg, MembershipEnv& env,
+                   std::uint64_t seed);
+
+  /// Install the bootstrap member list (everyone starts trusted-alive).
+  void add_seed(ServerId id) { view_.add_seed(id); }
+
+  /// One protocol period: expire suspicions, run the failure detector,
+  /// and launch this period's probes with piggybacked rumours.
+  void tick();
+
+  /// An incoming Gossip message from `from`.
+  void handle(ServerId from, const Gossip& msg);
+
+  [[nodiscard]] const MembershipView& view() const { return view_; }
+  [[nodiscard]] std::uint64_t periods() const { return period_; }
+
+ private:
+  void send(ServerId to, GossipKind kind, std::uint64_t sequence,
+            ServerId target);
+  /// Fire env callbacks for state transitions the view recorded.
+  void drain_view_events();
+
+  /// Relayed (ping-req) sequences are tagged with the top bit so acks
+  /// for them can never collide with the detector's own probes.
+  static constexpr std::uint64_t kRelayBit = std::uint64_t{1} << 63;
+
+  struct Relay {
+    ServerId origin{};
+    std::uint64_t origin_sequence = 0;
+    std::uint64_t created_period = 0;
+  };
+
+  ServerId self_;
+  MembershipConfig cfg_;
+  MembershipEnv& env_;
+  MembershipView view_;
+  FailureDetector detector_;
+  std::uint64_t period_ = 0;
+  std::uint64_t next_relay_sequence_ = 1;
+  std::map<std::uint64_t, Relay> relays_;          // relay seq -> origin
+  std::map<ServerId, std::uint64_t> suspected_at_;  // member -> period
+};
+
+}  // namespace clash::membership

@@ -71,12 +71,14 @@ std::uint64_t EventLoop::call_after(std::chrono::microseconds delay,
 
 void EventLoop::cancel_timer(std::uint64_t id) { timer_tasks_.erase(id); }
 
-void EventLoop::post(Task task) {
+bool EventLoop::post(Task task) {
   {
     const std::lock_guard<std::mutex> lock(posted_mutex_);
+    if (finished_) return false;
     posted_.push_back(std::move(task));
   }
   wake();
+  return true;
 }
 
 void EventLoop::wake() {
@@ -116,7 +118,14 @@ int EventLoop::next_timeout_ms() const {
   return int(us / 1000 + 1);
 }
 
+void EventLoop::rearm() {
+  const std::lock_guard<std::mutex> lock(posted_mutex_);
+  finished_ = false;
+  exited_.store(false, std::memory_order_release);
+}
+
 void EventLoop::run() {
+  rearm();
   running_ = true;
   epoll_event events[64];
   while (!stop_requested_) {
@@ -138,9 +147,20 @@ void EventLoop::run() {
       handler(events[i].events);
     }
   }
-  drain_posted();
+  // Final drain: accept no further posts (post() returns false from
+  // here on), then run everything that made it in. This closes the
+  // stop() race — a task posted before this point always executes, so
+  // a poster blocking on its result can never hang.
+  std::vector<Task> last;
+  {
+    const std::lock_guard<std::mutex> lock(posted_mutex_);
+    finished_ = true;
+    last.swap(posted_);
+  }
+  for (auto& t : last) t();
   running_ = false;
   stop_requested_ = false;
+  exited_.store(true, std::memory_order_release);
 }
 
 void EventLoop::stop() {

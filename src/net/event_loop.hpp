@@ -4,6 +4,7 @@
 // handlers never need locks.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -35,15 +36,33 @@ class EventLoop {
   std::uint64_t call_after(std::chrono::microseconds delay, Task task);
   void cancel_timer(std::uint64_t id);
 
-  /// Enqueue a task from any thread; runs on the loop thread.
-  void post(Task task);
+  /// Enqueue a task from any thread; runs on the loop thread. Returns
+  /// false once the loop has finished its final drain (the task will
+  /// never run): callers must execute it themselves or give up. Tasks
+  /// accepted before that point are guaranteed to run, even when they
+  /// race with stop() — run() drains the queue once more on exit.
+  [[nodiscard]] bool post(Task task);
 
   /// Run until stop(). Must be called from exactly one thread.
   void run();
   /// Signal the loop to exit (thread-safe).
   void stop();
 
+  /// Clear the finished/exited latches from a previous run() before a
+  /// new run becomes reachable to posters. run() also clears them, but
+  /// only once the loop thread gets scheduled — an owner that spawns
+  /// run() on a fresh thread must rearm first, or posts in the spawn
+  /// window are spuriously refused against the stale latches.
+  void rearm();
+
   [[nodiscard]] bool running() const { return running_; }
+  /// True once run() has returned, i.e. the loop thread executes no
+  /// further tasks. post() starts failing slightly before this (during
+  /// the final drain); a caller that got refused must wait for
+  /// exited() before touching loop-owned state from its own thread.
+  [[nodiscard]] bool exited() const {
+    return exited_.load(std::memory_order_acquire);
+  }
 
  private:
   struct Timer {
@@ -69,6 +88,8 @@ class EventLoop {
 
   std::mutex posted_mutex_;
   std::vector<Task> posted_;
+  bool finished_ = false;  // guarded by posted_mutex_
+  std::atomic<bool> exited_{false};
 
   volatile bool running_ = false;
   volatile bool stop_requested_ = false;

@@ -45,6 +45,24 @@ class ClashNode::Env final : public ServerEnv {
   ClashNode& node_;
 };
 
+// MembershipEnv bridging the SWIM driver onto the same wire transport
+// (gossip rides the identical oneway framing as protocol messages),
+// with the ring/failover reactions to membership changes.
+class ClashNode::GossipEnv final : public membership::MembershipEnv {
+ public:
+  explicit GossipEnv(ClashNode& node) : node_(node) {}
+
+  void gossip_send(ServerId to, const Gossip& msg) override {
+    node_.env_->send(to, Message(msg));
+  }
+
+  void on_member_dead(ServerId id) override { node_.on_member_dead(id); }
+  void on_member_joined(ServerId id) override { node_.on_member_joined(id); }
+
+ private:
+  ClashNode& node_;
+};
+
 ClashNode::ClashNode(NodeConfig config) : config_(std::move(config)) {
   if (config_.members.count(config_.id) == 0) {
     throw std::invalid_argument("node id missing from member list");
@@ -57,6 +75,13 @@ ClashNode::ClashNode(NodeConfig config) : config_(std::move(config)) {
   env_ = std::make_unique<Env>(*this);
   server_ = std::make_unique<ClashServer>(config_.id, config_.clash, *env_,
                                           ring_->hasher());
+  if (config_.enable_membership) {
+    gossip_env_ = std::make_unique<GossipEnv>(*this);
+    membership_ = std::make_unique<membership::MembershipDriver>(
+        config_.id, config_.membership, *gossip_env_,
+        config_.id.value * 0x9e3779b97f4a7c15ULL + config_.ring_salt);
+    for (const auto& [id, _] : config_.members) membership_->add_seed(id);
+  }
   epoch_ = std::chrono::steady_clock::now();
 }
 
@@ -86,15 +111,23 @@ void ClashNode::start() {
   loop_->add_fd(listener_.get(), EPOLLIN,
                 [this](std::uint32_t) { on_listener_ready(); });
   schedule_load_check();
+  if (membership_ != nullptr) schedule_membership_tick();
+  // Clear the previous run's latches before posters can see
+  // running_ == true, or a restart would briefly bounce posts into
+  // call_on_loop's inline path while the new loop thread spins up.
+  loop_->rearm();
   running_ = true;
   thread_ = std::thread([this] { loop_->run(); });
 }
 
 void ClashNode::stop() {
   if (!running_) return;
-  running_ = false;
   loop_->stop();
   if (thread_.joinable()) thread_.join();
+  // Only now does !running_ imply "the loop thread is gone": flipping
+  // it any earlier would let call_on_loop's inline path race the still
+  // draining loop.
+  running_ = false;
   peers_.clear();
   inbound_.clear();
   listener_.reset();
@@ -104,6 +137,51 @@ void ClashNode::schedule_load_check() {
   loop_->call_after(config_.load_check_interval, [this] {
     server_->run_load_check();
     schedule_load_check();
+  });
+}
+
+void ClashNode::schedule_membership_tick() {
+  loop_->call_after(config_.protocol_period, [this] {
+    membership_->tick();
+    schedule_membership_tick();
+  });
+}
+
+void ClashNode::on_member_dead(ServerId id) {
+  if (id == config_.id || !ring_->contains(id)) return;
+  CLASH_WARN << to_string(config_.id) << ": member " << to_string(id)
+             << " declared dead; removing from ring";
+  ring_->remove_server(id);
+  peers_.erase(id);
+  // Automatic failover: any group the dead owner replicated here that
+  // the shrunken ring now maps to this node gets promoted. Peers do the
+  // same for their own replicas, so the dead node's groups come back on
+  // exactly their new DHT owners.
+  for (const KeyGroup& group : server_->replicas_owned_by(id)) {
+    const ServerId heir =
+        ring_->map(ring_->hasher().hash_key(group.virtual_key()));
+    if (heir == config_.id) (void)server_->promote_replica(group);
+  }
+}
+
+void ClashNode::on_member_joined(ServerId id) {
+  if (ring_->contains(id)) return;
+  CLASH_INFO << to_string(config_.id) << ": member " << to_string(id)
+             << " rejoined; adding to ring";
+  ring_->add_server(id);
+}
+
+std::size_t ClashNode::ring_server_count() {
+  return call_on_loop([&] { return ring_->server_count(); });
+}
+
+MemberState ClashNode::member_state(ServerId id) {
+  return call_on_loop([&] {
+    if (membership_ == nullptr) {
+      return config_.members.count(id) > 0 ? MemberState::kAlive
+                                           : MemberState::kDead;
+    }
+    return membership_->view().state_of(id);
   });
 }
 
@@ -198,6 +276,10 @@ void ClashNode::handle_frame(const std::shared_ptr<Connection>& conn,
 
   switch (env.kind) {
     case wire::FrameKind::kOneway:
+      if (const auto* gossip = std::get_if<Gossip>(&msg.value())) {
+        if (membership_ != nullptr) membership_->handle(env.sender, *gossip);
+        break;
+      }
       server_->deliver(env.sender, msg.value());
       break;
     case wire::FrameKind::kRequest: {

@@ -1,8 +1,12 @@
 // ClashNode: one CLASH server deployed over real TCP. Hosts a
 // ClashServer on a single-threaded epoll loop; peers exchange the wire
-// protocol of wire/codec.hpp. Membership is static (full view), which
-// keeps Map() local — suitable for datacentre/cluster deployments; the
-// simulator is the place where O(log S) Chord routing costs are modelled.
+// protocol of wire/codec.hpp. The config's member list is the address
+// book (seed view); from there the SWIM membership driver keeps the
+// ring live — it pings peers every protocol period, declares silent
+// ones dead, shrinks the Chord ring, and promotes this node's replicas
+// of the dead owner's groups when the ring now maps them here
+// (automatic failover). Rejoining members are re-admitted once they
+// refute their death rumour.
 #pragma once
 
 #include <atomic>
@@ -15,6 +19,7 @@
 #include "clash/server.hpp"
 #include "clash/server_table.hpp"
 #include "dht/chord.hpp"
+#include "membership/driver.hpp"
 #include "net/connection.hpp"
 #include "net/event_loop.hpp"
 #include "net/socket.hpp"
@@ -24,7 +29,7 @@ namespace clash::net {
 struct NodeConfig {
   ServerId id{};
   Endpoint listen{};                      // port 0 = pick automatically
-  std::map<ServerId, Endpoint> members;   // full membership, incl. self
+  std::map<ServerId, Endpoint> members;   // seed membership, incl. self
   ClashConfig clash;
   unsigned hash_bits = 32;
   unsigned virtual_servers = 8;
@@ -33,6 +38,12 @@ struct NodeConfig {
   /// Wall-clock cadence of load checks (the paper's LOAD_CHECK_PERIOD;
   /// tests shrink it to tens of milliseconds).
   std::chrono::microseconds load_check_interval = std::chrono::minutes(5);
+  /// SWIM failure detection. Disabled reproduces the old static
+  /// full-view behaviour (no gossip, ring fixed to the seed list).
+  bool enable_membership = true;
+  membership::MembershipConfig membership;
+  /// Wall-clock SWIM protocol period (tests shrink it to milliseconds).
+  std::chrono::microseconds protocol_period = std::chrono::seconds(1);
 };
 
 class ClashNode {
@@ -56,16 +67,22 @@ class ClashNode {
   void install_entries(const std::vector<ServerTableEntry>& entries);
 
   /// Run `fn` on the loop thread and wait for its result — the
-  /// thread-safe introspection door for tests and operators.
+  /// thread-safe introspection door for tests and operators. When the
+  /// loop has already finished (or a concurrent stop() wins the race),
+  /// the task is executed inline: the loop thread no longer touches the
+  /// server, so that is safe — and the caller can never hang on a
+  /// posted lambda that would otherwise be silently dropped.
   template <typename Fn>
   auto run_on_loop(Fn fn) -> decltype(fn(std::declval<ClashServer&>())) {
-    using R = decltype(fn(std::declval<ClashServer&>()));
-    if (!running_) return fn(*server_);
-    std::promise<R> promise;
-    auto future = promise.get_future();
-    loop_->post([&] { promise.set_value(fn(*server_)); });
-    return future.get();
+    return call_on_loop([&] { return fn(*server_); });
   }
+
+  // --- Membership introspection (thread-safe) -------------------------
+  /// Servers currently on this node's ring (self included).
+  [[nodiscard]] std::size_t ring_server_count();
+  /// This node's view of `id` (kDead when membership is disabled and
+  /// the id is unknown).
+  [[nodiscard]] MemberState member_state(ServerId id);
 
   /// Update the peer address table (all members must be known before
   /// protocol traffic flows).
@@ -73,6 +90,26 @@ class ClashNode {
 
  private:
   class Env;
+  class GossipEnv;
+
+  /// Run a zero-arg callable on the loop thread and wait; inline
+  /// fallback only once the loop thread provably executes no further
+  /// tasks. running_ flips false strictly after the loop thread is
+  /// joined (see stop()), so the !running_ path never races it; a
+  /// refused post means the loop is in its final drain — wait for
+  /// exited() before touching loop-owned state from this thread.
+  template <typename Fn>
+  auto call_on_loop(Fn fn) -> decltype(fn()) {
+    using R = decltype(fn());
+    if (!running_) return fn();
+    std::promise<R> promise;
+    auto future = promise.get_future();
+    if (!loop_->post([&] { promise.set_value(fn()); })) {
+      while (!loop_->exited()) std::this_thread::yield();
+      return fn();
+    }
+    return future.get();
+  }
 
   void loop_main();
   void on_listener_ready();
@@ -82,12 +119,17 @@ class ClashNode {
   void send_to_peer(ServerId to, std::span<const std::uint8_t> frame);
   std::shared_ptr<Connection> peer_connection(ServerId to);
   void schedule_load_check();
+  void schedule_membership_tick();
+  void on_member_dead(ServerId id);
+  void on_member_joined(ServerId id);
 
   NodeConfig config_;
   std::unique_ptr<EventLoop> loop_;
   std::unique_ptr<dht::ChordRing> ring_;
   std::unique_ptr<Env> env_;
   std::unique_ptr<ClashServer> server_;
+  std::unique_ptr<GossipEnv> gossip_env_;
+  std::unique_ptr<membership::MembershipDriver> membership_;
 
   Fd listener_;
   std::uint16_t port_ = 0;

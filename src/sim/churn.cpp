@@ -1,0 +1,178 @@
+#include "sim/churn.hpp"
+
+#include <cassert>
+
+namespace clash::sim {
+
+// Gossip transport over the event queue: per-message latency, messages
+// to crashed servers dropped, every message counted.
+class ChurnSim::GossipEnvImpl final : public membership::MembershipEnv {
+ public:
+  GossipEnvImpl(ChurnSim& sim, ServerId self) : sim_(sim), self_(self) {}
+
+  void gossip_send(ServerId to, const Gossip& msg) override {
+    sim_.cluster_->transport_stats().gossip_msgs++;
+    sim_.events_.after(sim_.config_.gossip_delay, [this, to, msg] {
+      // Look the driver up at delivery time: a revival swaps it out.
+      if (!sim_.cluster_->is_alive(to)) {
+        sim_.cluster_->transport_stats().dropped_msgs++;
+        return;
+      }
+      sim_.drivers_[to.value]->handle(self_, msg);
+    });
+  }
+
+  void on_member_dead(ServerId) override { sim_.sweep_convergence(); }
+  void on_member_joined(ServerId) override { sim_.sweep_convergence(); }
+
+ private:
+  ChurnSim& sim_;
+  ServerId self_;
+};
+
+ChurnSim::ChurnSim(Config config) : config_(config) {
+  cluster_ = std::make_unique<SimCluster>(config_.cluster);
+  const std::size_t n = config_.cluster.num_servers;
+  envs_.reserve(n);
+  drivers_.reserve(n);
+  generation_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    envs_.push_back(std::make_unique<GossipEnvImpl>(*this, ServerId{i}));
+    drivers_.push_back(make_driver(ServerId{i}, 0));
+  }
+}
+
+ChurnSim::~ChurnSim() = default;
+
+std::unique_ptr<membership::MembershipDriver> ChurnSim::make_driver(
+    ServerId id, std::uint64_t generation) {
+  auto driver = std::make_unique<membership::MembershipDriver>(
+      id, config_.membership, *envs_[id.value],
+      config_.seed * 0x9e3779b97f4a7c15ULL + id.value +
+          generation * 7919);
+  for (std::size_t j = 0; j < config_.cluster.num_servers; ++j) {
+    driver->add_seed(ServerId{j});
+  }
+  return driver;
+}
+
+void ChurnSim::start() {
+  assert(!started_);
+  started_ = true;
+  cluster_->bootstrap();
+
+  const std::size_t n = config_.cluster.num_servers;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Stagger the periods so the cluster's probes spread over time the
+    // way independent clocks would.
+    const auto stagger =
+        SimTime(config_.protocol_period.usec * std::int64_t(i + 1) /
+                std::int64_t(n));
+    events_.after(stagger, [this, i] { tick_server(i); });
+    if (config_.run_load_checks) {
+      const auto check_stagger =
+          SimTime(config_.cluster.clash.load_check_period.usec *
+                  std::int64_t(i + 1) / std::int64_t(n));
+      events_.after(check_stagger, [this, i] { run_load_check(i); });
+    }
+  }
+}
+
+void ChurnSim::run_for(SimDuration d) {
+  events_.run_until(events_.now() + d);
+  cluster_->set_now(events_.now());
+}
+
+void ChurnSim::tick_server(std::size_t idx) {
+  cluster_->set_now(events_.now());
+  if (cluster_->is_alive(ServerId{idx})) drivers_[idx]->tick();
+  events_.after(config_.protocol_period, [this, idx] { tick_server(idx); });
+}
+
+void ChurnSim::run_load_check(std::size_t idx) {
+  cluster_->set_now(events_.now());
+  // Skip servers between restart and ring re-admission: they own no
+  // ring position yet, so they cannot route splits.
+  if (cluster_->is_alive(ServerId{idx}) &&
+      cluster_->ring().contains(ServerId{idx})) {
+    cluster_->run_load_check(ServerId{idx});
+  }
+  events_.after(config_.cluster.clash.load_check_period,
+                [this, idx] { run_load_check(idx); });
+}
+
+void ChurnSim::kill(ServerId id) {
+  cluster_->crash_server(id);
+  // The kill may have silenced the last dissenter blocking some other
+  // victim's eviction.
+  sweep_convergence();
+}
+
+void ChurnSim::revive(ServerId id) {
+  if (cluster_->is_alive(id)) return;
+  drivers_[id.value] = make_driver(id, ++generation_[id.value]);
+  cluster_->restart_server(id);
+}
+
+void ChurnSim::sweep_convergence() {
+  // An eviction can unblock another victim's gate (it shrinks the
+  // survivor set), so iterate to a fixed point.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < drivers_.size(); ++i) {
+      const ServerId id{i};
+      if (!cluster_->is_alive(id) && cluster_->ring().contains(id) &&
+          all_survivors_see_dead(id)) {
+        cluster_->evict_server(id);
+        progressed = true;
+      }
+      if (cluster_->is_alive(id) && !cluster_->ring().contains(id) &&
+          all_survivors_see_alive(id)) {
+        cluster_->join_server(id);
+        progressed = true;
+      }
+    }
+  }
+}
+
+const membership::MembershipView& ChurnSim::view_of(ServerId id) const {
+  return drivers_[id.value]->view();
+}
+
+bool ChurnSim::all_survivors_see_dead(ServerId victim) const {
+  for (std::size_t i = 0; i < drivers_.size(); ++i) {
+    const ServerId id{i};
+    if (!cluster_->is_alive(id) || id == victim) continue;
+    if (drivers_[i]->view().state_of(victim) != MemberState::kDead) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ChurnSim::all_survivors_see_alive(ServerId id) const {
+  for (std::size_t i = 0; i < drivers_.size(); ++i) {
+    if (!cluster_->is_alive(ServerId{i})) continue;
+    if (drivers_[i]->view().state_of(id) != MemberState::kAlive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ChurnSim::ring_matches_membership() const {
+  for (std::size_t i = 0; i < drivers_.size(); ++i) {
+    const ServerId id{i};
+    if (cluster_->is_alive(id) != cluster_->ring().contains(id)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t ChurnSim::gossip_messages() const {
+  return cluster_->total_stats().gossip_msgs;
+}
+
+}  // namespace clash::sim

@@ -1,0 +1,101 @@
+// ChurnSim: a SimCluster whose ring is driven by live SWIM membership
+// instead of the failure oracle. Every server runs a MembershipDriver;
+// gossip messages travel through the discrete-event queue with a
+// configurable delay; kills and revivals only take effect on the Chord
+// ring once the survivors' views converge — exactly the lifecycle a
+// real deployment sees:
+//
+//   kill(x)              -> crash_server: messages to x drop
+//   survivors suspect,   (randomized ping + ping-req + suspicion
+//   then declare dead     timeout, disseminated by gossip)
+//   all survivors agree  -> evict_server: ring shrinks, heirs promote
+//                           their replicas (automatic failover)
+//   revive(x)            -> restart_server + fresh driver; x refutes
+//                           the death rumour with a bumped incarnation
+//   all survivors agree  -> join_server: ring grows again
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "membership/driver.hpp"
+#include "sim/cluster.hpp"
+#include "sim/event_queue.hpp"
+
+namespace clash::sim {
+
+class ChurnSim {
+ public:
+  struct Config {
+    SimCluster::Config cluster;
+    membership::MembershipConfig membership;
+    /// SWIM protocol period (one probe round per server).
+    SimDuration protocol_period = SimTime::from_seconds(1);
+    /// One-way gossip message latency.
+    SimDuration gossip_delay = SimTime::from_seconds(0.02);
+    /// Also drive periodic load checks (replica refresh, splits).
+    bool run_load_checks = true;
+    std::uint64_t seed = 42;
+  };
+
+  explicit ChurnSim(Config config);
+  ~ChurnSim();
+
+  ChurnSim(const ChurnSim&) = delete;
+  ChurnSim& operator=(const ChurnSim&) = delete;
+
+  [[nodiscard]] SimCluster& cluster() { return *cluster_; }
+  [[nodiscard]] const SimCluster& cluster() const { return *cluster_; }
+  [[nodiscard]] EventQueue& events() { return events_; }
+  [[nodiscard]] SimDuration protocol_period() const {
+    return config_.protocol_period;
+  }
+
+  /// Bootstrap the tree and schedule the staggered per-server protocol
+  /// periods (and load checks).
+  void start();
+
+  /// Advance simulated time by `d`.
+  void run_for(SimDuration d);
+
+  /// Crash `id` now: its driver stops, messages to it drop. The ring
+  /// reacts only when the survivors converge.
+  void kill(ServerId id);
+
+  /// Restart `id` with a fresh driver (and empty protocol state). It
+  /// refutes its own death rumour and rejoins the ring on convergence.
+  void revive(ServerId id);
+
+  // --- Convergence queries ---------------------------------------------
+  [[nodiscard]] const membership::MembershipView& view_of(ServerId id) const;
+  /// Every live server's view marks `victim` dead.
+  [[nodiscard]] bool all_survivors_see_dead(ServerId victim) const;
+  /// Every live server's view (including `id`'s own) marks `id` alive.
+  [[nodiscard]] bool all_survivors_see_alive(ServerId id) const;
+  /// The ring holds exactly the live servers.
+  [[nodiscard]] bool ring_matches_membership() const;
+  [[nodiscard]] std::uint64_t gossip_messages() const;
+
+ private:
+  class GossipEnvImpl;
+
+  void tick_server(std::size_t idx);
+  void run_load_check(std::size_t idx);
+  /// Re-evaluate every pending eviction and re-admission. Run on every
+  /// membership change — including kills: removing a dissenting
+  /// survivor can be exactly what makes the remaining views unanimous,
+  /// and no view transition would fire for the original victim then.
+  void sweep_convergence();
+  [[nodiscard]] std::unique_ptr<membership::MembershipDriver> make_driver(
+      ServerId id, std::uint64_t generation);
+
+  Config config_;
+  std::unique_ptr<SimCluster> cluster_;
+  EventQueue events_;
+  std::vector<std::unique_ptr<GossipEnvImpl>> envs_;
+  std::vector<std::unique_ptr<membership::MembershipDriver>> drivers_;
+  std::vector<std::uint64_t> generation_;  // bumped per revival
+  bool started_ = false;
+};
+
+}  // namespace clash::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 namespace clash::sim {
 
@@ -194,7 +195,16 @@ std::size_t SimCluster::alive_count() const {
 
 std::size_t SimCluster::fail_server(ServerId id) {
   if (!is_alive(id)) return 0;
-  alive_[id.value] = false;
+  crash_server(id);
+  return evict_server(id);
+}
+
+void SimCluster::crash_server(ServerId id) {
+  if (id.value < alive_.size()) alive_[id.value] = false;
+}
+
+std::size_t SimCluster::evict_server(ServerId id) {
+  if (is_alive(id) || !ring_.contains(id)) return 0;
   ring_.remove_server(id);
 
   // The groups the dead server actively owned, per the owner index.
@@ -204,13 +214,57 @@ std::size_t SimCluster::fail_server(ServerId id) {
   }
   for (const auto& group : lost) owners_.erase(group);
 
+  std::size_t recovered = fail_groups_over(lost);
+  recovered += retry_pending_failovers();
+  return recovered;
+}
+
+std::size_t SimCluster::fail_groups_over(const std::vector<KeyGroup>& lost) {
   std::size_t recovered = 0;
   for (const auto& group : lost) {
     const ServerId heir = ring_.map(hasher().hash_key(group.virtual_key()));
-    if (!heir.valid() || !is_alive(heir)) continue;
+    if (!heir.valid() || !is_alive(heir)) {
+      // The heir is dead too (crashed but not yet evicted): park the
+      // group; once the heir is evicted the ring maps it elsewhere.
+      pending_failover_.push_back(group);
+      continue;
+    }
     recovered += server(heir).promote_replica(group) ? 1 : 0;
   }
   return recovered;
+}
+
+std::size_t SimCluster::retry_pending_failovers() {
+  const auto pending = std::exchange(pending_failover_, {});
+  return fail_groups_over(pending);
+}
+
+void SimCluster::restart_server(ServerId id) {
+  if (id.value >= servers_.size() || is_alive(id)) return;
+  alive_[id.value] = true;
+  // The restarted process lost all protocol state: fresh server, and
+  // any groups still indexed to it fail over like an eviction (usually
+  // none — eviction normally precedes a restart).
+  std::vector<KeyGroup> stale;
+  for (const auto& [group, owner] : owners_) {
+    if (owner == id) stale.push_back(group);
+  }
+  for (const auto& group : stale) owners_.erase(group);
+  servers_[id.value] = std::make_unique<ClashServer>(
+      id, config_.clash, *server_envs_[id.value], ring_.hasher());
+  fail_groups_over(stale);
+  retry_pending_failovers();
+}
+
+void SimCluster::join_server(ServerId id) {
+  if (!is_alive(id) || ring_.contains(id)) return;
+  ring_.add_server(id);
+  retry_pending_failovers();
+}
+
+void SimCluster::revive_server(ServerId id) {
+  restart_server(id);
+  join_server(id);
 }
 
 std::optional<ServerId> SimCluster::find_owner(const Key& key) const {
@@ -313,6 +367,8 @@ void SimCluster::count_message(const Message& msg) {
           stats_.replications++;
         } else if constexpr (std::is_same_v<T, DropReplica>) {
           stats_.replica_drops++;
+        } else if constexpr (std::is_same_v<T, Gossip>) {
+          stats_.gossip_msgs++;
         } else if constexpr (std::is_same_v<T, AcceptObject> ||
                              std::is_same_v<T, AcceptObjectOk> ||
                              std::is_same_v<T, IncorrectDepth>) {

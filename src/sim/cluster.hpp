@@ -84,11 +84,38 @@ class SimCluster {
   void ensure_group(const KeyGroup& group);
 
   // --- Failure injection (replication extension) -----------------------
-  /// Crash a server: it leaves the ring, its messages are dropped, and
-  /// every group it actively owned fails over to the DHT's new owner,
-  /// which promotes its replica (or adopts an empty group when none
-  /// exists). Returns the number of groups whose state was recovered.
+  /// Oracle-style crash: crash_server + evict_server in one step, as if
+  /// failure detection were instantaneous. Returns the number of groups
+  /// whose state was recovered from a replica.
   std::size_t fail_server(ServerId id);
+
+  // The same lifecycle split into the phases a live membership layer
+  // (membership::MembershipDriver via ChurnSim) drives individually:
+  // crash when the process dies, evict when the survivors' views
+  // converge on the death, restart/join when it comes back.
+
+  /// The process dies: messages to it are dropped. The ring still
+  /// holds it until evict_server — the detection window, during which
+  /// the owner index intentionally has stale entries.
+  void crash_server(ServerId id);
+
+  /// The survivors gave up on a crashed server: remove it from the
+  /// ring and fail every group it actively owned over to the DHT's new
+  /// owner, which promotes its replica (or adopts an empty root when
+  /// none exists). Groups whose new owner is itself dead are parked and
+  /// retried after later evictions. Returns groups recovered with state.
+  std::size_t evict_server(ServerId id);
+
+  /// The process restarts empty (state lost) and is alive again; any
+  /// groups still indexed to it fail over as in evict_server. Does not
+  /// touch the ring — join_server does, once the survivors agree.
+  void restart_server(ServerId id);
+
+  /// Re-admit a restarted server to the ring.
+  void join_server(ServerId id);
+
+  /// Oracle-style rejoin: restart_server + join_server.
+  void revive_server(ServerId id);
 
   [[nodiscard]] bool is_alive(ServerId id) const {
     return id.value < alive_.size() && alive_[id.value];
@@ -130,6 +157,11 @@ class SimCluster {
 
   void count_message(const Message& msg);
 
+  /// Promote `lost` groups at their current DHT owners; dead owners
+  /// park the group in pending_failover_ for a later retry.
+  std::size_t fail_groups_over(const std::vector<KeyGroup>& lost);
+  std::size_t retry_pending_failovers();
+
   Config config_;
   dht::ChordRing ring_;
   std::vector<std::unique_ptr<ServerEnvImpl>> server_envs_;
@@ -137,6 +169,7 @@ class SimCluster {
   std::deque<ClientEnvImpl> client_envs_;  // stable addresses
   std::unordered_map<std::uint64_t, std::size_t> client_env_by_origin_;
   std::unordered_map<KeyGroup, ServerId> owners_;
+  std::vector<KeyGroup> pending_failover_;  // heir was dead at eviction
   std::vector<bool> alive_;
   MessageStats stats_;
   SimTime now_{0};

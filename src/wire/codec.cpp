@@ -22,6 +22,22 @@ void encode_query_info(Writer& w, const QueryInfo& q) {
   encode_key(w, q.key);
 }
 
+void encode_member_update(Writer& w, const MemberUpdate& u) {
+  w.u64(u.subject.value);
+  w.u8(std::uint8_t(u.state));
+  w.u64(u.incarnation);
+}
+
+MemberUpdate decode_member_update(Reader& r) {
+  MemberUpdate u;
+  u.subject = ServerId{r.u64()};
+  const auto state = r.u8();
+  if (state > std::uint8_t(MemberState::kDead)) r.fail();
+  u.state = MemberState(state);
+  u.incarnation = r.u64();
+  return u;
+}
+
 QueryInfo decode_query_info(Reader& r) {
   QueryInfo q;
   q.id = QueryId{r.u64()};
@@ -154,6 +170,12 @@ void encode_message(Writer& w, const Message& msg) {
         } else if constexpr (std::is_same_v<T, DropReplica>) {
           w.u8(std::uint8_t(MsgType::kDropReplica));
           encode_group(w, m.group);
+        } else if constexpr (std::is_same_v<T, Gossip>) {
+          w.u8(std::uint8_t(MsgType::kGossip));
+          w.u8(std::uint8_t(m.kind));
+          w.u64(m.sequence);
+          w.u64(m.target.value);
+          encode_vector(w, m.updates, encode_member_update);
         }
       },
       msg);
@@ -251,6 +273,21 @@ Expected<Message> decode_message(std::span<const std::uint8_t> payload) {
     }
     case MsgType::kDropReplica: {
       out = DropReplica{decode_group(r)};
+      break;
+    }
+    case MsgType::kGossip: {
+      Gossip m;
+      const auto kind = r.u8();
+      if (kind > std::uint8_t(GossipKind::kAck)) {
+        return Error::protocol("bad gossip kind");
+      }
+      m.kind = GossipKind(kind);
+      m.sequence = r.u64();
+      m.target = ServerId{r.u64()};
+      if (!decode_vector(r, m.updates, 17, decode_member_update)) {
+        return Error::protocol("bad membership updates");
+      }
+      out = std::move(m);
       break;
     }
     default:

@@ -29,6 +29,7 @@ enum class MsgType : std::uint8_t {
   kReclaimRefused = 9,
   kReplicateGroup = 10,
   kDropReplica = 11,
+  kGossip = 12,
 };
 
 /// RPC framing kinds.

@@ -1,0 +1,128 @@
+// FailureDetector: randomized round-robin probe scheduling, ping-req
+// escalation, and probe expiry.
+#include "membership/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace clash::membership {
+namespace {
+
+std::vector<ServerId> ids(std::initializer_list<std::uint64_t> values) {
+  std::vector<ServerId> out;
+  for (const auto v : values) out.emplace_back(v);
+  return out;
+}
+
+TEST(FailureDetector, RoundRobinCoversEveryMemberPerRotation) {
+  FailureDetector det(ServerId{0}, DetectorConfig{}, 42);
+  const auto candidates = ids({1, 2, 3, 4, 5});
+
+  std::set<std::uint64_t> probed;
+  for (int tick = 0; tick < 5; ++tick) {
+    const auto actions = det.tick(candidates);
+    ASSERT_EQ(actions.pings.size(), 1u);
+    probed.insert(actions.pings[0].target.value);
+    det.acknowledge(actions.pings[0].sequence);  // all healthy
+    EXPECT_TRUE(actions.ping_reqs.empty());
+    EXPECT_TRUE(actions.unresponsive.empty());
+  }
+  EXPECT_EQ(probed.size(), 5u) << "one full rotation must probe everyone";
+}
+
+TEST(FailureDetector, SilentTargetEscalatesThenExpires) {
+  DetectorConfig cfg;
+  cfg.ping_timeout_periods = 1;
+  cfg.indirect_timeout_periods = 1;
+  cfg.ping_req_fanout = 2;
+  FailureDetector det(ServerId{0}, cfg, 7);
+  const auto candidates = ids({1, 2, 3, 4});
+
+  const auto first = det.tick(candidates);
+  ASSERT_EQ(first.pings.size(), 1u);
+  const ServerId victim = first.pings[0].target;
+  EXPECT_TRUE(det.awaiting(victim));
+
+  // No ack: next period escalates to ping-req through 2 proxies that
+  // are neither self nor the victim.
+  const auto second = det.tick(candidates);
+  std::size_t reqs_for_victim = 0;
+  for (const auto& [proxy, probe] : second.ping_reqs) {
+    if (probe.target == victim) {
+      ++reqs_for_victim;
+      EXPECT_NE(proxy, victim);
+      EXPECT_NE(proxy, ServerId{0});
+      EXPECT_EQ(probe.sequence, first.pings[0].sequence);
+    }
+  }
+  EXPECT_EQ(reqs_for_victim, 2u);
+
+  // Still no ack: the victim is handed over as unresponsive.
+  const auto third = det.tick(candidates);
+  EXPECT_TRUE(std::count(third.unresponsive.begin(), third.unresponsive.end(),
+                         victim) == 1);
+  EXPECT_FALSE(det.awaiting(victim));
+}
+
+TEST(FailureDetector, AckStopsEscalation) {
+  FailureDetector det(ServerId{0}, DetectorConfig{}, 7);
+  const auto candidates = ids({1, 2, 3});
+
+  const auto first = det.tick(candidates);
+  ASSERT_EQ(first.pings.size(), 1u);
+  det.acknowledge(first.pings[0].sequence);
+  EXPECT_FALSE(det.awaiting(first.pings[0].target));
+
+  for (int tick = 0; tick < 4; ++tick) {
+    const auto actions = det.tick(candidates);
+    for (const auto& ping : actions.pings) det.acknowledge(ping.sequence);
+    EXPECT_TRUE(actions.unresponsive.empty());
+  }
+}
+
+TEST(FailureDetector, ForgetDropsPendingProbe) {
+  DetectorConfig cfg;
+  cfg.ping_timeout_periods = 1;
+  cfg.indirect_timeout_periods = 1;
+  FailureDetector det(ServerId{0}, cfg, 3);
+  const auto candidates = ids({1, 2});
+
+  const auto first = det.tick(candidates);
+  ASSERT_EQ(first.pings.size(), 1u);
+  det.forget(first.pings[0].target);
+  EXPECT_FALSE(det.awaiting(first.pings[0].target));
+}
+
+TEST(FailureDetector, DepartedMemberIsNeverReportedUnresponsive) {
+  DetectorConfig cfg;
+  cfg.ping_timeout_periods = 1;
+  cfg.indirect_timeout_periods = 1;
+  FailureDetector det(ServerId{0}, cfg, 9);
+
+  const auto first = det.tick(ids({1, 2}));
+  ASSERT_EQ(first.pings.size(), 1u);
+  const ServerId target = first.pings[0].target;
+  // The target leaves the membership (declared dead via gossip) before
+  // the probe expires: no stale verdict may surface.
+  const auto remaining =
+      target == ServerId{1} ? ids({2}) : ids({1});
+  for (int tick = 0; tick < 4; ++tick) {
+    const auto actions = det.tick(remaining);
+    EXPECT_TRUE(std::count(actions.unresponsive.begin(),
+                           actions.unresponsive.end(), target) == 0);
+    for (const auto& ping : actions.pings) det.acknowledge(ping.sequence);
+  }
+}
+
+TEST(FailureDetector, EmptyCandidateSetIsQuiet) {
+  FailureDetector det(ServerId{0}, DetectorConfig{}, 1);
+  const auto actions = det.tick({});
+  EXPECT_TRUE(actions.pings.empty());
+  EXPECT_TRUE(actions.ping_reqs.empty());
+  EXPECT_TRUE(actions.unresponsive.empty());
+}
+
+}  // namespace
+}  // namespace clash::membership

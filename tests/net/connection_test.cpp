@@ -103,11 +103,11 @@ TEST_F(ConnFixture, PeerShutdownNotifies) {
 
 TEST_F(ConnFixture, SendFrameRoundTrip) {
   const std::string payload = "pong";
-  loop.post([&] {
+  ASSERT_TRUE(loop.post([&] {
     conn->send_frame(std::span<const std::uint8_t>(
         reinterpret_cast<const std::uint8_t*>(payload.data()),
         payload.size()));
-  });
+  }));
   pump();
   std::uint8_t buf[64];
   const auto n = ::read(raw_peer, buf, sizeof(buf));

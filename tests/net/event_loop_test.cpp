@@ -38,14 +38,47 @@ TEST(EventLoop, PostFromAnotherThread) {
   bool ran = false;
   std::thread poster([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    loop.post([&] {
+    EXPECT_TRUE(loop.post([&] {
       ran = true;
       loop.stop();
-    });
+    }));
   });
   loop.run();
   poster.join();
   EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, PostAfterFinalDrainReturnsFalse) {
+  EventLoop loop;
+  loop.call_after(std::chrono::milliseconds(1), [&] { loop.stop(); });
+  loop.run();
+  // The loop has finished: a post can never run, and says so instead of
+  // silently dropping the task (which would hang a waiting caller).
+  EXPECT_FALSE(loop.post([] {}));
+}
+
+TEST(EventLoop, AcceptedPostsAlwaysRunDespiteStopRace) {
+  // Every post() that returned true must execute, even when it races
+  // with stop(): run() drains the queue once more after exiting.
+  for (int round = 0; round < 50; ++round) {
+    EventLoop loop;
+    std::thread runner([&] { loop.run(); });
+    while (!loop.running()) {
+      std::this_thread::yield();
+    }
+
+    std::atomic<int> executed{0};
+    int accepted = 0;
+    std::thread stopper([&] { loop.stop(); });
+    for (int i = 0; i < 100; ++i) {
+      if (loop.post([&] { executed++; })) ++accepted;
+    }
+    stopper.join();
+    runner.join();
+    EXPECT_EQ(executed.load(), accepted) << "round " << round;
+    // Anything posted after the final drain is refused, not dropped.
+    EXPECT_FALSE(loop.post([] {}));
+  }
 }
 
 TEST(EventLoop, FdReadiness) {

@@ -108,6 +108,67 @@ TEST(Codec, ReplicationMessagesRoundTrip) {
   EXPECT_EQ(drop.group, m.group);
 }
 
+TEST(Codec, GossipRoundTrip) {
+  Gossip m;
+  m.kind = GossipKind::kPingReq;
+  m.sequence = 0x8000000000000042ULL;  // relay-tagged sequences survive
+  m.target = ServerId{12};
+  m.updates.push_back({ServerId{3}, MemberState::kSuspect, 7});
+  m.updates.push_back({ServerId{9}, MemberState::kDead, 0});
+  m.updates.push_back({ServerId{12}, MemberState::kAlive, 8});
+
+  const auto out = std::get<Gossip>(round_trip(Message(m)));
+  EXPECT_EQ(out.kind, m.kind);
+  EXPECT_EQ(out.sequence, m.sequence);
+  EXPECT_EQ(out.target, m.target);
+  ASSERT_EQ(out.updates.size(), 3u);
+  EXPECT_EQ(out.updates[0].subject, ServerId{3});
+  EXPECT_EQ(out.updates[0].state, MemberState::kSuspect);
+  EXPECT_EQ(out.updates[0].incarnation, 7u);
+  EXPECT_EQ(out.updates[1].state, MemberState::kDead);
+  EXPECT_EQ(out.updates[2].state, MemberState::kAlive);
+
+  // An empty piggyback batch is fine.
+  Gossip bare;
+  bare.kind = GossipKind::kAck;
+  bare.sequence = 5;
+  bare.target = ServerId{1};
+  const auto bare_out = std::get<Gossip>(round_trip(Message(bare)));
+  EXPECT_TRUE(bare_out.updates.empty());
+}
+
+TEST(Codec, GossipRejectsMalformedPayloads) {
+  // Bad gossip kind.
+  Writer w;
+  w.u8(12);  // MsgType::kGossip
+  w.u8(9);   // invalid kind
+  w.u64(1);
+  w.u64(2);
+  w.u32(0);
+  EXPECT_FALSE(decode_message(w.data()).ok());
+
+  // Bad member state inside an update.
+  Writer w2;
+  w2.u8(12);
+  w2.u8(0);  // kPing
+  w2.u64(1);
+  w2.u64(2);
+  w2.u32(1);   // one update...
+  w2.u64(4);   // subject
+  w2.u8(7);    // invalid state
+  w2.u64(0);   // incarnation
+  EXPECT_FALSE(decode_message(w2.data()).ok());
+
+  // Adversarial count: more updates than bytes remain.
+  Writer w3;
+  w3.u8(12);
+  w3.u8(0);
+  w3.u64(1);
+  w3.u64(2);
+  w3.u32(0xFFFFFF);
+  EXPECT_FALSE(decode_message(w3.data()).ok());
+}
+
 TEST(Codec, ReplyRoundTrip) {
   Writer w;
   encode_reply(w, AcceptObjectReply(AcceptObjectOk{7}));
