@@ -1,0 +1,214 @@
+// Transport + sim-dispatch microbenchmarks behind BENCH_net.json.
+//
+// net_throughput: frames/sec through the full Connection send/receive
+// path over loopback TCP (both endpoints on one epoll loop, frames
+// sent in per-tick batches the way SWIM gossip and replication bursts
+// are), at 64 B / 1 KiB / 64 KiB payloads. Also reports the small-
+// frame coalescing ratio (frames per flush syscall).
+// net_latency: single-frame ping-pong round-trip time.
+// sim_dispatch: sim::EventQueue dispatch rate with closure captures
+// big enough to defeat std::function's small-buffer optimisation (the
+// shape real sim events have).
+//
+// Usage: micro_net [--quick] [--json=PATH]
+#include <sys/epoll.h>
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/argparse.hpp"
+#include "net/connection.hpp"
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+#include "sim/event_queue.hpp"
+
+using namespace clash;
+using namespace clash::net;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct ThroughputResult {
+  std::size_t frame_bytes = 0;
+  std::uint64_t frames = 0;
+  double seconds = 0;
+  std::uint64_t flush_syscalls = 0;  // writev/write calls on the sender
+  [[nodiscard]] double frames_per_sec() const { return frames / seconds; }
+  [[nodiscard]] double mb_per_sec() const {
+    return double(frames) * double(frame_bytes) / seconds / 1e6;
+  }
+  [[nodiscard]] double coalesce_ratio() const {
+    return flush_syscalls > 0 ? double(frames) / double(flush_syscalls) : 0;
+  }
+};
+
+/// Pump `total` frames of `frame_bytes` through a loopback TCP pair on
+/// one loop, `batch` frames queued per loop tick.
+ThroughputResult run_throughput(std::size_t frame_bytes, std::uint64_t total,
+                                std::size_t batch) {
+  EventLoop loop;
+  auto listener = listen_tcp(Endpoint{"127.0.0.1", 0}).value();
+  const auto port = bound_port(listener).value();
+
+  std::uint64_t received = 0;
+  std::shared_ptr<Connection> server;
+  loop.add_fd(listener.get(), EPOLLIN, [&](std::uint32_t) {
+    auto fd = accept_tcp(listener);
+    if (!fd.ok()) return;
+    server = Connection::adopt(
+        loop, std::move(fd).value(),
+        [&](std::span<const std::uint8_t>) {
+          if (++received == total) loop.stop();
+        },
+        [] {});
+  });
+
+  auto client_fd = connect_tcp(Endpoint{"127.0.0.1", port}).value();
+  auto client = Connection::adopt(loop, std::move(client_fd),
+                                  [](std::span<const std::uint8_t>) {}, [] {});
+
+  const std::vector<std::uint8_t> payload(frame_bytes, 0xAB);
+  std::uint64_t sent = 0;
+  // Re-arming sender task: queue one batch, yield to epoll, repeat.
+  // Everything it references outlives loop.run(), which drains all
+  // posted copies before returning.
+  std::function<void()> send_batch = [&] {
+    for (std::size_t i = 0; i < batch && sent < total; ++i, ++sent) {
+      client->send_frame(payload);
+    }
+    if (sent < total) (void)loop.post(send_batch);
+  };
+
+  const auto t0 = Clock::now();
+  (void)loop.post(send_batch);
+  loop.run();
+  ThroughputResult r;
+  r.frame_bytes = frame_bytes;
+  r.frames = total;
+  r.seconds = seconds_since(t0);
+  r.flush_syscalls = client->stats().flush_syscalls;
+  return r;
+}
+
+/// Single-frame ping-pong: client sends, server echoes, client sends
+/// the next on receipt. Returns average round-trip in microseconds.
+double run_latency(std::uint64_t round_trips) {
+  EventLoop loop;
+  auto listener = listen_tcp(Endpoint{"127.0.0.1", 0}).value();
+  const auto port = bound_port(listener).value();
+
+  std::shared_ptr<Connection> server;
+  loop.add_fd(listener.get(), EPOLLIN, [&](std::uint32_t) {
+    auto fd = accept_tcp(listener);
+    if (!fd.ok()) return;
+    server = Connection::adopt(
+        loop, std::move(fd).value(),
+        [&](std::span<const std::uint8_t> frame) { server->send_frame(frame); },
+        [] {});
+  });
+
+  const std::vector<std::uint8_t> ping(64, 0x1);
+  std::uint64_t completed = 0;
+  std::shared_ptr<Connection> client;
+  auto client_fd = connect_tcp(Endpoint{"127.0.0.1", port}).value();
+  client = Connection::adopt(
+      loop, std::move(client_fd),
+      [&](std::span<const std::uint8_t>) {
+        if (++completed == round_trips) {
+          loop.stop();
+          return;
+        }
+        client->send_frame(ping);
+      },
+      [] {});
+
+  const auto t0 = Clock::now();
+  (void)loop.post([&] { client->send_frame(ping); });
+  loop.run();
+  return seconds_since(t0) * 1e6 / double(round_trips);
+}
+
+/// EventQueue dispatch rate. Each event's closure captures 64 bytes so
+/// a copying dispatch pays an allocation per event, as real sim events
+/// (which capture ids, keys, shared state) do.
+double run_sim_dispatch(std::uint64_t events) {
+  sim::EventQueue q;
+  q.reserve(std::size_t(events));
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, 8> fat{};
+  for (std::uint64_t i = 0; i < events; ++i) {
+    fat[0] = i;
+    q.at(SimTime(std::int64_t(i)), [&sum, fat] { sum += fat[0]; });
+  }
+  const auto t0 = Clock::now();
+  q.run_until(SimTime(std::int64_t(events)));
+  const double secs = seconds_since(t0);
+  if (sum == 0) std::fprintf(stderr, "unexpected zero checksum\n");
+  return double(events) / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const bool quick = args.get_bool("quick", false);
+  const std::string json_path = args.get("json", "");
+
+  const std::uint64_t small_frames = quick ? 20'000 : 400'000;
+  const std::uint64_t mid_frames = quick ? 10'000 : 200'000;
+  const std::uint64_t big_frames = quick ? 1'000 : 20'000;
+  const std::uint64_t rtts = quick ? 2'000 : 20'000;
+  const std::uint64_t sim_events = quick ? 100'000 : 1'000'000;
+
+  const auto t64 = run_throughput(64, small_frames, 64);
+  const auto t1k = run_throughput(1024, mid_frames, 32);
+  const auto t64k = run_throughput(64 * 1024, big_frames, 8);
+  const double rtt_us = run_latency(rtts);
+  const double dispatch = run_sim_dispatch(sim_events);
+
+  std::string out = "{\n  \"bench\": \"micro_net\",\n";
+  out += "  \"quick\": " + std::string(quick ? "true" : "false") + ",\n";
+  out += "  \"net_throughput\": [\n";
+  const ThroughputResult* results[] = {&t64, &t1k, &t64k};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& r = *results[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"frame_bytes\": %zu, \"frames\": %llu, "
+                  "\"frames_per_sec\": %.0f, \"mb_per_sec\": %.1f, "
+                  "\"coalesce_ratio\": %.2f}%s\n",
+                  r.frame_bytes, (unsigned long long)r.frames,
+                  r.frames_per_sec(), r.mb_per_sec(), r.coalesce_ratio(),
+                  i + 1 < 3 ? "," : "");
+    out += line;
+  }
+  out += "  ],\n";
+  char tail[160];
+  std::snprintf(tail, sizeof(tail),
+                "  \"net_latency_rtt_us\": %.2f,\n"
+                "  \"sim_dispatch_events_per_sec\": %.0f\n}\n",
+                rtt_us, dispatch);
+  out += tail;
+
+  std::fputs(out.c_str(), stdout);
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(out.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

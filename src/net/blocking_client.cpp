@@ -84,19 +84,18 @@ Expected<Fd*> BlockingClient::connection_to(ServerId to) {
 }
 
 Expected<std::vector<std::uint8_t>> BlockingClient::call(
-    ServerId to, std::span<const std::uint8_t> frame) {
-  if (frame.empty() || frame.size() > Connection::kMaxFrame) {
+    ServerId to, std::span<const std::uint8_t> wire_frame) {
+  // `wire_frame` is a finished frame (u32 LE length prefix included),
+  // written as-is — no re-framing copy.
+  if (wire_frame.size() <= 4 ||
+      wire_frame.size() - 4 > Connection::kMaxFrame) {
     return Error::invalid("frame size out of bounds");
   }
   auto conn = connection_to(to);
   if (!conn.ok()) return conn.error();
   const int fd = conn.value()->get();
 
-  const auto len = std::uint32_t(frame.size());
-  std::vector<std::uint8_t> wire_bytes(4 + frame.size());
-  std::memcpy(wire_bytes.data(), &len, 4);
-  std::memcpy(wire_bytes.data() + 4, frame.data(), frame.size());
-  if (!write_all(fd, wire_bytes)) {
+  if (!write_all(fd, wire_frame)) {
     connections_.erase(to);
     return Error{Error::Code::kClosed, "write failed"};
   }
@@ -106,8 +105,7 @@ Expected<std::vector<std::uint8_t>> BlockingClient::call(
     connections_.erase(to);
     return Error{Error::Code::kTimeout, "response header timeout"};
   }
-  std::uint32_t resp_len = 0;
-  std::memcpy(&resp_len, len_buf, 4);
+  const std::uint32_t resp_len = wire::load_u32_le(len_buf);
   if (resp_len > Connection::kMaxFrame) {
     connections_.erase(to);
     return Error::protocol("oversized response frame");
@@ -122,12 +120,10 @@ Expected<std::vector<std::uint8_t>> BlockingClient::call(
 
 AcceptObjectReply BlockingClient::rpc_accept_object(ServerId to,
                                                     const AcceptObject& msg) {
-  wire::Writer payload;
-  wire::encode_message(payload, Message(msg));
-  const auto frame = wire::encode_frame(
-      wire::Envelope{wire::FrameKind::kRequest, next_request_id_++,
-                     ServerId{}},
-      payload.data());
+  auto w = wire::begin_frame(wire::Envelope{
+      wire::FrameKind::kRequest, next_request_id_++, ServerId{}});
+  wire::encode_message(w, Message(msg));
+  const auto frame = wire::finish_frame(std::move(w));
 
   const auto response = call(to, frame);
   if (!response.ok()) {

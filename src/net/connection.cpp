@@ -1,13 +1,28 @@
 #include "net/connection.hpp"
 
 #include <sys/epoll.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <array>
 #include <cstring>
 
 #include "common/logging.hpp"
+#include "wire/buffer.hpp"
+#include "wire/buffer_pool.hpp"
 
 namespace clash::net {
+namespace {
+
+/// Read granularity; also the arena growth step.
+constexpr std::size_t kReadChunk = 64 * 1024;
+/// Compact the inbound arena once this many consumed bytes sit in
+/// front of unparsed data (amortises the memmove to O(1)/byte).
+constexpr std::size_t kCompactThreshold = 64 * 1024;
+/// Frames handed to one writev call.
+constexpr std::size_t kMaxIov = 64;
+
+}  // namespace
 
 std::shared_ptr<Connection> Connection::adopt(EventLoop& loop, Fd fd,
                                               FrameHandler on_frame,
@@ -45,15 +60,19 @@ void Connection::on_events(std::uint32_t events) {
     return;
   }
   if (events & EPOLLIN) handle_readable();
-  if (!closed() && (events & EPOLLOUT)) handle_writable();
+  if (!closed() && (events & EPOLLOUT)) flush();
 }
 
 void Connection::handle_readable() {
-  std::uint8_t chunk[16384];
   for (;;) {
-    const ssize_t n = ::read(fd_.get(), chunk, sizeof(chunk));
+    // The arena's size() is its high-water mark: growing past it
+    // zero-fills once, refills after compaction reuse it as-is.
+    if (in_.size() - in_end_ < kReadChunk) in_.resize(in_end_ + kReadChunk);
+    const ssize_t n =
+        ::read(fd_.get(), in_.data() + in_end_, in_.size() - in_end_);
     if (n > 0) {
-      in_.insert(in_.end(), chunk, chunk + n);
+      in_end_ += std::size_t(n);
+      stats_.bytes_received += std::uint64_t(n);
       continue;
     }
     if (n == 0) {
@@ -71,56 +90,128 @@ void Connection::handle_readable() {
 }
 
 void Connection::parse_frames() {
-  std::size_t offset = 0;
-  while (in_.size() - offset >= 4) {
-    std::uint32_t len = 0;
-    std::memcpy(&len, in_.data() + offset, 4);  // little-endian hosts
+  while (in_end_ - in_pos_ >= 4) {
+    const std::uint32_t len = wire::load_u32_le(in_.data() + in_pos_);
     if (len > kMaxFrame) {
       CLASH_WARN << "oversized frame (" << len << " bytes); closing";
       close();
       return;
     }
-    if (in_.size() - offset - 4 < len) break;  // incomplete
-    on_frame_(std::span<const std::uint8_t>(in_.data() + offset + 4, len));
+    if (in_end_ - in_pos_ - 4 < len) break;  // incomplete
+    ++stats_.frames_received;
+    on_frame_(std::span<const std::uint8_t>(in_.data() + in_pos_ + 4, len));
     if (closed()) return;  // handler may close
-    offset += 4 + len;
+    in_pos_ += 4 + len;
   }
-  if (offset > 0) in_.erase(in_.begin(), in_.begin() + std::ptrdiff_t(offset));
+  if (in_pos_ == in_end_) {
+    in_pos_ = in_end_ = 0;  // fully drained: rewind, no memmove
+  } else if (in_pos_ >= kCompactThreshold) {
+    std::memmove(in_.data(), in_.data() + in_pos_, in_end_ - in_pos_);
+    in_end_ -= in_pos_;
+    in_pos_ = 0;
+  }
 }
 
-void Connection::send_frame(std::span<const std::uint8_t> payload) {
-  if (closed()) return;
-  const auto len = std::uint32_t(payload.size());
-  const auto* len_bytes = reinterpret_cast<const std::uint8_t*>(&len);
-  out_.insert(out_.end(), len_bytes, len_bytes + 4);
-  out_.insert(out_.end(), payload.begin(), payload.end());
-  handle_writable();
+bool Connection::send_frame(std::span<const std::uint8_t> payload) {
+  if (closed()) return false;
+  if (payload.size() > kMaxFrame) {
+    ++stats_.send_oversized;
+    CLASH_WARN << "rejecting oversized send (" << payload.size()
+               << " bytes) on fd " << fd_.get();
+    return false;
+  }
+  auto buf = wire::BufferPool::local().acquire();
+  buf.resize(4 + payload.size());
+  wire::store_u32_le(buf.data(), std::uint32_t(payload.size()));
+  std::memcpy(buf.data() + 4, payload.data(), payload.size());
+  return enqueue(std::move(buf));
 }
 
-void Connection::handle_writable() {
-  while (out_offset_ < out_.size()) {
-    const ssize_t n = ::write(fd_.get(), out_.data() + out_offset_,
-                              out_.size() - out_offset_);
-    if (n > 0) {
-      out_offset_ += std::size_t(n);
-      continue;
+bool Connection::send_wire_frame(std::vector<std::uint8_t>&& frame) {
+  if (closed()) return false;
+  if (frame.size() < 4 ||
+      wire::load_u32_le(frame.data()) != frame.size() - 4) {
+    CLASH_WARN << "dropping malformed wire frame (" << frame.size()
+               << " bytes) on fd " << fd_.get();
+    return false;
+  }
+  if (frame.size() - 4 > kMaxFrame) {
+    ++stats_.send_oversized;
+    CLASH_WARN << "rejecting oversized send (" << frame.size() - 4
+               << " bytes) on fd " << fd_.get();
+    return false;
+  }
+  return enqueue(std::move(frame));
+}
+
+bool Connection::enqueue(std::vector<std::uint8_t>&& frame) {
+  out_q_.push_back(std::move(frame));
+  ++stats_.frames_sent;
+  // One flush per tick: the first frame schedules it; later sends in
+  // the same tick ride along. When EPOLLOUT is armed the kernel
+  // buffer is full — the readiness callback will flush instead.
+  if (!flush_scheduled_ && !want_write_) {
+    flush_scheduled_ = true;
+    std::weak_ptr<Connection> weak = weak_from_this();
+    loop_.defer([weak] {
+      if (const auto self = weak.lock()) self->flush();
+    });
+  }
+  return true;
+}
+
+void Connection::flush() {
+  flush_scheduled_ = false;
+  while (!out_q_.empty() && !closed()) {
+    std::array<iovec, kMaxIov> iov;
+    std::size_t niov = 0;
+    std::size_t offered = 0;
+    std::size_t offset = out_head_offset_;
+    for (auto it = out_q_.begin(); it != out_q_.end() && niov < kMaxIov;
+         ++it) {
+      iov[niov].iov_base = it->data() + offset;
+      iov[niov].iov_len = it->size() - offset;
+      offered += it->size() - offset;
+      offset = 0;
+      ++niov;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
-    CLASH_DEBUG << "write error on fd " << fd_.get() << ": "
-                << std::strerror(errno);
-    close();
-    return;
-  }
-  if (out_offset_ == out_.size()) {
-    out_.clear();
-    out_offset_ = 0;
+    const ssize_t n = ::writev(fd_.get(), iov.data(), int(niov));
+    ++stats_.flush_syscalls;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CLASH_DEBUG << "write error on fd " << fd_.get() << ": "
+                  << std::strerror(errno);
+      close();
+      return;
+    }
+    stats_.bytes_sent += std::uint64_t(n);
+    std::size_t consumed = std::size_t(n);
+    while (consumed > 0) {
+      auto& head = out_q_.front();
+      const std::size_t remaining = head.size() - out_head_offset_;
+      if (consumed < remaining) {
+        out_head_offset_ += consumed;
+        break;
+      }
+      consumed -= remaining;
+      wire::BufferPool::local().release(std::move(head));
+      out_q_.pop_front();
+      out_head_offset_ = 0;
+    }
+    if (std::size_t(n) < offered) break;  // kernel buffer full
   }
   update_interest();
 }
 
+std::size_t Connection::send_queue_bytes() const {
+  std::size_t total = 0;
+  for (const auto& f : out_q_) total += f.size();
+  return total - out_head_offset_;
+}
+
 void Connection::update_interest() {
-  const bool need_write = out_offset_ < out_.size();
+  const bool need_write = !out_q_.empty();
   if (need_write == want_write_) return;
   want_write_ = need_write;
   loop_.modify_fd(fd_.get(),
@@ -131,6 +222,12 @@ void Connection::close() {
   if (closed()) return;
   loop_.remove_fd(fd_.get());
   fd_.reset();
+  auto& pool = wire::BufferPool::local();
+  while (!out_q_.empty()) {
+    pool.release(std::move(out_q_.front()));
+    out_q_.pop_front();
+  }
+  out_head_offset_ = 0;
   if (on_close_) on_close_();
 }
 

@@ -1,9 +1,17 @@
 // A non-blocking, length-prefix framed TCP connection bound to an
 // EventLoop. Frames are u32 (little-endian) length + payload bytes;
 // oversized or malformed frames close the connection.
+//
+// Fast path: outbound frames are owned, pool-recycled buffers queued
+// without copying (send_wire_frame takes a finished wire frame
+// straight from wire::finish_frame); everything queued during one
+// loop tick is flushed with a single writev(2) at end of tick.
+// Inbound bytes land in a consume-cursor arena — parsing advances a
+// cursor instead of memmoving the buffer per batch.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <span>
@@ -16,8 +24,23 @@ namespace clash::net {
 
 class Connection : public std::enable_shared_from_this<Connection> {
  public:
-  /// 16 MiB: far above any legitimate CLASH frame; bounds memory per peer.
+  /// 16 MiB: far above any legitimate CLASH frame; bounds memory per
+  /// peer. Enforced on receive and on send (a frame the peer would
+  /// reject with a close is refused here instead).
   static constexpr std::uint32_t kMaxFrame = 16u << 20;
+
+  /// Transport counters (loop thread only).
+  struct Stats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    /// writev(2) calls; frames_sent / flush_syscalls is the
+    /// small-frame coalescing ratio.
+    std::uint64_t flush_syscalls = 0;
+    /// Sends rejected for exceeding kMaxFrame.
+    std::uint64_t send_oversized = 0;
+  };
 
   using FrameHandler =
       std::function<void(std::span<const std::uint8_t> frame)>;
@@ -33,14 +56,23 @@ class Connection : public std::enable_shared_from_this<Connection> {
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
-  /// Queue one frame (length prefix added here). Loop thread only.
-  void send_frame(std::span<const std::uint8_t> payload);
+  /// Queue one frame, copying `payload` behind a length prefix (loop
+  /// thread only). False when closed or the payload exceeds kMaxFrame.
+  bool send_frame(std::span<const std::uint8_t> payload);
+
+  /// Queue a finished wire frame — length prefix already in place
+  /// (wire::finish_frame output) — without copying. The buffer is
+  /// recycled to the thread's BufferPool after the flush.
+  bool send_wire_frame(std::vector<std::uint8_t>&& frame);
 
   /// Close immediately (loop thread only).
   void close();
 
   [[nodiscard]] bool closed() const { return !fd_.valid(); }
   [[nodiscard]] int fd() const { return fd_.get(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Bytes queued but not yet accepted by the kernel (backpressure).
+  [[nodiscard]] std::size_t send_queue_bytes() const;
 
  private:
   Connection(EventLoop& loop, Fd fd, FrameHandler on_frame,
@@ -49,7 +81,8 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void register_with_loop();
   void on_events(std::uint32_t events);
   void handle_readable();
-  void handle_writable();
+  bool enqueue(std::vector<std::uint8_t>&& frame);
+  void flush();
   void update_interest();
   void parse_frames();
 
@@ -57,10 +90,21 @@ class Connection : public std::enable_shared_from_this<Connection> {
   Fd fd_;
   FrameHandler on_frame_;
   CloseHandler on_close_;
+
+  // Inbound arena: bytes [in_pos_, in_end_) are unparsed; the vector's
+  // size is the high-water mark so refills never re-zero memory.
   std::vector<std::uint8_t> in_;
-  std::vector<std::uint8_t> out_;
-  std::size_t out_offset_ = 0;
+  std::size_t in_pos_ = 0;
+  std::size_t in_end_ = 0;
+
+  // Outbound queue of whole owned frames; the head frame may be
+  // partially written (out_head_offset_ bytes already consumed).
+  std::deque<std::vector<std::uint8_t>> out_q_;
+  std::size_t out_head_offset_ = 0;
+  bool flush_scheduled_ = false;
   bool want_write_ = false;
+
+  Stats stats_;
 };
 
 }  // namespace clash::net

@@ -86,6 +86,18 @@ void EventLoop::wake() {
   [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
 }
 
+void EventLoop::defer(Task task) { deferred_.push_back(std::move(task)); }
+
+void EventLoop::run_deferred() {
+  // A deferred task may defer again (a flush that queues a reply);
+  // keep going until the round is quiescent.
+  while (!deferred_.empty()) {
+    std::vector<Task> batch;
+    batch.swap(deferred_);
+    for (auto& t : batch) t();
+  }
+}
+
 void EventLoop::drain_posted() {
   std::vector<Task> tasks;
   {
@@ -131,6 +143,7 @@ void EventLoop::run() {
   while (!stop_requested_) {
     drain_posted();
     fire_due_timers();
+    run_deferred();
     const int n =
         ::epoll_wait(epoll_fd_, events, 64, next_timeout_ms());
     if (n < 0) {
@@ -146,6 +159,7 @@ void EventLoop::run() {
       FdHandler handler = it->second;
       handler(events[i].events);
     }
+    run_deferred();
   }
   // Final drain: accept no further posts (post() returns false from
   // here on), then run everything that made it in. This closes the
@@ -158,6 +172,7 @@ void EventLoop::run() {
     last.swap(posted_);
   }
   for (auto& t : last) t();
+  run_deferred();
   running_ = false;
   stop_requested_ = false;
   exited_.store(true, std::memory_order_release);

@@ -36,6 +36,12 @@ class EventLoop {
   std::uint64_t call_after(std::chrono::microseconds delay, Task task);
   void cancel_timer(std::uint64_t id);
 
+  /// Run `task` once at the end of the current dispatch round, before
+  /// the next epoll_wait (loop thread only). Connections use this to
+  /// coalesce every frame queued during one tick into a single
+  /// scatter-gather flush instead of one write per send.
+  void defer(Task task);
+
   /// Enqueue a task from any thread; runs on the loop thread. Returns
   /// false once the loop has finished its final drain (the task will
   /// never run): callers must execute it themselves or give up. Tasks
@@ -74,6 +80,7 @@ class EventLoop {
   };
 
   void drain_posted();
+  void run_deferred();
   void fire_due_timers();
   [[nodiscard]] int next_timeout_ms() const;
   void wake();
@@ -85,6 +92,8 @@ class EventLoop {
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
   std::map<std::uint64_t, Task> timer_tasks_;
   std::uint64_t next_timer_id_ = 1;
+
+  std::vector<Task> deferred_;  // loop thread only
 
   std::mutex posted_mutex_;
   std::vector<Task> posted_;

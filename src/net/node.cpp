@@ -2,6 +2,7 @@
 
 #include <sys/epoll.h>
 
+#include <cstring>
 #include <stdexcept>
 
 #include "common/logging.hpp"
@@ -26,12 +27,12 @@ class ClashNode::Env final : public ServerEnv {
   }
 
   void send(ServerId to, const Message& msg) override {
-    wire::Writer payload;
-    wire::encode_message(payload, msg);
-    const auto frame = wire::encode_frame(
-        wire::Envelope{wire::FrameKind::kOneway, 0, node_.config_.id},
-        payload.data());
-    node_.send_to_peer(to, frame);
+    // Encoded exactly once, straight into the pooled frame buffer the
+    // transport queues and flushes — no intermediate copies.
+    auto w = wire::begin_frame(
+        wire::Envelope{wire::FrameKind::kOneway, 0, node_.config_.id});
+    wire::encode_message(w, msg);
+    node_.send_to_peer(to, wire::finish_frame(std::move(w)));
   }
 
   [[nodiscard]] SimTime now() const override {
@@ -129,6 +130,7 @@ void ClashNode::stop() {
   // draining loop.
   running_ = false;
   peers_.clear();
+  connecting_.clear();
   inbound_.clear();
   listener_.reset();
 }
@@ -153,6 +155,7 @@ void ClashNode::on_member_dead(ServerId id) {
              << " declared dead; removing from ring";
   ring_->remove_server(id);
   peers_.erase(id);
+  drop_pending_connect(id, "member died");
   // Automatic failover: any group the dead owner replicated here that
   // the shrunken ring now maps to this node gets promoted. Peers do the
   // same for their own replicas, so the dead node's groups come back on
@@ -212,21 +215,10 @@ void ClashNode::adopt_peer(Fd fd) {
   inbound_.push_back(conn);
 }
 
-std::shared_ptr<Connection> ClashNode::peer_connection(ServerId to) {
-  const auto it = peers_.find(to);
-  if (it != peers_.end() && !it->second->closed()) return it->second;
-
-  const auto member = config_.members.find(to);
-  if (member == config_.members.end()) return nullptr;
-  auto fd = connect_tcp(member->second);
-  if (!fd.ok()) {
-    CLASH_WARN << to_string(config_.id) << ": connect to "
-               << to_string(to) << " failed: " << fd.error().message;
-    return nullptr;
-  }
+std::shared_ptr<Connection> ClashNode::adopt_outbound(ServerId to, Fd fd) {
   auto conn_slot = std::make_shared<std::weak_ptr<Connection>>();
   auto conn = Connection::adopt(
-      *loop_, std::move(fd).value(),
+      *loop_, std::move(fd),
       [this, conn_slot](std::span<const std::uint8_t> frame) {
         if (const auto c = conn_slot->lock()) handle_frame(c, frame);
       },
@@ -236,24 +228,103 @@ std::shared_ptr<Connection> ClashNode::peer_connection(ServerId to) {
   return conn;
 }
 
-void ClashNode::send_to_peer(ServerId to,
-                             std::span<const std::uint8_t> frame) {
+void ClashNode::begin_connect(ServerId to,
+                              std::vector<std::uint8_t>&& frame) {
+  const auto member = config_.members.find(to);
+  if (member == config_.members.end()) {
+    CLASH_WARN << to_string(config_.id) << ": dropping frame for "
+               << to_string(to) << " (unknown address)";
+    return;
+  }
+  auto res = connect_tcp_async(member->second);
+  if (!res.ok()) {
+    CLASH_WARN << to_string(config_.id) << ": connect to " << to_string(to)
+               << " failed: " << res.error().message;
+    return;
+  }
+  if (!res.value().in_progress) {
+    adopt_outbound(to, std::move(res.value().fd))
+        ->send_wire_frame(std::move(frame));
+    return;
+  }
+  // Handshake in flight: park the frame, watch for EPOLLOUT, and put a
+  // deadline on it. The loop keeps servicing every other peer — a
+  // blackholed address can no longer stall the node.
+  PendingConnect pending;
+  pending.fd = std::move(res.value().fd);
+  pending.queued.push_back(std::move(frame));
+  const int raw_fd = pending.fd.get();
+  pending.timeout_timer = loop_->call_after(
+      config_.connect_timeout,
+      [this, to] { drop_pending_connect(to, "connect timeout"); });
+  connecting_.emplace(to, std::move(pending));
+  loop_->add_fd(raw_fd, EPOLLOUT, [this, to](std::uint32_t events) {
+    finish_connect(to, events);
+  });
+}
+
+void ClashNode::finish_connect(ServerId to, std::uint32_t events) {
+  const auto it = connecting_.find(to);
+  if (it == connecting_.end()) return;
+  (void)events;  // SO_ERROR distinguishes success from failure
+  const int err = connect_result(it->second.fd);
+  if (err != 0) {
+    CLASH_WARN << to_string(config_.id) << ": connect to " << to_string(to)
+               << " failed: " << std::strerror(err);
+    drop_pending_connect(to, nullptr);
+    return;
+  }
+  PendingConnect pending = std::move(it->second);
+  connecting_.erase(it);
+  loop_->cancel_timer(pending.timeout_timer);
+  loop_->remove_fd(pending.fd.get());
+  set_nodelay(pending.fd);
+  const auto conn = adopt_outbound(to, std::move(pending.fd));
+  for (auto& queued : pending.queued) {
+    conn->send_wire_frame(std::move(queued));
+  }
+}
+
+void ClashNode::drop_pending_connect(ServerId to, const char* reason) {
+  const auto it = connecting_.find(to);
+  if (it == connecting_.end()) return;
+  if (reason != nullptr) {
+    CLASH_WARN << to_string(config_.id) << ": abandoning connect to "
+               << to_string(to) << " (" << reason << ", "
+               << it->second.queued.size() << " frames dropped)";
+  }
+  loop_->cancel_timer(it->second.timeout_timer);
+  loop_->remove_fd(it->second.fd.get());
+  connecting_.erase(it);
+}
+
+void ClashNode::send_to_peer(ServerId to, std::vector<std::uint8_t>&& frame) {
   if (to == config_.id) {
-    // Loopback without a socket round trip.
-    const auto decoded = wire::decode_frame(frame);
+    // Loopback without a socket round trip (skip the length prefix).
+    const auto decoded = wire::decode_frame(
+        std::span<const std::uint8_t>(frame).subspan(4));
     if (decoded.ok()) {
       const auto msg = wire::decode_message(decoded.value().payload);
       if (msg.ok()) server_->deliver(config_.id, msg.value());
     }
     return;
   }
-  const auto conn = peer_connection(to);
-  if (conn == nullptr) {
-    CLASH_WARN << to_string(config_.id) << ": dropping frame for "
-               << to_string(to) << " (unreachable)";
+  const auto it = peers_.find(to);
+  if (it != peers_.end() && !it->second->closed()) {
+    it->second->send_wire_frame(std::move(frame));
     return;
   }
-  conn->send_frame(frame);
+  const auto pending = connecting_.find(to);
+  if (pending != connecting_.end()) {
+    if (pending->second.queued.size() >= kMaxQueuedPerConnect) {
+      CLASH_WARN << to_string(config_.id) << ": dropping frame for "
+                 << to_string(to) << " (connect queue full)";
+      return;
+    }
+    pending->second.queued.push_back(std::move(frame));
+    return;
+  }
+  begin_connect(to, std::move(frame));
 }
 
 void ClashNode::handle_frame(const std::shared_ptr<Connection>& conn,
@@ -290,13 +361,10 @@ void ClashNode::handle_frame(const std::shared_ptr<Connection>& conn,
         return;
       }
       const AcceptObjectReply reply = server_->handle_accept_object(*obj);
-      wire::Writer payload;
-      wire::encode_reply(payload, reply);
-      const auto response = wire::encode_frame(
-          wire::Envelope{wire::FrameKind::kResponse, env.request_id,
-                         config_.id},
-          payload.data());
-      conn->send_frame(response);
+      auto w = wire::begin_frame(wire::Envelope{
+          wire::FrameKind::kResponse, env.request_id, config_.id});
+      wire::encode_reply(w, reply);
+      conn->send_wire_frame(wire::finish_frame(std::move(w)));
       break;
     }
     case wire::FrameKind::kResponse:

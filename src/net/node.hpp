@@ -44,6 +44,9 @@ struct NodeConfig {
   membership::MembershipConfig membership;
   /// Wall-clock SWIM protocol period (tests shrink it to milliseconds).
   std::chrono::microseconds protocol_period = std::chrono::seconds(1);
+  /// Abandon a non-blocking peer connect after this long; the loop is
+  /// never blocked while one is pending.
+  std::chrono::microseconds connect_timeout = std::chrono::seconds(3);
 };
 
 class ClashNode {
@@ -111,13 +114,28 @@ class ClashNode {
     return future.get();
   }
 
+  /// A peer connect in flight: the non-blocking socket awaiting
+  /// EPOLLOUT, frames queued for it meanwhile, and the abort timer.
+  struct PendingConnect {
+    Fd fd;
+    std::uint64_t timeout_timer = 0;
+    std::vector<std::vector<std::uint8_t>> queued;
+  };
+  /// Frames buffered per pending connect; beyond this they are
+  /// dropped (SWIM retransmits, requests time out and retry).
+  static constexpr std::size_t kMaxQueuedPerConnect = 128;
+
   void loop_main();
   void on_listener_ready();
   void adopt_peer(Fd fd);
   void handle_frame(const std::shared_ptr<Connection>& conn,
                     std::span<const std::uint8_t> frame);
-  void send_to_peer(ServerId to, std::span<const std::uint8_t> frame);
-  std::shared_ptr<Connection> peer_connection(ServerId to);
+  /// Takes an owned, finished wire frame (wire::finish_frame output).
+  void send_to_peer(ServerId to, std::vector<std::uint8_t>&& frame);
+  void begin_connect(ServerId to, std::vector<std::uint8_t>&& frame);
+  void finish_connect(ServerId to, std::uint32_t events);
+  void drop_pending_connect(ServerId to, const char* reason);
+  std::shared_ptr<Connection> adopt_outbound(ServerId to, Fd fd);
   void schedule_load_check();
   void schedule_membership_tick();
   void on_member_dead(ServerId id);
@@ -134,6 +152,7 @@ class ClashNode {
   Fd listener_;
   std::uint16_t port_ = 0;
   std::map<ServerId, std::shared_ptr<Connection>> peers_;
+  std::map<ServerId, PendingConnect> connecting_;
   std::vector<std::shared_ptr<Connection>> inbound_;
   std::thread thread_;
   std::atomic<bool> running_{false};

@@ -72,6 +72,29 @@ Expected<Fd> connect_tcp(const Endpoint& ep) {
   return fd;
 }
 
+Expected<AsyncConnect> connect_tcp_async(const Endpoint& ep) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0));
+  if (!fd.valid()) return sys_error("socket");
+  auto addr = make_addr(ep);
+  if (!addr.ok()) return addr.error();
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr.value()),
+                sizeof(sockaddr_in)) == 0) {
+    set_nodelay(fd);
+    return AsyncConnect{std::move(fd), false};
+  }
+  if (errno == EINPROGRESS) return AsyncConnect{std::move(fd), true};
+  return sys_error("connect " + ep.to_string());
+}
+
+int connect_result(const Fd& fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    return errno;
+  }
+  return err;
+}
+
 Expected<Fd> accept_tcp(const Fd& listener) {
   const int fd = ::accept4(listener.get(), nullptr, nullptr, SOCK_CLOEXEC);
   if (fd < 0) {

@@ -54,8 +54,22 @@ struct Endpoint {
 /// Port a listening socket is actually bound to.
 [[nodiscard]] Expected<std::uint16_t> bound_port(const Fd& listener);
 
-/// Blocking connect (used at wiring time; data flow is non-blocking).
+/// Blocking connect (off-loop clients only; nodes use the async form
+/// so a blackholed peer can never stall the event loop).
 [[nodiscard]] Expected<Fd> connect_tcp(const Endpoint& ep);
+
+/// Non-blocking connect. `in_progress` means the handshake is still
+/// running: register the fd for EPOLLOUT and call connect_result()
+/// when it fires.
+struct AsyncConnect {
+  Fd fd;
+  bool in_progress = false;
+};
+[[nodiscard]] Expected<AsyncConnect> connect_tcp_async(const Endpoint& ep);
+
+/// Completion status of an async connect after EPOLLOUT: 0 on
+/// success, the connect errno otherwise.
+[[nodiscard]] int connect_result(const Fd& fd);
 
 /// Accept one pending connection (non-blocking listener).
 [[nodiscard]] Expected<Fd> accept_tcp(const Fd& listener);

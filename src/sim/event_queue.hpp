@@ -1,10 +1,15 @@
 // Discrete-event core: a time-ordered queue of closures. Ties break by
-// insertion order, so runs are fully deterministic.
+// insertion order, so runs are fully deterministic. Backed by an
+// explicit binary heap over a vector so dispatch can move events out
+// (a std::priority_queue only exposes a const top, forcing a
+// std::function copy — and thus often a heap allocation — per event)
+// and so capacity can be reserved up front.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/sim_time.hpp"
@@ -15,22 +20,28 @@ class EventQueue {
  public:
   using Handler = std::function<void()>;
 
+  /// Pre-size the heap (bulk scheduling avoids regrowth moves).
+  void reserve(std::size_t n) { events_.reserve(n); }
+
   void at(SimTime t, Handler fn) {
-    heap_.push(Event{t, next_seq_++, std::move(fn)});
+    events_.push_back(Event{t, next_seq_++, std::move(fn)});
+    std::push_heap(events_.begin(), events_.end(), Later{});
   }
 
   void after(SimDuration d, Handler fn) { at(now_ + d, std::move(fn)); }
 
   [[nodiscard]] SimTime now() const { return now_; }
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
 
   /// Run events with t <= end (inclusive); leaves now() == end.
   void run_until(SimTime end) {
-    while (!heap_.empty() && heap_.top().t <= end) {
-      // Copy out before pop: the handler may schedule new events.
-      Event ev = heap_.top();
-      heap_.pop();
+    while (!events_.empty() && events_.front().t <= end) {
+      // Move out before dispatch: the handler may schedule new events
+      // (the vector can then grow safely — `ev` owns the closure).
+      std::pop_heap(events_.begin(), events_.end(), Later{});
+      Event ev = std::move(events_.back());
+      events_.pop_back();
       now_ = ev.t;
       ++processed_;
       ev.fn();
@@ -43,13 +54,17 @@ class EventQueue {
     SimTime t;
     std::uint64_t seq;
     Handler fn;
+  };
 
-    bool operator>(const Event& o) const {
-      return t == o.t ? seq > o.seq : o.t < t;
+  /// True when `a` dispatches after `b` — std::push_heap's max-heap
+  /// then keeps the earliest (t, seq) at the front.
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t == b.t ? a.seq > b.seq : b.t < a.t;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::vector<Event> events_;
   SimTime now_{0};
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -1,9 +1,16 @@
 #include "wire/buffer.hpp"
 
 #include <bit>
+#include <cassert>
 #include <cstring>
 
+#include "wire/buffer_pool.hpp"
+
 namespace clash::wire {
+
+Writer::Writer() : buf_(BufferPool::local().acquire()) {}
+
+Writer::~Writer() { BufferPool::local().release(std::move(buf_)); }
 
 void Writer::u16(std::uint16_t v) {
   u8(std::uint8_t(v));
@@ -30,6 +37,11 @@ void Writer::str(std::string_view s) {
   u32(std::uint32_t(s.size()));
   bytes(std::span<const std::uint8_t>(
       reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void Writer::patch_u32(std::size_t offset, std::uint32_t v) {
+  assert(offset + 4 <= buf_.size());
+  store_u32_le(buf_.data() + offset, v);
 }
 
 bool Reader::take(std::size_t n) {

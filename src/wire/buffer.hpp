@@ -12,8 +12,38 @@
 
 namespace clash::wire {
 
+// Raw little-endian stores/loads shared by the codec and the TCP
+// framing layer (the u32 length prefix), so framing bytes match the
+// codec on any host endianness.
+inline void store_u32_le(std::uint8_t* p, std::uint32_t v) {
+  p[0] = std::uint8_t(v);
+  p[1] = std::uint8_t(v >> 8);
+  p[2] = std::uint8_t(v >> 16);
+  p[3] = std::uint8_t(v >> 24);
+}
+
+inline std::uint32_t load_u32_le(const std::uint8_t* p) {
+  return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) |
+         (std::uint32_t(p[2]) << 16) | (std::uint32_t(p[3]) << 24);
+}
+
+/// Append-only encoder over a pooled backing buffer. The default
+/// constructor recycles an allocation from the thread's BufferPool and
+/// the destructor returns it, so encoding a message allocates nothing
+/// in steady state; take() transfers the buffer out (the transport
+/// releases it after the flush).
 class Writer {
  public:
+  Writer();
+  ~Writer();
+
+  Writer(Writer&&) noexcept = default;
+  Writer& operator=(Writer&&) noexcept = default;
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
@@ -23,6 +53,10 @@ class Writer {
   void bytes(std::span<const std::uint8_t> data);
   /// Length-prefixed (u32) string.
   void str(std::string_view s);
+
+  /// Overwrite 4 already-written bytes at `offset` (little-endian) —
+  /// fills in length slots reserved before the value was known.
+  void patch_u32(std::size_t offset, std::uint32_t v);
 
   [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }

@@ -1,0 +1,27 @@
+#include "wire/buffer_pool.hpp"
+
+namespace clash::wire {
+
+BufferPool& BufferPool::local() {
+  thread_local BufferPool pool;
+  return pool;
+}
+
+std::vector<std::uint8_t> BufferPool::acquire() {
+  if (free_.empty()) return {};
+  auto buf = std::move(free_.back());
+  free_.pop_back();
+  ++reuses_;
+  return buf;
+}
+
+void BufferPool::release(std::vector<std::uint8_t>&& buf) {
+  if (buf.capacity() == 0 || buf.capacity() > kMaxRetainedBytes ||
+      free_.size() >= kMaxPooled) {
+    return;  // let it free
+  }
+  buf.clear();
+  free_.push_back(std::move(buf));
+}
+
+}  // namespace clash::wire

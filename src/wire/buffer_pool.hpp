@@ -1,0 +1,41 @@
+// Thread-local free list of byte buffers backing the zero-copy frame
+// path: wire::Writer acquires its backing vector here, the finished
+// frame is queued on a Connection without copying, and the Connection
+// releases the vector back once the kernel has consumed it. Buffers
+// keep their capacity across recycles, so steady-state encode/flush
+// cycles allocate nothing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace clash::wire {
+
+class BufferPool {
+ public:
+  /// The calling thread's pool. Each event-loop thread (and each
+  /// client thread) recycles through its own free list, so no locking.
+  static BufferPool& local();
+
+  /// An empty buffer, reusing a recycled allocation when available.
+  [[nodiscard]] std::vector<std::uint8_t> acquire();
+
+  /// Return a buffer for reuse. Oversized or tiny capacities are
+  /// simply freed so one huge frame can't pin memory forever.
+  void release(std::vector<std::uint8_t>&& buf);
+
+  [[nodiscard]] std::size_t pooled() const { return free_.size(); }
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+
+ private:
+  /// Bounds idle memory: at most kMaxPooled buffers of at most
+  /// kMaxRetainedBytes capacity each are kept per thread.
+  static constexpr std::size_t kMaxPooled = 64;
+  static constexpr std::size_t kMaxRetainedBytes = 1u << 20;
+
+  std::vector<std::vector<std::uint8_t>> free_;
+  std::uint64_t reuses_ = 0;
+};
+
+}  // namespace clash::wire

@@ -316,6 +316,22 @@ Expected<AcceptObjectReply> decode_reply(
   return Error::protocol("reply frame does not carry a reply message");
 }
 
+Writer begin_frame(const Envelope& env) {
+  Writer w;
+  w.reserve(128);
+  w.u32(0);  // length slot, patched by finish_frame
+  w.u8(kProtocolVersion);
+  w.u8(std::uint8_t(env.kind));
+  w.u64(env.request_id);
+  w.u64(env.sender.value);
+  return w;
+}
+
+std::vector<std::uint8_t> finish_frame(Writer&& w) {
+  w.patch_u32(0, std::uint32_t(w.size() - 4));
+  return w.take();
+}
+
 std::vector<std::uint8_t> encode_frame(
     const Envelope& env, std::span<const std::uint8_t> payload) {
   Writer w;

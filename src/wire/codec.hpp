@@ -57,7 +57,19 @@ void encode_reply(Writer& w, const AcceptObjectReply& reply);
 
 // --- Frames ------------------------------------------------------------
 
-/// Serialise a full frame (without the u32 length prefix).
+/// Start a length-prefixed wire frame: a 4-byte little-endian length
+/// slot (patched by finish_frame) followed by the envelope header.
+/// Encode the payload directly into the returned Writer — the message
+/// is serialised exactly once, in place, into the buffer the transport
+/// queues and flushes without further copies.
+[[nodiscard]] Writer begin_frame(const Envelope& env);
+
+/// Patch the length slot and release the finished frame (length
+/// prefix included) — ready for Connection::send_wire_frame.
+[[nodiscard]] std::vector<std::uint8_t> finish_frame(Writer&& w);
+
+/// Serialise a full frame (without the u32 length prefix). Legacy
+/// copy path kept for tests and tools; hot paths use begin_frame.
 [[nodiscard]] std::vector<std::uint8_t> encode_frame(
     const Envelope& env, std::span<const std::uint8_t> payload);
 

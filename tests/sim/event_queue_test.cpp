@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace clash::sim {
@@ -51,6 +52,42 @@ TEST(EventQueue, HandlersCanScheduleMore) {
   q.run_until(SimTime::from_seconds(100));
   EXPECT_EQ(count, 5);
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ReserveDoesNotDisturbOrdering) {
+  EventQueue q;
+  q.reserve(1024);
+  std::vector<int> order;
+  // Interleave ties and distinct times across a regrowth-free bulk
+  // schedule; dispatch order must stay (time, insertion) sorted.
+  for (int i = 0; i < 100; ++i) {
+    q.at(SimTime(std::int64_t(i % 7)), [&order, i] { order.push_back(i); });
+  }
+  q.run_until(SimTime(7));
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const auto ta = order[i - 1] % 7, tb = order[i] % 7;
+    EXPECT_TRUE(ta < tb || (ta == tb && order[i - 1] < order[i]))
+        << "out of order at " << i;
+  }
+  EXPECT_EQ(q.processed(), 100u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, MovesEventsOutDuringDispatch) {
+  // A handler owning a uniquely-held resource must be destroyed after
+  // its single dispatch — a copying dispatch would leave a second
+  // owner alive in the heap until run_until returns.
+  EventQueue q;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  long uses_at_dispatch = -1;
+  q.at(SimTime(1), [token = std::move(token), &watch, &uses_at_dispatch] {
+    uses_at_dispatch = watch.use_count();
+  });
+  q.run_until(SimTime(1));
+  EXPECT_EQ(uses_at_dispatch, 1);  // the moved-out event is the only owner
+  EXPECT_TRUE(watch.expired());
 }
 
 TEST(EventQueue, NowAdvancesDuringRun) {
