@@ -1,10 +1,14 @@
-// Fault-tolerance ablation: replication factor vs recovery and cost.
-// Loads a cluster, lets replicas form, then crashes a growing fraction
-// of servers and measures how much state survives and what the
-// replication traffic costs per server per second.
+// Fault-tolerance ablation: replication factor x replication mode
+// (snapshot-only lease vs operation log) vs state survival and cost.
+// Loads a cluster with streams AND continuous queries, lets replicas
+// form, then crashes 25% of the servers and measures how much state
+// survives, what the steady-state replication traffic costs, and how
+// much of it was incremental. Emits a JSON artifact like micro_net.
 //
-// Usage: abl_failover [--servers=64] [--sources=4000] [--seed=42]
+// Usage: abl_failover [--servers=64] [--sources=4000] [--queries=800]
+//                     [--seed=42] [--json=PATH]
 #include <cstdio>
+#include <string>
 
 #include "clash/client.hpp"
 #include "common/argparse.hpp"
@@ -15,81 +19,185 @@
 using namespace clash;
 using namespace clash::sim;
 
+namespace {
+
+struct RunResult {
+  const char* mode;
+  unsigned factor;
+  std::uint64_t failovers;
+  std::uint64_t lost;
+  double streams_kept_pct;
+  double queries_kept_pct;
+  double repl_msgs_per_srv_sec;   // steady-state refresh traffic
+  std::uint64_t snapshot_msgs;    // full-state messages in steady state
+  std::uint64_t delta_msgs;       // incremental messages in steady state
+};
+
+RunResult run_one(ClashConfig::ReplicationMode mode, unsigned factor,
+                  std::size_t n_servers, std::size_t n_sources,
+                  std::size_t n_queries, std::uint64_t seed) {
+  SimCluster::Config cfg;
+  cfg.num_servers = n_servers;
+  cfg.seed = seed;
+  cfg.clash.key_width = 24;
+  cfg.clash.initial_depth = 6;
+  cfg.clash.capacity = 1e9;  // isolate replication from splitting
+  cfg.clash.replication_factor = factor;
+  cfg.clash.replication_mode = mode;
+  SimCluster cluster(cfg);
+  cluster.bootstrap();
+
+  ClashClient client(cluster.clash_config(), cluster.client_env(ServerId{0}),
+                     cluster.hasher());
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n_sources; ++i) {
+    AcceptObject obj;
+    obj.key = Key(rng.next() & 0xFFFFFF, 24);
+    obj.kind = ObjectKind::kData;
+    obj.source = ClientId{i};
+    obj.stream_rate = 1;
+    if (!client.insert(obj).ok) std::abort();
+  }
+  for (std::size_t i = 0; i < n_queries; ++i) {
+    AcceptObject obj;
+    obj.key = Key(rng.next() & 0xFFFFFF, 24);
+    obj.kind = ObjectKind::kQuery;
+    obj.query_id = QueryId{i};
+    if (!client.insert(obj).ok) std::abort();
+  }
+
+  // Steady state: the registrations above already replicated (log mode
+  // streams each op; snapshot mode ships leases at the check). Measure
+  // two quiet check periods of refresh traffic.
+  cluster.set_now(SimTime::from_minutes(5));
+  cluster.run_all_load_checks();
+  const auto before = cluster.total_stats();
+  for (int round = 2; round <= 3; ++round) {
+    cluster.set_now(SimTime::from_minutes(5 * round));
+    cluster.run_all_load_checks();
+  }
+  const auto steady = cluster.total_stats() - before;
+
+  Rng crash_rng(seed + 1);
+  for (std::size_t i = 0; i < n_servers / 4; ++i) {
+    for (;;) {
+      const ServerId victim{crash_rng.below(n_servers)};
+      if (cluster.is_alive(victim)) {
+        cluster.fail_server(victim);
+        break;
+      }
+    }
+  }
+
+  std::size_t streams_kept = 0;
+  std::size_t queries_kept = 0;
+  for (std::size_t i = 0; i < n_servers; ++i) {
+    if (!cluster.is_alive(ServerId{i})) continue;
+    streams_kept += cluster.server(ServerId{i}).total_streams();
+    queries_kept += cluster.server(ServerId{i}).total_queries();
+  }
+  if (const auto err = cluster.check_invariants()) {
+    std::fprintf(stderr, "INVARIANT VIOLATION: %s\n", err->c_str());
+    std::abort();
+  }
+
+  const auto total = cluster.total_stats();
+  RunResult r{};
+  r.mode = mode == ClashConfig::ReplicationMode::kLog ? "log" : "snapshot";
+  r.factor = factor;
+  r.failovers = total.failovers;
+  r.lost = total.groups_lost;
+  r.streams_kept_pct = 100.0 * double(streams_kept) / double(n_sources);
+  r.queries_kept_pct =
+      n_queries == 0 ? 100.0
+                     : 100.0 * double(queries_kept) / double(n_queries);
+  const std::uint64_t refresh =
+      steady.replications + steady.replication_log_messages();
+  r.repl_msgs_per_srv_sec =
+      double(refresh) / 600.0 /* 2 periods */ / double(n_servers);
+  r.snapshot_msgs = steady.replications + steady.snapshot_offers +
+                    steady.snapshot_chunks;
+  r.delta_msgs = steady.repl_appends + steady.repl_acks +
+                 steady.anti_entropy_probes + steady.anti_entropy_diffs;
+  return r;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const auto n_servers = std::size_t(args.get_int("servers", 64));
   const auto n_sources = std::size_t(args.get_int("sources", 4000));
+  const auto n_queries = std::size_t(args.get_int("queries", 800));
   const auto seed = std::uint64_t(args.get_int("seed", 42));
+  const std::string json_path = args.get("json", "");
 
-  std::printf("# Failover ablation: %zu servers, %zu streams, crash 25%% "
-              "of the cluster\n",
-              n_servers, n_sources);
-  std::printf("%-10s %12s %12s %12s %14s %16s\n", "replicas", "failovers",
-              "recovered", "lost", "streams_kept_%", "repl msg/s/srv");
+  std::printf("# Failover ablation: %zu servers, %zu streams, %zu queries, "
+              "crash 25%% of the cluster\n",
+              n_servers, n_sources, n_queries);
+  std::printf("%-9s %-8s %10s %6s %14s %14s %15s %13s %11s\n", "mode",
+              "replicas", "failovers", "lost", "streams_kept_%",
+              "queries_kept_%", "repl msg/s/srv", "snapshot_msgs",
+              "delta_msgs");
 
-  for (const unsigned factor : {0u, 1u, 2u, 3u}) {
-    SimCluster::Config cfg;
-    cfg.num_servers = n_servers;
-    cfg.seed = seed;
-    cfg.clash.key_width = 24;
-    cfg.clash.initial_depth = 6;
-    cfg.clash.capacity = 1e9;  // isolate replication from splitting
-    cfg.clash.replication_factor = factor;
-    SimCluster cluster(cfg);
-    cluster.bootstrap();
+  std::string json = "{\n  \"bench\": \"abl_failover\",\n  \"runs\": [\n";
+  bool first = true;
+  for (const auto mode : {ClashConfig::ReplicationMode::kSnapshot,
+                          ClashConfig::ReplicationMode::kLog}) {
+    for (const unsigned factor : {0u, 1u, 2u, 3u}) {
+      const RunResult r = run_one(mode, factor, n_servers, n_sources,
+                                  n_queries, seed);
+      std::printf("%-9s %-8u %10llu %6llu %14.1f %14.1f %15.3f %13llu "
+                  "%11llu\n",
+                  r.mode, r.factor, (unsigned long long)r.failovers,
+                  (unsigned long long)r.lost, r.streams_kept_pct,
+                  r.queries_kept_pct, r.repl_msgs_per_srv_sec,
+                  (unsigned long long)r.snapshot_msgs,
+                  (unsigned long long)r.delta_msgs);
+      char line[320];
+      std::snprintf(
+          line, sizeof(line),
+          "    %s{\"mode\": \"%s\", \"factor\": %u, \"failovers\": %llu, "
+          "\"groups_lost\": %llu, \"streams_kept_pct\": %.1f, "
+          "\"queries_kept_pct\": %.1f, \"repl_msgs_per_srv_sec\": %.3f, "
+          "\"snapshot_msgs\": %llu, \"delta_msgs\": %llu}",
+          first ? "" : ",", r.mode, r.factor,
+          (unsigned long long)r.failovers, (unsigned long long)r.lost,
+          r.streams_kept_pct, r.queries_kept_pct, r.repl_msgs_per_srv_sec,
+          (unsigned long long)r.snapshot_msgs,
+          (unsigned long long)r.delta_msgs);
+      json += line;
+      json += "\n";
+      first = false;
 
-    ClashClient client(cluster.clash_config(),
-                       cluster.client_env(ServerId{0}), cluster.hasher());
-    Rng rng(seed);
-    for (std::size_t i = 0; i < n_sources; ++i) {
-      AcceptObject obj;
-      obj.key = Key(rng.next() & 0xFFFFFF, 24);
-      obj.kind = ObjectKind::kData;
-      obj.source = ClientId{i};
-      obj.stream_rate = 1;
-      if (!client.insert(obj).ok) return 1;
-    }
-    // Two check periods of replica refresh.
-    for (int round = 1; round <= 2; ++round) {
-      cluster.set_now(SimTime::from_minutes(5 * round));
-      cluster.run_all_load_checks();
-    }
-    const auto stats_before = cluster.total_stats();
-
-    std::size_t recovered = 0;
-    Rng crash_rng(seed + 1);
-    for (std::size_t i = 0; i < n_servers / 4; ++i) {
-      for (;;) {
-        const ServerId victim{crash_rng.below(n_servers)};
-        if (cluster.is_alive(victim)) {
-          recovered += cluster.fail_server(victim);
-          break;
-        }
+      // Acceptance gate: under the log engine, factor >= 2 must keep
+      // 100% of the state through a 25% cluster loss.
+      if (mode == ClashConfig::ReplicationMode::kLog && factor >= 2 &&
+          (r.streams_kept_pct < 100.0 || r.queries_kept_pct < 100.0)) {
+        std::fprintf(stderr,
+                     "FAIL: log mode factor %u lost state (%.1f%% streams, "
+                     "%.1f%% queries)\n",
+                     factor, r.streams_kept_pct, r.queries_kept_pct);
+        return 1;
       }
     }
+  }
+  json += "  ]\n}\n";
 
-    std::size_t streams_kept = 0;
-    for (std::size_t i = 0; i < n_servers; ++i) {
-      if (!cluster.is_alive(ServerId{i})) continue;
-      streams_kept += cluster.server(ServerId{i}).total_streams();
-    }
-    const auto total = cluster.total_stats();
-    const double repl_rate =
-        double(stats_before.replications) /
-        (600.0 /* 2 periods */) / double(n_servers);
-    std::printf("%-10u %12llu %12zu %12llu %14.1f %16.3f\n", factor,
-                (unsigned long long)total.failovers, recovered,
-                (unsigned long long)total.groups_lost,
-                100.0 * double(streams_kept) / double(n_sources), repl_rate);
-    if (const auto err = cluster.check_invariants()) {
-      std::fprintf(stderr, "INVARIANT VIOLATION: %s\n", err->c_str());
+  std::printf(
+      "\n# expectation: factor 0 loses every crashed group's state; factor "
+      ">= 2 keeps 100%%. The log engine replaces per-period full snapshots "
+      "with (epoch, seq) probes -- compare snapshot_msgs vs delta_msgs for "
+      "the steady-state cost.\n");
+
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 1;
     }
   }
-
-  std::printf(
-      "\n# expectation: factor 0 loses every crashed group's state; "
-      "factor >= 2 keeps ~100%% through a 25%% cluster loss at a small "
-      "per-server message cost\n");
   return 0;
 }

@@ -70,6 +70,26 @@ struct ClashConfig {
   /// LOAD_CHECK_PERIOD; when a server fails, the DHT's new owner of the
   /// group promotes its replica. Staleness is bounded by one period.
   unsigned replication_factor = 0;
+
+  /// How replicas track the owner (src/repl/):
+  ///  - kSnapshot: the original lease scheme — a full state snapshot
+  ///    every check period. Staleness up to one period; cost linear in
+  ///    state size per period.
+  ///  - kLog: per-group operation log. Every mutation is appended and
+  ///    streamed to the replica set immediately; the periodic traffic
+  ///    shrinks to an (epoch, seq) anti-entropy probe; failover and
+  ///    rejoin pull exactly the missing suffix (snapshot only when the
+  ///    suffix was compacted). Staleness ~ one message delay.
+  enum class ReplicationMode : std::uint8_t { kSnapshot, kLog };
+  ReplicationMode replication_mode = ReplicationMode::kSnapshot;
+
+  /// Log mode: retained entries per group log before the owner cuts a
+  /// fresh snapshot and compacts (bounds both memory and the size of a
+  /// catch-up delta).
+  unsigned log_compact_threshold = 256;
+
+  /// Log mode: streams+queries per SnapshotChunk message.
+  unsigned snapshot_chunk_objects = 128;
 };
 
 }  // namespace clash

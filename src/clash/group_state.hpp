@@ -1,0 +1,25 @@
+// The objects held by one key group: stream registrations and stored
+// continuous queries. Split out of server.hpp so the replication log
+// (src/repl/) can apply operations to group state without pulling in
+// the whole server.
+#pragma once
+
+#include <map>
+
+#include "clash/objects.hpp"
+#include "common/types.hpp"
+
+namespace clash {
+
+/// Objects (stream registrations + stored queries) held by one group.
+struct GroupState {
+  std::map<ClientId, StreamInfo> streams;
+  std::map<QueryId, QueryInfo> queries;
+  double stream_rate = 0;  // invariant: sum of streams[*].rate
+
+  [[nodiscard]] bool empty() const {
+    return streams.empty() && queries.empty();
+  }
+};
+
+}  // namespace clash

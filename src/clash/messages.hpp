@@ -7,30 +7,13 @@
 #include <variant>
 #include <vector>
 
+#include "clash/objects.hpp"
 #include "common/types.hpp"
 #include "keys/key.hpp"
 #include "keys/key_group.hpp"
+#include "repl/op.hpp"
 
 namespace clash {
-
-/// What an ACCEPT_OBJECT carries: a data packet (transient, processed
-/// and dropped) or a continuous query (stored state, migrated on split).
-enum class ObjectKind : std::uint8_t { kData, kQuery };
-
-/// A stored stream registration: the sim registers each source's
-/// per-stream data rate with the server managing its group so loads are
-/// exact without per-packet events.
-struct StreamInfo {
-  ClientId source;
-  Key key{0, 24};
-  double rate = 0;  // packets/sec
-};
-
-/// A stored continuous query.
-struct QueryInfo {
-  QueryId id;
-  Key key{0, 24};
-};
 
 /// Client -> server. The client believes `key`'s group has depth
 /// `depth`. `probe_only` resolves without storing (used by lookups).
@@ -64,6 +47,12 @@ struct IncorrectDepth {
 struct AcceptKeyGroup {
   KeyGroup group;
   ServerId parent;  // who keeps the parent table entry
+  /// Handoff transfers (ring re-admission) preserve the entry's root
+  /// flag and lineage; splits always send root == false.
+  bool root = false;
+  /// Highest log epoch the sender used for the group (0 when unknown /
+  /// snapshot mode); the receiver starts its log strictly above it.
+  std::uint64_t epoch = 0;
   std::vector<StreamInfo> streams;
   std::vector<QueryInfo> queries;
   std::vector<std::uint8_t> app_state;
@@ -117,6 +106,83 @@ struct DropReplica {
   KeyGroup group;
 };
 
+// --- Replication & recovery (src/repl/) -------------------------------
+
+/// Owner (or a repairing peer) -> replica holder: a contiguous log
+/// suffix. Entries carry seqs (base_seq, base_seq + entries.size()]
+/// under `epoch`; the receiver must sit at (epoch, >= base_seq) to
+/// apply (overlap is skipped idempotently), otherwise it answers with
+/// a ReplAck{ok: false} naming its real head so the sender can diff
+/// it forward.
+struct ReplAppend {
+  KeyGroup group;
+  ServerId owner;  // authoritative owner (may differ from the sender)
+  std::uint64_t epoch = 0;
+  std::uint64_t base_seq = 0;
+  std::vector<repl::LogOp> entries;
+};
+
+/// Replica -> sender: applied up to `head`. `ok == false` flags an
+/// append that could not be applied; the head tells the sender where
+/// to diff from.
+struct ReplAck {
+  KeyGroup group;
+  repl::LogHead head;
+  bool ok = true;
+};
+
+/// Owner (or repairing peer) -> holder: a full snapshot of the group at
+/// `head` follows in `total_chunks` SnapshotChunk messages. Carries the
+/// replica-record metadata (owner, root flag, lineage parent).
+struct SnapshotOffer {
+  KeyGroup group;
+  ServerId owner;
+  repl::LogHead head;
+  bool root = false;
+  ServerId parent{};
+  std::uint32_t total_chunks = 1;
+};
+
+/// One slice of an announced snapshot: a batch of streams/queries plus
+/// an application-state fragment (fragments concatenate in chunk
+/// order). `app_deltas` is non-empty only for peer-built snapshots:
+/// opaque application deltas logged after the app fragment was cut,
+/// replayed in order at promotion.
+struct SnapshotChunk {
+  KeyGroup group;
+  repl::LogHead head;
+  std::uint32_t index = 0;
+  std::uint32_t total = 1;
+  std::vector<StreamInfo> streams;
+  std::vector<QueryInfo> queries;
+  std::vector<std::uint8_t> app_state;
+  std::vector<std::vector<std::uint8_t>> app_deltas;
+};
+
+/// One element of an anti-entropy (epoch, seq) vector.
+struct GroupHead {
+  KeyGroup group;
+  repl::LogHead head;
+};
+
+/// Owner -> replica set (anti-entropy timer): "my active groups stand
+/// at these heads". Holders that are behind answer AntiEntropyDiff;
+/// up-to-date holders stay silent — the steady-state cost is one tiny
+/// head vector per period instead of a full state snapshot.
+struct AntiEntropyProbe {
+  ServerId owner;
+  std::vector<GroupHead> heads;
+};
+
+/// "I am behind": the receiver (owner or any fresher holder) responds
+/// with the missing log suffix (ReplAppend) or a snapshot when the
+/// suffix was compacted away. Also the failover pull — a promoting
+/// heir sends its replica heads to the surviving holders and installs
+/// only after the freshest peer repaired it.
+struct AntiEntropyDiff {
+  std::vector<GroupHead> behind;
+};
+
 // --- SWIM membership (src/membership/) --------------------------------
 
 /// Member lifecycle states disseminated by the membership subsystem.
@@ -152,7 +218,9 @@ struct Gossip {
 using Message =
     std::variant<AcceptObject, AcceptObjectOk, IncorrectDepth, AcceptKeyGroup,
                  AcceptKeyGroupAck, LoadReport, ReclaimKeyGroup, ReclaimAck,
-                 ReclaimRefused, ReplicateGroup, DropReplica, Gossip>;
+                 ReclaimRefused, ReplicateGroup, DropReplica, Gossip,
+                 ReplAppend, ReplAck, SnapshotOffer, SnapshotChunk,
+                 AntiEntropyProbe, AntiEntropyDiff>;
 
 /// Reply to an ACCEPT_OBJECT.
 using AcceptObjectReply = std::variant<AcceptObjectOk, IncorrectDepth>;

@@ -1,0 +1,33 @@
+// The stored-object descriptors shared by protocol messages, group
+// state, and the replication log: stream registrations and continuous
+// queries. Split out of messages.hpp so src/repl/ op types can carry
+// them without pulling in the whole message set.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "keys/key.hpp"
+
+namespace clash {
+
+/// What an ACCEPT_OBJECT carries: a data packet (transient, processed
+/// and dropped) or a continuous query (stored state, migrated on split).
+enum class ObjectKind : std::uint8_t { kData, kQuery };
+
+/// A stored stream registration: the sim registers each source's
+/// per-stream data rate with the server managing its group so loads are
+/// exact without per-packet events.
+struct StreamInfo {
+  ClientId source;
+  Key key{0, 24};
+  double rate = 0;  // packets/sec
+};
+
+/// A stored continuous query.
+struct QueryInfo {
+  QueryId id;
+  Key key{0, 24};
+};
+
+}  // namespace clash

@@ -50,11 +50,16 @@ AcceptObjectReply ClashServer::handle_accept_object(const AcceptObject& m) {
     GroupState& gs = state_[entry->group];
     if (m.kind == ObjectKind::kQuery) {
       gs.queries[m.query_id] = QueryInfo{m.query_id, m.key};
+      log_op(entry->group,
+             repl::LogOp::put_query(QueryInfo{m.query_id, m.key}));
     } else {
       auto [it, inserted] = gs.streams.try_emplace(m.source);
       if (!inserted) gs.stream_rate -= it->second.rate;
       it->second = StreamInfo{m.source, m.key, m.stream_rate};
       gs.stream_rate += m.stream_rate;
+      log_op(entry->group,
+             repl::LogOp::put_stream(StreamInfo{m.source, m.key,
+                                                m.stream_rate}));
     }
   }
   return AcceptObjectOk{entry->group.depth()};
@@ -70,6 +75,7 @@ void ClashServer::remove_stream(ClientId source, const Key& key) {
   st->second.stream_rate -= it->second.rate;
   if (st->second.stream_rate < 0) st->second.stream_rate = 0;  // fp dust
   st->second.streams.erase(it);
+  log_op(entry->group, repl::LogOp::del_stream(source));
   maybe_gc_group(entry->group);
 }
 
@@ -79,11 +85,15 @@ void ClashServer::remove_query(QueryId id, const Key& key) {
   const auto st = state_.find(entry->group);
   if (st == state_.end()) return;
   st->second.queries.erase(id);
+  log_op(entry->group, repl::LogOp::del_query(id));
   maybe_gc_group(entry->group);
 }
 
-void ClashServer::maybe_gc_group(const KeyGroup& group) {
+void ClashServer::maybe_gc_group(const KeyGroup& group_ref) {
   if (!cfg_.ephemeral_groups) return;
+  // Callers pass a reference into the table entry that table_.erase is
+  // about to free — copy first.
+  const KeyGroup group = group_ref;
   const auto st = state_.find(group);
   if (st == state_.end() || !st->second.empty()) return;
   state_.erase(st);
@@ -114,6 +124,18 @@ void ClashServer::deliver(ServerId from, const Message& msg) {
           handle_replicate(from, m);
         } else if constexpr (std::is_same_v<T, DropReplica>) {
           handle_drop_replica(from, m);
+        } else if constexpr (std::is_same_v<T, ReplAppend>) {
+          handle_repl_append(from, m);
+        } else if constexpr (std::is_same_v<T, ReplAck>) {
+          handle_repl_ack(from, m);
+        } else if constexpr (std::is_same_v<T, SnapshotOffer>) {
+          handle_snapshot_offer(from, m);
+        } else if constexpr (std::is_same_v<T, SnapshotChunk>) {
+          handle_snapshot_chunk(from, m);
+        } else if constexpr (std::is_same_v<T, AntiEntropyProbe>) {
+          handle_ae_probe(from, m);
+        } else if constexpr (std::is_same_v<T, AntiEntropyDiff>) {
+          handle_ae_diff(from, m);
         } else if constexpr (std::is_same_v<T, AcceptKeyGroupAck>) {
           // Acknowledgement only; transfer already applied locally.
         } else {
@@ -131,6 +153,7 @@ void ClashServer::handle_accept_keygroup(ServerId from,
   ServerTableEntry entry;
   entry.group = m.group;
   entry.parent = m.parent;
+  entry.root = m.root;  // handoffs preserve lineage; splits send false
   entry.active = true;
   table_.insert(entry);
   env_.on_group_activated(m.group);
@@ -144,12 +167,16 @@ void ClashServer::handle_accept_keygroup(ServerId from,
   if (app_hooks_ != nullptr && !m.app_state.empty()) {
     app_hooks_->import_state(m.group, m.app_state);
   }
+  // A transfer supersedes any in-flight recovery of the same group
+  // (e.g. a handoff landing inside a promotion grace window).
+  recovery_.cancel(m.group);
 
   // Replicate the freshly adopted group now rather than at the next
   // load check: a group must never live a whole check period with no
   // replica, or its owner's crash in that window would lose it (and,
   // in the deployed layer, leave its key range unroutable -- no
   // survivor would even know the group existed).
+  if (log_replication()) init_group_log(m.group, m.epoch + 1);
   if (cfg_.replication_factor > 0) replicate_group(entry);
 
   env_.send(from, AcceptKeyGroupAck{m.group});
@@ -375,8 +402,29 @@ void ClashServer::split_group(const KeyGroup& group,
 // ---------------------------------------------------------------------------
 
 void ClashServer::run_load_check() {
+  // The replica lease must track the cadence this method actually runs
+  // at: the deployment layer drives it on its own interval, which may
+  // be far longer than ClashConfig::load_check_period — deriving the
+  // lease from the config alone could expire perfectly live replicas
+  // between two refreshes.
+  const SimTime now = env_.now();
+  if (last_load_check_.usec >= 0) {
+    observed_check_gap_usec_ =
+        std::max(observed_check_gap_usec_, (now - last_load_check_).usec);
+  }
+  last_load_check_ = now;
   send_load_reports();
-  if (cfg_.replication_factor > 0) send_replicas();
+  gc_stale_replicas();
+  if (cfg_.replication_factor > 0) {
+    // Log mode: the steady-state refresh shrinks from a full snapshot
+    // per group to one (epoch, seq) vector per holder — divergence is
+    // repaired by exactly the missing suffix.
+    if (log_replication()) {
+      send_anti_entropy();
+    } else {
+      send_replicas();
+    }
+  }
   const double load = server_load();
   switch (classify_load(cfg_, load)) {
     case LoadVerdict::kOverloaded:
@@ -554,6 +602,12 @@ void ClashServer::send_replicas() {
 }
 
 void ClashServer::replicate_group(const ServerTableEntry& entry) {
+  if (log_replication()) {
+    // Log mode: a full snapshot (activation, compaction) instead of a
+    // lease refresh; steady-state protection flows through log_op.
+    snapshot_group(entry);
+    return;
+  }
   const auto targets = env_.replica_targets(
       hasher_.hash_key(entry.group.virtual_key()), cfg_.replication_factor);
   if (targets.empty()) return;
@@ -576,6 +630,7 @@ void ClashServer::replicate_group(const ServerTableEntry& entry) {
 }
 
 void ClashServer::retire_replicas(const KeyGroup& group) {
+  drop_group_log(group);
   if (cfg_.replication_factor == 0) return;
   const auto targets = env_.replica_targets(
       hasher_.hash_key(group.virtual_key()), cfg_.replication_factor);
@@ -585,12 +640,26 @@ void ClashServer::retire_replicas(const KeyGroup& group) {
   }
 }
 
+void ClashServer::gc_stale_replicas() {
+  const SimTime now = env_.now();
+  const auto lease = SimTime(
+      std::max(cfg_.load_check_period.usec, observed_check_gap_usec_) * 3);
+  for (auto it = replicas_.begin(); it != replicas_.end();) {
+    if (now - it->second.refreshed > lease) {
+      it = replicas_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void ClashServer::handle_replicate(ServerId /*from*/,
                                    const ReplicateGroup& m) {
   ReplicaRecord rec;
   rec.owner = m.owner;
   rec.root = m.root;
   rec.parent = m.parent;
+  rec.refreshed = env_.now();
   for (const auto& s : m.streams) {
     rec.state.streams[s.source] = s;
     rec.state.stream_rate += s.rate;
@@ -604,11 +673,503 @@ void ClashServer::handle_drop_replica(ServerId /*from*/,
   replicas_.erase(m.group);
 }
 
+// ---------------------------------------------------------------------------
+// Replication & recovery subsystem (src/repl/): per-group operation
+// log, snapshot + delta state transfer, anti-entropy repair.
+// ---------------------------------------------------------------------------
+
+std::vector<ServerId> ClashServer::replica_set(const KeyGroup& group) {
+  return env_.replica_targets(hasher_.hash_key(group.virtual_key()),
+                              cfg_.replication_factor);
+}
+
+void ClashServer::adopt_bare_group(ServerTableEntry& entry) {
+  // No replica anywhere: adopt the bare group so the key space stays
+  // covered. Lineage above is unknown, so the entry becomes a root.
+  entry.root = true;
+  table_.insert(entry);
+  state_.try_emplace(entry.group);
+  env_.on_group_activated(entry.group);
+  stats_.failovers++;
+  stats_.groups_lost++;
+}
+
+void ClashServer::init_group_log(const KeyGroup& group,
+                                 std::uint64_t min_epoch) {
+  std::uint64_t epoch = std::max<std::uint64_t>(min_epoch, 1);
+  const auto it = retired_epochs_.find(group);
+  if (it != retired_epochs_.end()) epoch = std::max(epoch, it->second + 1);
+  logs_.insert_or_assign(group, repl::GroupLog(epoch, 0));
+}
+
+void ClashServer::drop_group_log(const KeyGroup& group) {
+  const auto it = logs_.find(group);
+  if (it == logs_.end()) return;
+  retired_epochs_[group] = it->second.epoch();
+  logs_.erase(it);
+}
+
+void ClashServer::log_op(const KeyGroup& group, repl::LogOp op) {
+  if (!log_replication()) return;
+  auto lit = logs_.find(group);
+  if (lit == logs_.end()) {
+    init_group_log(group, 1);
+    lit = logs_.find(group);
+  }
+  repl::GroupLog& log = lit->second;
+  const std::uint64_t base = log.head().seq;
+
+  ReplAppend msg;
+  msg.group = group;
+  msg.owner = self_;
+  msg.epoch = log.epoch();
+  msg.base_seq = base;
+  msg.entries.push_back(op);
+  log.append(std::move(op));
+
+  for (const ServerId target : replica_set(group)) {
+    if (target != self_) env_.send(target, msg);
+  }
+
+  // Bound the retained suffix: cut a fresh snapshot boundary once the
+  // log outgrows the threshold (the snapshot resets every holder).
+  if (log.size() > cfg_.log_compact_threshold) {
+    const ServerTableEntry* entry = table_.find(group);
+    if (entry != nullptr && entry->active) {
+      stats_.log_compactions++;
+      snapshot_group(*entry);
+    }
+  }
+}
+
+bool ClashServer::append_app_delta(const KeyGroup& group,
+                                   std::vector<std::uint8_t> delta) {
+  const ServerTableEntry* entry = table_.find(group);
+  if (entry == nullptr || !entry->active) return false;
+  log_op(group, repl::LogOp::app_delta_op(std::move(delta)));
+  return true;
+}
+
+void ClashServer::snapshot_group(const ServerTableEntry& entry) {
+  auto lit = logs_.find(entry.group);
+  if (lit == logs_.end()) {
+    init_group_log(entry.group, 1);
+    lit = logs_.find(entry.group);
+  }
+  // The snapshot defines the new compaction boundary at the current
+  // head; anyone behind it is repaired by the snapshot itself.
+  lit->second.compact();
+  for (const ServerId target : replica_set(entry.group)) {
+    if (target != self_) send_snapshot_to(target, entry);
+  }
+}
+
+void ClashServer::send_snapshot_to(ServerId to,
+                                   const ServerTableEntry& entry) {
+  const auto lit = logs_.find(entry.group);
+  const repl::LogHead head =
+      lit != logs_.end() ? lit->second.head() : repl::LogHead{1, 0};
+  static const GroupState kEmpty;
+  const auto st = state_.find(entry.group);
+  const GroupState& gs = st != state_.end() ? st->second : kEmpty;
+  std::vector<std::uint8_t> app;
+  if (app_hooks_ != nullptr) app = app_hooks_->snapshot_state(entry.group);
+  send_state_snapshot(to, entry.group, gs, head, entry.root, entry.parent,
+                      self_, app, {});
+}
+
+void ClashServer::send_state_snapshot(
+    ServerId to, const KeyGroup& group, const GroupState& st,
+    repl::LogHead head, bool root, ServerId parent, ServerId owner,
+    const std::vector<std::uint8_t>& app_state,
+    const std::vector<std::vector<std::uint8_t>>& app_deltas) {
+  const std::size_t per_chunk = std::max(1u, cfg_.snapshot_chunk_objects);
+  const std::size_t objects = st.streams.size() + st.queries.size();
+  const auto total =
+      std::uint32_t(std::max<std::size_t>(1, (objects + per_chunk - 1) /
+                                                 per_chunk));
+  SnapshotOffer offer;
+  offer.group = group;
+  offer.owner = owner;
+  offer.head = head;
+  offer.root = root;
+  offer.parent = parent;
+  offer.total_chunks = total;
+  env_.send(to, offer);
+
+  auto stream_it = st.streams.begin();
+  auto query_it = st.queries.begin();
+  for (std::uint32_t idx = 0; idx < total; ++idx) {
+    SnapshotChunk chunk;
+    chunk.group = group;
+    chunk.head = head;
+    chunk.index = idx;
+    chunk.total = total;
+    std::size_t in_chunk = 0;
+    while (in_chunk < per_chunk && stream_it != st.streams.end()) {
+      chunk.streams.push_back(stream_it->second);
+      ++stream_it;
+      ++in_chunk;
+    }
+    while (in_chunk < per_chunk && query_it != st.queries.end()) {
+      chunk.queries.push_back(query_it->second);
+      ++query_it;
+      ++in_chunk;
+    }
+    if (idx == 0) {  // app payload rides whole on the first chunk
+      chunk.app_state = app_state;
+      chunk.app_deltas = app_deltas;
+    }
+    env_.send(to, std::move(chunk));
+  }
+}
+
+void ClashServer::send_anti_entropy() {
+  std::map<ServerId, std::vector<GroupHead>> per_holder;
+  for (const ServerTableEntry* e : table_.active_entries()) {
+    const auto lit = logs_.find(e->group);
+    if (lit == logs_.end()) {
+      replicate_group(*e);  // missing log: heal with a fresh snapshot
+      continue;
+    }
+    const auto head = lit->second.head();
+    for (const ServerId target : replica_set(e->group)) {
+      if (target != self_) {
+        per_holder[target].push_back(GroupHead{e->group, head});
+      }
+    }
+  }
+  for (auto& [holder, heads] : per_holder) {
+    env_.send(holder, AntiEntropyProbe{self_, std::move(heads)});
+  }
+}
+
+void ClashServer::handle_repl_append(ServerId from, const ReplAppend& m) {
+  // Never apply replica traffic to a group this server actively owns
+  // (a stale owner racing a promotion).
+  if (const auto* entry = table_.find(m.group);
+      entry != nullptr && entry->active) {
+    return;
+  }
+  const auto it = replicas_.find(m.group);
+  if (it == replicas_.end()) {
+    // No base to apply deltas onto: nack so the sender repairs us.
+    env_.send(from, ReplAck{m.group, repl::LogHead{}, false});
+    return;
+  }
+  ReplicaRecord& rec = it->second;
+  rec.refreshed = env_.now();
+  const repl::LogHead tip{m.epoch, m.base_seq + m.entries.size()};
+  if (rec.advertised < tip) rec.advertised = tip;
+  if (m.owner.valid()) rec.owner = m.owner;
+
+  const repl::LogHead head = rec.log.head();
+  if (m.epoch != head.epoch || m.base_seq > head.seq) {
+    // Epoch change or a gap: nack with our real head; the sender
+    // diffs us forward (suffix or snapshot).
+    env_.send(from, ReplAck{m.group, head, false});
+    return;
+  }
+  // Skip the overlap (idempotent re-delivery), apply the rest.
+  const std::size_t skip = std::size_t(head.seq - m.base_seq);
+  for (std::size_t i = skip; i < m.entries.size(); ++i) {
+    const repl::LogOp& op = m.entries[i];
+    repl::GroupLog::apply(op, rec.state);
+    if (op.kind == repl::OpKind::kAppDelta) {
+      rec.app_tail.push_back(op.app_delta);
+    }
+    rec.log.append(op);
+  }
+  const std::size_t applied =
+      m.entries.size() > skip ? m.entries.size() - skip : 0;
+  if (applied > 0 && recovery_.active(m.group)) {
+    recovery_.note_entries_repaired(m.group, applied);
+  }
+  env_.send(from, ReplAck{m.group, rec.log.head(), true});
+}
+
+void ClashServer::handle_repl_ack(ServerId from, const ReplAck& m) {
+  // Positive acks confirm progress and need no bookkeeping; a nack
+  // asks for repair, served from the owner log or, on a non-owner
+  // (peer recovery), from the replica record.
+  if (!m.ok) repair_peer(from, m.group, m.head);
+}
+
+void ClashServer::handle_snapshot_offer(ServerId /*from*/,
+                                        const SnapshotOffer& m) {
+  if (const auto* entry = table_.find(m.group);
+      entry != nullptr && entry->active) {
+    return;
+  }
+  ReplicaRecord& rec = replicas_[m.group];
+  rec.refreshed = env_.now();
+  ReplicaRecord::PendingSnapshot pending;
+  pending.head = m.head;
+  pending.owner = m.owner;
+  pending.root = m.root;
+  pending.parent = m.parent;
+  pending.total = m.total_chunks;
+  rec.pending = std::move(pending);
+}
+
+void ClashServer::handle_snapshot_chunk(ServerId from,
+                                        const SnapshotChunk& m) {
+  if (const auto* entry = table_.find(m.group);
+      entry != nullptr && entry->active) {
+    return;
+  }
+  const auto it = replicas_.find(m.group);
+  if (it == replicas_.end()) return;  // offer was never seen
+  ReplicaRecord& rec = it->second;
+  rec.refreshed = env_.now();
+  if (!rec.pending || rec.pending->head != m.head ||
+      m.index != rec.pending->received || m.total != rec.pending->total) {
+    rec.pending.reset();  // stream out of sync; anti-entropy retries
+    return;
+  }
+  ReplicaRecord::PendingSnapshot& p = *rec.pending;
+  for (const auto& s : m.streams) {
+    p.state.streams[s.source] = s;
+    p.state.stream_rate += s.rate;
+  }
+  for (const auto& q : m.queries) p.state.queries[q.id] = q;
+  p.app_state.insert(p.app_state.end(), m.app_state.begin(),
+                     m.app_state.end());
+  for (const auto& d : m.app_deltas) p.app_deltas.push_back(d);
+  if (++p.received < p.total) return;
+
+  // Complete: install the image and re-anchor the retained log.
+  rec.owner = p.owner;
+  rec.root = p.root;
+  rec.parent = p.parent;
+  rec.state = std::move(p.state);
+  rec.app_snapshot = std::move(p.app_state);
+  rec.app_tail = std::move(p.app_deltas);
+  rec.log.reset(m.head.epoch, m.head.seq);
+  if (rec.advertised < m.head) rec.advertised = m.head;
+  rec.pending.reset();
+  if (recovery_.active(m.group)) recovery_.note_snapshot_pulled(m.group);
+  env_.send(from, ReplAck{m.group, rec.log.head(), true});
+}
+
+void ClashServer::handle_ae_probe(ServerId from, const AntiEntropyProbe& m) {
+  AntiEntropyDiff diff;
+  for (const GroupHead& gh : m.heads) {
+    if (const auto* entry = table_.find(gh.group);
+        entry != nullptr && entry->active) {
+      continue;  // both sides claim ownership; promotion sorts it out
+    }
+    const auto it = replicas_.find(gh.group);
+    if (it == replicas_.end()) {
+      diff.behind.push_back(GroupHead{gh.group, repl::LogHead{}});
+      continue;
+    }
+    ReplicaRecord& rec = it->second;
+    rec.refreshed = env_.now();
+    if (rec.advertised < gh.head) rec.advertised = gh.head;
+    if (m.owner.valid()) rec.owner = m.owner;
+    const auto head = rec.log.head();
+    if (head == gh.head) continue;
+    if (head.epoch == gh.head.epoch && head < gh.head) {
+      diff.behind.push_back(GroupHead{gh.group, head});
+    } else {
+      // Epoch drift in either direction: our copy belongs to a dead
+      // ownership line — the probing owner is the authority, resync
+      // from scratch.
+      diff.behind.push_back(GroupHead{gh.group, repl::LogHead{}});
+    }
+  }
+  if (!diff.behind.empty()) env_.send(from, diff);
+}
+
+void ClashServer::handle_ae_diff(ServerId from, const AntiEntropyDiff& m) {
+  for (const GroupHead& gh : m.behind) repair_peer(from, gh.group, gh.head);
+}
+
+void ClashServer::repair_peer(ServerId to, const KeyGroup& group,
+                              repl::LogHead have) {
+  // Active-owner path: repair from the authoritative log.
+  const ServerTableEntry* entry = table_.find(group);
+  if (entry != nullptr && entry->active) {
+    const auto lit = logs_.find(group);
+    if (lit == logs_.end()) return;  // snapshot mode: nothing to diff
+    repl::GroupLog& log = lit->second;
+    std::vector<repl::LogOp> out;
+    if (have.epoch == log.epoch() && log.suffix_from(have.seq, out)) {
+      if (!out.empty()) {
+        env_.send(to, ReplAppend{group, self_, log.epoch(), have.seq,
+                                 std::move(out)});
+      }
+    } else {
+      send_snapshot_to(to, *entry);
+    }
+    return;
+  }
+  // Peer path (owner dead, a promoting heir is pulling): repair from
+  // our replica when it is strictly fresher than the requester.
+  const auto rit = replicas_.find(group);
+  if (rit == replicas_.end()) return;
+  ReplicaRecord& rec = rit->second;
+  const auto head = rec.log.head();
+  if (!(have < head)) return;
+  std::vector<repl::LogOp> out;
+  if (have.epoch == head.epoch && rec.log.suffix_from(have.seq, out)) {
+    if (!out.empty()) {
+      env_.send(to, ReplAppend{group, rec.owner, head.epoch, have.seq,
+                               std::move(out)});
+    }
+    return;
+  }
+  // The requester predates our retained suffix: ship a peer-built
+  // snapshot — object state at our head, app snapshot + delta tail.
+  send_state_snapshot(to, group, rec.state, head, rec.root, rec.parent,
+                      rec.owner, rec.app_snapshot, rec.app_tail);
+}
+
+void ClashServer::begin_group_recovery(const KeyGroup& group) {
+  if (!log_replication()) return;
+  if (const auto* entry = table_.find(group);
+      entry != nullptr && entry->active) {
+    return;
+  }
+  const auto it = replicas_.find(group);
+  const repl::LogHead start =
+      it != replicas_.end() ? it->second.log.head() : repl::LogHead{};
+  if (!recovery_.begin(group, start)) return;  // probes already out
+  const AntiEntropyDiff pull{{GroupHead{group, start}}};
+  for (const ServerId peer : replica_set(group)) {
+    if (peer != self_) env_.send(peer, pull);
+  }
+}
+
+bool ClashServer::promote_with_recovery(const KeyGroup& group) {
+  // Pull the freshest suffix from the surviving holders before
+  // installing anything: a replica that lags the highest advertised
+  // head is repaired (or superseded by a fresher peer), never silently
+  // promoted. Synchronous transports complete the repair inside
+  // begin_group_recovery; the TCP layer opened the session during its
+  // recovery-grace window.
+  begin_group_recovery(group);
+
+  const auto it = replicas_.find(group);
+  const bool recovered = it != replicas_.end();
+
+  ServerTableEntry entry;
+  entry.group = group;
+  entry.active = true;
+  repl::LogHead head;
+  repl::LogHead advertised;
+  if (recovered) {
+    ReplicaRecord& rec = it->second;
+    head = rec.log.head();
+    advertised = rec.advertised;
+    entry.root = rec.root;
+    entry.parent = rec.parent;
+    table_.insert(entry);
+    state_[group] = std::move(rec.state);
+    if (app_hooks_ != nullptr) {
+      if (!rec.app_snapshot.empty()) {
+        app_hooks_->import_state(group, rec.app_snapshot);
+      }
+      for (const auto& d : rec.app_tail) app_hooks_->apply_delta(group, d);
+    }
+    replicas_.erase(it);
+    env_.on_group_activated(group);
+    stats_.failovers++;
+  } else {
+    adopt_bare_group(entry);
+  }
+  recovery_.finish(group, head, advertised);
+  // New ownership line: the epoch rises above anything ever advertised
+  // and the (new) replica set gets an immediate snapshot, so a second
+  // failure in this period still finds fresh holders.
+  init_group_log(group, std::max(head.epoch, advertised.epoch) + 1);
+  replicate_group(entry);
+  return recovered;
+}
+
+std::optional<repl::LogHead> ClashServer::log_head(
+    const KeyGroup& group) const {
+  const auto it = logs_.find(group);
+  if (it == logs_.end()) return std::nullopt;
+  return it->second.head();
+}
+
+std::optional<repl::LogHead> ClashServer::replica_head(
+    const KeyGroup& group) const {
+  const auto it = replicas_.find(group);
+  if (it == replicas_.end()) return std::nullopt;
+  return it->second.log.head();
+}
+
+const GroupState* ClashServer::replica_state(const KeyGroup& group) const {
+  const auto it = replicas_.find(group);
+  return it == replicas_.end() ? nullptr : &it->second.state;
+}
+
+std::size_t ClashServer::handoff_groups(ServerId to) {
+  if (to == self_ || !to.valid()) return 0;
+  struct Moving {
+    KeyGroup group;
+    bool root = false;
+    ServerId parent{};
+  };
+  std::vector<Moving> moving;
+  for (const ServerTableEntry* e : table_.active_entries()) {
+    // Never move a group entangled in an in-flight reclaim: the merge
+    // handler needs the local leaves exactly where the reports said.
+    if (!e->group.is_root() &&
+        pending_reclaims_.count(e->group.sibling()) > 0) {
+      continue;
+    }
+    const auto lookup =
+        env_.dht_lookup(hasher_.hash_key(e->group.virtual_key()));
+    if (lookup.owner == to) {
+      moving.push_back(Moving{e->group, e->root, e->parent});
+    }
+  }
+  for (const auto& mv : moving) {
+    AcceptKeyGroup msg;
+    msg.group = mv.group;
+    msg.parent = mv.parent;
+    msg.root = mv.root;
+    const auto lit = logs_.find(mv.group);
+    msg.epoch = lit != logs_.end() ? lit->second.epoch() : 0;
+    GroupState st;
+    const auto sit = state_.find(mv.group);
+    if (sit != state_.end()) {
+      st = std::move(sit->second);
+      state_.erase(sit);
+    }
+    msg.streams.reserve(st.streams.size());
+    for (const auto& [_, s] : st.streams) msg.streams.push_back(s);
+    msg.queries.reserve(st.queries.size());
+    for (const auto& [_, q] : st.queries) msg.queries.push_back(q);
+    if (app_hooks_ != nullptr) {
+      msg.app_state = app_hooks_->export_state(mv.group, to);
+    }
+    // Retire replicas and the local entry BEFORE the transfer: the new
+    // owner re-replicates on install, and a retire arriving afterwards
+    // would wipe the fresh records.
+    table_.erase(mv.group);
+    child_reports_.erase(mv.group);
+    env_.on_group_deactivated(mv.group);
+    retire_replicas(mv.group);
+    stats_.state_transfer_msgs += state_msgs_for(msg.queries.size());
+    stats_.handoffs++;
+    env_.send(to, std::move(msg));
+  }
+  return moving.size();
+}
+
 bool ClashServer::promote_replica(const KeyGroup& group) {
   // Stale or duplicate promotion requests must never corrupt the
   // table: refuse when any entry for (or active entry overlapping) the
-  // group already exists here.
+  // group already exists here. Any recovery session opened for the
+  // promotion is dropped with it, or it would suppress the peer
+  // probes of every future recovery of this group.
   if (const auto* existing = table_.find(group)) {
+    recovery_.cancel(group);
     return existing->active;
   }
   for (const ServerTableEntry* e : table_.active_entries()) {
@@ -616,9 +1177,11 @@ bool ClashServer::promote_replica(const KeyGroup& group) {
       CLASH_WARN << to_string(self_) << ": refusing promotion of "
                  << group.label() << " (overlaps active "
                  << e->group.label() << ")";
+      recovery_.cancel(group);
       return false;
     }
   }
+  if (log_replication()) return promote_with_recovery(group);
   const auto it = replicas_.find(group);
   ServerTableEntry entry;
   entry.group = group;
@@ -633,14 +1196,7 @@ bool ClashServer::promote_replica(const KeyGroup& group) {
     env_.on_group_activated(group);
     stats_.failovers++;
   } else {
-    // No replica: adopt the bare group so the key space stays covered.
-    // Lineage above is unknown, so the entry becomes a root.
-    entry.root = true;
-    table_.insert(entry);
-    state_.try_emplace(group);
-    env_.on_group_activated(group);
-    stats_.failovers++;
-    stats_.groups_lost++;
+    adopt_bare_group(entry);
   }
   // Re-replicate under the new ownership right away: the holders'
   // records still name the dead owner, so until they are refreshed a

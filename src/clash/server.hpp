@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "clash/config.hpp"
+#include "clash/group_state.hpp"
 #include "clash/load.hpp"
 #include "clash/messages.hpp"
 #include "clash/server_table.hpp"
@@ -18,6 +19,8 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "dht/dht.hpp"
+#include "repl/log.hpp"
+#include "repl/recovery.hpp"
 
 namespace clash {
 
@@ -84,16 +87,23 @@ class AppHooks {
     (void)group;
     (void)state;
   }
-};
 
-/// Objects (stream registrations + stored queries) held by one group.
-struct GroupState {
-  std::map<ClientId, StreamInfo> streams;
-  std::map<QueryId, QueryInfo> queries;
-  double stream_rate = 0;  // invariant: sum of streams[*].rate
+  /// Non-destructive serialisation of `group`'s application state for
+  /// a replication snapshot — unlike export_state, the application
+  /// keeps owning (and mutating) the state afterwards.
+  [[nodiscard]] virtual std::vector<std::uint8_t> snapshot_state(
+      const KeyGroup& group) {
+    (void)group;
+    return {};
+  }
 
-  [[nodiscard]] bool empty() const {
-    return streams.empty() && queries.empty();
+  /// Replay one opaque delta previously pushed through
+  /// ClashServer::append_app_delta — called after import_state when a
+  /// recovered replica carries logged deltas beyond its app snapshot.
+  virtual void apply_delta(const KeyGroup& group,
+                           const std::vector<std::uint8_t>& delta) {
+    (void)group;
+    (void)delta;
   }
 };
 
@@ -138,6 +148,53 @@ class ClashServer {
   /// root entry when no replica exists; returns whether state was
   /// recovered.
   bool promote_replica(const KeyGroup& group);
+
+  // --- Replication & recovery subsystem (src/repl/) -------------------
+  /// True when the operation-log replication engine is active.
+  [[nodiscard]] bool log_replication() const {
+    return cfg_.replication_factor > 0 &&
+           cfg_.replication_mode == ClashConfig::ReplicationMode::kLog;
+  }
+
+  /// Owner-side log head of an active group (log mode).
+  [[nodiscard]] std::optional<repl::LogHead> log_head(
+      const KeyGroup& group) const;
+  /// Replica-side applied head for a group held on behalf of a peer.
+  [[nodiscard]] std::optional<repl::LogHead> replica_head(
+      const KeyGroup& group) const;
+  /// Replica-side object state (introspection for tests/operators).
+  [[nodiscard]] const GroupState* replica_state(const KeyGroup& group) const;
+
+  /// Application-pushed opaque state delta: appended to `group`'s log,
+  /// streamed to the replica set, and replayed through
+  /// AppHooks::apply_delta when a replica is promoted. Returns false
+  /// when this server does not actively own `group` (the caller's
+  /// registration raced a migration — re-resolve and retry).
+  bool append_app_delta(const KeyGroup& group,
+                        std::vector<std::uint8_t> delta);
+
+  /// Open a recovery session for a group this server is about to be
+  /// promoted for: probes the surviving replica set for fresher
+  /// (epoch, seq) heads so peers can stream the missing suffix before
+  /// promote_replica installs. Synchronous transports finish the
+  /// repair inside this call; the TCP layer holds a grace window.
+  void begin_group_recovery(const KeyGroup& group);
+
+  /// Drop an open recovery session without promoting (the grace-window
+  /// re-check failed: the member rejoined or the ring moved the heir).
+  void abandon_group_recovery(const KeyGroup& group) {
+    recovery_.cancel(group);
+  }
+
+  /// Hand every active group whose DHT owner is now `to` over to it
+  /// with full state (ring re-admission healed the routing — without
+  /// this, a rejoined node would serve its key ranges empty). Returns
+  /// the number of groups moved.
+  std::size_t handoff_groups(ServerId to);
+
+  [[nodiscard]] const repl::RecoveryStats& recovery_stats() const {
+    return recovery_.stats();
+  }
 
   [[nodiscard]] std::size_t replica_count() const {
     return replicas_.size();
@@ -200,10 +257,17 @@ class ClashServer {
   void handle_reclaim_refused(ServerId from, const ReclaimRefused& m);
   void handle_replicate(ServerId from, const ReplicateGroup& m);
   void handle_drop_replica(ServerId from, const DropReplica& m);
+  void handle_repl_append(ServerId from, const ReplAppend& m);
+  void handle_repl_ack(ServerId from, const ReplAck& m);
+  void handle_snapshot_offer(ServerId from, const SnapshotOffer& m);
+  void handle_snapshot_chunk(ServerId from, const SnapshotChunk& m);
+  void handle_ae_probe(ServerId from, const AntiEntropyProbe& m);
+  void handle_ae_diff(ServerId from, const AntiEntropyDiff& m);
 
   /// Push lease-replicas of every active group to its ring successors.
   void send_replicas();
-  /// Push one group's replica to its ring successors now.
+  /// Push one group's replica to its ring successors now (log mode:
+  /// snapshot + compact instead of a ReplicateGroup lease).
   void replicate_group(const ServerTableEntry& entry);
   /// Tell replica holders a group stopped being active here.
   void retire_replicas(const KeyGroup& group);
@@ -241,14 +305,93 @@ class ClashServer {
   std::map<KeyGroup, ChildReport> child_reports_;  // right-child group -> report
   std::set<KeyGroup> pending_reclaims_;            // right-child groups asked back
 
+  // --- Replication-log internals (src/repl/) ---------------------------
+  /// The ring successors holding `group`'s replicas.
+  [[nodiscard]] std::vector<ServerId> replica_set(const KeyGroup& group);
+  /// Failover found no replica: install an empty root entry so the key
+  /// space stays covered (shared by both promotion modes).
+  void adopt_bare_group(ServerTableEntry& entry);
+  /// Append one op to an active group's log and stream it to the
+  /// replica set (no-op unless the log engine is on).
+  void log_op(const KeyGroup& group, repl::LogOp op);
+  /// Start (or restart) a group's log at an epoch strictly above both
+  /// `min_epoch` and any epoch this server previously used for it.
+  void init_group_log(const KeyGroup& group, std::uint64_t min_epoch);
+  /// Retire a group's log, remembering the epoch for reactivations.
+  void drop_group_log(const KeyGroup& group);
+  /// Snapshot an active group to its whole replica set and compact.
+  void snapshot_group(const ServerTableEntry& entry);
+  /// Stream one snapshot (offer + chunks) of an active group to `to`.
+  void send_snapshot_to(ServerId to, const ServerTableEntry& entry);
+  /// Chunk an arbitrary state image at `head` to `to` (owner snapshots
+  /// and peer-built repair snapshots share this path).
+  void send_state_snapshot(
+      ServerId to, const KeyGroup& group, const GroupState& st,
+      repl::LogHead head, bool root, ServerId parent, ServerId owner,
+      const std::vector<std::uint8_t>& app_state,
+      const std::vector<std::vector<std::uint8_t>>& app_deltas);
+  /// Periodic anti-entropy: batched (epoch, seq) vectors per holder.
+  void send_anti_entropy();
+  /// Answer a peer that reported being behind on `group` at `have`.
+  void repair_peer(ServerId to, const KeyGroup& group, repl::LogHead have);
+  /// Log-mode promotion: pull the freshest suffix from surviving
+  /// holders, then install under a bumped epoch.
+  bool promote_with_recovery(const KeyGroup& group);
+
+  /// Drop replica records nobody has refreshed for several check
+  /// periods: an ownership move re-targets the replica set, and the
+  /// ex-holders' stale copies must not linger as promotion poison.
+  void gc_stale_replicas();
+
   /// Replicas held on behalf of other owners (replication extension).
   struct ReplicaRecord {
     ServerId owner{};
     bool root = false;
     ServerId parent{};
     GroupState state;
+    /// Last time any owner/peer touched this record (lease clock).
+    SimTime refreshed{0};
+
+    // Log mode: applied position + retained suffix since the last
+    // snapshot (log.head() is the applied head; entries repair peers).
+    repl::GroupLog log{0, 0};
+    /// Freshest head any owner/peer ever advertised for the group.
+    repl::LogHead advertised;
+    /// Application state at the last snapshot plus the opaque deltas
+    /// logged since — replayed through AppHooks at promotion.
+    std::vector<std::uint8_t> app_snapshot;
+    std::vector<std::vector<std::uint8_t>> app_tail;
+
+    /// In-flight chunked snapshot assembly (chunks must arrive in
+    /// order; a mismatch drops the assembly and anti-entropy retries).
+    struct PendingSnapshot {
+      repl::LogHead head;
+      ServerId owner{};
+      bool root = false;
+      ServerId parent{};
+      std::uint32_t total = 0;
+      std::uint32_t received = 0;
+      GroupState state;
+      std::vector<std::uint8_t> app_state;
+      std::vector<std::vector<std::uint8_t>> app_deltas;
+    };
+    std::optional<PendingSnapshot> pending;
   };
   std::map<KeyGroup, ReplicaRecord> replicas_;
+
+  /// Owner-side logs of the groups this server actively manages.
+  /// Acks confirm holder progress; repair is nack-driven, so no
+  /// per-holder state is kept here.
+  std::map<KeyGroup, repl::GroupLog> logs_;
+  /// Last epoch used locally for a no-longer-active group: a
+  /// reactivation must start strictly above it so stale copies can
+  /// never dominate the new line.
+  std::map<KeyGroup, std::uint64_t> retired_epochs_;
+  repl::RecoveryCoordinator recovery_;
+  /// Replica-lease clock: the GC lease floors at the slowest observed
+  /// gap between run_load_check calls (the real refresh cadence).
+  SimTime last_load_check_{-1};
+  std::int64_t observed_check_gap_usec_ = 0;
 
   Rng rng_;
   MessageStats stats_;

@@ -24,6 +24,13 @@ struct MessageStats {
   // Fault-tolerance extension traffic.
   std::uint64_t replications = 0;
   std::uint64_t replica_drops = 0;
+  // Replication-log traffic (src/repl/, log mode only).
+  std::uint64_t repl_appends = 0;
+  std::uint64_t repl_acks = 0;
+  std::uint64_t snapshot_offers = 0;
+  std::uint64_t snapshot_chunks = 0;
+  std::uint64_t anti_entropy_probes = 0;
+  std::uint64_t anti_entropy_diffs = 0;
   // SWIM membership traffic (pings, ping-reqs, acks). Kept out of
   // control_messages() so Figure 5's message classes stay paper-exact;
   // bench/abl_membership reports this overhead separately.
@@ -39,12 +46,21 @@ struct MessageStats {
   std::uint64_t failovers = 0;        // groups promoted from replicas
   std::uint64_t groups_lost = 0;      // failovers without replica state
   std::uint64_t dropped_msgs = 0;     // sends to dead servers
+  std::uint64_t handoffs = 0;         // groups handed back on rejoin
+  std::uint64_t log_compactions = 0;  // snapshot+compact cycles (log mode)
 
   /// Total protocol messages excluding migrated state (Figure 5 case A).
   [[nodiscard]] std::uint64_t control_messages() const {
     return dht_hops + object_probes + object_replies + keygroup_transfers +
            keygroup_acks + load_reports + reclaim_requests + reclaim_replies +
-           replications + replica_drops;
+           replications + replica_drops + replication_log_messages();
+  }
+
+  /// All traffic of the log-replication subsystem (appends + acks +
+  /// snapshots + anti-entropy), reported separately by abl_failover.
+  [[nodiscard]] std::uint64_t replication_log_messages() const {
+    return repl_appends + repl_acks + snapshot_offers + snapshot_chunks +
+           anti_entropy_probes + anti_entropy_diffs;
   }
 
   /// Total including state transfer (Figure 5 case B).
@@ -64,6 +80,12 @@ struct MessageStats {
     state_transfer_msgs += o.state_transfer_msgs;
     replications += o.replications;
     replica_drops += o.replica_drops;
+    repl_appends += o.repl_appends;
+    repl_acks += o.repl_acks;
+    snapshot_offers += o.snapshot_offers;
+    snapshot_chunks += o.snapshot_chunks;
+    anti_entropy_probes += o.anti_entropy_probes;
+    anti_entropy_diffs += o.anti_entropy_diffs;
     gossip_msgs += o.gossip_msgs;
     splits += o.splits;
     merges += o.merges;
@@ -74,6 +96,8 @@ struct MessageStats {
     failovers += o.failovers;
     groups_lost += o.groups_lost;
     dropped_msgs += o.dropped_msgs;
+    handoffs += o.handoffs;
+    log_compactions += o.log_compactions;
     return *this;
   }
 
@@ -89,6 +113,12 @@ struct MessageStats {
     a.state_transfer_msgs -= b.state_transfer_msgs;
     a.replications -= b.replications;
     a.replica_drops -= b.replica_drops;
+    a.repl_appends -= b.repl_appends;
+    a.repl_acks -= b.repl_acks;
+    a.snapshot_offers -= b.snapshot_offers;
+    a.snapshot_chunks -= b.snapshot_chunks;
+    a.anti_entropy_probes -= b.anti_entropy_probes;
+    a.anti_entropy_diffs -= b.anti_entropy_diffs;
     a.gossip_msgs -= b.gossip_msgs;
     a.splits -= b.splits;
     a.merges -= b.merges;
@@ -99,6 +129,8 @@ struct MessageStats {
     a.failovers -= b.failovers;
     a.groups_lost -= b.groups_lost;
     a.dropped_msgs -= b.dropped_msgs;
+    a.handoffs -= b.handoffs;
+    a.log_compactions -= b.log_compactions;
     return a;
   }
 };

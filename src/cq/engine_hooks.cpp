@@ -1,0 +1,50 @@
+#include "cq/engine_hooks.hpp"
+
+namespace clash::cq {
+
+bool EngineHooks::register_query(const ContinuousQuery& q) {
+  // Resolve ownership BEFORE touching the engine: a failed attempt
+  // must leave no residue, or the caller's documented retry would trip
+  // QueryIndex's duplicate-id guard.
+  const ServerTableEntry* entry =
+      server_ == nullptr
+          ? nullptr
+          : server_->table().active_entry_for(q.scope.virtual_key());
+  if (server_ != nullptr && entry == nullptr) return false;
+  engine_.register_query(q);
+  if (server_ == nullptr) return true;
+  return server_->append_app_delta(entry->group,
+                                   StreamEngine::encode_register(q));
+}
+
+bool EngineHooks::unregister_query(QueryId id, const Key& key) {
+  const bool existed = engine_.unregister_query(id);
+  if (server_ == nullptr) return existed;
+  const ServerTableEntry* entry = server_->table().active_entry_for(key);
+  if (entry == nullptr) return false;
+  return server_->append_app_delta(entry->group,
+                                   StreamEngine::encode_unregister(id)) &&
+         existed;
+}
+
+std::vector<std::uint8_t> EngineHooks::export_state(const KeyGroup& group,
+                                                    ServerId /*destination*/) {
+  // Destructive: the group is moving away (split / merge / handoff).
+  return StreamEngine::encode_queries(engine_.migrate_out(group));
+}
+
+void EngineHooks::import_state(const KeyGroup& /*group*/,
+                               const std::vector<std::uint8_t>& state) {
+  engine_.import_blob(state);
+}
+
+std::vector<std::uint8_t> EngineHooks::snapshot_state(const KeyGroup& group) {
+  return engine_.export_group(group);
+}
+
+void EngineHooks::apply_delta(const KeyGroup& /*group*/,
+                              const std::vector<std::uint8_t>& delta) {
+  (void)engine_.apply_delta(delta);
+}
+
+}  // namespace clash::cq

@@ -1,0 +1,49 @@
+// EngineHooks: plugs a StreamEngine into ClashServer's application
+// API so continuous-query state rides the replication & recovery
+// subsystem. Registrations flow into the owner's per-group operation
+// log as opaque deltas (ClashServer::append_app_delta); replication
+// snapshots carry the scoped query set (snapshot_state); splits and
+// merges keep using the destructive export/import pair; and a
+// promoted replica replays snapshot + deltas back into the heir's
+// engine — so matches keep firing after the owner dies.
+#pragma once
+
+#include "clash/server.hpp"
+#include "cq/stream_engine.hpp"
+
+namespace clash::cq {
+
+class EngineHooks final : public AppHooks {
+ public:
+  explicit EngineHooks(StreamEngine& engine) : engine_(engine) {}
+
+  /// Attach the owning server (used to append deltas to its group
+  /// logs). Must be called before register_query/unregister_query.
+  void bind(ClashServer* server) { server_ = server; }
+
+  /// Register a query in the engine AND log the registration as an
+  /// app delta on the group managing its scope, so replicas can
+  /// replay it. Returns false when no active group covers the scope
+  /// on the bound server (registration raced a migration).
+  bool register_query(const ContinuousQuery& q);
+
+  /// Unregister in the engine and log the removal.
+  bool unregister_query(QueryId id, const Key& key);
+
+  [[nodiscard]] StreamEngine& engine() { return engine_; }
+
+  // --- AppHooks --------------------------------------------------------
+  std::vector<std::uint8_t> export_state(const KeyGroup& group,
+                                         ServerId destination) override;
+  void import_state(const KeyGroup& group,
+                    const std::vector<std::uint8_t>& state) override;
+  std::vector<std::uint8_t> snapshot_state(const KeyGroup& group) override;
+  void apply_delta(const KeyGroup& group,
+                   const std::vector<std::uint8_t>& delta) override;
+
+ private:
+  StreamEngine& engine_;
+  ClashServer* server_ = nullptr;
+};
+
+}  // namespace clash::cq

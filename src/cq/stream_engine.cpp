@@ -1,6 +1,56 @@
 #include "cq/stream_engine.hpp"
 
+#include "wire/buffer.hpp"
+
 namespace clash::cq {
+namespace {
+
+// Query-state blob layout (used by snapshots, migrations, and deltas):
+// little-endian via wire::Writer/Reader, bounds-checked on decode.
+
+void encode_query(wire::Writer& w, const ContinuousQuery& q) {
+  w.u64(q.id.value);
+  w.u8(std::uint8_t(q.scope.key_width()));
+  w.u64(q.scope.virtual_key().value());
+  w.u8(std::uint8_t(q.scope.depth()));
+  w.u32(std::uint32_t(q.predicates.size()));
+  for (const auto& p : q.predicates) {
+    w.u32(p.attr);
+    w.u8(std::uint8_t(p.op));
+    w.u64(std::uint64_t(p.value));
+  }
+}
+
+bool decode_query(wire::Reader& r, ContinuousQuery& q) {
+  q.id = QueryId{r.u64()};
+  const auto width = r.u8();
+  const auto vkey = r.u64();
+  const auto depth = r.u8();
+  if (!r.ok() || width == 0 || width > Key::kMaxWidth || depth > width ||
+      (width < 64 && vkey >= (std::uint64_t{1} << width))) {
+    return false;
+  }
+  q.scope = KeyGroup::of(Key(vkey, width), depth);
+  const auto n_preds = r.u32();
+  if (std::size_t(n_preds) * 13 > r.remaining()) return false;
+  q.predicates.clear();
+  q.predicates.reserve(n_preds);
+  for (std::uint32_t i = 0; i < n_preds && r.ok(); ++i) {
+    Predicate p;
+    p.attr = r.u32();
+    const auto op = r.u8();
+    if (op > std::uint8_t(Predicate::Op::kGe)) return false;
+    p.op = Predicate::Op(op);
+    p.value = std::int64_t(r.u64());
+    q.predicates.push_back(p);
+  }
+  return r.ok();
+}
+
+constexpr std::uint8_t kDeltaRegister = 0;
+constexpr std::uint8_t kDeltaUnregister = 1;
+
+}  // namespace
 
 StreamEngine::StreamEngine(unsigned key_width, MatchSink sink)
     : index_(key_width), sink_(std::move(sink)) {}
@@ -27,6 +77,84 @@ std::vector<ContinuousQuery> StreamEngine::migrate_out(const KeyGroup& group) {
 
 void StreamEngine::migrate_in(const std::vector<ContinuousQuery>& queries) {
   for (const auto& q : queries) index_.insert(q);
+}
+
+std::vector<std::uint8_t> StreamEngine::encode_queries(
+    const std::vector<ContinuousQuery>& queries) {
+  wire::Writer w;
+  w.u32(std::uint32_t(queries.size()));
+  for (const auto& q : queries) encode_query(w, q);
+  return w.take();
+}
+
+std::vector<ContinuousQuery> StreamEngine::decode_queries(
+    const std::vector<std::uint8_t>& blob) {
+  wire::Reader r(blob);
+  std::vector<ContinuousQuery> out;
+  const auto count = r.u32();
+  if (std::size_t(count) * 11 > r.remaining()) return out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    ContinuousQuery q;
+    if (!decode_query(r, q)) break;
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> StreamEngine::export_group(
+    const KeyGroup& group) const {
+  std::vector<ContinuousQuery> scoped;
+  for (const QueryId id : index_.queries_within(group)) {
+    if (const auto* q = index_.find(id)) scoped.push_back(*q);
+  }
+  return encode_queries(scoped);
+}
+
+void StreamEngine::import_blob(const std::vector<std::uint8_t>& blob) {
+  // Peer-supplied state: upsert so an overlap with already-replayed
+  // deltas cannot trip the duplicate-id guard mid-recovery.
+  for (const auto& q : decode_queries(blob)) {
+    (void)index_.erase(q.id);
+    index_.insert(q);
+  }
+}
+
+std::vector<std::uint8_t> StreamEngine::encode_register(
+    const ContinuousQuery& q) {
+  wire::Writer w;
+  w.u8(kDeltaRegister);
+  encode_query(w, q);
+  return w.take();
+}
+
+std::vector<std::uint8_t> StreamEngine::encode_unregister(QueryId id) {
+  wire::Writer w;
+  w.u8(kDeltaUnregister);
+  w.u64(id.value);
+  return w.take();
+}
+
+bool StreamEngine::apply_delta(const std::vector<std::uint8_t>& delta) {
+  wire::Reader r(delta);
+  const auto tag = r.u8();
+  if (!r.ok()) return false;
+  if (tag == kDeltaRegister) {
+    ContinuousQuery q;
+    if (!decode_query(r, q) || !r.exhausted()) return false;
+    // Upsert: deltas arrive from peers (snapshot tails, replays) and
+    // must never trip QueryIndex's strict duplicate-id guard.
+    (void)index_.erase(q.id);
+    index_.insert(q);
+    return true;
+  }
+  if (tag == kDeltaUnregister) {
+    const QueryId id{r.u64()};
+    if (!r.exhausted()) return false;
+    (void)index_.erase(id);
+    return true;
+  }
+  return false;
 }
 
 }  // namespace clash::cq

@@ -36,6 +36,32 @@ class StreamEngine {
   /// merge reclaim).
   void migrate_in(const std::vector<ContinuousQuery>& queries);
 
+  // --- Snapshot + delta state transfer (replication subsystem) --------
+  /// Non-destructive serialisation of the queries scoped inside
+  /// `group` (replication snapshots; the engine keeps running them).
+  [[nodiscard]] std::vector<std::uint8_t> export_group(
+      const KeyGroup& group) const;
+
+  /// Install the queries of an export_group / encode_queries blob.
+  void import_blob(const std::vector<std::uint8_t>& blob);
+
+  /// Serialise a query list (shared by export_group and the
+  /// destructive migration path).
+  [[nodiscard]] static std::vector<std::uint8_t> encode_queries(
+      const std::vector<ContinuousQuery>& queries);
+  [[nodiscard]] static std::vector<ContinuousQuery> decode_queries(
+      const std::vector<std::uint8_t>& blob);
+
+  /// Incremental deltas: one registration / unregistration as an
+  /// opaque blob suitable for ClashServer::append_app_delta.
+  [[nodiscard]] static std::vector<std::uint8_t> encode_register(
+      const ContinuousQuery& q);
+  [[nodiscard]] static std::vector<std::uint8_t> encode_unregister(
+      QueryId id);
+  /// Apply a delta produced by the encoders above; false on a
+  /// malformed blob.
+  bool apply_delta(const std::vector<std::uint8_t>& delta);
+
   [[nodiscard]] std::size_t query_count() const { return index_.size(); }
   [[nodiscard]] std::uint64_t records_processed() const {
     return records_processed_;

@@ -159,11 +159,33 @@ void ClashNode::on_member_dead(ServerId id) {
   // Automatic failover: any group the dead owner replicated here that
   // the shrunken ring now maps to this node gets promoted. Peers do the
   // same for their own replicas, so the dead node's groups come back on
-  // exactly their new DHT owners.
+  // exactly their new DHT owners. Under log replication the promotion
+  // waits out a recovery-grace window first: the heir probes the
+  // surviving holders with its (epoch, seq) head and lets the freshest
+  // one stream the missing suffix before anything is installed.
   for (const KeyGroup& group : server_->replicas_owned_by(id)) {
     const ServerId heir =
         ring_->map(ring_->hasher().hash_key(group.virtual_key()));
-    if (heir == config_.id) (void)server_->promote_replica(group);
+    if (heir != config_.id) continue;
+    if (server_->log_replication()) {
+      server_->begin_group_recovery(group);
+      loop_->call_after(config_.recovery_grace, [this, id, group] {
+        // Re-validate after the grace window: the death may have been
+        // refuted (member back on the ring — it was handed its groups)
+        // or the ring may have shifted the group to another heir.
+        // Promoting anyway would create dual ownership with the
+        // fenced-out epoch winning over the legitimate line.
+        if (ring_->contains(id) ||
+            ring_->map(ring_->hasher().hash_key(group.virtual_key())) !=
+                config_.id) {
+          server_->abandon_group_recovery(group);
+          return;
+        }
+        (void)server_->promote_replica(group);
+      });
+    } else {
+      (void)server_->promote_replica(group);
+    }
   }
 }
 
@@ -172,6 +194,16 @@ void ClashNode::on_member_joined(ServerId id) {
   CLASH_INFO << to_string(config_.id) << ": member " << to_string(id)
              << " rejoined; adding to ring";
   ring_->add_server(id);
+  // Rejoin-gap fix: a restarted node comes back empty, yet the grown
+  // ring routes its old key ranges to it again. Hand every active
+  // group the ring now maps to the rejoined member back to it with
+  // full state (and the log epoch, so its new line supersedes ours) —
+  // it must not serve those groups empty.
+  const std::size_t moved = server_->handoff_groups(id);
+  if (moved > 0) {
+    CLASH_INFO << to_string(config_.id) << ": handed " << moved
+               << " group(s) back to rejoined " << to_string(id);
+  }
 }
 
 std::size_t ClashNode::ring_server_count() {

@@ -47,6 +47,11 @@ struct NodeConfig {
   /// Abandon a non-blocking peer connect after this long; the loop is
   /// never blocked while one is pending.
   std::chrono::microseconds connect_timeout = std::chrono::seconds(3);
+  /// Log-replication mode: after a member death, hold each candidate
+  /// promotion open this long so the surviving replica set can stream
+  /// the missing log suffix (or a snapshot) to the heir before it
+  /// installs — the RecoveryCoordinator's pull window over TCP.
+  std::chrono::microseconds recovery_grace = std::chrono::milliseconds(250);
 };
 
 class ClashNode {

@@ -1,0 +1,38 @@
+#include "repl/recovery.hpp"
+
+namespace clash::repl {
+
+bool RecoveryCoordinator::begin(const KeyGroup& group, LogHead local) {
+  const auto [it, inserted] = sessions_.try_emplace(group, Session{local});
+  if (inserted) ++stats_.sessions;
+  return inserted;
+}
+
+void RecoveryCoordinator::note_entries_repaired(const KeyGroup& group,
+                                                std::size_t n) {
+  if (n == 0) return;
+  stats_.entries_repaired += n;
+  const auto it = sessions_.find(group);
+  if (it != sessions_.end()) it->second.repaired = true;
+}
+
+void RecoveryCoordinator::note_snapshot_pulled(const KeyGroup& group) {
+  ++stats_.snapshots_pulled;
+  const auto it = sessions_.find(group);
+  if (it != sessions_.end()) it->second.repaired = true;
+}
+
+void RecoveryCoordinator::finish(const KeyGroup& group, LogHead final,
+                                 LogHead advertised) {
+  const auto it = sessions_.find(group);
+  const bool healed =
+      it != sessions_.end() && it->second.repaired && it->second.start < final;
+  if (it != sessions_.end()) sessions_.erase(it);
+  if (final < advertised) {
+    ++stats_.stale_promotions;
+  } else if (healed) {
+    ++stats_.stale_promotions_averted;
+  }
+}
+
+}  // namespace clash::repl

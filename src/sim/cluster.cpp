@@ -260,6 +260,14 @@ void SimCluster::join_server(ServerId id) {
   if (!is_alive(id) || ring_.contains(id)) return;
   ring_.add_server(id);
   retry_pending_failovers();
+  // Heal the routing: every group the grown ring now maps to the
+  // rejoined server is handed back with full state (log epoch included)
+  // by its current owner. Without this the rejoined node would answer
+  // for its key ranges with empty state.
+  for (auto& srv : servers_) {
+    if (srv->id() == id || !is_alive(srv->id())) continue;
+    srv->handoff_groups(id);
+  }
 }
 
 void SimCluster::revive_server(ServerId id) {
@@ -367,6 +375,18 @@ void SimCluster::count_message(const Message& msg) {
           stats_.replications++;
         } else if constexpr (std::is_same_v<T, DropReplica>) {
           stats_.replica_drops++;
+        } else if constexpr (std::is_same_v<T, ReplAppend>) {
+          stats_.repl_appends++;
+        } else if constexpr (std::is_same_v<T, ReplAck>) {
+          stats_.repl_acks++;
+        } else if constexpr (std::is_same_v<T, SnapshotOffer>) {
+          stats_.snapshot_offers++;
+        } else if constexpr (std::is_same_v<T, SnapshotChunk>) {
+          stats_.snapshot_chunks++;
+        } else if constexpr (std::is_same_v<T, AntiEntropyProbe>) {
+          stats_.anti_entropy_probes++;
+        } else if constexpr (std::is_same_v<T, AntiEntropyDiff>) {
+          stats_.anti_entropy_diffs++;
         } else if constexpr (std::is_same_v<T, Gossip>) {
           stats_.gossip_msgs++;
         } else if constexpr (std::is_same_v<T, AcceptObject> ||

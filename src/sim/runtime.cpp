@@ -328,13 +328,17 @@ void Runtime::setup_load_checks() {
     const auto offset =
         SimTime(std::int64_t(master_rng_.below(std::uint64_t(period.usec)))) +
         SimTime(1);
+    // The runtime owns the tick closure; rescheduling captures a weak
+    // reference (a self-owning shared_ptr cycle would never free).
     auto tick = std::make_shared<std::function<void()>>();
-    *tick = [this, i, period, tick] {
+    const std::weak_ptr<std::function<void()>> weak = tick;
+    *tick = [this, i, period, weak] {
       cluster_->set_now(events_.now());
       cluster_->run_load_check(ServerId{i});
-      events_.after(period, *tick);
+      if (const auto self = weak.lock()) events_.after(period, *self);
     };
     events_.at(offset, *tick);
+    load_check_ticks_.push_back(std::move(tick));
   }
 }
 

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -168,6 +169,9 @@ class Runtime {
   std::deque<Source> sources_;
   std::vector<LiveQuery> queries_;
   std::vector<std::uint64_t> query_generation_;
+  /// Per-server load-check closures (owned here so the rescheduling
+  /// lambdas can capture weakly instead of leaking a self-cycle).
+  std::vector<std::shared_ptr<std::function<void()>>> load_check_ticks_;
   std::uint64_t next_query_id_ = 1;
 
   // Power-of-two-choices bookkeeping (kPowerOfTwo mode only).

@@ -73,7 +73,81 @@ bool decode_blob(Reader& r, std::vector<std::uint8_t>& out) {
   return r.ok();
 }
 
+void encode_log_head(Writer& w, const repl::LogHead& h) {
+  w.u64(h.epoch);
+  w.u64(h.seq);
+}
+
+repl::LogHead decode_log_head(Reader& r) {
+  repl::LogHead h;
+  h.epoch = r.u64();
+  h.seq = r.u64();
+  return h;
+}
+
+void encode_group_head(Writer& w, const GroupHead& gh) {
+  encode_group(w, gh.group);
+  encode_log_head(w, gh.head);
+}
+
+GroupHead decode_group_head(Reader& r) {
+  GroupHead gh;
+  gh.group = decode_group(r);
+  gh.head = decode_log_head(r);
+  return gh;
+}
+
 }  // namespace
+
+void encode_log_op(Writer& w, const repl::LogOp& op) {
+  w.u8(std::uint8_t(op.kind));
+  switch (op.kind) {
+    case repl::OpKind::kPutStream:
+      encode_stream_info(w, op.stream);
+      break;
+    case repl::OpKind::kDelStream:
+      w.u64(op.source.value);
+      break;
+    case repl::OpKind::kPutQuery:
+      encode_query_info(w, op.query);
+      break;
+    case repl::OpKind::kDelQuery:
+      w.u64(op.query_id.value);
+      break;
+    case repl::OpKind::kAppDelta:
+      w.u32(std::uint32_t(op.app_delta.size()));
+      w.bytes(op.app_delta);
+      break;
+  }
+}
+
+repl::LogOp decode_log_op(Reader& r) {
+  repl::LogOp op;
+  const auto kind = r.u8();
+  if (kind > std::uint8_t(repl::OpKind::kAppDelta)) {
+    r.fail();
+    return op;
+  }
+  op.kind = repl::OpKind(kind);
+  switch (op.kind) {
+    case repl::OpKind::kPutStream:
+      op.stream = decode_stream_info(r);
+      break;
+    case repl::OpKind::kDelStream:
+      op.source = ClientId{r.u64()};
+      break;
+    case repl::OpKind::kPutQuery:
+      op.query = decode_query_info(r);
+      break;
+    case repl::OpKind::kDelQuery:
+      op.query_id = QueryId{r.u64()};
+      break;
+    case repl::OpKind::kAppDelta:
+      if (!decode_blob(r, op.app_delta)) r.fail();
+      break;
+  }
+  return op;
+}
 
 void encode_key(Writer& w, const Key& k) {
   w.u8(std::uint8_t(k.width()));
@@ -134,6 +208,8 @@ void encode_message(Writer& w, const Message& msg) {
           w.u8(std::uint8_t(MsgType::kAcceptKeyGroup));
           encode_group(w, m.group);
           w.u64(m.parent.value);
+          w.boolean(m.root);
+          w.u64(m.epoch);
           encode_vector(w, m.streams, encode_stream_info);
           encode_vector(w, m.queries, encode_query_info);
           w.u32(std::uint32_t(m.app_state.size()));
@@ -176,6 +252,51 @@ void encode_message(Writer& w, const Message& msg) {
           w.u64(m.sequence);
           w.u64(m.target.value);
           encode_vector(w, m.updates, encode_member_update);
+        } else if constexpr (std::is_same_v<T, ReplAppend>) {
+          w.u8(std::uint8_t(MsgType::kReplAppend));
+          encode_group(w, m.group);
+          w.u64(m.owner.value);
+          w.u64(m.epoch);
+          w.u64(m.base_seq);
+          encode_vector(w, m.entries,
+                        [](Writer& ww, const repl::LogOp& op) {
+                          encode_log_op(ww, op);
+                        });
+        } else if constexpr (std::is_same_v<T, ReplAck>) {
+          w.u8(std::uint8_t(MsgType::kReplAck));
+          encode_group(w, m.group);
+          encode_log_head(w, m.head);
+          w.boolean(m.ok);
+        } else if constexpr (std::is_same_v<T, SnapshotOffer>) {
+          w.u8(std::uint8_t(MsgType::kSnapshotOffer));
+          encode_group(w, m.group);
+          w.u64(m.owner.value);
+          encode_log_head(w, m.head);
+          w.boolean(m.root);
+          w.u64(m.parent.value);
+          w.u32(m.total_chunks);
+        } else if constexpr (std::is_same_v<T, SnapshotChunk>) {
+          w.u8(std::uint8_t(MsgType::kSnapshotChunk));
+          encode_group(w, m.group);
+          encode_log_head(w, m.head);
+          w.u32(m.index);
+          w.u32(m.total);
+          encode_vector(w, m.streams, encode_stream_info);
+          encode_vector(w, m.queries, encode_query_info);
+          w.u32(std::uint32_t(m.app_state.size()));
+          w.bytes(m.app_state);
+          w.u32(std::uint32_t(m.app_deltas.size()));
+          for (const auto& d : m.app_deltas) {
+            w.u32(std::uint32_t(d.size()));
+            w.bytes(d);
+          }
+        } else if constexpr (std::is_same_v<T, AntiEntropyProbe>) {
+          w.u8(std::uint8_t(MsgType::kAntiEntropyProbe));
+          w.u64(m.owner.value);
+          encode_vector(w, m.heads, encode_group_head);
+        } else if constexpr (std::is_same_v<T, AntiEntropyDiff>) {
+          w.u8(std::uint8_t(MsgType::kAntiEntropyDiff));
+          encode_vector(w, m.behind, encode_group_head);
         }
       },
       msg);
@@ -219,6 +340,8 @@ Expected<Message> decode_message(std::span<const std::uint8_t> payload) {
       AcceptKeyGroup m;
       m.group = decode_group(r);
       m.parent = ServerId{r.u64()};
+      m.root = r.boolean();
+      m.epoch = r.u64();
       if (!decode_vector(r, m.streams, 17, decode_stream_info) ||
           !decode_vector(r, m.queries, 17, decode_query_info) ||
           !decode_blob(r, m.app_state)) {
@@ -286,6 +409,81 @@ Expected<Message> decode_message(std::span<const std::uint8_t> payload) {
       m.target = ServerId{r.u64()};
       if (!decode_vector(r, m.updates, 17, decode_member_update)) {
         return Error::protocol("bad membership updates");
+      }
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kReplAppend: {
+      ReplAppend m;
+      m.group = decode_group(r);
+      m.owner = ServerId{r.u64()};
+      m.epoch = r.u64();
+      m.base_seq = r.u64();
+      if (!decode_vector(r, m.entries, 9, decode_log_op)) {
+        return Error::protocol("bad log entries");
+      }
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kReplAck: {
+      ReplAck m;
+      m.group = decode_group(r);
+      m.head = decode_log_head(r);
+      m.ok = r.boolean();
+      out = m;
+      break;
+    }
+    case MsgType::kSnapshotOffer: {
+      SnapshotOffer m;
+      m.group = decode_group(r);
+      m.owner = ServerId{r.u64()};
+      m.head = decode_log_head(r);
+      m.root = r.boolean();
+      m.parent = ServerId{r.u64()};
+      m.total_chunks = r.u32();
+      if (r.ok() && m.total_chunks == 0) {
+        return Error::protocol("snapshot offer with zero chunks");
+      }
+      out = m;
+      break;
+    }
+    case MsgType::kSnapshotChunk: {
+      SnapshotChunk m;
+      m.group = decode_group(r);
+      m.head = decode_log_head(r);
+      m.index = r.u32();
+      m.total = r.u32();
+      if (!decode_vector(r, m.streams, 17, decode_stream_info) ||
+          !decode_vector(r, m.queries, 17, decode_query_info) ||
+          !decode_blob(r, m.app_state)) {
+        return Error::protocol("bad snapshot chunk");
+      }
+      const auto n_deltas = r.u32();
+      if (std::size_t(n_deltas) * 4 > r.remaining()) {
+        return Error::protocol("bad snapshot chunk");
+      }
+      m.app_deltas.reserve(n_deltas);
+      for (std::uint32_t i = 0; i < n_deltas && r.ok(); ++i) {
+        if (!decode_blob(r, m.app_deltas.emplace_back())) {
+          return Error::protocol("bad snapshot chunk");
+        }
+      }
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kAntiEntropyProbe: {
+      AntiEntropyProbe m;
+      m.owner = ServerId{r.u64()};
+      if (!decode_vector(r, m.heads, 26, decode_group_head)) {
+        return Error::protocol("bad head vector");
+      }
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kAntiEntropyDiff: {
+      AntiEntropyDiff m;
+      if (!decode_vector(r, m.behind, 26, decode_group_head)) {
+        return Error::protocol("bad head vector");
       }
       out = std::move(m);
       break;

@@ -30,6 +30,13 @@ enum class MsgType : std::uint8_t {
   kReplicateGroup = 10,
   kDropReplica = 11,
   kGossip = 12,
+  // Replication & recovery subsystem (src/repl/).
+  kReplAppend = 13,
+  kReplAck = 14,
+  kSnapshotOffer = 15,
+  kSnapshotChunk = 16,
+  kAntiEntropyProbe = 17,
+  kAntiEntropyDiff = 18,
 };
 
 /// RPC framing kinds.
@@ -86,5 +93,7 @@ void encode_key(Writer& w, const Key& k);
 [[nodiscard]] Key decode_key(Reader& r);
 void encode_group(Writer& w, const KeyGroup& g);
 [[nodiscard]] KeyGroup decode_group(Reader& r);
+void encode_log_op(Writer& w, const repl::LogOp& op);
+[[nodiscard]] repl::LogOp decode_log_op(Reader& r);
 
 }  // namespace clash::wire

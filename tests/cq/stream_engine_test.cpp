@@ -55,5 +55,66 @@ TEST(StreamEngine, WorksWithoutSink) {
   EXPECT_EQ(engine.process(Record{Key(0, 8), {}}), 1u);
 }
 
+TEST(StreamEngine, SnapshotExportIsNonDestructive) {
+  StreamEngine engine(8);
+  ContinuousQuery q1 = query(1, "0110*");
+  q1.predicates.push_back({3, Predicate::Op::kGe, -5});
+  engine.register_query(q1);
+  engine.register_query(query(2, "0111*"));
+  engine.register_query(query(3, "1*"));
+
+  const auto blob = engine.export_group(KeyGroup::parse("01*", 8).value());
+  EXPECT_EQ(engine.query_count(), 3u);  // still running everything
+
+  StreamEngine restored(8);
+  restored.import_blob(blob);
+  EXPECT_EQ(restored.query_count(), 2u);  // only the scoped queries
+  EXPECT_EQ(restored.process(Record{Key(0b01101111, 8), {{0, 0, 0, 7}}}),
+            1u);
+  EXPECT_EQ(restored.process(Record{Key(0b01111111, 8), {}}), 1u);
+  EXPECT_EQ(restored.process(Record{Key(0b10000000, 8), {}}), 0u);
+}
+
+TEST(StreamEngine, PredicatesSurviveTheBlobRoundTrip) {
+  StreamEngine engine(8);
+  ContinuousQuery q = query(9, "0*");
+  q.predicates.push_back({0, Predicate::Op::kGt, 10});
+  q.predicates.push_back({1, Predicate::Op::kEq, -3});
+  engine.register_query(q);
+
+  StreamEngine restored(8);
+  restored.import_blob(engine.export_group(KeyGroup::root(8)));
+  EXPECT_EQ(restored.process(Record{Key(0b00000001, 8), {11, -3}}), 1u);
+  EXPECT_EQ(restored.process(Record{Key(0b00000001, 8), {11, 4}}), 0u);
+  EXPECT_EQ(restored.process(Record{Key(0b00000001, 8), {10, -3}}), 0u);
+}
+
+TEST(StreamEngine, DeltasApplyRegisterAndUnregister) {
+  StreamEngine source(8);
+  StreamEngine replica(8);
+
+  ContinuousQuery q = query(4, "01*");
+  ASSERT_TRUE(replica.apply_delta(StreamEngine::encode_register(q)));
+  EXPECT_EQ(replica.query_count(), 1u);
+  EXPECT_EQ(replica.process(Record{Key(0b01000000, 8), {}}), 1u);
+
+  ASSERT_TRUE(replica.apply_delta(StreamEngine::encode_unregister(QueryId{4})));
+  EXPECT_EQ(replica.query_count(), 0u);
+  (void)source;
+}
+
+TEST(StreamEngine, MalformedDeltasAreRejected) {
+  StreamEngine engine(8);
+  EXPECT_FALSE(engine.apply_delta({}));
+  EXPECT_FALSE(engine.apply_delta({0xFF, 1, 2}));
+  auto good = StreamEngine::encode_register(query(1, "0*"));
+  good.push_back(0x00);  // trailing garbage
+  EXPECT_FALSE(engine.apply_delta(good));
+  auto truncated = StreamEngine::encode_register(query(1, "0*"));
+  truncated.resize(truncated.size() - 2);
+  EXPECT_FALSE(engine.apply_delta(truncated));
+  EXPECT_EQ(engine.query_count(), 0u);
+}
+
 }  // namespace
 }  // namespace clash::cq

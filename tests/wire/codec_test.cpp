@@ -108,6 +108,119 @@ TEST(Codec, ReplicationMessagesRoundTrip) {
   EXPECT_EQ(drop.group, m.group);
 }
 
+TEST(Codec, AcceptKeyGroupCarriesRootAndEpoch) {
+  AcceptKeyGroup m;
+  m.group = KeyGroup::parse("1010*", 24).value();
+  m.parent = ServerId{4};
+  m.root = true;
+  m.epoch = 17;
+  const auto out = std::get<AcceptKeyGroup>(round_trip(Message(m)));
+  EXPECT_TRUE(out.root);
+  EXPECT_EQ(out.epoch, 17u);
+}
+
+TEST(Codec, ReplAppendRoundTrip) {
+  ReplAppend m;
+  m.group = KeyGroup::parse("0110*", 24).value();
+  m.owner = ServerId{3};
+  m.epoch = 5;
+  m.base_seq = 41;
+  m.entries.push_back(
+      repl::LogOp::put_stream({ClientId{9}, Key(0x601234, 24), 2.5}));
+  m.entries.push_back(repl::LogOp::del_stream(ClientId{9}));
+  m.entries.push_back(
+      repl::LogOp::put_query(QueryInfo{QueryId{44}, Key(0x60AAAA, 24)}));
+  m.entries.push_back(repl::LogOp::del_query(QueryId{44}));
+  m.entries.push_back(repl::LogOp::app_delta_op({1, 2, 3, 4}));
+
+  const auto out = std::get<ReplAppend>(round_trip(Message(m)));
+  EXPECT_EQ(out.group, m.group);
+  EXPECT_EQ(out.owner, m.owner);
+  EXPECT_EQ(out.epoch, 5u);
+  EXPECT_EQ(out.base_seq, 41u);
+  ASSERT_EQ(out.entries.size(), 5u);
+  EXPECT_EQ(out.entries[0].kind, repl::OpKind::kPutStream);
+  EXPECT_DOUBLE_EQ(out.entries[0].stream.rate, 2.5);
+  EXPECT_EQ(out.entries[1].kind, repl::OpKind::kDelStream);
+  EXPECT_EQ(out.entries[1].source, ClientId{9});
+  EXPECT_EQ(out.entries[2].kind, repl::OpKind::kPutQuery);
+  EXPECT_EQ(out.entries[2].query.id, QueryId{44});
+  EXPECT_EQ(out.entries[3].kind, repl::OpKind::kDelQuery);
+  EXPECT_EQ(out.entries[3].query_id, QueryId{44});
+  EXPECT_EQ(out.entries[4].kind, repl::OpKind::kAppDelta);
+  EXPECT_EQ(out.entries[4].app_delta,
+            (std::vector<std::uint8_t>{1, 2, 3, 4}));
+}
+
+TEST(Codec, SnapshotAndAntiEntropyRoundTrip) {
+  const KeyGroup g = KeyGroup::parse("0110*", 24).value();
+  const repl::LogHead head{7, 123};
+
+  const auto ack =
+      std::get<ReplAck>(round_trip(Message(ReplAck{g, head, false})));
+  EXPECT_EQ(ack.group, g);
+  EXPECT_EQ(ack.head, head);
+  EXPECT_FALSE(ack.ok);
+
+  SnapshotOffer offer;
+  offer.group = g;
+  offer.owner = ServerId{2};
+  offer.head = head;
+  offer.root = true;
+  offer.parent = ServerId{6};
+  offer.total_chunks = 3;
+  const auto offer_out = std::get<SnapshotOffer>(round_trip(Message(offer)));
+  EXPECT_EQ(offer_out.head, head);
+  EXPECT_TRUE(offer_out.root);
+  EXPECT_EQ(offer_out.total_chunks, 3u);
+
+  SnapshotChunk chunk;
+  chunk.group = g;
+  chunk.head = head;
+  chunk.index = 1;
+  chunk.total = 3;
+  chunk.streams.push_back({ClientId{5}, Key(0x601234, 24), 4.5});
+  chunk.queries.push_back({QueryId{77}, Key(0x609999, 24)});
+  chunk.app_state = {9, 8, 7};
+  chunk.app_deltas = {{1}, {2, 3}};
+  const auto chunk_out = std::get<SnapshotChunk>(round_trip(Message(chunk)));
+  EXPECT_EQ(chunk_out.index, 1u);
+  ASSERT_EQ(chunk_out.streams.size(), 1u);
+  EXPECT_EQ(chunk_out.app_state, (std::vector<std::uint8_t>{9, 8, 7}));
+  ASSERT_EQ(chunk_out.app_deltas.size(), 2u);
+  EXPECT_EQ(chunk_out.app_deltas[1], (std::vector<std::uint8_t>{2, 3}));
+
+  AntiEntropyProbe probe;
+  probe.owner = ServerId{2};
+  probe.heads.push_back({g, head});
+  probe.heads.push_back({KeyGroup::parse("111*", 24).value(),
+                         repl::LogHead{1, 0}});
+  const auto probe_out =
+      std::get<AntiEntropyProbe>(round_trip(Message(probe)));
+  ASSERT_EQ(probe_out.heads.size(), 2u);
+  EXPECT_EQ(probe_out.heads[0].head, head);
+
+  AntiEntropyDiff diff;
+  diff.behind.push_back({g, repl::LogHead{}});
+  const auto diff_out = std::get<AntiEntropyDiff>(round_trip(Message(diff)));
+  ASSERT_EQ(diff_out.behind.size(), 1u);
+  EXPECT_EQ(diff_out.behind[0].head, (repl::LogHead{0, 0}));
+}
+
+TEST(Codec, ReplAppendRejectsBadOpKind) {
+  ReplAppend m;
+  m.group = KeyGroup::parse("0*", 24).value();
+  m.owner = ServerId{1};
+  m.entries.push_back(repl::LogOp::del_stream(ClientId{1}));
+  Writer w;
+  encode_message(w, Message(m));
+  auto bytes = w.take();
+  // The op kind byte sits right after group(10) + owner(8) + epoch(8) +
+  // base_seq(8) + count(4) = 38 bytes plus the leading type byte.
+  bytes[39] = 0xEE;
+  EXPECT_FALSE(decode_message(bytes).ok());
+}
+
 TEST(Codec, GossipRoundTrip) {
   Gossip m;
   m.kind = GossipKind::kPingReq;
