@@ -9,10 +9,15 @@
 // sim_dispatch: sim::EventQueue dispatch rate with closure captures
 // big enough to defeat std::function's small-buffer optimisation (the
 // shape real sim events have).
+// repl_append_batching: wire encode+decode cost of one ReplAppend op
+// per frame vs one frame per group per tick (the per-tick batching the
+// replication engine now does) — the transport coalesces writes either
+// way, so the saving is pure codec + envelope overhead.
 //
 // Usage: micro_net [--quick] [--json=PATH]
 #include <sys/epoll.h>
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <cstdint>
@@ -21,11 +26,13 @@
 #include <string>
 #include <vector>
 
+#include "clash/messages.hpp"
 #include "common/argparse.hpp"
 #include "net/connection.hpp"
 #include "net/event_loop.hpp"
 #include "net/socket.hpp"
 #include "sim/event_queue.hpp"
+#include "wire/codec.hpp"
 
 using namespace clash;
 using namespace clash::net;
@@ -157,6 +164,44 @@ double run_sim_dispatch(std::uint64_t events) {
   return double(events) / secs;
 }
 
+/// Encode + decode `total_ops` ReplAppend log ops, `per_frame` ops per
+/// frame, through the full wire path (envelope + codec both ways).
+/// Returns ops/sec.
+double run_append_codec(std::uint64_t total_ops, std::size_t per_frame) {
+  const KeyGroup group = KeyGroup::root(24);
+  std::uint64_t checksum = 0;
+  const auto t0 = Clock::now();
+  std::uint64_t done = 0;
+  std::uint64_t seq = 0;
+  while (done < total_ops) {
+    const std::size_t n =
+        std::size_t(std::min<std::uint64_t>(per_frame, total_ops - done));
+    ReplAppend msg;
+    msg.group = group;
+    msg.owner = ServerId{1};
+    msg.epoch = 1;
+    msg.base_seq = seq;
+    msg.entries.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      msg.entries.push_back(repl::LogOp::put_stream(
+          StreamInfo{ClientId{seq + i}, Key(0x123456, 24), 2.5}));
+    }
+    seq += n;
+    auto w = wire::begin_frame(
+        wire::Envelope{wire::FrameKind::kOneway, 0, ServerId{1}});
+    wire::encode_message(w, Message(std::move(msg)));
+    const auto frame = wire::finish_frame(std::move(w));
+    const auto decoded = wire::decode_frame(
+        std::span<const std::uint8_t>(frame).subspan(4));
+    const auto out = wire::decode_message(decoded.value().payload);
+    checksum += std::get<ReplAppend>(out.value()).entries.size();
+    done += n;
+  }
+  const double secs = seconds_since(t0);
+  if (checksum != total_ops) std::fprintf(stderr, "checksum mismatch\n");
+  return double(total_ops) / secs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -175,6 +220,14 @@ int main(int argc, char** argv) {
   const auto t64k = run_throughput(64 * 1024, big_frames, 8);
   const double rtt_us = run_latency(rtts);
   const double dispatch = run_sim_dispatch(sim_events);
+  const std::uint64_t append_ops = quick ? 200'000 : 2'000'000;
+  const std::size_t append_batch = 16;
+  const double unbatched_ops = run_append_codec(append_ops, 1);
+  const double batched_ops = run_append_codec(append_ops, append_batch);
+  std::printf("# repl_append codec: %.0f ops/s unbatched, %.0f ops/s at "
+              "batch %zu (%.2fx)\n",
+              unbatched_ops, batched_ops, append_batch,
+              batched_ops / unbatched_ops);
 
   std::string out = "{\n  \"bench\": \"micro_net\",\n";
   out += "  \"quick\": " + std::string(quick ? "true" : "false") + ",\n";
@@ -193,6 +246,14 @@ int main(int argc, char** argv) {
     out += line;
   }
   out += "  ],\n";
+  char batching[256];
+  std::snprintf(batching, sizeof(batching),
+                "  \"repl_append_codec\": {\"ops\": %llu, \"batch\": %zu, "
+                "\"unbatched_ops_per_sec\": %.0f, "
+                "\"batched_ops_per_sec\": %.0f, \"speedup\": %.2f},\n",
+                (unsigned long long)append_ops, append_batch, unbatched_ops,
+                batched_ops, batched_ops / unbatched_ops);
+  out += batching;
   char tail[160];
   std::snprintf(tail, sizeof(tail),
                 "  \"net_latency_rtt_us\": %.2f,\n"

@@ -425,6 +425,10 @@ void ClashServer::run_load_check() {
       send_replicas();
     }
   }
+  // Resume any snapshot transfer that paused on transport
+  // backpressure (the drain callback is the fast path; this is the
+  // periodic backstop).
+  pump_snapshots();
   const double load = server_load();
   switch (classify_load(cfg_, load)) {
     case LoadVerdict::kOverloaded:
@@ -630,6 +634,7 @@ void ClashServer::replicate_group(const ServerTableEntry& entry) {
 }
 
 void ClashServer::retire_replicas(const KeyGroup& group) {
+  cancel_outbound_snapshots(group);  // the image being streamed is dead
   drop_group_log(group);
   if (cfg_.replication_factor == 0) return;
   const auto targets = env_.replica_targets(
@@ -696,6 +701,9 @@ void ClashServer::adopt_bare_group(ServerTableEntry& entry) {
 
 void ClashServer::init_group_log(const KeyGroup& group,
                                  std::uint64_t min_epoch) {
+  // A queued batch must not outlive its epoch: send it under the old
+  // line before the new one starts.
+  flush_pending_append(group);
   std::uint64_t epoch = std::max<std::uint64_t>(min_epoch, 1);
   const auto it = retired_epochs_.find(group);
   if (it != retired_epochs_.end()) epoch = std::max(epoch, it->second + 1);
@@ -703,6 +711,7 @@ void ClashServer::init_group_log(const KeyGroup& group,
 }
 
 void ClashServer::drop_group_log(const KeyGroup& group) {
+  flush_pending_append(group);
   const auto it = logs_.find(group);
   if (it == logs_.end()) return;
   retired_epochs_[group] = it->second.epoch();
@@ -717,18 +726,22 @@ void ClashServer::log_op(const KeyGroup& group, repl::LogOp op) {
     lit = logs_.find(group);
   }
   repl::GroupLog& log = lit->second;
-  const std::uint64_t base = log.head().seq;
 
-  ReplAppend msg;
-  msg.group = group;
-  msg.owner = self_;
-  msg.epoch = log.epoch();
-  msg.base_seq = base;
-  msg.entries.push_back(op);
+  // One ReplAppend frame per group per dispatch tick: the transport
+  // already coalesces writes, but encode/decode cost is per message,
+  // so ops accumulate here and flush at the tick boundary. A
+  // synchronous env runs the deferred flush inline — per-op delivery,
+  // exactly the old behaviour.
+  auto [pit, fresh] = pending_appends_.try_emplace(group);
+  if (fresh) {
+    pit->second.epoch = log.epoch();
+    pit->second.base_seq = log.head().seq;
+  }
+  pit->second.entries.push_back(op);
   log.append(std::move(op));
-
-  for (const ServerId target : replica_set(group)) {
-    if (target != self_) env_.send(target, msg);
+  if (!append_flush_scheduled_) {
+    append_flush_scheduled_ = true;
+    env_.defer([this] { flush_pending_appends(); });
   }
 
   // Bound the retained suffix: cut a fresh snapshot boundary once the
@@ -740,6 +753,36 @@ void ClashServer::log_op(const KeyGroup& group, repl::LogOp op) {
       snapshot_group(*entry);
     }
   }
+}
+
+void ClashServer::send_append_batch(const KeyGroup& group,
+                                    PendingAppend&& batch) {
+  ReplAppend msg;
+  msg.group = group;
+  msg.owner = self_;
+  msg.epoch = batch.epoch;
+  msg.base_seq = batch.base_seq;
+  msg.entries = std::move(batch.entries);
+  for (const ServerId target : replica_set(group)) {
+    if (target != self_) env_.send(target, msg);
+  }
+}
+
+void ClashServer::flush_pending_appends() {
+  append_flush_scheduled_ = false;
+  // Move the batches out first: sending can re-enter log paths.
+  auto pending = std::exchange(pending_appends_, {});
+  for (auto& [group, batch] : pending) {
+    send_append_batch(group, std::move(batch));
+  }
+}
+
+void ClashServer::flush_pending_append(const KeyGroup& group) {
+  const auto it = pending_appends_.find(group);
+  if (it == pending_appends_.end()) return;
+  PendingAppend batch = std::move(it->second);
+  pending_appends_.erase(it);
+  send_append_batch(group, std::move(batch));
 }
 
 bool ClashServer::append_app_delta(const KeyGroup& group,
@@ -797,6 +840,13 @@ void ClashServer::send_state_snapshot(
   offer.total_chunks = total;
   env_.send(to, offer);
 
+  // Pre-cut the chunks into an outbound cursor instead of blasting
+  // them all now: pump_snapshots drains the cursor as fast as the
+  // destination's budget allows (unbounded in the sync sim; queue-depth
+  // driven over TCP) and resumes when the transport drains. A restart
+  // for the same (to, group) replaces any unfinished transfer.
+  OutboundSnapshot out;
+  out.chunks.reserve(total);
   auto stream_it = st.streams.begin();
   auto query_it = st.queries.begin();
   for (std::uint32_t idx = 0; idx < total; ++idx) {
@@ -820,7 +870,63 @@ void ClashServer::send_state_snapshot(
       chunk.app_state = app_state;
       chunk.app_deltas = app_deltas;
     }
-    env_.send(to, std::move(chunk));
+    out.chunks.push_back(std::move(chunk));
+  }
+  outbound_snapshots_[{to, group}] = std::move(out);
+  pump_snapshots();
+}
+
+std::size_t ClashServer::pump_snapshots() {
+  // A chunk delivery can nack synchronously and restart the very
+  // transfer being pumped (the map entry is replaced or erased under
+  // the loop), so: no held iterators across sends, and no nested
+  // pumps — the outermost loop re-finds each entry per chunk and
+  // naturally picks up a restarted cursor.
+  if (pumping_snapshots_) return outbound_snapshots_.size();
+  pumping_snapshots_ = true;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    std::vector<std::pair<ServerId, KeyGroup>> keys;
+    keys.reserve(outbound_snapshots_.size());
+    for (const auto& [key, _] : outbound_snapshots_) keys.push_back(key);
+    for (const auto& key : keys) {
+      std::size_t budget = env_.snapshot_chunk_budget(key.first);
+      for (;;) {
+        const auto it = outbound_snapshots_.find(key);
+        if (it == outbound_snapshots_.end()) break;  // cancelled mid-pump
+        OutboundSnapshot& out = it->second;
+        if (out.next >= out.chunks.size()) {
+          outbound_snapshots_.erase(it);
+          break;
+        }
+        if (budget == 0) break;
+        --budget;
+        progress = true;
+        Message msg(std::move(out.chunks[out.next]));
+        ++out.next;
+        env_.send(key.first, msg);
+      }
+    }
+    if (outbound_snapshots_.empty()) break;
+  }
+  pumping_snapshots_ = false;
+  return outbound_snapshots_.size();
+}
+
+void ClashServer::cancel_outbound_snapshot(ServerId to,
+                                           const KeyGroup& group) {
+  outbound_snapshots_.erase({to, group});
+}
+
+void ClashServer::cancel_outbound_snapshots(const KeyGroup& group) {
+  for (auto it = outbound_snapshots_.begin();
+       it != outbound_snapshots_.end();) {
+    if (it->first.second == group) {
+      it = outbound_snapshots_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -865,6 +971,14 @@ void ClashServer::handle_repl_append(ServerId from, const ReplAppend& m) {
 
   const repl::LogHead head = rec.log.head();
   if (m.epoch != head.epoch || m.base_seq > head.seq) {
+    if (rec.pending) {
+      // A snapshot assembly is already in flight for this group: it
+      // will re-anchor us past this gap, so stay quiet. Nacking here
+      // would make the sender cancel and restart that very transfer —
+      // under paced TCP streaming, every routine append during a long
+      // transfer would reset it and it could never complete.
+      return;
+    }
     // Epoch change or a gap: nack with our real head; the sender
     // diffs us forward (suffix or snapshot).
     env_.send(from, ReplAck{m.group, head, false});
@@ -891,8 +1005,13 @@ void ClashServer::handle_repl_append(ServerId from, const ReplAppend& m) {
 void ClashServer::handle_repl_ack(ServerId from, const ReplAck& m) {
   // Positive acks confirm progress and need no bookkeeping; a nack
   // asks for repair, served from the owner log or, on a non-owner
-  // (peer recovery), from the replica record.
-  if (!m.ok) repair_peer(from, m.group, m.head);
+  // (peer recovery), from the replica record. The nack also aborts any
+  // snapshot still streaming to that peer for the group — the receiver
+  // tore down its assembly, so the unsent chunks would only be nacked
+  // again; repair restarts the transfer from scratch instead.
+  if (m.ok) return;
+  cancel_outbound_snapshot(from, m.group);
+  repair_peer(from, m.group, m.head);
 }
 
 void ClashServer::handle_snapshot_offer(ServerId /*from*/,
@@ -903,6 +1022,16 @@ void ClashServer::handle_snapshot_offer(ServerId /*from*/,
   }
   ReplicaRecord& rec = replicas_[m.group];
   rec.refreshed = env_.now();
+  if (rec.pending && !(rec.pending->head < m.head)) {
+    // A transfer is mid-flight and this offer is not strictly fresher:
+    // a duplicate or competing offer for the same head must not
+    // discard the chunks already assembled — overwriting the record
+    // here desyncs the chunk cursor and loses the whole transfer.
+    // Only a strictly newer head (a snapshot superseding the one in
+    // flight) preempts the assembly.
+    stats_.snapshot_offers_ignored++;
+    return;
+  }
   ReplicaRecord::PendingSnapshot pending;
   pending.head = m.head;
   pending.owner = m.owner;
@@ -910,6 +1039,7 @@ void ClashServer::handle_snapshot_offer(ServerId /*from*/,
   pending.parent = m.parent;
   pending.total = m.total_chunks;
   rec.pending = std::move(pending);
+  rec.last_nacked = repl::LogHead{};  // the new stream starts clean
 }
 
 void ClashServer::handle_snapshot_chunk(ServerId from,
@@ -922,14 +1052,34 @@ void ClashServer::handle_snapshot_chunk(ServerId from,
   if (it == replicas_.end()) return;  // offer was never seen
   ReplicaRecord& rec = it->second;
   rec.refreshed = env_.now();
+  if (!rec.pending && rec.last_nacked == m.head) {
+    return;  // remnants of a transfer already nacked: stay silent
+  }
+  if (rec.pending && rec.pending->head == m.head &&
+      m.total == rec.pending->total && m.index < rec.pending->received) {
+    return;  // duplicated frame of an already-applied chunk: idempotent
+  }
   if (!rec.pending || rec.pending->head != m.head ||
       m.index != rec.pending->received || m.total != rec.pending->total) {
-    rec.pending.reset();  // stream out of sync; anti-entropy retries
+    // Stream out of sync (lost, reordered, or never-offered chunk):
+    // tear the assembly down and nack with our real head so the sender
+    // restarts NOW — staying silent would leave it streaming a dead
+    // transfer while recovery waits out a full anti-entropy period.
+    rec.pending.reset();
+    rec.last_nacked = m.head;
+    stats_.snapshot_aborts++;
+    env_.send(from, ReplAck{m.group, rec.log.head(), false});
     return;
   }
   ReplicaRecord::PendingSnapshot& p = *rec.pending;
   for (const auto& s : m.streams) {
-    p.state.streams[s.source] = s;
+    // A re-delivered stream replaces its map entry; its rate must not
+    // accumulate twice (subtract what the overwritten entry carried).
+    auto [sit, inserted] = p.state.streams.try_emplace(s.source, s);
+    if (!inserted) {
+      p.state.stream_rate -= sit->second.rate;
+      sit->second = s;
+    }
     p.state.stream_rate += s.rate;
   }
   for (const auto& q : m.queries) p.state.queries[q.id] = q;

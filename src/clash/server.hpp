@@ -5,9 +5,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "clash/config.hpp"
@@ -48,6 +51,25 @@ class ServerEnv {
   virtual void send(ServerId to, const Message& msg) = 0;
 
   [[nodiscard]] virtual SimTime now() const = 0;
+
+  /// How many more replication SnapshotChunk messages the transport is
+  /// willing to carry toward `to` right now. The default (unlimited)
+  /// suits synchronous simulators, which deliver instantly; the TCP
+  /// layer derives the budget from the peer connection's outbound
+  /// queue depth so huge snapshots never bury a socket, and
+  /// ClashServer::pump_snapshots resumes paused transfers as the
+  /// queue drains.
+  [[nodiscard]] virtual std::size_t snapshot_chunk_budget(ServerId to) {
+    (void)to;
+    return std::numeric_limits<std::size_t>::max();
+  }
+
+  /// Run `fn` at the end of the current dispatch tick — the
+  /// transport's write-coalescing boundary. Synchronous environments
+  /// have no tick, so the default runs it inline. ClashServer uses
+  /// this to batch the tick's ReplAppend entries into one frame per
+  /// group.
+  virtual void defer(std::function<void()> fn) { fn(); }
 
   /// Table-change notifications: `group` became / stopped being an
   /// active leaf on this server. Default no-ops; the simulator uses
@@ -196,6 +218,16 @@ class ClashServer {
     return recovery_.stats();
   }
 
+  /// Resume snapshot transfers that paused on transport backpressure:
+  /// sends as many pending chunks as each destination's budget allows.
+  /// Returns the number of transfers still unfinished. Driven by
+  /// run_load_check and, on the TCP layer, by connection-drain
+  /// callbacks.
+  std::size_t pump_snapshots();
+  [[nodiscard]] bool has_pending_snapshots() const {
+    return !outbound_snapshots_.empty();
+  }
+
   [[nodiscard]] std::size_t replica_count() const {
     return replicas_.size();
   }
@@ -311,9 +343,18 @@ class ClashServer {
   /// Failover found no replica: install an empty root entry so the key
   /// space stays covered (shared by both promotion modes).
   void adopt_bare_group(ServerTableEntry& entry);
-  /// Append one op to an active group's log and stream it to the
-  /// replica set (no-op unless the log engine is on).
+  /// Append one op to an active group's log and queue it for the
+  /// replica set (no-op unless the log engine is on). Ops queued
+  /// during one dispatch tick coalesce into a single ReplAppend frame
+  /// per group (flushed through ServerEnv::defer; synchronous
+  /// environments flush inline, i.e. per op).
   void log_op(const KeyGroup& group, repl::LogOp op);
+  /// Send every queued ReplAppend batch now.
+  void flush_pending_appends();
+  /// Send (and forget) one group's queued batch — run before its log
+  /// is retired or re-epoched so no batch outlives the line it
+  /// belongs to.
+  void flush_pending_append(const KeyGroup& group);
   /// Start (or restart) a group's log at an epoch strictly above both
   /// `min_epoch` and any epoch this server previously used for it.
   void init_group_log(const KeyGroup& group, std::uint64_t min_epoch);
@@ -324,12 +365,19 @@ class ClashServer {
   /// Stream one snapshot (offer + chunks) of an active group to `to`.
   void send_snapshot_to(ServerId to, const ServerTableEntry& entry);
   /// Chunk an arbitrary state image at `head` to `to` (owner snapshots
-  /// and peer-built repair snapshots share this path).
+  /// and peer-built repair snapshots share this path). The offer goes
+  /// out immediately; chunks flow through the paced outbound cursor
+  /// (pump_snapshots) so a large group cannot bury a backpressured
+  /// connection in one tick.
   void send_state_snapshot(
       ServerId to, const KeyGroup& group, const GroupState& st,
       repl::LogHead head, bool root, ServerId parent, ServerId owner,
       const std::vector<std::uint8_t>& app_state,
       const std::vector<std::vector<std::uint8_t>>& app_deltas);
+  /// Drop the unsent remainder of a transfer (receiver nacked it or
+  /// the group left this server); repair restarts it from scratch.
+  void cancel_outbound_snapshot(ServerId to, const KeyGroup& group);
+  void cancel_outbound_snapshots(const KeyGroup& group);
   /// Periodic anti-entropy: batched (epoch, seq) vectors per holder.
   void send_anti_entropy();
   /// Answer a peer that reported being behind on `group` at `have`.
@@ -362,8 +410,14 @@ class ClashServer {
     std::vector<std::uint8_t> app_snapshot;
     std::vector<std::vector<std::uint8_t>> app_tail;
 
+    /// Head of the last transfer this holder tore down and nacked:
+    /// the dead stream's remaining chunks must stay silent (one nack
+    /// per failed transfer, not one per stale chunk).
+    repl::LogHead last_nacked{};
+
     /// In-flight chunked snapshot assembly (chunks must arrive in
-    /// order; a mismatch drops the assembly and anti-entropy retries).
+    /// order; a mismatch drops the assembly, nacks the sender for an
+    /// immediate restart, and anti-entropy backstops the retry).
     struct PendingSnapshot {
       repl::LogHead head;
       ServerId owner{};
@@ -378,6 +432,29 @@ class ClashServer {
     std::optional<PendingSnapshot> pending;
   };
   std::map<KeyGroup, ReplicaRecord> replicas_;
+
+  /// Paced outbound snapshot transfers: chunks are pre-cut at offer
+  /// time (a stable image regardless of later mutations) and drained
+  /// by pump_snapshots as the destination's budget allows.
+  struct OutboundSnapshot {
+    std::vector<SnapshotChunk> chunks;
+    std::size_t next = 0;
+  };
+  std::map<std::pair<ServerId, KeyGroup>, OutboundSnapshot>
+      outbound_snapshots_;
+  bool pumping_snapshots_ = false;  // re-entrancy guard (nack restarts)
+
+  /// Per-tick ReplAppend batches: ops logged during one dispatch tick,
+  /// one frame per group at flush.
+  struct PendingAppend {
+    std::uint64_t epoch = 0;
+    std::uint64_t base_seq = 0;
+    std::vector<repl::LogOp> entries;
+  };
+  std::map<KeyGroup, PendingAppend> pending_appends_;
+  bool append_flush_scheduled_ = false;
+  /// Build and fan one batch out to the group's replica set.
+  void send_append_batch(const KeyGroup& group, PendingAppend&& batch);
 
   /// Owner-side logs of the groups this server actively manages.
   /// Acks confirm holder progress; repair is nack-driven, so no

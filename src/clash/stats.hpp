@@ -48,6 +48,9 @@ struct MessageStats {
   std::uint64_t dropped_msgs = 0;     // sends to dead servers
   std::uint64_t handoffs = 0;         // groups handed back on rejoin
   std::uint64_t log_compactions = 0;  // snapshot+compact cycles (log mode)
+  std::uint64_t link_drops = 0;       // messages eaten by the fault matrix
+  std::uint64_t snapshot_aborts = 0;  // out-of-sync transfers nacked
+  std::uint64_t snapshot_offers_ignored = 0;  // dup offers mid-transfer
 
   /// Total protocol messages excluding migrated state (Figure 5 case A).
   [[nodiscard]] std::uint64_t control_messages() const {
@@ -98,6 +101,9 @@ struct MessageStats {
     dropped_msgs += o.dropped_msgs;
     handoffs += o.handoffs;
     log_compactions += o.log_compactions;
+    link_drops += o.link_drops;
+    snapshot_aborts += o.snapshot_aborts;
+    snapshot_offers_ignored += o.snapshot_offers_ignored;
     return *this;
   }
 
@@ -131,6 +137,9 @@ struct MessageStats {
     a.dropped_msgs -= b.dropped_msgs;
     a.handoffs -= b.handoffs;
     a.log_compactions -= b.log_compactions;
+    a.link_drops -= b.link_drops;
+    a.snapshot_aborts -= b.snapshot_aborts;
+    a.snapshot_offers_ignored -= b.snapshot_offers_ignored;
     return a;
   }
 };

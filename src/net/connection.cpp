@@ -145,6 +145,50 @@ bool Connection::send_wire_frame(std::vector<std::uint8_t>&& frame) {
 }
 
 bool Connection::enqueue(std::vector<std::uint8_t>&& frame) {
+  std::chrono::microseconds delay{0};
+  if (fault_ != nullptr) {
+    const auto verdict = fault_->judge();
+    if (verdict.drop) {
+      // The network ate it: the sender cannot tell, exactly like a
+      // lossy link. The buffer still recycles.
+      ++stats_.faults_dropped;
+      wire::BufferPool::local().release(std::move(frame));
+      return true;
+    }
+    delay = verdict.delay;
+  }
+  // In-order delivery across reconfigures: while earlier frames sit
+  // in delay timers, later frames — even undelayed ones after the
+  // injector was cleared — must not overtake them. Frames park in a
+  // FIFO and every timer fire releases the head, so delivery order is
+  // the send order no matter how same-instant timers interleave.
+  if (delay.count() > 0 || !delayed_q_.empty()) {
+    // The horizon (the latest scheduled release) keeps a follow-up
+    // zero-delay frame from firing the queue head early.
+    const auto now = EventLoop::Clock::now();
+    const auto target = std::max(now + delay, delay_horizon_);
+    delay_horizon_ = target;
+    ++stats_.faults_delayed;
+    delayed_q_.push_back(std::move(frame));
+    std::weak_ptr<Connection> weak = weak_from_this();
+    loop_.call_after(
+        std::chrono::duration_cast<std::chrono::microseconds>(target - now),
+        [weak] {
+          const auto self = weak.lock();
+          if (self == nullptr || self->closed() ||
+              self->delayed_q_.empty()) {
+            return;
+          }
+          auto head = std::move(self->delayed_q_.front());
+          self->delayed_q_.pop_front();
+          self->enqueue_now(std::move(head));
+        });
+    return true;
+  }
+  return enqueue_now(std::move(frame));
+}
+
+bool Connection::enqueue_now(std::vector<std::uint8_t>&& frame) {
   out_q_.push_back(std::move(frame));
   ++stats_.frames_sent;
   // One flush per tick: the first frame schedules it; later sends in
@@ -162,6 +206,7 @@ bool Connection::enqueue(std::vector<std::uint8_t>&& frame) {
 
 void Connection::flush() {
   flush_scheduled_ = false;
+  const bool had_backlog = !out_q_.empty();
   while (!out_q_.empty() && !closed()) {
     std::array<iovec, kMaxIov> iov;
     std::size_t niov = 0;
@@ -202,6 +247,7 @@ void Connection::flush() {
     if (std::size_t(n) < offered) break;  // kernel buffer full
   }
   update_interest();
+  if (had_backlog && out_q_.empty() && !closed() && on_drain_) on_drain_();
 }
 
 std::size_t Connection::send_queue_bytes() const {
@@ -226,6 +272,10 @@ void Connection::close() {
   while (!out_q_.empty()) {
     pool.release(std::move(out_q_.front()));
     out_q_.pop_front();
+  }
+  while (!delayed_q_.empty()) {
+    pool.release(std::move(delayed_q_.front()));
+    delayed_q_.pop_front();
   }
   out_head_offset_ = 0;
   if (on_close_) on_close_();

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/event_loop.hpp"
+#include "net/fault.hpp"
 #include "net/socket.hpp"
 
 namespace clash::net {
@@ -40,6 +41,9 @@ class Connection : public std::enable_shared_from_this<Connection> {
     std::uint64_t flush_syscalls = 0;
     /// Sends rejected for exceeding kMaxFrame.
     std::uint64_t send_oversized = 0;
+    /// Frames eaten / held back by an attached FaultInjector.
+    std::uint64_t faults_dropped = 0;
+    std::uint64_t faults_delayed = 0;
   };
 
   using FrameHandler =
@@ -68,6 +72,21 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// Close immediately (loop thread only).
   void close();
 
+  /// Attach a link-fault injector: every outbound frame is judged and
+  /// may be dropped or delayed before reaching the socket queue
+  /// (deterministic partition / lossy-link tests). nullptr detaches.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+    fault_ = std::move(injector);
+  }
+
+  /// Called (loop thread) whenever a flush fully drains the outbound
+  /// queue after backpressure — the resume signal for paced senders
+  /// (snapshot-chunk flow control).
+  using DrainHandler = std::function<void()>;
+  void set_drain_handler(DrainHandler handler) {
+    on_drain_ = std::move(handler);
+  }
+
   [[nodiscard]] bool closed() const { return !fd_.valid(); }
   [[nodiscard]] int fd() const { return fd_.get(); }
   [[nodiscard]] const Stats& stats() const { return stats_; }
@@ -82,6 +101,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void on_events(std::uint32_t events);
   void handle_readable();
   bool enqueue(std::vector<std::uint8_t>&& frame);
+  bool enqueue_now(std::vector<std::uint8_t>&& frame);
   void flush();
   void update_interest();
   void parse_frames();
@@ -90,6 +110,14 @@ class Connection : public std::enable_shared_from_this<Connection> {
   Fd fd_;
   FrameHandler on_frame_;
   CloseHandler on_close_;
+  DrainHandler on_drain_;
+  std::shared_ptr<FaultInjector> fault_;
+  /// Fault-delayed frames awaiting their timers, in send order; each
+  /// fire releases the head so frames can never overtake each other —
+  /// even across an injector reconfigure or heal.
+  std::deque<std::vector<std::uint8_t>> delayed_q_;
+  /// Latest scheduled release time; later frames never fire earlier.
+  EventLoop::Clock::time_point delay_horizon_{};
 
   // Inbound arena: bytes [in_pos_, in_end_) are unparsed; the vector's
   // size is the high-water mark so refills never re-zero memory.

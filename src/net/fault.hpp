@@ -1,0 +1,83 @@
+// FaultInjector: deterministic link faults for the TCP transport. A
+// Connection with an injector attached consults it for every outbound
+// frame and drops or delays it before the frame reaches the socket
+// queue — the wire-level twin of sim::LinkMatrix, so the same
+// partition / lossy-link scenarios run against real sockets in tests.
+//
+// Determinism comes from two directions: a seeded Rng for
+// probabilistic drops, and an explicit drop_next(n) script hook that
+// eats exactly the next n frames regardless of probability (the way
+// tests force "this specific SnapshotChunk never arrives").
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace clash::net {
+
+class FaultInjector {
+ public:
+  struct Config {
+    /// Probability an outbound frame is silently dropped.
+    double drop_prob = 0.0;
+    /// Extra latency added to every surviving frame.
+    std::chrono::microseconds delay{0};
+    /// Hard cut: every frame is dropped until reconfigured.
+    bool cut = false;
+    std::uint64_t seed = 0x5eedf417ULL;
+  };
+
+  struct Stats {
+    std::uint64_t dropped = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t passed = 0;
+  };
+
+  struct Verdict {
+    bool drop = false;
+    std::chrono::microseconds delay{0};
+  };
+
+  FaultInjector() : FaultInjector(Config{}) {}
+  explicit FaultInjector(Config cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+  /// Swap the fault profile mid-run (heal == default Config). Keeps
+  /// the Rng stream so replays stay deterministic across reconfigures.
+  void configure(Config cfg) { cfg_ = cfg; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// Script hook: unconditionally drop exactly the next `n` frames.
+  void drop_next(unsigned n) { forced_drops_ += n; }
+
+  /// Decide one frame's fate (consumes randomness on lossy links).
+  Verdict judge() {
+    if (forced_drops_ > 0) {
+      --forced_drops_;
+      ++stats_.dropped;
+      return Verdict{true, {}};
+    }
+    if (cfg_.cut ||
+        (cfg_.drop_prob > 0.0 && rng_.bernoulli(cfg_.drop_prob))) {
+      ++stats_.dropped;
+      return Verdict{true, {}};
+    }
+    if (cfg_.delay.count() > 0) {
+      ++stats_.delayed;
+      return Verdict{false, cfg_.delay};
+    }
+    ++stats_.passed;
+    return Verdict{false, {}};
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  Config cfg_;
+  Stats stats_;
+  unsigned forced_drops_ = 0;
+  Rng rng_;
+};
+
+}  // namespace clash::net

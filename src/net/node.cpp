@@ -42,6 +42,34 @@ class ClashNode::Env final : public ServerEnv {
             .count());
   }
 
+  std::size_t snapshot_chunk_budget(ServerId to) override {
+    const auto it = node_.peers_.find(to);
+    if (it == node_.peers_.end() || it->second->closed()) {
+      if (node_.connecting_.count(to) > 0) {
+        // Handshake in flight: the pending-connect queue is bounded
+        // (kMaxQueuedPerConnect) and silently drops overflow, so hold
+        // the cursor until the connect lands — its queued frames then
+        // flush and the drain callback resumes the pump.
+        return 0;
+      }
+      // Unknown peer: grant one burst; the first frame kicks off the
+      // connect and at most a burst parks on it.
+      return node_.config_.snapshot_burst_chunks;
+    }
+    // Backpressure signal: the outbound queue depth (equivalently, a
+    // flush_syscalls count that stopped advancing while the queue
+    // grows). At or past the threshold the transfer pauses; the
+    // connection's drain callback pumps it again.
+    if (it->second->send_queue_bytes() >= node_.config_.snapshot_pace_bytes) {
+      return 0;
+    }
+    return node_.config_.snapshot_burst_chunks;
+  }
+
+  void defer(std::function<void()> fn) override {
+    node_.loop_->defer(std::move(fn));
+  }
+
  private:
   ClashNode& node_;
 };
@@ -206,6 +234,37 @@ void ClashNode::on_member_joined(ServerId id) {
   }
 }
 
+void ClashNode::set_link_fault(ServerId peer, FaultInjector::Config cfg) {
+  call_on_loop([&] {
+    auto& slot = link_faults_[peer];
+    if (slot == nullptr) {
+      slot = std::make_shared<FaultInjector>(cfg);
+    } else {
+      slot->configure(cfg);
+    }
+    const auto it = peers_.find(peer);
+    if (it != peers_.end()) it->second->set_fault_injector(slot);
+    return true;
+  });
+}
+
+void ClashNode::clear_link_fault(ServerId peer) {
+  call_on_loop([&] {
+    link_faults_.erase(peer);
+    const auto it = peers_.find(peer);
+    if (it != peers_.end()) it->second->set_fault_injector(nullptr);
+    return true;
+  });
+}
+
+FaultInjector::Stats ClashNode::link_fault_stats(ServerId peer) {
+  return call_on_loop([&] {
+    const auto it = link_faults_.find(peer);
+    return it != link_faults_.end() ? it->second->stats()
+                                    : FaultInjector::Stats{};
+  });
+}
+
 std::size_t ClashNode::ring_server_count() {
   return call_on_loop([&] { return ring_->server_count(); });
 }
@@ -256,6 +315,15 @@ std::shared_ptr<Connection> ClashNode::adopt_outbound(ServerId to, Fd fd) {
       },
       [this, to] { peers_.erase(to); });
   *conn_slot = conn;
+  // Resume paced snapshot transfers the moment the socket drains
+  // instead of waiting for the next load check.
+  conn->set_drain_handler([this] {
+    if (server_->has_pending_snapshots()) server_->pump_snapshots();
+  });
+  if (const auto fault = link_faults_.find(to);
+      fault != link_faults_.end()) {
+    conn->set_fault_injector(fault->second);
+  }
   peers_[to] = conn;
   return conn;
 }

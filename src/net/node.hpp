@@ -52,6 +52,15 @@ struct NodeConfig {
   /// the missing log suffix (or a snapshot) to the heir before it
   /// installs — the RecoveryCoordinator's pull window over TCP.
   std::chrono::microseconds recovery_grace = std::chrono::milliseconds(250);
+  /// Snapshot-chunk pacing: while a peer connection's outbound queue
+  /// already holds this many bytes, no further SnapshotChunks are
+  /// handed to it (ServerEnv::snapshot_chunk_budget returns 0); the
+  /// connection's drain callback resumes the paused transfer. Keeps a
+  /// huge group's snapshot from monopolising a slow link for a whole
+  /// tick.
+  std::size_t snapshot_pace_bytes = 256 * 1024;
+  /// Chunks granted per budget ask while under the pace threshold.
+  std::size_t snapshot_burst_chunks = 16;
 };
 
 class ClashNode {
@@ -95,6 +104,17 @@ class ClashNode {
   /// Update the peer address table (all members must be known before
   /// protocol traffic flows).
   [[nodiscard]] const NodeConfig& config() const { return config_; }
+
+  // --- Link-fault injection (thread-safe) -----------------------------
+  /// Attach or reconfigure a deterministic FaultInjector on the
+  /// outbound link to `peer`: applied to the live connection (if any)
+  /// and to every future reconnect. Lets tests drop or delay protocol
+  /// frames on one directed TCP link without touching the kernel.
+  void set_link_fault(ServerId peer, FaultInjector::Config cfg);
+  /// Detach the injector and deliver cleanly again.
+  void clear_link_fault(ServerId peer);
+  /// Counters of the injector on the link to `peer` (zeros when none).
+  [[nodiscard]] FaultInjector::Stats link_fault_stats(ServerId peer);
 
  private:
   class Env;
@@ -157,6 +177,7 @@ class ClashNode {
   Fd listener_;
   std::uint16_t port_ = 0;
   std::map<ServerId, std::shared_ptr<Connection>> peers_;
+  std::map<ServerId, std::shared_ptr<FaultInjector>> link_faults_;
   std::map<ServerId, PendingConnect> connecting_;
   std::vector<std::shared_ptr<Connection>> inbound_;
   std::thread thread_;

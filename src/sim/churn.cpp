@@ -11,8 +11,20 @@ class ChurnSim::GossipEnvImpl final : public membership::MembershipEnv {
   GossipEnvImpl(ChurnSim& sim, ServerId self) : sim_(sim), self_(self) {}
 
   void gossip_send(ServerId to, const Gossip& msg) override {
+    // Gossip crosses the same faulty links as protocol traffic — a
+    // partition must starve the failure detector too, or SWIM would
+    // see through the very faults it is meant to detect.
+    SimDuration delay = sim_.config_.gossip_delay;
+    if (!sim_.cluster_->links().quiet()) {
+      const auto verdict = sim_.cluster_->links().judge(self_, to);
+      if (!verdict.deliver) {
+        sim_.cluster_->transport_stats().link_drops++;
+        return;
+      }
+      delay = delay + verdict.delay;
+    }
     sim_.cluster_->transport_stats().gossip_msgs++;
-    sim_.events_.after(sim_.config_.gossip_delay, [this, to, msg] {
+    sim_.events_.after(delay, [this, to, msg] {
       // Look the driver up at delivery time: a revival swaps it out.
       if (!sim_.cluster_->is_alive(to)) {
         sim_.cluster_->transport_stats().dropped_msgs++;
@@ -32,6 +44,12 @@ class ChurnSim::GossipEnvImpl final : public membership::MembershipEnv {
 
 ChurnSim::ChurnSim(Config config) : config_(config) {
   cluster_ = std::make_unique<SimCluster>(config_.cluster);
+  // Link delays ride the event queue; without this sink SimCluster
+  // would deliver delayed messages inline.
+  cluster_->set_delay_sink(
+      [this](SimDuration delay, std::function<void()> deliver) {
+        events_.after(delay, std::move(deliver));
+      });
   const std::size_t n = config_.cluster.num_servers;
   envs_.reserve(n);
   drivers_.reserve(n);
@@ -112,6 +130,54 @@ void ChurnSim::revive(ServerId id) {
   if (cluster_->is_alive(id)) return;
   drivers_[id.value] = make_driver(id, ++generation_[id.value]);
   cluster_->restart_server(id);
+}
+
+std::vector<ServerId> ChurnSim::complement(
+    const std::vector<ServerId>& side) const {
+  std::vector<bool> in_side(config_.cluster.num_servers, false);
+  for (const ServerId id : side) {
+    if (id.value < in_side.size()) in_side[id.value] = true;
+  }
+  std::vector<ServerId> rest;
+  for (std::size_t i = 0; i < in_side.size(); ++i) {
+    if (!in_side[i]) rest.push_back(ServerId{i});
+  }
+  return rest;
+}
+
+void ChurnSim::partition(const std::vector<ServerId>& side) {
+  cluster_->links().partition(side, complement(side));
+}
+
+void ChurnSim::one_way_partition(const std::vector<ServerId>& side) {
+  cluster_->links().one_way_partition(side, complement(side));
+}
+
+void ChurnSim::heal_partitions() { cluster_->links().clear(); }
+
+void ChurnSim::set_loss_rate(double p) {
+  LinkMatrix::Fault f;
+  f.drop_prob = p;
+  cluster_->links().set_default_fault(f);
+}
+
+void ChurnSim::schedule_flaps(std::vector<ServerId> side, SimDuration period,
+                              unsigned cycles) {
+  if (cycles == 0) return;
+  partition(side);
+  events_.after(period, [this, side = std::move(side), period, cycles] {
+    // Heal only this side's links (any default fault stays in force).
+    const auto rest = complement(side);
+    for (const ServerId a : side) {
+      for (const ServerId b : rest) {
+        cluster_->links().heal(a, b);
+        cluster_->links().heal(b, a);
+      }
+    }
+    events_.after(period, [this, side, period, cycles] {
+      schedule_flaps(side, period, cycles - 1);
+    });
+  });
 }
 
 void ChurnSim::sweep_convergence() {

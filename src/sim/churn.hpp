@@ -66,6 +66,30 @@ class ChurnSim {
   /// refutes its own death rumour and rejoins the ring on convergence.
   void revive(ServerId id);
 
+  // --- Link faults & partition events ----------------------------------
+  // All protocol AND gossip traffic consults cluster().links(); these
+  // helpers drive whole-partition scenarios on it. Partition events
+  // compose with kill/revive — e.g. kill a server while its side is
+  // partitioned and watch eviction wait for the heal.
+
+  [[nodiscard]] LinkMatrix& links() { return cluster_->links(); }
+
+  /// Cut every link between `side` and the rest of the cluster, both
+  /// directions (split-brain).
+  void partition(const std::vector<ServerId>& side);
+  /// Cut only the messages FROM `side` to the rest: the cut side keeps
+  /// hearing the majority but is never heard (asymmetric one-way cut).
+  void one_way_partition(const std::vector<ServerId>& side);
+  /// Remove every link fault installed so far (default fault included).
+  void heal_partitions();
+  /// Uniform lossy cluster: every link independently drops each
+  /// message with probability `p` (0 restores clean links).
+  void set_loss_rate(double p);
+  /// Flap schedule: partition `side`, heal after `period`, repeat for
+  /// `cycles` cut/heal pairs (the last event is always a heal).
+  void schedule_flaps(std::vector<ServerId> side, SimDuration period,
+                      unsigned cycles);
+
   // --- Convergence queries ---------------------------------------------
   [[nodiscard]] const membership::MembershipView& view_of(ServerId id) const;
   /// Every live server's view marks `victim` dead.
@@ -81,6 +105,9 @@ class ChurnSim {
 
   void tick_server(std::size_t idx);
   void run_load_check(std::size_t idx);
+  /// Everyone not in `side`.
+  [[nodiscard]] std::vector<ServerId> complement(
+      const std::vector<ServerId>& side) const;
   /// Re-evaluate every pending eviction and re-admission. Run on every
   /// membership change — including kills: removing a dissenting
   /// survivor can be exactly what makes the remaining views unanimous,

@@ -27,6 +27,28 @@ class SimCluster::ServerEnvImpl final : public ServerEnv {
       cluster_.stats_.dropped_msgs++;
       return;
     }
+    if (!cluster_.links_.quiet()) {
+      const auto verdict = cluster_.links_.judge(self_, to);
+      if (!verdict.deliver) {
+        cluster_.stats_.link_drops++;
+        return;
+      }
+      if (verdict.delay.usec > 0 && cluster_.delay_sink_) {
+        // Late-bound delivery: the target may die while the message is
+        // in flight, so aliveness is re-checked at arrival time.
+        SimCluster* cluster = &cluster_;
+        const ServerId from = self_;
+        cluster_.delay_sink_(verdict.delay, [cluster, from, to, msg] {
+          if (!cluster->is_alive(to)) {
+            cluster->stats_.dropped_msgs++;
+            return;
+          }
+          cluster->count_message(msg);
+          cluster->server(to).deliver(from, msg);
+        });
+        return;
+      }
+    }
     cluster_.count_message(msg);
     // Synchronous delivery: the protocol's message chains are shallow
     // (split -> accept -> ack) and handlers are re-entrancy safe.
@@ -103,7 +125,8 @@ class SimCluster::ClientEnvImpl final : public ClientEnv {
 SimCluster::SimCluster(Config config)
     : config_(config),
       ring_(dht::ChordRing::Config{config.hash_bits, config.virtual_servers,
-                                   config.hash_algo, config.seed}) {
+                                   config.hash_algo, config.seed}),
+      links_(config.seed ^ 0x11ae5eedULL) {
   if (config_.num_servers == 0) {
     throw std::invalid_argument("cluster needs at least one server");
   }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -16,6 +17,7 @@
 #include "clash/server.hpp"
 #include "clash/stats.hpp"
 #include "dht/chord.hpp"
+#include "sim/link_matrix.hpp"
 
 namespace clash::sim {
 
@@ -82,6 +84,20 @@ class SimCluster {
   /// Lazily materialise a fixed-depth group at its DHT owner (the
   /// DHT(x) baselines never pre-split the tree). No-op if present.
   void ensure_group(const KeyGroup& group);
+
+  // --- Link-fault injection (partition extension) -----------------------
+  /// Per-ordered-pair drop/delay/cut matrix consulted by every
+  /// server -> server message (client RPCs model retries and bypass
+  /// it). Mutable mid-run; ChurnSim drives partition schedules on it.
+  [[nodiscard]] LinkMatrix& links() { return links_; }
+  [[nodiscard]] const LinkMatrix& links() const { return links_; }
+
+  /// Sink for link-delayed deliveries. Without one (plain SimCluster,
+  /// no event queue), a delayed message is delivered inline — only
+  /// drops and cuts apply. ChurnSim installs its event queue here.
+  using DelaySink =
+      std::function<void(SimDuration delay, std::function<void()> deliver)>;
+  void set_delay_sink(DelaySink sink) { delay_sink_ = std::move(sink); }
 
   // --- Failure injection (replication extension) -----------------------
   /// Oracle-style crash: crash_server + evict_server in one step, as if
@@ -172,6 +188,8 @@ class SimCluster {
   std::vector<KeyGroup> pending_failover_;  // heir was dead at eviction
   std::vector<bool> alive_;
   MessageStats stats_;
+  LinkMatrix links_;
+  DelaySink delay_sink_;
   SimTime now_{0};
 };
 

@@ -207,6 +207,75 @@ TEST(Codec, SnapshotAndAntiEntropyRoundTrip) {
   EXPECT_EQ(diff_out.behind[0].head, (repl::LogHead{0, 0}));
 }
 
+TEST(Codec, SnapshotFramesRejectTruncationAtEveryBoundary) {
+  // A partially received frame must never decode into a plausible
+  // offer/chunk — every strict prefix of the encoding is an error
+  // (the transfer-restart logic depends on corrupt frames dying in
+  // the codec, not in the assembly).
+  SnapshotOffer offer;
+  offer.group = KeyGroup::parse("0110*", 24).value();
+  offer.owner = ServerId{2};
+  offer.head = repl::LogHead{7, 123};
+  offer.root = true;
+  offer.parent = ServerId{6};
+  offer.total_chunks = 3;
+  Writer wo;
+  encode_message(wo, Message(offer));
+  const auto offer_bytes = wo.take();
+  for (std::size_t len = 0; len < offer_bytes.size(); ++len) {
+    EXPECT_FALSE(
+        decode_message(std::span(offer_bytes.data(), len)).ok())
+        << "offer prefix of " << len << " bytes decoded";
+  }
+
+  SnapshotChunk chunk;
+  chunk.group = KeyGroup::parse("0110*", 24).value();
+  chunk.head = repl::LogHead{7, 123};
+  chunk.index = 1;
+  chunk.total = 3;
+  chunk.streams.push_back({ClientId{5}, Key(0x601234, 24), 4.5});
+  chunk.queries.push_back({QueryId{77}, Key(0x609999, 24)});
+  chunk.app_state = {9, 8, 7};
+  chunk.app_deltas = {{1}, {2, 3}};
+  Writer wc;
+  encode_message(wc, Message(chunk));
+  const auto chunk_bytes = wc.take();
+  for (std::size_t len = 0; len < chunk_bytes.size(); ++len) {
+    EXPECT_FALSE(
+        decode_message(std::span(chunk_bytes.data(), len)).ok())
+        << "chunk prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(Codec, SnapshotFramesRejectDuplicatedPayloads) {
+  // Two concatenated encodings in one frame (a framing bug or a
+  // malicious duplicate) must be rejected as trailing garbage, not
+  // silently decoded as the first message.
+  SnapshotOffer offer;
+  offer.group = KeyGroup::parse("01*", 24).value();
+  offer.head = repl::LogHead{1, 4};
+  offer.total_chunks = 2;
+  Writer wo;
+  encode_message(wo, Message(offer));
+  auto doubled = wo.take();
+  const auto copy = doubled;
+  doubled.insert(doubled.end(), copy.begin(), copy.end());
+  EXPECT_FALSE(decode_message(doubled).ok());
+
+  SnapshotChunk chunk;
+  chunk.group = KeyGroup::parse("01*", 24).value();
+  chunk.head = repl::LogHead{1, 4};
+  chunk.total = 2;
+  chunk.streams.push_back({ClientId{1}, Key(0x400000, 24), 1.0});
+  Writer wc;
+  encode_message(wc, Message(chunk));
+  auto doubled_chunk = wc.take();
+  const auto chunk_copy = doubled_chunk;
+  doubled_chunk.insert(doubled_chunk.end(), chunk_copy.begin(),
+                       chunk_copy.end());
+  EXPECT_FALSE(decode_message(doubled_chunk).ok());
+}
+
 TEST(Codec, ReplAppendRejectsBadOpKind) {
   ReplAppend m;
   m.group = KeyGroup::parse("0*", 24).value();
