@@ -2,8 +2,9 @@
 // faster than log(N)". Builds random CLASH trees of increasing depth
 // and measures probes per fresh depth search, per guess policy.
 //
-// Usage: abl_depth_convergence [--keys=2000] [--seed=42]
+// Usage: abl_depth_convergence [--keys=2000] [--seed=42] [--json=PATH]
 #include <cstdio>
+#include <string>
 
 #include "clash/client.hpp"
 #include "common/argparse.hpp"
@@ -43,6 +44,9 @@ int main(int argc, char** argv) {
   const int keys = int(args.get_int("keys", 2000));
   const auto seed = std::uint64_t(args.get_int("seed", 42));
 
+  std::string json =
+      "{\n  \"bench\": \"abl_depth_convergence\",\n  \"runs\": [\n";
+  bool json_first = true;
   std::printf("# Depth-search convergence vs tree size (N = 24, "
               "log2(N+1) = 4.64 is plain binary search)\n");
   std::printf("%-8s %-10s %-10s | %-21s | %-21s | %-21s\n", "splits",
@@ -84,10 +88,21 @@ int main(int argc, char** argv) {
                 "%8.2f / %-10.0f\n",
                 splits, snap.avg_depth, double(snap.max_depth), avgs[0],
                 maxs[0], avgs[1], maxs[1], avgs[2], maxs[2]);
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    %s{\"splits\": %u, \"avg_depth\": %.2f, "
+                  "\"max_depth\": %u, \"hint_avg\": %.2f, \"mid_avg\": "
+                  "%.2f, \"rand_avg\": %.2f}",
+                  json_first ? "" : ",", splits, snap.avg_depth,
+                  snap.max_depth, avgs[0], avgs[1], avgs[2]);
+    json += line;
+    json += "\n";
+    json_first = false;
   }
+  json += "  ]\n}\n";
 
   std::printf("\n# expectation: avg probes stays well under the O(log N) "
               "bound; the hint policy beats pure binary search because "
               "most keys sit near the typical depth\n");
-  return 0;
+  return write_json_artifact(args, json) ? 0 : 1;
 }

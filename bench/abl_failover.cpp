@@ -130,7 +130,6 @@ int main(int argc, char** argv) {
   const auto n_sources = std::size_t(args.get_int("sources", 4000));
   const auto n_queries = std::size_t(args.get_int("queries", 800));
   const auto seed = std::uint64_t(args.get_int("seed", 42));
-  const std::string json_path = args.get("json", "");
 
   std::printf("# Failover ablation: %zu servers, %zu streams, %zu queries, "
               "crash 25%% of the cluster\n",
@@ -190,14 +189,5 @@ int main(int argc, char** argv) {
       "with (epoch, seq) probes -- compare snapshot_msgs vs delta_msgs for "
       "the steady-state cost.\n");
 
-  if (!json_path.empty()) {
-    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-    } else {
-      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-      return 1;
-    }
-  }
-  return 0;
+  return write_json_artifact(args, json) ? 0 : 1;
 }

@@ -5,8 +5,9 @@
 // the alive set), what the gossip costs per server per period, and how
 // much replicated state survives the failover.
 //
-// Usage: abl_membership [--sources=2000] [--seed=42]
+// Usage: abl_membership [--sources=2000] [--seed=42] [--json=PATH]
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "clash/client.hpp"
@@ -109,6 +110,8 @@ int main(int argc, char** argv) {
               "suspicion", "periods", "gossip/srv/period", "streams_kept_%",
               "failovers", "groups_lost");
 
+  std::string json = "{\n  \"bench\": \"abl_membership\",\n  \"runs\": [\n";
+  bool first = true;
   for (const std::size_t n : {16u, 32u, 64u}) {
     for (const unsigned suspicion : {1u, 3u, 6u}) {
       const auto out = run_one(n, suspicion, n_sources, seed);
@@ -117,8 +120,22 @@ int main(int argc, char** argv) {
                   out.streams_kept_pct,
                   (unsigned long long)out.failovers,
                   (unsigned long long)out.groups_lost);
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "    %s{\"servers\": %zu, \"suspicion\": %u, "
+                    "\"periods\": %d, \"gossip_per_srv_period\": %.2f, "
+                    "\"streams_kept_pct\": %.1f, \"failovers\": %llu, "
+                    "\"groups_lost\": %llu}",
+                    first ? "" : ",", n, suspicion, out.periods,
+                    out.gossip_per_server_per_period, out.streams_kept_pct,
+                    (unsigned long long)out.failovers,
+                    (unsigned long long)out.groups_lost);
+      json += line;
+      json += "\n";
+      first = false;
     }
   }
+  json += "  ]\n}\n";
 
   std::printf(
       "\n# expectation: detection latency = probe timeouts + suspicion "
@@ -126,5 +143,5 @@ int main(int argc, char** argv) {
       "setting and ~logarithmically in cluster size; gossip stays a few "
       "messages per server per period regardless; replication factor 2 "
       "keeps ~100%% of streams through the 25%% loss\n");
-  return 0;
+  return write_json_artifact(args, json) ? 0 : 1;
 }

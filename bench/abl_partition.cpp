@@ -182,7 +182,6 @@ int main(int argc, char** argv) {
   const auto queries = std::size_t(args.get_int("queries", 60));
   const auto seed = std::uint64_t(args.get_int("seed", 42));
   const double fault_minutes = double(args.get_int("fault-minutes", 3));
-  const std::string json_path = args.get("json", "");
 
   std::printf("# Partition ablation: %zu servers, replication factor 2 "
               "(log mode), %.0f-minute faults\n",
@@ -247,14 +246,6 @@ int main(int argc, char** argv) {
               "transfer restart at work; dup_offers shows assemblies "
               "surviving competing offers.\n");
 
-  if (!json_path.empty()) {
-    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-    } else {
-      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-      return 1;
-    }
-  }
+  if (!write_json_artifact(args, json)) return 1;
   return ok ? 0 : 1;
 }

@@ -9,7 +9,9 @@
 // Runs a scaled-down workload-C (worst skew) scenario for each variant.
 //
 // Usage: abl_policies [--servers=64] [--clients=0.05] [--minutes=40]
+//        [--seed=42] [--json=PATH]
 #include <cstdio>
+#include <string>
 #include <functional>
 
 #include "common/argparse.hpp"
@@ -74,6 +76,8 @@ int main(int argc, char** argv) {
               "C:max_load%", "C:avg_load%", "A:servers", "splits", "merges",
               "msg/s/srv");
 
+  std::string json = "{\n  \"bench\": \"abl_policies\",\n  \"runs\": [\n";
+  bool json_first = true;
   for (const auto& row : rows) {
     RuntimeConfig rc = fig4_config(row.mode, row.fixed_depth, scale, seed);
     rc.phases = {{'C', SimTime::from_minutes(minutes)},
@@ -95,7 +99,24 @@ int main(int argc, char** argv) {
                 (unsigned long long)r.totals.splits,
                 (unsigned long long)r.totals.merges,
                 r.phase_stats[0].msgs_per_sec_per_server(servers, true));
+    char line[320];
+    std::snprintf(line, sizeof(line),
+                  "    %s{\"variant\": \"%s\", \"c_max_load_pct\": %.1f, "
+                  "\"c_avg_load_pct\": %.1f, \"a_servers\": %.1f, "
+                  "\"splits\": %llu, \"merges\": %llu, "
+                  "\"msg_per_sec_per_srv\": %.2f}",
+                  json_first ? "" : ",", row.name,
+                  r.max_load_pct.max_between(c_lo, c_hi),
+                  r.avg_load_pct.mean_between(c_lo, c_hi),
+                  r.active_servers.mean_between(a_lo, a_hi),
+                  (unsigned long long)r.totals.splits,
+                  (unsigned long long)r.totals.merges,
+                  r.phase_stats[0].msgs_per_sec_per_server(servers, true));
+    json += line;
+    json += "\n";
+    json_first = false;
   }
+  json += "  ]\n}\n";
 
   std::printf(
       "\n# expectations: hottest-split needs the fewest splits to cap max "
@@ -103,5 +124,5 @@ int main(int argc, char** argv) {
       "drains (A:servers); power-of-two cannot cap max load under "
       "extreme skew (a hot group is indivisible for it); no-client-cache "
       "raises msg/s/srv\n");
-  return 0;
+  return write_json_artifact(args, json) ? 0 : 1;
 }

@@ -207,7 +207,6 @@ double run_append_codec(std::uint64_t total_ops, std::size_t per_frame) {
 int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const bool quick = args.get_bool("quick", false);
-  const std::string json_path = args.get("json", "");
 
   const std::uint64_t small_frames = quick ? 20'000 : 400'000;
   const std::uint64_t mid_frames = quick ? 10'000 : 200'000;
@@ -262,14 +261,5 @@ int main(int argc, char** argv) {
   out += tail;
 
   std::fputs(out.c_str(), stdout);
-  if (!json_path.empty()) {
-    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-      std::fputs(out.c_str(), f);
-      std::fclose(f);
-    } else {
-      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-      return 1;
-    }
-  }
-  return 0;
+  return write_json_artifact(args, out) ? 0 : 1;
 }

@@ -90,6 +90,34 @@ struct ClashConfig {
 
   /// Log mode: streams+queries per SnapshotChunk message.
   unsigned snapshot_chunk_objects = 128;
+
+  // --- Durable storage subsystem (src/storage/) ------------------------
+  /// What survives a process crash:
+  ///  - kNone: the seed behaviour — a restarted node is empty and
+  ///    pulls everything back over the network.
+  ///  - kWal: every owned-group mutation is appended to a segmented,
+  ///    CRC32-framed write-ahead log; one baseline snapshot per group
+  ///    anchors replay. The log grows without bound (no truncation).
+  ///  - kWalSnapshot: kWal plus periodic on-disk snapshots cut at log
+  ///    compaction, with WAL truncation past the snapshot floor —
+  ///    bounded disk and bounded replay.
+  enum class DurabilityMode : std::uint8_t { kNone, kWal, kWalSnapshot };
+  DurabilityMode durability_mode = DurabilityMode::kNone;
+
+  /// When WAL appends reach stable storage:
+  ///  - kPerAppend: fsync every record (no loss, highest latency).
+  ///  - kInterval: group commit — fsync at most once per
+  ///    fsync_interval (bounded loss window).
+  ///  - kNever: leave it to the OS (a crash may lose any unsynced
+  ///    suffix; recovery still truncates to the last complete record).
+  enum class FsyncPolicy : std::uint8_t { kPerAppend, kInterval, kNever };
+  FsyncPolicy fsync_policy = FsyncPolicy::kInterval;
+
+  /// Group-commit window for FsyncPolicy::kInterval.
+  SimDuration fsync_interval = SimTime::from_seconds(1);
+
+  /// WAL segment rollover size (truncation reclaims whole segments).
+  std::uint64_t wal_segment_bytes = 1u << 20;
 };
 
 }  // namespace clash

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "storage/store.hpp"
 
 namespace clash {
 
@@ -23,6 +24,7 @@ void ClashServer::install_entry(const ServerTableEntry& entry) {
     state_.try_emplace(entry.group);
     env_.on_group_activated(entry.group);
     if (cfg_.replication_factor > 0) replicate_group(entry);
+    ensure_durable_group(entry);
   }
 }
 
@@ -176,7 +178,7 @@ void ClashServer::handle_accept_keygroup(ServerId from,
   // replica, or its owner's crash in that window would lose it (and,
   // in the deployed layer, leave its key range unroutable -- no
   // survivor would even know the group existed).
-  if (log_replication()) init_group_log(m.group, m.epoch + 1);
+  if (log_replication() || durable()) init_group_log(m.group, m.epoch + 1);
   if (cfg_.replication_factor > 0) replicate_group(entry);
 
   env_.send(from, AcceptKeyGroupAck{m.group});
@@ -269,12 +271,15 @@ void ClashServer::handle_reclaim_ack(ServerId from, const ReclaimAck& m) {
   table_.erase(left);
   (void)left_entry;
   env_.on_group_deactivated(left);
-  retire_replicas(left);
   parent_entry->active = true;
   parent_entry->right_child = ServerId{};
   state_[parent_group] = std::move(merged);
   env_.on_group_activated(parent_group);
   if (cfg_.replication_factor > 0) replicate_group(*parent_entry);
+  ensure_durable_group(*parent_entry);
+  // The merged parent's baseline is anchored; only now may the left
+  // child's durable record be dropped (see split_group).
+  retire_replicas(left);
   stats_.merges++;
 }
 
@@ -314,6 +319,13 @@ void ClashServer::split_group(const KeyGroup& group,
   }
 
   KeyGroup current = group;
+  // Replica/log retirement of the groups this split deactivates is
+  // deferred to the end: the WAL drop record of a split-away group
+  // must never hit the disk before every object it covered is
+  // re-anchored (children baselines written, or the right half sent),
+  // or a crash inside the split would lose state that only the old
+  // snapshot still described.
+  std::vector<KeyGroup> retired;
   for (;;) {
     const KeyGroup left = current.left_child();
     const KeyGroup right = current.right_child();
@@ -331,7 +343,6 @@ void ClashServer::split_group(const KeyGroup& group,
     cur_entry->active = false;
     cur_entry->right_child = owner.owner;
     env_.on_group_deactivated(current);
-    retire_replicas(current);
 
     ServerTableEntry left_entry;
     left_entry.group = left;
@@ -344,6 +355,8 @@ void ClashServer::split_group(const KeyGroup& group,
     // it never spends a check period unprotected (see
     // handle_accept_keygroup).
     if (cfg_.replication_factor > 0) replicate_group(left_entry);
+    ensure_durable_group(left_entry);
+    retired.push_back(current);
 
     if (owner.owner != self_ || right.depth() >= cfg_.key_width ||
         !reshed_on_self_map) {
@@ -360,6 +373,7 @@ void ClashServer::split_group(const KeyGroup& group,
         state_[right] = std::move(right_state);
         env_.on_group_activated(right);
         if (cfg_.replication_factor > 0) replicate_group(right_entry);
+        ensure_durable_group(right_entry);
         stats_.self_remaps++;
       } else {
         AcceptKeyGroup msg;
@@ -380,6 +394,7 @@ void ClashServer::split_group(const KeyGroup& group,
         env_.send(owner.owner, std::move(msg));
       }
       stats_.splits++;
+      for (const KeyGroup& g : retired) retire_replicas(g);
       return;
     }
 
@@ -413,6 +428,17 @@ void ClashServer::run_load_check() {
         std::max(observed_check_gap_usec_, (now - last_load_check_).usec);
   }
   last_load_check_ = now;
+  if (durable()) {
+    storage_->tick(now);  // group-commit fsync backstop
+    // Re-anchor any group whose snapshot write failed (ENOSPC,
+    // transient I/O): without the baseline, recovery would replay its
+    // ops onto an empty image and call the partial result success.
+    for (const ServerTableEntry* e : table_.active_entries()) {
+      if (storage_->snapshot_retry_pending(e->group)) {
+        persist_group_snapshot(*e, /*checkpoint=*/false);
+      }
+    }
+  }
   send_load_reports();
   gc_stale_replicas();
   if (cfg_.replication_factor > 0) {
@@ -688,6 +714,65 @@ std::vector<ServerId> ClashServer::replica_set(const KeyGroup& group) {
                               cfg_.replication_factor);
 }
 
+// ---------------------------------------------------------------------------
+// Durable storage subsystem (src/storage/): append-on-mutate WAL,
+// baseline/checkpoint snapshots, crash-recovery restore.
+// ---------------------------------------------------------------------------
+
+bool ClashServer::durable() const {
+  return storage_ != nullptr &&
+         cfg_.durability_mode != ClashConfig::DurabilityMode::kNone;
+}
+
+void ClashServer::persist_group_snapshot(const ServerTableEntry& entry,
+                                         bool checkpoint) {
+  if (!durable()) return;
+  storage::SnapshotImage img;
+  img.group = entry.group;
+  const auto lit = logs_.find(entry.group);
+  img.head = lit != logs_.end() ? lit->second.head() : repl::LogHead{1, 0};
+  img.root = entry.root;
+  img.parent = entry.parent;
+  const auto st = state_.find(entry.group);
+  if (st != state_.end()) img.state = st->second;
+  if (app_hooks_ != nullptr) {
+    img.app_state = app_hooks_->snapshot_state(entry.group);
+  }
+  storage_->write_snapshot(img, checkpoint);
+}
+
+void ClashServer::ensure_durable_group(const ServerTableEntry& entry) {
+  if (!durable() || logs_.count(entry.group) > 0) return;
+  // Creating the log writes the baseline snapshot; in log-replication
+  // mode the replica push (snapshot_group) usually beat us here and
+  // this is a no-op.
+  init_group_log(entry.group, 1);
+}
+
+std::size_t ClashServer::restore_from_storage() {
+  if (storage_ == nullptr) return 0;
+  auto image = storage_->take_image();
+  if (!durable()) return 0;
+  for (auto& [group, g] : image.groups) {
+    ReplicaRecord rec;
+    rec.owner = self_;
+    rec.root = g.root;
+    rec.parent = g.parent;
+    rec.state = std::move(g.state);
+    rec.refreshed = env_.now();
+    rec.log.reset(g.head.epoch, g.head.seq);
+    rec.advertised = g.head;
+    rec.app_snapshot = std::move(g.app_state);
+    rec.app_tail = std::move(g.app_deltas);
+    replicas_[group] = std::move(rec);
+    // The group's next ownership line must rise above the recovered
+    // one even if promotion happens before any peer is heard.
+    auto [it, inserted] = retired_epochs_.try_emplace(group, g.head.epoch);
+    if (!inserted && it->second < g.head.epoch) it->second = g.head.epoch;
+  }
+  return image.groups.size();
+}
+
 void ClashServer::adopt_bare_group(ServerTableEntry& entry) {
   // No replica anywhere: adopt the bare group so the key space stays
   // covered. Lineage above is unknown, so the entry becomes a root.
@@ -708,6 +793,14 @@ void ClashServer::init_group_log(const KeyGroup& group,
   const auto it = retired_epochs_.find(group);
   if (it != retired_epochs_.end()) epoch = std::max(epoch, it->second + 1);
   logs_.insert_or_assign(group, repl::GroupLog(epoch, 0));
+  // A new line's baseline must hit the disk before any of its WAL
+  // records: recovery anchors the replay on it (the state adopted
+  // with the group — a split's share, a handoff, a promoted replica —
+  // never went through log_op, so only the snapshot carries it).
+  if (const ServerTableEntry* entry = table_.find(group);
+      entry != nullptr && entry->active) {
+    persist_group_snapshot(*entry, /*checkpoint=*/false);
+  }
 }
 
 void ClashServer::drop_group_log(const KeyGroup& group) {
@@ -715,11 +808,15 @@ void ClashServer::drop_group_log(const KeyGroup& group) {
   const auto it = logs_.find(group);
   if (it == logs_.end()) return;
   retired_epochs_[group] = it->second.epoch();
+  if (durable()) {
+    storage_->drop_group(group, it->second.epoch(), env_.now());
+  }
   logs_.erase(it);
 }
 
 void ClashServer::log_op(const KeyGroup& group, repl::LogOp op) {
-  if (!log_replication()) return;
+  const bool replicating = log_replication();
+  if (!replicating && !durable()) return;
   auto lit = logs_.find(group);
   if (lit == logs_.end()) {
     init_group_log(group, 1);
@@ -727,30 +824,45 @@ void ClashServer::log_op(const KeyGroup& group, repl::LogOp op) {
   }
   repl::GroupLog& log = lit->second;
 
-  // One ReplAppend frame per group per dispatch tick: the transport
-  // already coalesces writes, but encode/decode cost is per message,
-  // so ops accumulate here and flush at the tick boundary. A
-  // synchronous env runs the deferred flush inline — per-op delivery,
-  // exactly the old behaviour.
-  auto [pit, fresh] = pending_appends_.try_emplace(group);
-  if (fresh) {
-    pit->second.epoch = log.epoch();
-    pit->second.base_seq = log.head().seq;
+  if (replicating) {
+    // One ReplAppend frame per group per dispatch tick: the transport
+    // already coalesces writes, but encode/decode cost is per message,
+    // so ops accumulate here and flush at the tick boundary. A
+    // synchronous env runs the deferred flush inline — per-op
+    // delivery, exactly the old behaviour.
+    auto [pit, fresh] = pending_appends_.try_emplace(group);
+    if (fresh) {
+      pit->second.epoch = log.epoch();
+      pit->second.base_seq = log.head().seq;
+    }
+    pit->second.entries.push_back(op);
   }
-  pit->second.entries.push_back(op);
+  // Append-on-mutate, WAL first: the op is durable (per the fsync
+  // policy) before the in-memory log observes it.
+  const repl::LogHead head{log.epoch(), log.head().seq + 1};
+  if (durable()) storage_->append_op(group, head, op, env_.now());
   log.append(std::move(op));
-  if (!append_flush_scheduled_) {
+  if (replicating && !append_flush_scheduled_) {
+    // Scheduled only after the local append: a synchronous env runs
+    // the deferred flush inline, and the batch must never be sent
+    // ahead of the owner's own log head.
     append_flush_scheduled_ = true;
     env_.defer([this] { flush_pending_appends(); });
   }
 
   // Bound the retained suffix: cut a fresh snapshot boundary once the
-  // log outgrows the threshold (the snapshot resets every holder).
+  // log outgrows the threshold (the snapshot resets every holder, and
+  // on disk advances the WAL truncation floor).
   if (log.size() > cfg_.log_compact_threshold) {
     const ServerTableEntry* entry = table_.find(group);
     if (entry != nullptr && entry->active) {
       stats_.log_compactions++;
-      snapshot_group(*entry);
+      if (replicating) {
+        snapshot_group(*entry);
+      } else {
+        persist_group_snapshot(*entry, /*checkpoint=*/true);
+        log.compact();
+      }
     }
   }
 }
@@ -802,6 +914,7 @@ void ClashServer::snapshot_group(const ServerTableEntry& entry) {
   // The snapshot defines the new compaction boundary at the current
   // head; anyone behind it is repaired by the snapshot itself.
   lit->second.compact();
+  persist_group_snapshot(entry, /*checkpoint=*/true);
   for (const ServerId target : replica_set(entry.group)) {
     if (target != self_) send_snapshot_to(target, entry);
   }
@@ -1342,6 +1455,16 @@ bool ClashServer::promote_replica(const KeyGroup& group) {
     entry.parent = it->second.parent;
     table_.insert(entry);
     state_[group] = std::move(it->second.state);
+    // Locally restored records (and peer-built snapshots) carry the
+    // application payload; plain lease replicas leave both empty.
+    if (app_hooks_ != nullptr) {
+      if (!it->second.app_snapshot.empty()) {
+        app_hooks_->import_state(group, it->second.app_snapshot);
+      }
+      for (const auto& d : it->second.app_tail) {
+        app_hooks_->apply_delta(group, d);
+      }
+    }
     replicas_.erase(it);
     env_.on_group_activated(group);
     stats_.failovers++;
@@ -1353,6 +1476,7 @@ bool ClashServer::promote_replica(const KeyGroup& group) {
   // second failure in this load-check period would strand a perfectly
   // good replica (nobody would look it up under the new owner's id).
   if (cfg_.replication_factor > 0) replicate_group(entry);
+  ensure_durable_group(entry);
   return recovered;
 }
 

@@ -25,6 +25,10 @@
 #include "repl/log.hpp"
 #include "repl/recovery.hpp"
 
+namespace clash::storage {
+class NodeStore;
+}  // namespace clash::storage
+
 namespace clash {
 
 /// Runtime services a ClashServer needs. Implementations count the
@@ -218,6 +222,23 @@ class ClashServer {
     return recovery_.stats();
   }
 
+  // --- Durable storage subsystem (src/storage/) ------------------------
+  /// Attach the node's durable store: every owned-group mutation
+  /// appends to its WAL, activations write baseline snapshots, and
+  /// log compaction cuts checkpoint snapshots (kWalSnapshot). Attach
+  /// before any traffic; the store must outlive the server.
+  void set_storage(storage::NodeStore* store) { storage_ = store; }
+
+  /// True when a store is attached and the config enables durability.
+  [[nodiscard]] bool durable() const;
+
+  /// Install the store's recovered pre-crash image as replica records
+  /// (owner = self). Promotion then re-adopts each group under a
+  /// bumped epoch, and the recovery pull fetches only the divergent
+  /// suffix from live holders — not a full snapshot. Returns the
+  /// number of groups restored.
+  std::size_t restore_from_storage();
+
   /// Resume snapshot transfers that paused on transport backpressure:
   /// sends as many pending chunks as each destination's budget allows.
   /// Returns the number of transfers still unfinished. Driven by
@@ -332,6 +353,7 @@ class ClashServer {
   ServerEnv& env_;
   dht::KeyHasher hasher_;
   AppHooks* app_hooks_ = nullptr;
+  storage::NodeStore* storage_ = nullptr;
   ServerTable table_;
   std::map<KeyGroup, GroupState> state_;
   std::map<KeyGroup, ChildReport> child_reports_;  // right-child group -> report
@@ -385,6 +407,15 @@ class ClashServer {
   /// Log-mode promotion: pull the freshest suffix from surviving
   /// holders, then install under a bumped epoch.
   bool promote_with_recovery(const KeyGroup& group);
+
+  /// Write `entry`'s current state as its on-disk snapshot (no-op
+  /// without a durable store). Baselines anchor WAL replay;
+  /// checkpoints additionally advance the truncation floor.
+  void persist_group_snapshot(const ServerTableEntry& entry,
+                              bool checkpoint);
+  /// Make a freshly activated group durable: creates its log (which
+  /// writes the baseline snapshot) when no log exists yet.
+  void ensure_durable_group(const ServerTableEntry& entry);
 
   /// Drop replica records nobody has refreshed for several check
   /// periods: an ownership move re-targets the replica set, and the

@@ -51,6 +51,10 @@ struct MessageStats {
   std::uint64_t link_drops = 0;       // messages eaten by the fault matrix
   std::uint64_t snapshot_aborts = 0;  // out-of-sync transfers nacked
   std::uint64_t snapshot_offers_ignored = 0;  // dup offers mid-transfer
+  /// Encoded bytes of delivered server->server messages. Populated
+  /// only when SimCluster::set_wire_metering is on (bench use); zero
+  /// otherwise.
+  std::uint64_t wire_bytes = 0;
 
   /// Total protocol messages excluding migrated state (Figure 5 case A).
   [[nodiscard]] std::uint64_t control_messages() const {
@@ -104,6 +108,7 @@ struct MessageStats {
     link_drops += o.link_drops;
     snapshot_aborts += o.snapshot_aborts;
     snapshot_offers_ignored += o.snapshot_offers_ignored;
+    wire_bytes += o.wire_bytes;
     return *this;
   }
 
@@ -140,6 +145,7 @@ struct MessageStats {
     a.link_drops -= b.link_drops;
     a.snapshot_aborts -= b.snapshot_aborts;
     a.snapshot_offers_ignored -= b.snapshot_offers_ignored;
+    a.wire_bytes -= b.wire_bytes;
     return a;
   }
 };

@@ -1,5 +1,6 @@
 #include "common/argparse.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -52,6 +53,19 @@ bool ArgParser::get_bool(const std::string& name, bool fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool write_json_artifact(const ArgParser& args, const std::string& json) {
+  const std::string path = args.get("json", "");
+  if (path.empty()) return true;  // artifact not requested
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace clash

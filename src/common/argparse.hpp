@@ -1,5 +1,8 @@
 // Tiny command-line flag parser for the bench/example binaries.
 // Supports --name=value, --name value, and boolean --flag forms.
+// Every bench routes its flags through here — including the shared
+// conventions: --seed picks the run's RNG seed, and --json=PATH emits
+// the machine-readable artifact (write_json_artifact).
 #pragma once
 
 #include <cstdint>
@@ -36,5 +39,11 @@ class ArgParser {
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
 };
+
+/// The bench JSON-artifact convention: when `--json=PATH` was passed,
+/// write `json` there (single atomic fopen/fputs). Returns false — and
+/// prints to stderr — only when the path was given but unwritable, so
+/// callers can `return write_json_artifact(...) ? 0 : 1;`.
+bool write_json_artifact(const ArgParser& args, const std::string& json);
 
 }  // namespace clash

@@ -1,0 +1,31 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320): the integrity
+// check framing every durable-storage record and snapshot file. Lives
+// in common/ so the wire layer and any future on-disk format share one
+// implementation. Table-driven, byte-at-a-time — fast enough for the
+// WAL append path (the disk write dominates) without SSE dependencies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace clash {
+
+/// CRC32 of `data` continuing from `seed` (pass the previous return
+/// value to checksum discontiguous buffers as one stream).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data,
+                                  std::uint32_t seed = 0);
+
+/// Incremental accumulator for record framing: feed the pieces, read
+/// value() once at the end.
+class Crc32 {
+ public:
+  void update(std::span<const std::uint8_t> data) {
+    crc_ = crc32(data, crc_);
+  }
+  [[nodiscard]] std::uint32_t value() const { return crc_; }
+
+ private:
+  std::uint32_t crc_ = 0;
+};
+
+}  // namespace clash

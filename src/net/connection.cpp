@@ -155,8 +155,33 @@ bool Connection::enqueue(std::vector<std::uint8_t>&& frame) {
       wire::BufferPool::local().release(std::move(frame));
       return true;
     }
+    if (verdict.duplicate) ++stats_.faults_duplicated;
+    if (verdict.reorder) {
+      // Reordering bypasses the FIFO horizon entirely: the frame
+      // lands after its jitter while later sends flow past it — the
+      // wire-level twin of sim::LinkMatrix reordering. (TCP itself
+      // delivers in order; this models multi-connection / datagram
+      // deployments and adversarial relays.) A duplicate shares the
+      // jitter: the copies travel together, as on a real relay.
+      ++stats_.faults_reordered;
+      if (verdict.duplicate) {
+        auto copy = frame;
+        schedule_reordered(std::move(copy), verdict.delay);
+      }
+      schedule_reordered(std::move(frame), verdict.delay);
+      return true;
+    }
+    if (verdict.duplicate) {
+      auto copy = frame;
+      enqueue_fifo(std::move(copy), verdict.delay);
+    }
     delay = verdict.delay;
   }
+  return enqueue_fifo(std::move(frame), delay);
+}
+
+bool Connection::enqueue_fifo(std::vector<std::uint8_t>&& frame,
+                              std::chrono::microseconds delay) {
   // In-order delivery across reconfigures: while earlier frames sit
   // in delay timers, later frames — even undelayed ones after the
   // injector was cleared — must not overtake them. Frames park in a
@@ -186,6 +211,17 @@ bool Connection::enqueue(std::vector<std::uint8_t>&& frame) {
     return true;
   }
   return enqueue_now(std::move(frame));
+}
+
+void Connection::schedule_reordered(std::vector<std::uint8_t>&& frame,
+                                    std::chrono::microseconds delay) {
+  std::weak_ptr<Connection> weak = weak_from_this();
+  auto shared = std::make_shared<std::vector<std::uint8_t>>(std::move(frame));
+  loop_.call_after(delay, [weak, shared] {
+    const auto self = weak.lock();
+    if (self == nullptr || self->closed()) return;
+    self->enqueue_now(std::move(*shared));
+  });
 }
 
 bool Connection::enqueue_now(std::vector<std::uint8_t>&& frame) {

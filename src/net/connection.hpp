@@ -41,9 +41,12 @@ class Connection : public std::enable_shared_from_this<Connection> {
     std::uint64_t flush_syscalls = 0;
     /// Sends rejected for exceeding kMaxFrame.
     std::uint64_t send_oversized = 0;
-    /// Frames eaten / held back by an attached FaultInjector.
+    /// Frames eaten / held back / multiplied by an attached
+    /// FaultInjector.
     std::uint64_t faults_dropped = 0;
     std::uint64_t faults_delayed = 0;
+    std::uint64_t faults_duplicated = 0;
+    std::uint64_t faults_reordered = 0;
   };
 
   using FrameHandler =
@@ -101,6 +104,12 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void on_events(std::uint32_t events);
   void handle_readable();
   bool enqueue(std::vector<std::uint8_t>&& frame);
+  /// Enqueue preserving send order (delay timers drain a FIFO).
+  bool enqueue_fifo(std::vector<std::uint8_t>&& frame,
+                    std::chrono::microseconds delay);
+  /// Enqueue after `delay` outside the FIFO — later frames overtake.
+  void schedule_reordered(std::vector<std::uint8_t>&& frame,
+                          std::chrono::microseconds delay);
   bool enqueue_now(std::vector<std::uint8_t>&& frame);
   void flush();
   void update_interest();

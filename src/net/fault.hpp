@@ -26,6 +26,13 @@ class FaultInjector {
     std::chrono::microseconds delay{0};
     /// Hard cut: every frame is dropped until reconfigured.
     bool cut = false;
+    /// Probability a frame is sent twice (at-least-once middleboxes).
+    double dup_prob = 0.0;
+    /// Probability a frame is reordered: it picks up a uniform random
+    /// delay in (0, reorder_window] and — unlike plain delay, which
+    /// preserves FIFO — later frames may overtake it.
+    double reorder_prob = 0.0;
+    std::chrono::microseconds reorder_window{2000};
     std::uint64_t seed = 0x5eedf417ULL;
   };
 
@@ -33,11 +40,16 @@ class FaultInjector {
     std::uint64_t dropped = 0;
     std::uint64_t delayed = 0;
     std::uint64_t passed = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t reordered = 0;
   };
 
   struct Verdict {
     bool drop = false;
     std::chrono::microseconds delay{0};
+    bool duplicate = false;
+    /// Deliver after `delay` OUTSIDE the FIFO (overtakable).
+    bool reorder = false;
   };
 
   FaultInjector() : FaultInjector(Config{}) {}
@@ -56,19 +68,33 @@ class FaultInjector {
     if (forced_drops_ > 0) {
       --forced_drops_;
       ++stats_.dropped;
-      return Verdict{true, {}};
+      return Verdict{true, {}, false, false};
     }
     if (cfg_.cut ||
         (cfg_.drop_prob > 0.0 && rng_.bernoulli(cfg_.drop_prob))) {
       ++stats_.dropped;
-      return Verdict{true, {}};
+      return Verdict{true, {}, false, false};
     }
-    if (cfg_.delay.count() > 0) {
+    Verdict v{false, cfg_.delay, false, false};
+    if (cfg_.dup_prob > 0.0 && rng_.bernoulli(cfg_.dup_prob)) {
+      v.duplicate = true;
+      ++stats_.duplicated;
+    }
+    if (cfg_.reorder_prob > 0.0 && rng_.bernoulli(cfg_.reorder_prob) &&
+        cfg_.reorder_window.count() > 0) {
+      v.reorder = true;
+      v.delay += std::chrono::microseconds(
+          1 + std::int64_t(rng_.below(
+                  std::uint64_t(cfg_.reorder_window.count()))));
+      ++stats_.reordered;
+      return v;
+    }
+    if (v.delay.count() > 0) {
       ++stats_.delayed;
-      return Verdict{false, cfg_.delay};
+    } else if (!v.duplicate) {
+      ++stats_.passed;
     }
-    ++stats_.passed;
-    return Verdict{false, {}};
+    return v;
   }
 
   [[nodiscard]] const Stats& stats() const { return stats_; }

@@ -104,6 +104,17 @@ ClashNode::ClashNode(NodeConfig config) : config_(std::move(config)) {
   env_ = std::make_unique<Env>(*this);
   server_ = std::make_unique<ClashServer>(config_.id, config_.clash, *env_,
                                           ring_->hasher());
+  if (config_.clash.durability_mode != ClashConfig::DurabilityMode::kNone) {
+    if (config_.storage_dir.empty()) {
+      throw std::invalid_argument(
+          "durability_mode set but storage_dir empty");
+    }
+    storage_backend_ =
+        std::make_unique<storage::FileBackend>(config_.storage_dir);
+    store_ = std::make_unique<storage::NodeStore>(
+        *storage_backend_, storage::NodeStore::Config::from(config_.clash));
+    server_->set_storage(store_.get());
+  }
   if (config_.enable_membership) {
     gossip_env_ = std::make_unique<GossipEnv>(*this);
     membership_ = std::make_unique<membership::MembershipDriver>(
@@ -139,6 +150,7 @@ void ClashNode::start() {
 
   loop_->add_fd(listener_.get(), EPOLLIN,
                 [this](std::uint32_t) { on_listener_ready(); });
+  if (store_ != nullptr && !recovered_) recover_from_storage();
   schedule_load_check();
   if (membership_ != nullptr) schedule_membership_tick();
   // Clear the previous run's latches before posters can see
@@ -175,6 +187,39 @@ void ClashNode::schedule_membership_tick() {
     membership_->tick();
     schedule_membership_tick();
   });
+}
+
+void ClashNode::recover_from_storage() {
+  recovered_ = true;
+  const std::size_t restored = server_->restore_from_storage();
+  if (restored == 0) return;
+  CLASH_INFO << to_string(config_.id) << ": restored " << restored
+             << " group(s) from " << config_.storage_dir;
+  // Re-adopt every recovered group the (seed) ring maps here. In log
+  // mode this mirrors a failover heir: open the recovery session now
+  // (the anti-entropy probes go out as peer connections come up) and
+  // promote after the grace window, so a fresher holder can stream
+  // the suffix the disk lost — a torn WAL tail costs a few ops over
+  // the wire, never a full snapshot.
+  for (const KeyGroup& group : server_->replicas_owned_by(config_.id)) {
+    if (ring_->map(ring_->hasher().hash_key(group.virtual_key())) !=
+        config_.id) {
+      continue;  // the ring moved on; anti-entropy reclaims or GCs it
+    }
+    if (!server_->log_replication()) {
+      (void)server_->promote_replica(group);
+      continue;
+    }
+    server_->begin_group_recovery(group);
+    loop_->call_after(config_.recovery_grace, [this, group] {
+      if (ring_->map(ring_->hasher().hash_key(group.virtual_key())) ==
+          config_.id) {
+        (void)server_->promote_replica(group);
+      } else {
+        server_->abandon_group_recovery(group);
+      }
+    });
+  }
 }
 
 void ClashNode::on_member_dead(ServerId id) {

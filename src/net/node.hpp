@@ -23,6 +23,8 @@
 #include "net/connection.hpp"
 #include "net/event_loop.hpp"
 #include "net/socket.hpp"
+#include "storage/backend.hpp"
+#include "storage/store.hpp"
 
 namespace clash::net {
 
@@ -61,6 +63,12 @@ struct NodeConfig {
   std::size_t snapshot_pace_bytes = 256 * 1024;
   /// Chunks granted per budget ask while under the pace threshold.
   std::size_t snapshot_burst_chunks = 16;
+  /// Durable-store data directory (WAL segments + group snapshots).
+  /// Required when clash.durability_mode != kNone: a restarted node
+  /// recovers its owned groups from here instead of pulling them over
+  /// the network, then reconciles only the divergent suffix with the
+  /// surviving replica set.
+  std::string storage_dir;
 };
 
 class ClashNode {
@@ -104,6 +112,12 @@ class ClashNode {
   /// Update the peer address table (all members must be known before
   /// protocol traffic flows).
   [[nodiscard]] const NodeConfig& config() const { return config_; }
+
+  /// Durable store (null when durability is off). Stats only — the
+  /// server owns all writes.
+  [[nodiscard]] const storage::NodeStore* store() const {
+    return store_.get();
+  }
 
   // --- Link-fault injection (thread-safe) -----------------------------
   /// Attach or reconfigure a deterministic FaultInjector on the
@@ -165,12 +179,19 @@ class ClashNode {
   void schedule_membership_tick();
   void on_member_dead(ServerId id);
   void on_member_joined(ServerId id);
+  /// First start only: restore the durable image and re-promote every
+  /// recovered group the ring still maps here (log mode holds the
+  /// recovery-grace pull window first, exactly like a failover heir).
+  void recover_from_storage();
 
   NodeConfig config_;
   std::unique_ptr<EventLoop> loop_;
   std::unique_ptr<dht::ChordRing> ring_;
   std::unique_ptr<Env> env_;
   std::unique_ptr<ClashServer> server_;
+  std::unique_ptr<storage::FileBackend> storage_backend_;
+  std::unique_ptr<storage::NodeStore> store_;
+  bool recovered_ = false;
   std::unique_ptr<GossipEnv> gossip_env_;
   std::unique_ptr<membership::MembershipDriver> membership_;
 

@@ -15,6 +15,7 @@ class ChurnSim::GossipEnvImpl final : public membership::MembershipEnv {
     // partition must starve the failure detector too, or SWIM would
     // see through the very faults it is meant to detect.
     SimDuration delay = sim_.config_.gossip_delay;
+    bool duplicate = false;
     if (!sim_.cluster_->links().quiet()) {
       const auto verdict = sim_.cluster_->links().judge(self_, to);
       if (!verdict.deliver) {
@@ -22,16 +23,22 @@ class ChurnSim::GossipEnvImpl final : public membership::MembershipEnv {
         return;
       }
       delay = delay + verdict.delay;
+      duplicate = verdict.duplicate;
     }
-    sim_.cluster_->transport_stats().gossip_msgs++;
-    sim_.events_.after(delay, [this, to, msg] {
+    const auto deliver = [this, to, msg] {
       // Look the driver up at delivery time: a revival swaps it out.
       if (!sim_.cluster_->is_alive(to)) {
         sim_.cluster_->transport_stats().dropped_msgs++;
         return;
       }
       sim_.drivers_[to.value]->handle(self_, msg);
-    });
+    };
+    sim_.cluster_->transport_stats().gossip_msgs++;
+    sim_.events_.after(delay, deliver);
+    if (duplicate) {
+      sim_.cluster_->transport_stats().gossip_msgs++;
+      sim_.events_.after(delay, deliver);
+    }
   }
 
   void on_member_dead(ServerId) override { sim_.sweep_convergence(); }

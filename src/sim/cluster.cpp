@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "wire/codec.hpp"
+
 namespace clash::sim {
 
 // ---------------------------------------------------------------------------
@@ -33,21 +35,30 @@ class SimCluster::ServerEnvImpl final : public ServerEnv {
         cluster_.stats_.link_drops++;
         return;
       }
-      if (verdict.delay.usec > 0 && cluster_.delay_sink_) {
-        // Late-bound delivery: the target may die while the message is
-        // in flight, so aliveness is re-checked at arrival time.
-        SimCluster* cluster = &cluster_;
-        const ServerId from = self_;
-        cluster_.delay_sink_(verdict.delay, [cluster, from, to, msg] {
-          if (!cluster->is_alive(to)) {
-            cluster->stats_.dropped_msgs++;
-            return;
-          }
-          cluster->count_message(msg);
-          cluster->server(to).deliver(from, msg);
-        });
-        return;
-      }
+      deliver_copy(to, msg, verdict.delay);
+      // A duplicating link delivers the same frame again (same delay:
+      // the copies travel together — receivers must be idempotent).
+      if (verdict.duplicate) deliver_copy(to, msg, verdict.delay);
+      return;
+    }
+    deliver_copy(to, msg, SimDuration{0});
+  }
+
+  void deliver_copy(ServerId to, const Message& msg, SimDuration delay) {
+    if (delay.usec > 0 && cluster_.delay_sink_) {
+      // Late-bound delivery: the target may die while the message is
+      // in flight, so aliveness is re-checked at arrival time.
+      SimCluster* cluster = &cluster_;
+      const ServerId from = self_;
+      cluster_.delay_sink_(delay, [cluster, from, to, msg] {
+        if (!cluster->is_alive(to)) {
+          cluster->stats_.dropped_msgs++;
+          return;
+        }
+        cluster->count_message(msg);
+        cluster->server(to).deliver(from, msg);
+      });
+      return;
     }
     cluster_.count_message(msg);
     // Synchronous delivery: the protocol's message chains are shallow
@@ -133,12 +144,21 @@ SimCluster::SimCluster(Config config)
   servers_.reserve(config_.num_servers);
   server_envs_.reserve(config_.num_servers);
   alive_.assign(config_.num_servers, true);
+  const bool durable =
+      config_.clash.durability_mode != ClashConfig::DurabilityMode::kNone;
   for (std::size_t i = 0; i < config_.num_servers; ++i) {
     const ServerId id{i};
     ring_.add_server(id);
     server_envs_.push_back(std::make_unique<ServerEnvImpl>(*this, id));
     servers_.push_back(std::make_unique<ClashServer>(
         id, config_.clash, *server_envs_.back(), ring_.hasher()));
+    if (durable) {
+      backends_.push_back(std::make_unique<storage::MemBackend>());
+      stores_.push_back(std::make_unique<storage::NodeStore>(
+          *backends_.back(),
+          storage::NodeStore::Config::from(config_.clash)));
+      servers_.back()->set_storage(stores_.back().get());
+    }
   }
 }
 
@@ -223,7 +243,13 @@ std::size_t SimCluster::fail_server(ServerId id) {
 }
 
 void SimCluster::crash_server(ServerId id) {
-  if (id.value < alive_.size()) alive_[id.value] = false;
+  if (id.value >= alive_.size()) return;
+  // The simulated disk takes the hit exactly once, at the moment of
+  // death (a second crash_server on a dead node must not tear more).
+  if (alive_[id.value] && id.value < backends_.size()) {
+    backends_[id.value]->crash();
+  }
+  alive_[id.value] = false;
 }
 
 std::size_t SimCluster::evict_server(ServerId id) {
@@ -275,7 +301,28 @@ void SimCluster::restart_server(ServerId id) {
   for (const auto& group : stale) owners_.erase(group);
   servers_[id.value] = std::make_unique<ClashServer>(
       id, config_.clash, *server_envs_[id.value], ring_.hasher());
-  fail_groups_over(stale);
+  if (id.value < backends_.size()) {
+    // The store outlived the process: rebuild it over the surviving
+    // backend and restore the pre-crash groups as replica records.
+    stores_[id.value] = std::make_unique<storage::NodeStore>(
+        *backends_[id.value], storage::NodeStore::Config::from(config_.clash));
+    servers_[id.value]->set_storage(stores_[id.value].get());
+    servers_[id.value]->restore_from_storage();
+  }
+  // Groups the index still maps here (no eviction happened) that the
+  // disk recovered are re-adopted in place: promotion bumps the epoch
+  // and, in log mode, the recovery pull fetches only the suffix the
+  // disk lost from the replica set — the network never carries the
+  // full state. Everything else fails over as before.
+  std::vector<KeyGroup> lost;
+  for (const auto& group : stale) {
+    if (servers_[id.value]->has_replica(group)) {
+      (void)servers_[id.value]->promote_replica(group);
+    } else {
+      lost.push_back(group);
+    }
+  }
+  fail_groups_over(lost);
   retry_pending_failovers();
 }
 
@@ -380,6 +427,9 @@ void SimCluster::reset_stats() {
 }
 
 void SimCluster::count_message(const Message& msg) {
+  if (meter_wire_) {
+    stats_.wire_bytes += wire::encoded_payload_size(msg);
+  }
   std::visit(
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;

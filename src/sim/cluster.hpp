@@ -18,6 +18,8 @@
 #include "clash/stats.hpp"
 #include "dht/chord.hpp"
 #include "sim/link_matrix.hpp"
+#include "storage/backend.hpp"
+#include "storage/store.hpp"
 
 namespace clash::sim {
 
@@ -98,6 +100,25 @@ class SimCluster {
   using DelaySink =
       std::function<void(SimDuration delay, std::function<void()> deliver)>;
   void set_delay_sink(DelaySink sink) { delay_sink_ = std::move(sink); }
+
+  // --- Durable storage (src/storage/) ----------------------------------
+  /// Per-server in-memory durable store, created when
+  /// clash.durability_mode != kNone. The backend survives crash +
+  /// restart (it is the simulated disk); crash_server applies its
+  /// configured crash fault (drop-unsynced, torn tail), and
+  /// restart_server rebuilds the store and restores the server from
+  /// it. Null when durability is off.
+  [[nodiscard]] storage::MemBackend* storage_backend(ServerId id) {
+    return id.value < backends_.size() ? backends_[id.value].get() : nullptr;
+  }
+  [[nodiscard]] storage::NodeStore* storage_of(ServerId id) {
+    return id.value < stores_.size() ? stores_[id.value].get() : nullptr;
+  }
+
+  /// Count the encoded wire size of every delivered server -> server
+  /// message into transport_stats().wire_bytes (bench instrumentation:
+  /// off by default, it encodes each message a second time).
+  void set_wire_metering(bool on) { meter_wire_ = on; }
 
   // --- Failure injection (replication extension) -----------------------
   /// Oracle-style crash: crash_server + evict_server in one step, as if
@@ -182,6 +203,9 @@ class SimCluster {
   dht::ChordRing ring_;
   std::vector<std::unique_ptr<ServerEnvImpl>> server_envs_;
   std::vector<std::unique_ptr<ClashServer>> servers_;
+  std::vector<std::unique_ptr<storage::MemBackend>> backends_;
+  std::vector<std::unique_ptr<storage::NodeStore>> stores_;
+  bool meter_wire_ = false;
   std::deque<ClientEnvImpl> client_envs_;  // stable addresses
   std::unordered_map<std::uint64_t, std::size_t> client_env_by_origin_;
   std::unordered_map<KeyGroup, ServerId> owners_;

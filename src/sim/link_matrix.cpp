@@ -22,6 +22,20 @@ void LinkMatrix::set_delay(ServerId from, ServerId to, SimDuration d) {
   set_fault(from, to, f);
 }
 
+void LinkMatrix::set_duplication(ServerId from, ServerId to, double prob) {
+  Fault f = fault_of(from, to);
+  f.dup_prob = prob;
+  set_fault(from, to, f);
+}
+
+void LinkMatrix::set_reordering(ServerId from, ServerId to, double prob,
+                                SimDuration window) {
+  Fault f = fault_of(from, to);
+  f.reorder_prob = prob;
+  if (window.usec > 0) f.reorder_window = window;
+  set_fault(from, to, f);
+}
+
 void LinkMatrix::cut(ServerId from, ServerId to) {
   Fault f = fault_of(from, to);
   f.cut = true;
@@ -82,10 +96,24 @@ LinkMatrix::Verdict LinkMatrix::judge(ServerId from, ServerId to) {
   const Fault f = fault_of(from, to);
   if (f.cut || (f.drop_prob > 0.0 && rng_.bernoulli(f.drop_prob))) {
     ++stats_.dropped;
-    return Verdict{false, SimDuration{0}};
+    return Verdict{false, SimDuration{0}, false};
   }
+  Verdict v{true, f.delay, false};
   if (f.delay.usec > 0) ++stats_.delayed;
-  return Verdict{true, f.delay};
+  if (f.dup_prob > 0.0 && rng_.bernoulli(f.dup_prob)) {
+    v.duplicate = true;
+    ++stats_.duplicated;
+  }
+  if (f.reorder_prob > 0.0 && f.reorder_window.usec > 0 &&
+      rng_.bernoulli(f.reorder_prob)) {
+    // Uniform jitter in (0, window]: under an event queue this lets
+    // anything sent in the window overtake the jittered message.
+    v.delay = v.delay +
+              SimDuration{1 + std::int64_t(rng_.below(
+                                  std::uint64_t(f.reorder_window.usec)))};
+    ++stats_.reordered;
+  }
+  return v;
 }
 
 }  // namespace clash::sim

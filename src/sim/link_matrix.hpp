@@ -3,7 +3,11 @@
 // server message consults the matrix before delivery and can be
 //
 //   - dropped probabilistically (lossy WAN links),
-//   - delayed by a fixed extra latency (slow links), or
+//   - delayed by a fixed extra latency (slow links),
+//   - duplicated (retransmitting middleboxes / at-least-once relays),
+//   - reordered by a random jitter inside reorder_window (multi-path
+//     routing — needs a delay sink so the jittered copy genuinely
+//     lands late), or
 //   - cut outright (hard partition — one direction at a time, so
 //     asymmetric partitions are first-class).
 //
@@ -33,9 +37,17 @@ class LinkMatrix {
     double drop_prob = 0.0;
     SimDuration delay{0};
     bool cut = false;
+    /// Probability the message is delivered twice (the duplicate rides
+    /// the same delay as the original).
+    double dup_prob = 0.0;
+    /// Probability the message picks up a uniform random extra delay
+    /// in (0, reorder_window], letting later sends overtake it.
+    double reorder_prob = 0.0;
+    SimDuration reorder_window{1000};  // 1ms default jitter span
 
     [[nodiscard]] bool benign() const {
-      return !cut && drop_prob <= 0.0 && delay.usec <= 0;
+      return !cut && drop_prob <= 0.0 && delay.usec <= 0 &&
+             dup_prob <= 0.0 && reorder_prob <= 0.0;
     }
   };
 
@@ -43,11 +55,14 @@ class LinkMatrix {
   struct Verdict {
     bool deliver = true;
     SimDuration delay{0};
+    bool duplicate = false;
   };
 
   struct Stats {
     std::uint64_t dropped = 0;  // probabilistic drops + cut links
     std::uint64_t delayed = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t reordered = 0;
   };
 
   explicit LinkMatrix(std::uint64_t seed = 0x11ae5eedULL) : rng_(seed) {}
@@ -56,6 +71,9 @@ class LinkMatrix {
   void set_fault(ServerId from, ServerId to, Fault f);
   void set_drop(ServerId from, ServerId to, double prob);
   void set_delay(ServerId from, ServerId to, SimDuration d);
+  void set_duplication(ServerId from, ServerId to, double prob);
+  void set_reordering(ServerId from, ServerId to, double prob,
+                      SimDuration window);
   /// Hard one-way cut: nothing flows from -> to until healed.
   void cut(ServerId from, ServerId to);
   void heal(ServerId from, ServerId to);

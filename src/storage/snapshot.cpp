@@ -1,0 +1,92 @@
+#include "storage/snapshot.hpp"
+
+#include <cstdio>
+
+#include "common/crc32.hpp"
+#include "repl/log.hpp"
+#include "wire/buffer.hpp"
+#include "wire/codec.hpp"
+
+namespace clash::storage {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43534E50;  // "CSNP"
+constexpr std::uint8_t kVersion = 1;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_snapshot(const SnapshotImage& img) {
+  wire::Writer w;
+  w.u32(kMagic);
+  w.u8(kVersion);
+  wire::encode_group(w, img.group);
+  w.u64(img.head.epoch);
+  w.u64(img.head.seq);
+  w.boolean(img.root);
+  w.u64(img.parent.value);
+  w.u32(std::uint32_t(img.state.streams.size()));
+  for (const auto& [_, s] : img.state.streams) {
+    wire::encode_log_op(w, repl::LogOp::put_stream(s));
+  }
+  w.u32(std::uint32_t(img.state.queries.size()));
+  for (const auto& [_, q] : img.state.queries) {
+    wire::encode_log_op(w, repl::LogOp::put_query(q));
+  }
+  w.u32(std::uint32_t(img.app_state.size()));
+  w.bytes(img.app_state);
+  w.u32(std::uint32_t(img.app_deltas.size()));
+  for (const auto& d : img.app_deltas) {
+    w.u32(std::uint32_t(d.size()));
+    w.bytes(d);
+  }
+  w.u32(crc32(w.data()));
+  return w.take();
+}
+
+bool decode_snapshot(std::span<const std::uint8_t> data, SnapshotImage& out) {
+  if (data.size() < 4) return false;
+  const auto body = data.first(data.size() - 4);
+  if (crc32(body) != wire::load_u32_le(data.data() + body.size())) {
+    return false;
+  }
+  wire::Reader r(body);
+  if (r.u32() != kMagic || r.u8() != kVersion) return false;
+  out.group = wire::decode_group(r);
+  out.head.epoch = r.u64();
+  out.head.seq = r.u64();
+  out.root = r.boolean();
+  out.parent = ServerId{r.u64()};
+  out.state = GroupState{};
+  const auto n_streams = r.u32();
+  for (std::uint32_t i = 0; i < n_streams && r.ok(); ++i) {
+    repl::GroupLog::apply(wire::decode_log_op(r), out.state);
+  }
+  const auto n_queries = r.u32();
+  for (std::uint32_t i = 0; i < n_queries && r.ok(); ++i) {
+    repl::GroupLog::apply(wire::decode_log_op(r), out.state);
+  }
+  const auto app_len = r.u32();
+  if (std::size_t(app_len) > r.remaining()) return false;
+  out.app_state.resize(app_len);
+  for (auto& b : out.app_state) b = r.u8();
+  const auto n_deltas = r.u32();
+  out.app_deltas.clear();
+  for (std::uint32_t i = 0; i < n_deltas && r.ok(); ++i) {
+    const auto len = r.u32();
+    if (std::size_t(len) > r.remaining()) return false;
+    std::vector<std::uint8_t> d(len);
+    for (auto& b : d) b = r.u8();
+    out.app_deltas.push_back(std::move(d));
+  }
+  return r.exhausted();
+}
+
+std::string snapshot_path(const std::string& dir, const KeyGroup& group) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%u-%llx.snap", group.depth(),
+                (unsigned long long)group.virtual_key().value());
+  return dir + "/" + name;
+}
+
+}  // namespace clash::storage

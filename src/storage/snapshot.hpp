@@ -1,0 +1,50 @@
+// On-disk group snapshots: one atomic file per key group holding the
+// group's full object state at a log head, plus the opaque application
+// payload (the same blob format StreamEngine::export_group produces /
+// import_blob consumes, shipped through AppHooks::snapshot_state).
+// Object state is serialised as a run of put_stream/put_query LogOps —
+// the exact wire encoding the replication subsystem already uses — so
+// recovery replays a snapshot through GroupLog::apply like any log
+// suffix. The whole file is CRC32-trailed: a half-written or bit-rotted
+// snapshot is rejected, never half-applied.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "clash/group_state.hpp"
+#include "common/types.hpp"
+#include "keys/key_group.hpp"
+#include "repl/op.hpp"
+
+namespace clash::storage {
+
+struct SnapshotImage {
+  KeyGroup group;
+  repl::LogHead head;
+  bool root = false;
+  ServerId parent{};
+  GroupState state;
+  std::vector<std::uint8_t> app_state;
+  /// Opaque app deltas logged after app_state was cut (non-empty only
+  /// for images recovered from a replica-sourced baseline).
+  std::vector<std::vector<std::uint8_t>> app_deltas;
+};
+
+/// Serialise an image (magic + version + payload + trailing CRC32).
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot(
+    const SnapshotImage& img);
+
+/// Decode + CRC-validate; false on any damage (caller falls back to
+/// WAL-only recovery for the group).
+bool decode_snapshot(std::span<const std::uint8_t> data, SnapshotImage& out);
+
+/// Stable, filesystem-safe path for a group's snapshot file
+/// ("snap/<depth>-<virtual key hex>.snap"; the label's '*' wildcard is
+/// not filename material).
+[[nodiscard]] std::string snapshot_path(const std::string& dir,
+                                        const KeyGroup& group);
+
+}  // namespace clash::storage

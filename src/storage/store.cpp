@@ -1,0 +1,122 @@
+#include "storage/store.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace clash::storage {
+
+NodeStore::NodeStore(Backend& backend, Config cfg)
+    : backend_(backend), cfg_(std::move(cfg)) {
+  // Sweep half-written snapshots a crash left behind (recovery ignores
+  // them, but an unlinked tmp must not linger to confuse operators or
+  // fill the disk).
+  for (const auto& path : backend_.list(cfg_.snap_dir)) {
+    if (path.size() >= 4 && path.substr(path.size() - 4) == ".tmp") {
+      backend_.remove_file(path);
+    }
+  }
+  image_ = recover_image(backend_, cfg_.wal_dir, cfg_.snap_dir);
+  recovery_stats_ = image_.stats;
+  floors_ = image_.snapshot_floors;
+  dropped_ = image_.dropped_epochs;
+  wal_ = std::make_unique<Wal>(
+      backend_, Wal::Config{cfg_.wal_dir, cfg_.segment_bytes},
+      image_.next_segment_index);
+  // Adopt the pre-crash segments as closed so checkpoints reclaim
+  // them like any other — otherwise every restart would leak its
+  // predecessor's WAL forever, and replay would grow without bound.
+  for (auto& [index, tails] : image_.segment_tails) {
+    wal_->adopt_closed_segment(index, std::move(tails));
+  }
+  image_.segment_tails.clear();
+  if (cfg_.mode == ClashConfig::DurabilityMode::kWalSnapshot) truncate();
+}
+
+void NodeStore::append_op(const KeyGroup& group, repl::LogHead head,
+                          const repl::LogOp& op, SimTime now) {
+  wal_->append_op(group, head, op);
+  stats_.ops_appended++;
+  maybe_sync(now);
+}
+
+void NodeStore::write_snapshot(const SnapshotImage& img, bool checkpoint) {
+  if (checkpoint && cfg_.mode != ClashConfig::DurabilityMode::kWalSnapshot) {
+    return;  // kWal: the baseline anchors replay, the log keeps growing
+  }
+  const auto bytes = encode_snapshot(img);
+  if (!backend_.write_file_atomic(snapshot_path(cfg_.snap_dir, img.group),
+                                  bytes)) {
+    // A lost baseline is a lost anchor (the adopted state never went
+    // through the WAL): flag the group so the server re-persists it
+    // at the next load check instead of presenting partial recovery
+    // as success.
+    stats_.snapshot_write_failures++;
+    failed_snapshots_.insert(img.group);
+    CLASH_ERROR << "snapshot write failed for " << img.group.label()
+                << " (will retry at the next load check)";
+    return;
+  }
+  failed_snapshots_.erase(img.group);
+  stats_.snapshots_written++;
+  stats_.snapshot_bytes += bytes.size();
+  floors_[img.group] = img.head;
+  if (cfg_.mode == ClashConfig::DurabilityMode::kWalSnapshot) truncate();
+}
+
+void NodeStore::drop_group(const KeyGroup& group, std::uint64_t epoch,
+                           SimTime now) {
+  (void)now;
+  wal_->append_drop(group, epoch);
+  // The drop record must be durable BEFORE the snapshot deletion is —
+  // regardless of fsync policy (drops are rare; a sync costs little).
+  // An unsynced drop paired with the immediately-durable unlink below
+  // would let a crash resurrect a handed-off group from its residual
+  // op records: state another node now legitimately owns.
+  wal_->sync();
+  backend_.remove_file(snapshot_path(cfg_.snap_dir, group));
+  floors_.erase(group);
+  auto [it, inserted] = dropped_.try_emplace(group, epoch);
+  if (!inserted && it->second < epoch) it->second = epoch;
+  stats_.drops++;
+  if (cfg_.mode == ClashConfig::DurabilityMode::kWalSnapshot) truncate();
+}
+
+void NodeStore::truncate() {
+  constexpr auto kMax = std::numeric_limits<std::uint64_t>::max();
+  stats_.truncated_segments += wal_->truncate_covered(
+      [this, kMax](const KeyGroup& group, repl::LogHead tail) {
+        const auto floor = floors_.find(group);
+        if (floor != floors_.end() && tail <= floor->second) return true;
+        const auto dropped = dropped_.find(group);
+        return dropped != dropped_.end() &&
+               tail <= repl::LogHead{dropped->second, kMax};
+      });
+}
+
+void NodeStore::maybe_sync(SimTime now) {
+  switch (cfg_.fsync) {
+    case ClashConfig::FsyncPolicy::kPerAppend:
+      wal_->sync();
+      break;
+    case ClashConfig::FsyncPolicy::kInterval:
+      if (now - last_sync_ >= cfg_.fsync_interval) {
+        wal_->sync();
+        last_sync_ = now;
+      }
+      break;
+    case ClashConfig::FsyncPolicy::kNever:
+      break;
+  }
+}
+
+void NodeStore::tick(SimTime now) {
+  if (cfg_.fsync == ClashConfig::FsyncPolicy::kInterval &&
+      now - last_sync_ >= cfg_.fsync_interval) {
+    wal_->sync();
+    last_sync_ = now;
+  }
+}
+
+}  // namespace clash::storage

@@ -302,6 +302,12 @@ void encode_message(Writer& w, const Message& msg) {
       msg);
 }
 
+std::size_t encoded_payload_size(const Message& msg) {
+  Writer w;
+  encode_message(w, msg);
+  return w.size();
+}
+
 Expected<Message> decode_message(std::span<const std::uint8_t> payload) {
   Reader r(payload);
   const auto type = r.u8();

@@ -58,6 +58,12 @@ void encode_message(Writer& w, const Message& msg);
 [[nodiscard]] Expected<Message> decode_message(
     std::span<const std::uint8_t> payload);
 
+/// Encoded payload size of `msg` (what one transport frame carries,
+/// sans envelope). Costs a full encode — instrumentation, not hot
+/// path; the simulator's wire metering uses it to compare transfer
+/// bytes across recovery strategies.
+[[nodiscard]] std::size_t encoded_payload_size(const Message& msg);
+
 void encode_reply(Writer& w, const AcceptObjectReply& reply);
 [[nodiscard]] Expected<AcceptObjectReply> decode_reply(
     std::span<const std::uint8_t> payload);

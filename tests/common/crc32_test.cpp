@@ -1,0 +1,44 @@
+#include "common/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+namespace clash {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Crc32, KnownVectors) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+  EXPECT_EQ(crc32(bytes_of("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32, SeedChainsSplitBuffers) {
+  const auto whole = bytes_of("hello, durable world");
+  const auto full = crc32(whole);
+  const std::span<const std::uint8_t> span(whole);
+  const auto chained = crc32(span.subspan(7), crc32(span.first(7)));
+  EXPECT_EQ(chained, full);
+
+  Crc32 acc;
+  acc.update(span.first(3));
+  acc.update(span.subspan(3, 9));
+  acc.update(span.subspan(12));
+  EXPECT_EQ(acc.value(), full);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  auto data = bytes_of("the record payload");
+  const auto clean = crc32(data);
+  data[5] ^= 0x10;
+  EXPECT_NE(crc32(data), clean);
+}
+
+}  // namespace
+}  // namespace clash
