@@ -8,6 +8,8 @@
 
 #include "clash/client.hpp"
 #include "common/argparse.hpp"
+#include "obs/expose.hpp"
+#include "obs/hub.hpp"
 #include "common/rng.hpp"
 #include "sim/cluster.hpp"
 #include "sim/metrics.hpp"
@@ -104,5 +106,6 @@ int main(int argc, char** argv) {
   std::printf("\n# expectation: avg probes stays well under the O(log N) "
               "bound; the hint policy beats pure binary search because "
               "most keys sit near the typical depth\n");
+  obs::maybe_embed_metrics(args, json, obs::Hub::global().registry);
   return write_json_artifact(args, json) ? 0 : 1;
 }

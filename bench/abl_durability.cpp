@@ -28,6 +28,8 @@
 
 #include "clash/client.hpp"
 #include "common/argparse.hpp"
+#include "obs/expose.hpp"
+#include "obs/hub.hpp"
 #include "common/rng.hpp"
 #include "sim/cluster.hpp"
 #include "storage/recovery.hpp"
@@ -421,6 +423,7 @@ int main(int argc, char** argv) {
     ok = false;
   }
 
+  obs::maybe_embed_metrics(args, json, obs::Hub::global().registry);
   if (!write_json_artifact(args, json)) return 1;
   return ok ? 0 : 1;
 }

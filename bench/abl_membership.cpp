@@ -12,6 +12,8 @@
 
 #include "clash/client.hpp"
 #include "common/argparse.hpp"
+#include "obs/expose.hpp"
+#include "obs/hub.hpp"
 #include "common/rng.hpp"
 #include "sim/churn.hpp"
 
@@ -143,5 +145,6 @@ int main(int argc, char** argv) {
       "setting and ~logarithmically in cluster size; gossip stays a few "
       "messages per server per period regardless; replication factor 2 "
       "keeps ~100%% of streams through the 25%% loss\n");
+  obs::maybe_embed_metrics(args, json, obs::Hub::global().registry);
   return write_json_artifact(args, json) ? 0 : 1;
 }

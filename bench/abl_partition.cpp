@@ -23,6 +23,8 @@
 
 #include "clash/client.hpp"
 #include "common/argparse.hpp"
+#include "obs/expose.hpp"
+#include "obs/hub.hpp"
 #include "common/rng.hpp"
 #include "sim/churn.hpp"
 
@@ -246,6 +248,7 @@ int main(int argc, char** argv) {
               "transfer restart at work; dup_offers shows assemblies "
               "surviving competing offers.\n");
 
+  obs::maybe_embed_metrics(args, json, obs::Hub::global().registry);
   if (!write_json_artifact(args, json)) return 1;
   return ok ? 0 : 1;
 }

@@ -15,6 +15,8 @@
 #include <functional>
 
 #include "common/argparse.hpp"
+#include "obs/expose.hpp"
+#include "obs/hub.hpp"
 #include "sim/experiment.hpp"
 
 using namespace clash;
@@ -124,5 +126,6 @@ int main(int argc, char** argv) {
       "drains (A:servers); power-of-two cannot cap max load under "
       "extreme skew (a hot group is indivisible for it); no-client-cache "
       "raises msg/s/srv\n");
+  obs::maybe_embed_metrics(args, json, obs::Hub::global().registry);
   return write_json_artifact(args, json) ? 0 : 1;
 }

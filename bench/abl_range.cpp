@@ -14,6 +14,8 @@
 
 #include "clash/client.hpp"
 #include "common/argparse.hpp"
+#include "obs/expose.hpp"
+#include "obs/hub.hpp"
 #include "common/rng.hpp"
 #include "sim/cluster.hpp"
 #include "sim/workload.hpp"
@@ -134,5 +136,6 @@ int main(int argc, char** argv) {
       "(only hot subtrees fan out); fixed-depth hashing scatters the "
       "same range across most of the pool — the paper's query "
       "replication argument\n");
+  obs::maybe_embed_metrics(args, json, obs::Hub::global().registry);
   return write_json_artifact(args, json) ? 0 : 1;
 }

@@ -16,7 +16,58 @@ ClashServer::ClashServer(ServerId self, const ClashConfig& cfg, ServerEnv& env,
       env_(env),
       hasher_(hasher),
       table_(cfg.key_width),
-      rng_(self.value * 0x9e3779b97f4a7c15ULL + 17) {}
+      rng_(self.value * 0x9e3779b97f4a7c15ULL + 17),
+      hub_(&env.obs()) {
+  auto& reg = hub_->registry;
+  commit_latency_us_ = reg.histogram("clash_repl_commit_usec");
+  failover_us_ = reg.histogram("clash_failover_recovery_usec");
+  snapshot_install_us_ = reg.histogram("clash_snapshot_install_usec");
+  puts_total_ = reg.counter("clash_puts_total");
+  repl_bytes_total_ = reg.counter("clash_repl_bytes_total");
+}
+
+// Structural wire-size model for the cost vector: close enough to the
+// encoded sizes for placement decisions, free on the hot path (no
+// second encode).
+namespace {
+
+constexpr std::uint64_t kMsgOverheadBytes = 24;
+constexpr std::uint64_t kPutWireBytes = 40;
+
+std::uint64_t approx_op_bytes(const repl::LogOp& op) {
+  return 24 + op.app_delta.size();
+}
+
+std::uint64_t approx_chunk_bytes(const SnapshotChunk& c) {
+  std::uint64_t b = kMsgOverheadBytes + 24 * c.streams.size() +
+                    16 * c.queries.size() + c.app_state.size();
+  for (const auto& d : c.app_deltas) b += d.size();
+  return b;
+}
+
+}  // namespace
+
+void ClashServer::meter_matches(const Key& key, std::size_t n,
+                                std::size_t bytes) {
+  const ServerTableEntry* entry = table_.active_entry_for(key);
+  if (entry == nullptr) return;
+  GroupCost& cost = group_costs_[entry->group];
+  cost.matches += n;
+  cost.bytes_served += bytes;
+  hub_->tracer.record(obs::SpanKind::kQueryMatch, self_.value, env_.now(),
+                      SimDuration{0}, n);
+}
+
+void ClashServer::meter_repl_bytes(const KeyGroup& group,
+                                   std::uint64_t bytes) {
+  group_costs_[group].repl_bytes += bytes;
+  repl_bytes_total_.inc(bytes);
+}
+
+void ClashServer::meter_storage_bytes(const KeyGroup& group,
+                                      std::uint64_t bytes) {
+  group_costs_[group].storage_bytes += bytes;
+}
 
 void ClashServer::install_entry(const ServerTableEntry& entry) {
   table_.insert(entry);
@@ -50,6 +101,10 @@ AcceptObjectReply ClashServer::handle_accept_object(const AcceptObject& m) {
   // only in the echoed depth; the client compares.
   if (!m.probe_only) {
     GroupState& gs = state_[entry->group];
+    GroupCost& cost = group_costs_[entry->group];
+    ++cost.puts;
+    cost.bytes_served += kPutWireBytes;
+    puts_total_.inc();
     if (m.kind == ObjectKind::kQuery) {
       gs.queries[m.query_id] = QueryInfo{m.query_id, m.key};
       log_op(entry->group,
@@ -738,7 +793,7 @@ void ClashServer::persist_group_snapshot(const ServerTableEntry& entry,
   if (app_hooks_ != nullptr) {
     img.app_state = app_hooks_->snapshot_state(entry.group);
   }
-  storage_->write_snapshot(img, checkpoint);
+  meter_storage_bytes(entry.group, storage_->write_snapshot(img, checkpoint));
 }
 
 void ClashServer::ensure_durable_group(const ServerTableEntry& entry) {
@@ -793,6 +848,8 @@ void ClashServer::init_group_log(const KeyGroup& group,
   const auto it = retired_epochs_.find(group);
   if (it != retired_epochs_.end()) epoch = std::max(epoch, it->second + 1);
   logs_.insert_or_assign(group, repl::GroupLog(epoch, 0));
+  // Heads registered under the old line can never be acked now.
+  pending_commits_.erase(group);
   // A new line's baseline must hit the disk before any of its WAL
   // records: recovery anchors the replay on it (the state adopted
   // with the group — a split's share, a handoff, a promoted replica —
@@ -805,6 +862,7 @@ void ClashServer::init_group_log(const KeyGroup& group,
 
 void ClashServer::drop_group_log(const KeyGroup& group) {
   flush_pending_append(group);
+  pending_commits_.erase(group);
   const auto it = logs_.find(group);
   if (it == logs_.end()) return;
   retired_epochs_[group] = it->second.epoch();
@@ -840,7 +898,10 @@ void ClashServer::log_op(const KeyGroup& group, repl::LogOp op) {
   // Append-on-mutate, WAL first: the op is durable (per the fsync
   // policy) before the in-memory log observes it.
   const repl::LogHead head{log.epoch(), log.head().seq + 1};
-  if (durable()) storage_->append_op(group, head, op, env_.now());
+  if (durable()) {
+    meter_storage_bytes(group, storage_->append_op(group, head, op,
+                                                   env_.now()));
+  }
   log.append(std::move(op));
   if (replicating && !append_flush_scheduled_) {
     // Scheduled only after the local append: a synchronous env runs
@@ -875,7 +936,25 @@ void ClashServer::send_append_batch(const KeyGroup& group,
   msg.epoch = batch.epoch;
   msg.base_seq = batch.base_seq;
   msg.entries = std::move(batch.entries);
-  for (const ServerId target : replica_set(group)) {
+  const auto targets = replica_set(group);
+  std::uint64_t wire = kMsgOverheadBytes;
+  for (const auto& op : msg.entries) wire += approx_op_bytes(op);
+  bool fanned_out = false;
+  for (const ServerId target : targets) {
+    if (target != self_) {
+      fanned_out = true;
+      meter_repl_bytes(group, wire);
+    }
+  }
+  if (fanned_out) {
+    // Register the in-flight head *before* sending: a synchronous env
+    // delivers the holders' acks re-entrantly inside env_.send.
+    auto& inflight = pending_commits_[group];
+    inflight.push_back(PendingCommit{
+        msg.epoch, msg.base_seq + msg.entries.size(), env_.now()});
+    if (inflight.size() > 4096) inflight.pop_front();
+  }
+  for (const ServerId target : targets) {
     if (target != self_) env_.send(target, msg);
   }
 }
@@ -951,6 +1030,7 @@ void ClashServer::send_state_snapshot(
   offer.root = root;
   offer.parent = parent;
   offer.total_chunks = total;
+  meter_repl_bytes(group, kMsgOverheadBytes);
   env_.send(to, offer);
 
   // Pre-cut the chunks into an outbound cursor instead of blasting
@@ -1016,6 +1096,8 @@ std::size_t ClashServer::pump_snapshots() {
         if (budget == 0) break;
         --budget;
         progress = true;
+        meter_repl_bytes(key.second,
+                         approx_chunk_bytes(out.chunks[out.next]));
         Message msg(std::move(out.chunks[out.next]));
         ++out.next;
         env_.send(key.first, msg);
@@ -1122,7 +1204,27 @@ void ClashServer::handle_repl_ack(ServerId from, const ReplAck& m) {
   // snapshot still streaming to that peer for the group — the receiver
   // tore down its assembly, so the unsent chunks would only be nacked
   // again; repair restarts the transfer from scratch instead.
-  if (m.ok) return;
+  if (m.ok) {
+    // First positive ack at or past an in-flight batch head commits
+    // it: record ReplAppend -> ReplAck latency (later acks for the
+    // same head find the deque already drained).
+    const auto it = pending_commits_.find(m.group);
+    if (it != pending_commits_.end()) {
+      auto& inflight = it->second;
+      const SimTime now = env_.now();
+      while (!inflight.empty() && inflight.front().epoch == m.head.epoch &&
+             inflight.front().seq <= m.head.seq) {
+        const SimDuration latency = now - inflight.front().sent;
+        commit_latency_us_.record_signed(latency.usec);
+        hub_->tracer.record(obs::SpanKind::kCommit, self_.value,
+                            inflight.front().sent, latency,
+                            inflight.front().seq);
+        inflight.pop_front();
+      }
+      if (inflight.empty()) pending_commits_.erase(it);
+    }
+    return;
+  }
   cancel_outbound_snapshot(from, m.group);
   repair_peer(from, m.group, m.head);
 }
@@ -1151,6 +1253,7 @@ void ClashServer::handle_snapshot_offer(ServerId /*from*/,
   pending.root = m.root;
   pending.parent = m.parent;
   pending.total = m.total_chunks;
+  pending.started = env_.now();
   rec.pending = std::move(pending);
   rec.last_nacked = repl::LogHead{};  // the new stream starts clean
 }
@@ -1210,6 +1313,9 @@ void ClashServer::handle_snapshot_chunk(ServerId from,
   rec.app_tail = std::move(p.app_deltas);
   rec.log.reset(m.head.epoch, m.head.seq);
   if (rec.advertised < m.head) rec.advertised = m.head;
+  snapshot_install_us_.record_signed((env_.now() - p.started).usec);
+  hub_->tracer.record(obs::SpanKind::kSnapshotTransfer, self_.value,
+                      p.started, env_.now() - p.started, p.total);
   rec.pending.reset();
   if (recovery_.active(m.group)) recovery_.note_snapshot_pulled(m.group);
   env_.send(from, ReplAck{m.group, rec.log.head(), true});
@@ -1260,6 +1366,9 @@ void ClashServer::repair_peer(ServerId to, const KeyGroup& group,
     std::vector<repl::LogOp> out;
     if (have.epoch == log.epoch() && log.suffix_from(have.seq, out)) {
       if (!out.empty()) {
+        std::uint64_t wire = kMsgOverheadBytes;
+        for (const auto& op : out) wire += approx_op_bytes(op);
+        meter_repl_bytes(group, wire);
         env_.send(to, ReplAppend{group, self_, log.epoch(), have.seq,
                                  std::move(out)});
       }
@@ -1299,6 +1408,7 @@ void ClashServer::begin_group_recovery(const KeyGroup& group) {
   const repl::LogHead start =
       it != replicas_.end() ? it->second.log.head() : repl::LogHead{};
   if (!recovery_.begin(group, start)) return;  // probes already out
+  recovery_started_.try_emplace(group, env_.now());
   const AntiEntropyDiff pull{{GroupHead{group, start}}};
   for (const ServerId peer : replica_set(group)) {
     if (peer != self_) env_.send(peer, pull);
@@ -1343,6 +1453,14 @@ bool ClashServer::promote_with_recovery(const KeyGroup& group) {
     adopt_bare_group(entry);
   }
   recovery_.finish(group, head, advertised);
+  if (const auto rs = recovery_started_.find(group);
+      rs != recovery_started_.end()) {
+    const SimDuration took = env_.now() - rs->second;
+    failover_us_.record_signed(took.usec);
+    hub_->tracer.record(obs::SpanKind::kFailover, self_.value, rs->second,
+                        took, recovered ? 1 : 0);
+    recovery_started_.erase(rs);
+  }
   // New ownership line: the epoch rises above anything ever advertised
   // and the (new) replica set gets an immediate snapshot, so a second
   // failure in this period still finds fresh holders.

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <limits>
 #include <map>
@@ -22,6 +23,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "dht/dht.hpp"
+#include "obs/hub.hpp"
 #include "repl/log.hpp"
 #include "repl/recovery.hpp"
 
@@ -80,6 +82,12 @@ class ServerEnv {
   /// them to maintain a global owner index for exact metrics.
   virtual void on_group_activated(const KeyGroup& group) { (void)group; }
   virtual void on_group_deactivated(const KeyGroup& group) { (void)group; }
+
+  /// Where this server's metrics and trace spans go. The default is
+  /// the process-global hub (sim substrate, benches); net::ClashNode
+  /// overrides with a node-private hub so its stats endpoint serves
+  /// exactly one node's view.
+  [[nodiscard]] virtual obs::Hub& obs() { return obs::Hub::global(); }
 };
 
 /// Application integration (Section 7's game-middleware API): the
@@ -143,6 +151,25 @@ class ClashServer {
   [[nodiscard]] const ServerTable& table() const { return table_; }
   [[nodiscard]] const MessageStats& stats() const { return stats_; }
   void reset_stats() { stats_ = MessageStats{}; }
+
+  // --- Per-group cost metering (observability layer) -------------------
+  /// The Gray cost vector per group this server has (ever) owned:
+  /// what each group costs in serving, replication, and storage.
+  [[nodiscard]] const std::map<KeyGroup, GroupCost>& group_costs() const {
+    return group_costs_;
+  }
+  [[nodiscard]] GroupCost total_group_cost() const {
+    GroupCost total;
+    for (const auto& [group, c] : group_costs_) total += c;
+    return total;
+  }
+  void reset_group_costs() { group_costs_.clear(); }
+  /// Attribute `n` query matches (serving `bytes` to clients) to the
+  /// active group covering `key` — called by cq::EngineHooks when the
+  /// stream engine fires.
+  void meter_matches(const Key& key, std::size_t n, std::size_t bytes);
+  /// The hub this server records into (env-provided).
+  [[nodiscard]] obs::Hub& obs_hub() const { return *hub_; }
 
   // --- Bootstrap -----------------------------------------------------
   /// Install an entry directly (used by the bootstrap splitter and by
@@ -210,6 +237,7 @@ class ClashServer {
   /// re-check failed: the member rejoined or the ring moved the heir).
   void abandon_group_recovery(const KeyGroup& group) {
     recovery_.cancel(group);
+    recovery_started_.erase(group);
   }
 
   /// Hand every active group whose DHT owner is now `to` over to it
@@ -459,6 +487,8 @@ class ClashServer {
       GroupState state;
       std::vector<std::uint8_t> app_state;
       std::vector<std::vector<std::uint8_t>> app_deltas;
+      /// When the offer opened the assembly (snapshot-transfer span).
+      SimTime started{0};
     };
     std::optional<PendingSnapshot> pending;
   };
@@ -503,6 +533,31 @@ class ClashServer {
 
   Rng rng_;
   MessageStats stats_;
+
+  // --- Observability (src/obs/) ----------------------------------------
+  /// Meter `bytes` of replication stream out of `group`.
+  void meter_repl_bytes(const KeyGroup& group, std::uint64_t bytes);
+  /// Meter `bytes` of durable-storage writes for `group`.
+  void meter_storage_bytes(const KeyGroup& group, std::uint64_t bytes);
+
+  obs::Hub* hub_ = nullptr;  // env_.obs(), cached at construction
+  obs::HistogramHandle commit_latency_us_;
+  obs::HistogramHandle failover_us_;
+  obs::HistogramHandle snapshot_install_us_;
+  obs::Counter puts_total_;
+  obs::Counter repl_bytes_total_;
+
+  std::map<KeyGroup, GroupCost> group_costs_;
+  /// ReplAppend batches in flight: head seq + send time, popped by the
+  /// first ok ReplAck at or past that seq (commit-latency histogram).
+  struct PendingCommit {
+    std::uint64_t epoch = 0;
+    std::uint64_t seq = 0;
+    SimTime sent{0};
+  };
+  std::map<KeyGroup, std::deque<PendingCommit>> pending_commits_;
+  /// Recovery sessions opened at promote time (failover span start).
+  std::map<KeyGroup, SimTime> recovery_started_;
 };
 
 }  // namespace clash

@@ -7,54 +7,78 @@
 
 namespace clash {
 
-struct MessageStats {
-  // Overlay routing cost: one unit per DHT forwarding hop.
-  std::uint64_t dht_hops = 0;
-  // ACCEPT_OBJECT probes and their replies.
-  std::uint64_t object_probes = 0;
-  std::uint64_t object_replies = 0;
-  // Group-transfer control traffic.
-  std::uint64_t keygroup_transfers = 0;
-  std::uint64_t keygroup_acks = 0;
-  std::uint64_t load_reports = 0;
-  std::uint64_t reclaim_requests = 0;
-  std::uint64_t reclaim_replies = 0;
-  // Migrated state, in STATE_TRANSFER message units.
-  std::uint64_t state_transfer_msgs = 0;
-  // Fault-tolerance extension traffic.
-  std::uint64_t replications = 0;
-  std::uint64_t replica_drops = 0;
-  // Replication-log traffic (src/repl/, log mode only).
-  std::uint64_t repl_appends = 0;
-  std::uint64_t repl_acks = 0;
-  std::uint64_t snapshot_offers = 0;
-  std::uint64_t snapshot_chunks = 0;
-  std::uint64_t anti_entropy_probes = 0;
-  std::uint64_t anti_entropy_diffs = 0;
-  // SWIM membership traffic (pings, ping-reqs, acks). Kept out of
-  // control_messages() so Figure 5's message classes stay paper-exact;
-  // bench/abl_membership reports this overhead separately.
-  std::uint64_t gossip_msgs = 0;
+// The single authoritative field list: declarations, arithmetic, and
+// name-based iteration (for_each_named feeds the obs exposition) all
+// expand from here, so adding a counter touches exactly this table.
+#define CLASH_MESSAGE_STATS_FIELDS(X)                                        \
+  /* Overlay routing cost: one unit per DHT forwarding hop. */               \
+  X(dht_hops)                                                                \
+  /* ACCEPT_OBJECT probes and their replies. */                              \
+  X(object_probes)                                                           \
+  X(object_replies)                                                          \
+  /* Group-transfer control traffic. */                                      \
+  X(keygroup_transfers)                                                      \
+  X(keygroup_acks)                                                           \
+  X(load_reports)                                                            \
+  X(reclaim_requests)                                                        \
+  X(reclaim_replies)                                                         \
+  /* Migrated state, in STATE_TRANSFER message units. */                     \
+  X(state_transfer_msgs)                                                     \
+  /* Fault-tolerance extension traffic. */                                   \
+  X(replications)                                                            \
+  X(replica_drops)                                                           \
+  /* Replication-log traffic (src/repl/, log mode only). */                  \
+  X(repl_appends)                                                            \
+  X(repl_acks)                                                               \
+  X(snapshot_offers)                                                         \
+  X(snapshot_chunks)                                                         \
+  X(anti_entropy_probes)                                                     \
+  X(anti_entropy_diffs)                                                      \
+  /* SWIM membership traffic (pings, ping-reqs, acks). Kept out of           \
+     control_messages() so Figure 5's message classes stay paper-exact;      \
+     bench/abl_membership reports this overhead separately. */               \
+  X(gossip_msgs)                                                             \
+  /* Protocol events (not messages). */                                      \
+  X(splits)                                                                  \
+  X(merges)                                                                  \
+  X(self_remaps)      /* right child mapped back to self */                  \
+  X(merge_refusals)                                                          \
+  X(depth_searches)   /* client resolution rounds */                         \
+  X(search_restarts)  /* stale-range restarts under churn */                 \
+  X(failovers)        /* groups promoted from replicas */                    \
+  X(groups_lost)      /* failovers without replica state */                  \
+  X(dropped_msgs)     /* sends to dead servers */                            \
+  X(handoffs)         /* groups handed back on rejoin */                     \
+  X(log_compactions)  /* snapshot+compact cycles (log mode) */               \
+  X(link_drops)       /* messages eaten by the fault matrix */               \
+  X(snapshot_aborts)  /* out-of-sync transfers nacked */                     \
+  X(snapshot_offers_ignored) /* dup offers mid-transfer */                   \
+  /* Encoded bytes of delivered server->server messages. Populated           \
+     only when SimCluster::set_wire_metering is on (bench use); zero         \
+     otherwise. */                                                           \
+  X(wire_bytes)
 
-  // Protocol events (not messages).
-  std::uint64_t splits = 0;
-  std::uint64_t merges = 0;
-  std::uint64_t self_remaps = 0;      // right child mapped back to self
-  std::uint64_t merge_refusals = 0;
-  std::uint64_t depth_searches = 0;   // client resolution rounds
-  std::uint64_t search_restarts = 0;  // stale-range restarts under churn
-  std::uint64_t failovers = 0;        // groups promoted from replicas
-  std::uint64_t groups_lost = 0;      // failovers without replica state
-  std::uint64_t dropped_msgs = 0;     // sends to dead servers
-  std::uint64_t handoffs = 0;         // groups handed back on rejoin
-  std::uint64_t log_compactions = 0;  // snapshot+compact cycles (log mode)
-  std::uint64_t link_drops = 0;       // messages eaten by the fault matrix
-  std::uint64_t snapshot_aborts = 0;  // out-of-sync transfers nacked
-  std::uint64_t snapshot_offers_ignored = 0;  // dup offers mid-transfer
-  /// Encoded bytes of delivered server->server messages. Populated
-  /// only when SimCluster::set_wire_metering is on (bench use); zero
-  /// otherwise.
-  std::uint64_t wire_bytes = 0;
+struct MessageStats {
+#define CLASH_STATS_DECLARE(name) std::uint64_t name = 0;
+  CLASH_MESSAGE_STATS_FIELDS(CLASH_STATS_DECLARE)
+#undef CLASH_STATS_DECLARE
+
+  /// Apply `f(a.field, b.field)` to every field pair — the one place
+  /// the arithmetic operators walk the field list.
+  template <typename A, typename B, typename F>
+  static void zip(A& a, B& b, F&& f) {
+#define CLASH_STATS_ZIP(name) f(a.name, b.name);
+    CLASH_MESSAGE_STATS_FIELDS(CLASH_STATS_ZIP)
+#undef CLASH_STATS_ZIP
+  }
+
+  /// Apply `f("field", value)` to every field (exposition, dumps).
+  template <typename F>
+  void for_each_named(F&& f) const {
+#define CLASH_STATS_NAMED(name) f(#name, name);
+    CLASH_MESSAGE_STATS_FIELDS(CLASH_STATS_NAMED)
+#undef CLASH_STATS_NAMED
+  }
 
   /// Total protocol messages excluding migrated state (Figure 5 case A).
   [[nodiscard]] std::uint64_t control_messages() const {
@@ -76,77 +100,39 @@ struct MessageStats {
   }
 
   MessageStats& operator+=(const MessageStats& o) {
-    dht_hops += o.dht_hops;
-    object_probes += o.object_probes;
-    object_replies += o.object_replies;
-    keygroup_transfers += o.keygroup_transfers;
-    keygroup_acks += o.keygroup_acks;
-    load_reports += o.load_reports;
-    reclaim_requests += o.reclaim_requests;
-    reclaim_replies += o.reclaim_replies;
-    state_transfer_msgs += o.state_transfer_msgs;
-    replications += o.replications;
-    replica_drops += o.replica_drops;
-    repl_appends += o.repl_appends;
-    repl_acks += o.repl_acks;
-    snapshot_offers += o.snapshot_offers;
-    snapshot_chunks += o.snapshot_chunks;
-    anti_entropy_probes += o.anti_entropy_probes;
-    anti_entropy_diffs += o.anti_entropy_diffs;
-    gossip_msgs += o.gossip_msgs;
-    splits += o.splits;
-    merges += o.merges;
-    self_remaps += o.self_remaps;
-    merge_refusals += o.merge_refusals;
-    depth_searches += o.depth_searches;
-    search_restarts += o.search_restarts;
-    failovers += o.failovers;
-    groups_lost += o.groups_lost;
-    dropped_msgs += o.dropped_msgs;
-    handoffs += o.handoffs;
-    log_compactions += o.log_compactions;
-    link_drops += o.link_drops;
-    snapshot_aborts += o.snapshot_aborts;
-    snapshot_offers_ignored += o.snapshot_offers_ignored;
-    wire_bytes += o.wire_bytes;
+    zip(*this, o, [](std::uint64_t& l, std::uint64_t r) { l += r; });
     return *this;
   }
 
   friend MessageStats operator-(MessageStats a, const MessageStats& b) {
-    a.dht_hops -= b.dht_hops;
-    a.object_probes -= b.object_probes;
-    a.object_replies -= b.object_replies;
-    a.keygroup_transfers -= b.keygroup_transfers;
-    a.keygroup_acks -= b.keygroup_acks;
-    a.load_reports -= b.load_reports;
-    a.reclaim_requests -= b.reclaim_requests;
-    a.reclaim_replies -= b.reclaim_replies;
-    a.state_transfer_msgs -= b.state_transfer_msgs;
-    a.replications -= b.replications;
-    a.replica_drops -= b.replica_drops;
-    a.repl_appends -= b.repl_appends;
-    a.repl_acks -= b.repl_acks;
-    a.snapshot_offers -= b.snapshot_offers;
-    a.snapshot_chunks -= b.snapshot_chunks;
-    a.anti_entropy_probes -= b.anti_entropy_probes;
-    a.anti_entropy_diffs -= b.anti_entropy_diffs;
-    a.gossip_msgs -= b.gossip_msgs;
-    a.splits -= b.splits;
-    a.merges -= b.merges;
-    a.self_remaps -= b.self_remaps;
-    a.merge_refusals -= b.merge_refusals;
-    a.depth_searches -= b.depth_searches;
-    a.search_restarts -= b.search_restarts;
-    a.failovers -= b.failovers;
-    a.groups_lost -= b.groups_lost;
-    a.dropped_msgs -= b.dropped_msgs;
-    a.handoffs -= b.handoffs;
-    a.log_compactions -= b.log_compactions;
-    a.link_drops -= b.link_drops;
-    a.snapshot_aborts -= b.snapshot_aborts;
-    a.snapshot_offers_ignored -= b.snapshot_offers_ignored;
-    a.wire_bytes -= b.wire_bytes;
+    zip(a, b, [](std::uint64_t& l, std::uint64_t r) { l -= r; });
     return a;
+  }
+};
+
+/// Per-key-group resource metering — the Gray cost vector (Distributed
+/// Computing Economics): what a group costs its owner in compute and
+/// bytes, the signal utility-oriented placement will act on. Byte
+/// fields are wire-model estimates (structural sizes), not re-encoded
+/// payloads, so metering stays free on the hot path.
+struct GroupCost {
+  std::uint64_t puts = 0;           // objects accepted into the group
+  std::uint64_t matches = 0;        // query matches fired
+  std::uint64_t bytes_served = 0;   // put/match traffic served to clients
+  std::uint64_t repl_bytes = 0;     // replication stream out (appends,
+                                    // snapshots, anti-entropy diffs)
+  std::uint64_t storage_bytes = 0;  // WAL appends + snapshot files
+
+  GroupCost& operator+=(const GroupCost& o) {
+    puts += o.puts;
+    matches += o.matches;
+    bytes_served += o.bytes_served;
+    repl_bytes += o.repl_bytes;
+    storage_bytes += o.storage_bytes;
+    return *this;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return bytes_served + repl_bytes + storage_bytes;
   }
 };
 

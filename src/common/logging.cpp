@@ -1,13 +1,19 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace clash::log {
 namespace {
 
 std::atomic<Level> g_level{Level::kWarn};
+// set_level() pins the threshold; until then the first level() read
+// loads CLASH_LOG from the environment exactly once.
+std::atomic<bool> g_level_pinned{false};
+std::once_flag g_env_once;
 std::mutex g_emit_mutex;
 
 constexpr const char* name(Level lvl) {
@@ -28,11 +34,42 @@ constexpr const char* name(Level lvl) {
   return "?????";
 }
 
+void load_env_level() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("CLASH_LOG");
+    if (env == nullptr || *env == '\0') return;
+    if (g_level_pinned.load(std::memory_order_relaxed)) return;
+    g_level.store(level_from_name(env, Level::kWarn),
+                  std::memory_order_relaxed);
+  });
+}
+
 }  // namespace
 
-void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+Level level_from_name(std::string_view name, Level fallback) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(char(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "trace") return Level::kTrace;
+  if (lower == "debug") return Level::kDebug;
+  if (lower == "info") return Level::kInfo;
+  if (lower == "warn" || lower == "warning") return Level::kWarn;
+  if (lower == "error") return Level::kError;
+  if (lower == "off" || lower == "none") return Level::kOff;
+  return fallback;
+}
 
-Level level() { return g_level.load(std::memory_order_relaxed); }
+void set_level(Level level) {
+  g_level_pinned.store(true, std::memory_order_relaxed);
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+Level level() {
+  load_env_level();
+  return g_level.load(std::memory_order_relaxed);
+}
 
 bool enabled(Level lvl) { return lvl >= level() && lvl != Level::kOff; }
 

@@ -1,5 +1,8 @@
 // Minimal leveled logger. Single global sink, printf-free (iostream-based
 // formatting via operator<< chaining into a fixed buffer per statement).
+// The threshold is env-configurable: CLASH_LOG=trace|debug|info|warn|
+// error|off is consulted once, at the first level check, and an
+// explicit set_level() always wins over the environment.
 #pragma once
 
 #include <sstream>
@@ -13,6 +16,9 @@ enum class Level { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 /// Global threshold; messages below it are discarded cheaply.
 void set_level(Level level);
 Level level();
+
+/// Parse a level name ("debug", "WARN", ...); `fallback` on no match.
+Level level_from_name(std::string_view name, Level fallback);
 
 /// True when `lvl` would currently be emitted.
 bool enabled(Level lvl);

@@ -19,7 +19,21 @@ class EngineHooks final : public AppHooks {
 
   /// Attach the owning server (used to append deltas to its group
   /// logs). Must be called before register_query/unregister_query.
-  void bind(ClashServer* server) { server_ = server; }
+  /// Also wires the engine's observability into the server's hub, so
+  /// matches fired by the engine land in the server's per-group cost
+  /// vector (GroupCost::matches).
+  void bind(ClashServer* server) {
+    server_ = server;
+    if (server_ == nullptr) {
+      engine_.set_obs(nullptr, 0);
+      return;
+    }
+    // ~48 bytes per delivered match notification in the wire model.
+    engine_.set_obs(&server_->obs_hub(), server_->id().value,
+                    [s = server_](const Key& key, std::size_t n) {
+                      s->meter_matches(key, n, n * 48);
+                    });
+  }
 
   /// Register a query in the engine AND log the registration as an
   /// app delta on the group managing its scope, so replicas can

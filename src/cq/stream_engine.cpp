@@ -1,5 +1,7 @@
 #include "cq/stream_engine.hpp"
 
+#include <chrono>
+
 #include "wire/buffer.hpp"
 
 namespace clash::cq {
@@ -61,10 +63,43 @@ void StreamEngine::register_query(const ContinuousQuery& q) {
 
 bool StreamEngine::unregister_query(QueryId id) { return index_.erase(id); }
 
+void StreamEngine::set_obs(obs::Hub* hub, std::uint64_t node,
+                           MatchMeter meter) {
+  hub_ = hub;
+  node_ = node;
+  meter_ = std::move(meter);
+  if (hub_ == nullptr) {
+    records_total_ = obs::Counter{};
+    matches_total_ = obs::Counter{};
+    match_us_ = obs::HistogramHandle{};
+    return;
+  }
+  records_total_ = hub_->registry.counter("clash_cq_records_total");
+  matches_total_ = hub_->registry.counter("clash_cq_matches_total");
+  match_us_ = hub_->registry.histogram("clash_cq_match_usec");
+}
+
 std::size_t StreamEngine::process(const Record& r) {
   ++records_processed_;
+  records_total_.inc();
+  // Only firing records pay for a clock read: the common non-matching
+  // record stays as cheap as before instrumentation.
   const auto matched = index_.match(r);
   matches_fired_ += matched.size();
+  matches_total_.inc(matched.size());
+  if (!matched.empty()) {
+    if (meter_) meter_(r.key, matched.size());
+    if (match_us_.valid() && sink_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (const auto* q : matched) sink_(*q, r);
+      const auto us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      match_us_.record(std::uint64_t(us));
+      return matched.size();
+    }
+  }
   if (sink_) {
     for (const auto* q : matched) sink_(*q, r);
   }

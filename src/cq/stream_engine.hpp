@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cq/query_index.hpp"
+#include "obs/hub.hpp"
 
 namespace clash::cq {
 
@@ -27,6 +28,14 @@ class StreamEngine {
   /// Process one record: evaluates it against the stored queries and
   /// fires the sink per match. Returns the match count.
   std::size_t process(const Record& r);
+
+  /// Attach observability: records/matches counters and (when a record
+  /// fires at least one match) a match-evaluation histogram + trace
+  /// span. `meter` additionally receives (key, matches) per firing
+  /// record — cq::EngineHooks routes it into the owning server's
+  /// per-group cost vector.
+  using MatchMeter = std::function<void(const Key&, std::size_t)>;
+  void set_obs(obs::Hub* hub, std::uint64_t node, MatchMeter meter = {});
 
   /// Extract the queries belonging to `group` for migration to another
   /// server (CLASH split), removing them locally.
@@ -73,6 +82,13 @@ class StreamEngine {
   MatchSink sink_;
   std::uint64_t records_processed_ = 0;
   std::uint64_t matches_fired_ = 0;
+
+  obs::Hub* hub_ = nullptr;
+  std::uint64_t node_ = 0;
+  MatchMeter meter_;
+  obs::Counter records_total_;
+  obs::Counter matches_total_;
+  obs::HistogramHandle match_us_;
 };
 
 }  // namespace clash::cq

@@ -23,7 +23,11 @@ void MembershipDriver::send(ServerId to, GossipKind kind,
 void MembershipDriver::drain_view_events() {
   for (const ServerId id : view_.take_died()) {
     detector_.forget(id);
-    suspected_at_.erase(id);
+    if (const auto it = suspected_at_.find(id);
+        it != suspected_at_.end()) {
+      detect_periods_.record(period_ - it->second);
+      suspected_at_.erase(it);
+    }
     env_.on_member_dead(id);
   }
   for (const ServerId id : view_.take_joined()) {

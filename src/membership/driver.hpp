@@ -12,6 +12,7 @@
 #include "clash/messages.hpp"
 #include "membership/detector.hpp"
 #include "membership/view.hpp"
+#include "obs/hub.hpp"
 
 namespace clash::membership {
 
@@ -61,6 +62,16 @@ class MembershipDriver {
   [[nodiscard]] const MembershipView& view() const { return view_; }
   [[nodiscard]] std::uint64_t periods() const { return period_; }
 
+  /// Attach observability: suspicion-to-death latency (in protocol
+  /// periods — the SWIM half of the detect->promote failover path)
+  /// feeds clash_membership_detect_periods.
+  void set_obs(obs::Hub* hub) {
+    detect_periods_ = hub == nullptr
+                          ? obs::HistogramHandle{}
+                          : hub->registry.histogram(
+                                "clash_membership_detect_periods");
+  }
+
  private:
   void send(ServerId to, GossipKind kind, std::uint64_t sequence,
             ServerId target);
@@ -86,6 +97,7 @@ class MembershipDriver {
   std::uint64_t next_relay_sequence_ = 1;
   std::map<std::uint64_t, Relay> relays_;          // relay seq -> origin
   std::map<ServerId, std::uint64_t> suspected_at_;  // member -> period
+  obs::HistogramHandle detect_periods_;
 };
 
 }  // namespace clash::membership

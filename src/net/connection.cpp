@@ -54,6 +54,23 @@ void Connection::register_with_loop() {
   });
 }
 
+void Connection::set_obs(obs::Hub* hub) {
+  if (hub == nullptr) {
+    frames_sent_c_ = {};
+    bytes_sent_c_ = {};
+    flush_syscalls_c_ = {};
+    frames_received_c_ = {};
+    bytes_received_c_ = {};
+    return;
+  }
+  auto& r = hub->registry;
+  frames_sent_c_ = r.counter("clash_net_frames_sent_total");
+  bytes_sent_c_ = r.counter("clash_net_bytes_sent_total");
+  flush_syscalls_c_ = r.counter("clash_net_flush_syscalls_total");
+  frames_received_c_ = r.counter("clash_net_frames_received_total");
+  bytes_received_c_ = r.counter("clash_net_bytes_received_total");
+}
+
 void Connection::on_events(std::uint32_t events) {
   if (events & (EPOLLERR | EPOLLHUP)) {
     close();
@@ -73,6 +90,7 @@ void Connection::handle_readable() {
     if (n > 0) {
       in_end_ += std::size_t(n);
       stats_.bytes_received += std::uint64_t(n);
+      bytes_received_c_.inc(std::uint64_t(n));
       continue;
     }
     if (n == 0) {
@@ -99,6 +117,7 @@ void Connection::parse_frames() {
     }
     if (in_end_ - in_pos_ - 4 < len) break;  // incomplete
     ++stats_.frames_received;
+    frames_received_c_.inc();
     on_frame_(std::span<const std::uint8_t>(in_.data() + in_pos_ + 4, len));
     if (closed()) return;  // handler may close
     in_pos_ += 4 + len;
@@ -227,6 +246,7 @@ void Connection::schedule_reordered(std::vector<std::uint8_t>&& frame,
 bool Connection::enqueue_now(std::vector<std::uint8_t>&& frame) {
   out_q_.push_back(std::move(frame));
   ++stats_.frames_sent;
+  frames_sent_c_.inc();
   // One flush per tick: the first frame schedules it; later sends in
   // the same tick ride along. When EPOLLOUT is armed the kernel
   // buffer is full — the readiness callback will flush instead.
@@ -258,6 +278,7 @@ void Connection::flush() {
     }
     const ssize_t n = ::writev(fd_.get(), iov.data(), int(niov));
     ++stats_.flush_syscalls;
+    flush_syscalls_c_.inc();
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -267,6 +288,7 @@ void Connection::flush() {
       return;
     }
     stats_.bytes_sent += std::uint64_t(n);
+    bytes_sent_c_.inc(std::uint64_t(n));
     std::size_t consumed = std::size_t(n);
     while (consumed > 0) {
       auto& head = out_q_.front();

@@ -20,6 +20,7 @@
 #include "net/event_loop.hpp"
 #include "net/fault.hpp"
 #include "net/socket.hpp"
+#include "obs/hub.hpp"
 
 namespace clash::net {
 
@@ -82,6 +83,13 @@ class Connection : public std::enable_shared_from_this<Connection> {
     fault_ = std::move(injector);
   }
 
+  /// Mirror the transport counters into a metrics registry: every
+  /// connection wired to the same hub shares the clash_net_* series
+  /// (counters are get-or-created by name), so the node's totals sum
+  /// across peers with no aggregation step. nullptr detaches — the
+  /// handles go empty and the hot path pays only a null check.
+  void set_obs(obs::Hub* hub);
+
   /// Called (loop thread) whenever a flush fully drains the outbound
   /// queue after backpressure — the resume signal for paced senders
   /// (snapshot-chunk flow control).
@@ -142,6 +150,13 @@ class Connection : public std::enable_shared_from_this<Connection> {
   bool want_write_ = false;
 
   Stats stats_;
+
+  // Registry mirrors of the hot-path Stats fields (empty = detached).
+  obs::Counter frames_sent_c_;
+  obs::Counter bytes_sent_c_;
+  obs::Counter flush_syscalls_c_;
+  obs::Counter frames_received_c_;
+  obs::Counter bytes_received_c_;
 };
 
 }  // namespace clash::net

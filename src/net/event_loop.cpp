@@ -136,16 +136,38 @@ void EventLoop::rearm() {
   exited_.store(false, std::memory_order_release);
 }
 
+void EventLoop::note_tick(Clock::time_point start) {
+  const auto dur = std::chrono::duration_cast<std::chrono::microseconds>(
+                       Clock::now() - start)
+                       .count();
+  tick_hist_->record(std::uint64_t(dur));
+  // Only pathologically slow rounds earn a timeline entry; at normal
+  // cadence they would just churn the trace ring.
+  if (dur >= 1000 && tracer_ != nullptr) {
+    const auto start_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            start.time_since_epoch())
+            .count();
+    tracer_->record(obs::SpanKind::kLoopTick, obs_pid_, SimTime(start_us),
+                    SimDuration(dur));
+  }
+}
+
 void EventLoop::run() {
   rearm();
   running_ = true;
   epoll_event events[64];
+  auto tick_start = Clock::now();
   while (!stop_requested_) {
     drain_posted();
     fire_due_timers();
     run_deferred();
+    // The round is over once the loop is about to sleep again; the
+    // wait itself is idle time, not tick time.
+    if (tick_hist_ != nullptr) note_tick(tick_start);
     const int n =
         ::epoll_wait(epoll_fd_, events, 64, next_timeout_ms());
+    tick_start = Clock::now();
     if (n < 0) {
       if (errno == EINTR) continue;
       CLASH_ERROR << "epoll_wait: " << std::strerror(errno);

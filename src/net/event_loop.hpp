@@ -13,6 +13,9 @@
 #include <queue>
 #include <vector>
 
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
+
 namespace clash::net {
 
 class EventLoop {
@@ -61,6 +64,18 @@ class EventLoop {
   /// window are spuriously refused against the stale latches.
   void rearm();
 
+  /// Attach tick observability (call before run()). Every dispatch
+  /// round — from an epoll_wait wakeup to the next wait, idle time
+  /// excluded — records its duration into `tick_hist`; rounds of 1ms
+  /// or longer also land a kLoopTick span in `tracer` (when enabled).
+  /// Timestamps are steady-clock microseconds. Null pointers detach.
+  void set_obs(obs::Histogram* tick_hist, obs::TraceRecorder* tracer,
+               std::uint64_t pid) {
+    tick_hist_ = tick_hist;
+    tracer_ = tracer;
+    obs_pid_ = pid;
+  }
+
   [[nodiscard]] bool running() const { return running_; }
   /// True once run() has returned, i.e. the loop thread executes no
   /// further tasks. post() starts failing slightly before this (during
@@ -81,6 +96,7 @@ class EventLoop {
 
   void drain_posted();
   void run_deferred();
+  void note_tick(Clock::time_point start);
   void fire_due_timers();
   [[nodiscard]] int next_timeout_ms() const;
   void wake();
@@ -100,8 +116,12 @@ class EventLoop {
   bool finished_ = false;  // guarded by posted_mutex_
   std::atomic<bool> exited_{false};
 
-  volatile bool running_ = false;
-  volatile bool stop_requested_ = false;
+  obs::Histogram* tick_hist_ = nullptr;
+  obs::TraceRecorder* tracer_ = nullptr;
+  std::uint64_t obs_pid_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
 };
 
 }  // namespace clash::net

@@ -1,6 +1,7 @@
 #include "net/node.hpp"
 
 #include <sys/epoll.h>
+#include <unistd.h>
 
 #include <cstring>
 #include <stdexcept>
@@ -70,6 +71,8 @@ class ClashNode::Env final : public ServerEnv {
     node_.loop_->defer(std::move(fn));
   }
 
+  [[nodiscard]] obs::Hub& obs() override { return node_.hub_; }
+
  private:
   ClashNode& node_;
 };
@@ -113,6 +116,7 @@ ClashNode::ClashNode(NodeConfig config) : config_(std::move(config)) {
         std::make_unique<storage::FileBackend>(config_.storage_dir);
     store_ = std::make_unique<storage::NodeStore>(
         *storage_backend_, storage::NodeStore::Config::from(config_.clash));
+    store_->set_obs(&hub_, config_.id.value);
     server_->set_storage(store_.get());
   }
   if (config_.enable_membership) {
@@ -121,7 +125,11 @@ ClashNode::ClashNode(NodeConfig config) : config_(std::move(config)) {
         config_.id, config_.membership, *gossip_env_,
         config_.id.value * 0x9e3779b97f4a7c15ULL + config_.ring_salt);
     for (const auto& [id, _] : config_.members) membership_->add_seed(id);
+    membership_->set_obs(&hub_);
   }
+  loop_->set_obs(hub_.registry.histogram("clash_loop_tick_usec").raw(),
+                 &hub_.tracer, config_.id.value);
+  register_node_gauges();
   epoch_ = std::chrono::steady_clock::now();
 }
 
@@ -150,6 +158,7 @@ void ClashNode::start() {
 
   loop_->add_fd(listener_.get(), EPOLLIN,
                 [this](std::uint32_t) { on_listener_ready(); });
+  if (config_.stats_port >= 0) start_stats_listener();
   if (store_ != nullptr && !recovered_) recover_from_storage();
   schedule_load_check();
   if (membership_ != nullptr) schedule_membership_tick();
@@ -172,6 +181,10 @@ void ClashNode::stop() {
   peers_.clear();
   connecting_.clear();
   inbound_.clear();
+  for (const auto& [fd, _] : stats_clients_) loop_->remove_fd(fd);
+  stats_clients_.clear();
+  stats_listener_.reset();
+  stats_port_ = 0;
   listener_.reset();
 }
 
@@ -332,6 +345,136 @@ void ClashNode::on_listener_ready() {
   }
 }
 
+void ClashNode::register_node_gauges() {
+  // Callbacks are evaluated at scrape time only, and every scrape of
+  // this hub runs on the loop thread (the endpoint handler and
+  // scrape_text() both route there), so reading loop-owned state
+  // needs no locks.
+  auto& r = hub_.registry;
+  r.gauge_callback("clash_node_peer_connections",
+                   [this] { return double(peers_.size()); });
+  r.gauge_callback("clash_node_send_queue_bytes", [this] {
+    std::size_t total = 0;
+    for (const auto& [_, conn] : peers_) {
+      if (!conn->closed()) total += conn->send_queue_bytes();
+    }
+    return double(total);
+  });
+  r.gauge_callback("clash_node_active_groups", [this] {
+    return double(server_->table().active_count());
+  });
+  r.gauge_callback("clash_node_replica_records", [this] {
+    return double(server_->replica_count());
+  });
+  r.gauge_callback("clash_node_ring_servers",
+                   [this] { return double(ring_->server_count()); });
+  // One gauge per MessageStats field, straight off the X-macro list:
+  // the field reference aims at the server's live stats_ member, which
+  // outlives every scrape (reset_stats() assigns in place).
+  server_->stats().for_each_named(
+      [&](const char* name, const std::uint64_t& field) {
+        const std::uint64_t* ptr = &field;
+        r.gauge_callback(std::string("clash_msgs_") + name,
+                         [ptr] { return double(*ptr); });
+      });
+}
+
+void ClashNode::start_stats_listener() {
+  auto listener = listen_tcp(
+      Endpoint{config_.listen.host, std::uint16_t(config_.stats_port)});
+  if (!listener.ok()) {
+    throw std::runtime_error("stats endpoint listen failed: " +
+                             listener.error().message);
+  }
+  stats_listener_ = std::move(listener).value();
+  const auto port = bound_port(stats_listener_);
+  if (!port.ok()) throw std::runtime_error(port.error().message);
+  stats_port_ = port.value();
+  loop_->add_fd(stats_listener_.get(), EPOLLIN,
+                [this](std::uint32_t) { on_stats_ready(); });
+  CLASH_INFO << to_string(config_.id) << ": stats endpoint on "
+             << config_.listen.host << ":" << stats_port_;
+}
+
+void ClashNode::on_stats_ready() {
+  for (;;) {
+    auto fd = accept_tcp(stats_listener_);
+    if (!fd.ok()) break;
+    Fd client = std::move(fd).value();
+    set_nonblocking(client);
+    const int raw = client.get();
+    stats_clients_[raw].fd = std::move(client);
+    loop_->add_fd(raw, EPOLLIN, [this, raw](std::uint32_t events) {
+      on_stats_client(raw, events);
+    });
+  }
+}
+
+void ClashNode::on_stats_client(int fd, std::uint32_t events) {
+  const auto it = stats_clients_.find(fd);
+  if (it == stats_clients_.end()) return;
+  StatsClient& client = it->second;
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    close_stats_client(fd);
+    return;
+  }
+  if ((events & EPOLLIN) && client.out.empty()) {
+    char buf[1024];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        client.in.append(buf, std::size_t(n));
+        continue;
+      }
+      if (n == 0) {
+        close_stats_client(fd);
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_stats_client(fd);
+      return;
+    }
+    // The endpoint serves exactly one document, so any complete
+    // request line is good enough — respond at the first newline
+    // (HTTP clients and bare `nc` alike), or give up past 8 KiB.
+    if (client.in.find('\n') == std::string::npos &&
+        client.in.size() <= 8192) {
+      return;
+    }
+    const std::string body = hub_.registry.render_text();
+    client.out =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
+        body;
+  }
+  while (client.off < client.out.size()) {
+    const ssize_t n = ::write(fd, client.out.data() + client.off,
+                              client.out.size() - client.off);
+    if (n > 0) {
+      client.off += std::size_t(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      loop_->modify_fd(fd, EPOLLOUT);  // resume when writable
+      return;
+    }
+    close_stats_client(fd);
+    return;
+  }
+  if (!client.out.empty()) close_stats_client(fd);  // fully served
+}
+
+void ClashNode::close_stats_client(int fd) {
+  const auto it = stats_clients_.find(fd);
+  if (it == stats_clients_.end()) return;
+  loop_->remove_fd(fd);
+  stats_clients_.erase(it);  // Fd destructor closes the socket
+}
+
 void ClashNode::adopt_peer(Fd fd) {
   // Inbound connections serve requests and peer messages; they are
   // dropped from the roster when the peer closes.
@@ -348,6 +491,7 @@ void ClashNode::adopt_peer(Fd fd) {
         }
       });
   *conn_slot = conn;
+  conn->set_obs(&hub_);
   inbound_.push_back(conn);
 }
 
@@ -360,6 +504,7 @@ std::shared_ptr<Connection> ClashNode::adopt_outbound(ServerId to, Fd fd) {
       },
       [this, to] { peers_.erase(to); });
   *conn_slot = conn;
+  conn->set_obs(&hub_);
   // Resume paced snapshot transfers the moment the socket drains
   // instead of waiting for the next load check.
   conn->set_drain_handler([this] {

@@ -23,6 +23,7 @@
 #include "net/connection.hpp"
 #include "net/event_loop.hpp"
 #include "net/socket.hpp"
+#include "obs/hub.hpp"
 #include "storage/backend.hpp"
 #include "storage/store.hpp"
 
@@ -69,6 +70,11 @@ struct NodeConfig {
   /// the network, then reconciles only the divergent suffix with the
   /// surviving replica set.
   std::string storage_dir;
+  /// Live stats endpoint: serve the node's metrics registry as
+  /// Prometheus text exposition over plain HTTP, read-only, off the
+  /// existing event loop (no extra thread). -1 disables; 0 picks a
+  /// free port — read it back with ClashNode::stats_port().
+  int stats_port = -1;
 };
 
 class ClashNode {
@@ -119,6 +125,21 @@ class ClashNode {
     return store_.get();
   }
 
+  // --- Observability ---------------------------------------------------
+  /// This node's private metrics/trace hub: every layer the node hosts
+  /// (server, store, membership, loop, connections) records here, not
+  /// into the process-global hub, so co-located nodes in one test
+  /// process never mix their series. Scrapes and gauge callbacks run
+  /// on the loop thread; off-loop readers use scrape_text().
+  [[nodiscard]] obs::Hub& hub() { return hub_; }
+  /// Bound port of the stats endpoint (after start(); 0 when disabled).
+  [[nodiscard]] std::uint16_t stats_port() const { return stats_port_; }
+  /// Render the registry's text exposition on the loop thread — the
+  /// same document the stats endpoint serves (thread-safe).
+  [[nodiscard]] std::string scrape_text() {
+    return call_on_loop([&] { return hub_.registry.render_text(); });
+  }
+
   // --- Link-fault injection (thread-safe) -----------------------------
   /// Attach or reconfigure a deterministic FaultInjector on the
   /// outbound link to `peer`: applied to the live connection (if any)
@@ -164,8 +185,22 @@ class ClashNode {
   /// dropped (SWIM retransmits, requests time out and retry).
   static constexpr std::size_t kMaxQueuedPerConnect = 128;
 
+  /// One in-flight stats-endpoint request: accumulated request bytes,
+  /// then the rendered response draining through partial writes.
+  struct StatsClient {
+    Fd fd;
+    std::string in;
+    std::string out;
+    std::size_t off = 0;
+  };
+
   void loop_main();
   void on_listener_ready();
+  void start_stats_listener();
+  void on_stats_ready();
+  void on_stats_client(int fd, std::uint32_t events);
+  void close_stats_client(int fd);
+  void register_node_gauges();
   void adopt_peer(Fd fd);
   void handle_frame(const std::shared_ptr<Connection>& conn,
                     std::span<const std::uint8_t> frame);
@@ -185,6 +220,9 @@ class ClashNode {
   void recover_from_storage();
 
   NodeConfig config_;
+  /// Declared before env_/server_: the Env's obs() override hands this
+  /// hub to the ClashServer constructor.
+  obs::Hub hub_;
   std::unique_ptr<EventLoop> loop_;
   std::unique_ptr<dht::ChordRing> ring_;
   std::unique_ptr<Env> env_;
@@ -197,6 +235,9 @@ class ClashNode {
 
   Fd listener_;
   std::uint16_t port_ = 0;
+  Fd stats_listener_;
+  std::uint16_t stats_port_ = 0;
+  std::map<int, StatsClient> stats_clients_;
   std::map<ServerId, std::shared_ptr<Connection>> peers_;
   std::map<ServerId, std::shared_ptr<FaultInjector>> link_faults_;
   std::map<ServerId, PendingConnect> connecting_;

@@ -1,0 +1,45 @@
+#include "obs/expose.hpp"
+
+#include <cstdlib>
+
+namespace clash::obs {
+
+std::map<std::string, double> parse_exposition(std::string_view text) {
+  std::map<std::string, double> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    if (line.empty() || line.front() == '#') continue;
+    // Series name runs to the last space; labels (if any) are part of
+    // the series key: name{quantile="0.5"} 123.
+    std::size_t sp = line.rfind(' ');
+    if (sp == std::string_view::npos || sp == 0) continue;
+    std::string name(line.substr(0, sp));
+    std::string val(line.substr(sp + 1));
+    char* end = nullptr;
+    double v = std::strtod(val.c_str(), &end);
+    if (end == val.c_str()) continue;
+    out[name] = v;
+  }
+  return out;
+}
+
+bool maybe_embed_metrics(const ArgParser& args, std::string& json,
+                         const Registry& reg) {
+  if (!args.get_bool("metrics-json", false)) return false;
+  // Splice before the artifact's closing brace. Benches emit a single
+  // top-level object ending in "}\n" (or "}").
+  std::size_t close = json.rfind('}');
+  if (close == std::string::npos) return false;
+  std::string insert = ",\n  \"schema\": 2,\n  \"metrics\": ";
+  insert += reg.render_json(4);
+  insert += "\n";
+  json.insert(close, insert);
+  return true;
+}
+
+}  // namespace clash::obs

@@ -1,0 +1,31 @@
+// Exposition helpers: the parser for the Prometheus-style text format
+// Registry::render_text() emits (used by the registry tests and the
+// ClashNode stats-endpoint round-trip test), and the bench-artifact
+// hook that embeds a registry's histogram summaries into a JSON
+// artifact under a versioned "schema": 2 key when the bench was run
+// with --metrics-json.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/argparse.hpp"
+#include "obs/registry.hpp"
+
+namespace clash::obs {
+
+/// Parse a text exposition back into {series -> value}. Histogram
+/// summaries expand into "name{quantile=\"0.5\"}", "name_sum",
+/// "name_count" entries; comment lines ("# TYPE ...") are skipped.
+[[nodiscard]] std::map<std::string, double> parse_exposition(
+    std::string_view text);
+
+/// When `args` carries --metrics-json, rewrite `json` (a complete JSON
+/// object) so its top level gains  "schema": 2  and a "metrics"
+/// section rendered from `reg`. Returns true when the section was
+/// embedded.
+bool maybe_embed_metrics(const ArgParser& args, std::string& json,
+                         const Registry& reg);
+
+}  // namespace clash::obs

@@ -1,0 +1,67 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+
+namespace clash::obs {
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  std::uint64_t mn = min_.load(std::memory_order_relaxed);
+  s.min = (mn == ~0ull) ? 0 : mn;
+  s.max = max_.load(std::memory_order_relaxed);
+  s.buckets.resize(kBuckets);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Snapshot::merge(const Snapshot& o) {
+  if (o.count == 0) return;
+  if (count == 0) {
+    *this = o;
+    return;
+  }
+  count += o.count;
+  sum += o.sum;
+  min = std::min(min, o.min);
+  max = std::max(max, o.max);
+  if (buckets.empty()) buckets.resize(kBuckets);
+  for (std::size_t i = 0; i < kBuckets && i < o.buckets.size(); ++i) {
+    buckets[i] += o.buckets[i];
+  }
+}
+
+double Histogram::Snapshot::percentile(double p) const {
+  if (count == 0 || buckets.empty()) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target observation, 1-based.
+  double rank = p / 100.0 * double(count);
+  if (rank < 1.0) rank = 1.0;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    std::uint64_t next = cum + buckets[i];
+    if (double(next) >= rank) {
+      double lo = double(bucket_lo(i));
+      double hi = double(bucket_hi(i));
+      double frac = (rank - double(cum)) / double(buckets[i]);
+      double v = lo + (hi - lo) * frac;
+      return std::clamp(v, double(min), double(max));
+    }
+    cum = next;
+  }
+  return double(max);
+}
+
+}  // namespace clash::obs

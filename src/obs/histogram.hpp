@@ -1,0 +1,115 @@
+// obs::Histogram: a log-linear (HdrHistogram-style) latency histogram.
+// Values 0..2^5 land in width-1 buckets; each octave [2^e, 2^{e+1})
+// above that is split into 16 linear sub-buckets, so the relative
+// quantisation error is bounded by 2^{1-kSubBits} ~ 6.25%. Recording is
+// one bit-scan plus a relaxed atomic increment — cheap enough for the
+// transport hot path — and concurrent record/scrape is data-race free
+// by construction (every cell is an atomic). Snapshots merge, so
+// per-node histograms aggregate into cluster-wide ones.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace clash::obs {
+
+class Histogram {
+ public:
+  /// Sub-bucket resolution: 2^kSubBits width-1 buckets below the first
+  /// octave, 2^kSubBits / 2 linear sub-buckets per octave above.
+  static constexpr unsigned kSubBits = 5;
+  static constexpr std::uint64_t kSub = 1ull << kSubBits;
+  /// Largest representable exponent: values >= 2^kMaxExp usec (~52
+  /// days) collapse into the single overflow bucket.
+  static constexpr unsigned kMaxExp = 42;
+  static constexpr std::size_t kBuckets =
+      kSub + (kMaxExp - kSubBits) * (kSub / 2) + 1;
+
+  /// Bucket holding `v`; the last index is the overflow bucket.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t v) {
+    if (v < kSub) return std::size_t(v);
+    unsigned e = 63u - unsigned(__builtin_clzll(v));
+    if (e >= kMaxExp) return kBuckets - 1;
+    std::uint64_t offset = (v - (1ull << e)) >> (e - kSubBits + 1);
+    return kSub + std::size_t(e - kSubBits) * (kSub / 2) +
+           std::size_t(offset);
+  }
+  /// Inclusive lower bound of bucket `idx`.
+  [[nodiscard]] static std::uint64_t bucket_lo(std::size_t idx) {
+    if (idx < kSub) return idx;
+    if (idx >= kBuckets - 1) return 1ull << kMaxExp;
+    std::size_t j = idx - kSub;
+    unsigned e = kSubBits + unsigned(j / (kSub / 2));
+    std::uint64_t off = j % (kSub / 2);
+    return (1ull << e) + off * (1ull << (e - kSubBits + 1));
+  }
+  /// Exclusive upper bound of bucket `idx`.
+  [[nodiscard]] static std::uint64_t bucket_hi(std::size_t idx) {
+    if (idx >= kBuckets - 1) return ~0ull;
+    return bucket_lo(idx + 1);
+  }
+
+  /// Point-in-time copy of a histogram; plain data, mergeable.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::vector<std::uint64_t> buckets;  // kBuckets wide (or empty)
+
+    void merge(const Snapshot& o);
+    /// Linear interpolation inside the bucket holding the p-th
+    /// percentile rank (p in [0, 100]); clamped to [min, max].
+    [[nodiscard]] double percentile(double p) const;
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : double(sum) / double(count);
+    }
+  };
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    update_min(v);
+    update_max(v);
+  }
+  /// Negative durations (clock skew, sim-time reuse) clamp to zero
+  /// rather than wrapping to 2^64.
+  void record_signed(std::int64_t v) {
+    record(v > 0 ? std::uint64_t(v) : 0u);
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] Snapshot snapshot() const;
+  void reset();
+
+ private:
+  void update_min(std::uint64_t v) {
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void update_max(std::uint64_t v) {
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ull};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace clash::obs

@@ -1,0 +1,24 @@
+// obs::Hub: one metrics registry + one trace recorder — the unit of
+// observability a ServerEnv hands the protocol code. The sim substrate
+// and benches share the process-global hub; each net::ClashNode owns a
+// private one so scrapes stay per-node in multi-node processes (and
+// the stats endpoint serves exactly its node's view).
+#pragma once
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace clash::obs {
+
+struct Hub {
+  Registry registry;
+  TraceRecorder tracer;
+
+  static Hub& global() {
+    static Hub* h = new Hub();  // never destroyed: instrumented code
+                                // may record during static teardown
+    return *h;
+  }
+};
+
+}  // namespace clash::obs

@@ -1,0 +1,201 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+namespace clash::obs {
+
+namespace detail {
+
+std::size_t CounterCell::my_stripe() {
+  // Thread ids are opaque; hash them onto a stripe once per thread.
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+         kStripes;
+}
+
+}  // namespace detail
+
+Counter Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<detail::CounterCell>())
+             .first;
+  }
+  return Counter(it->second.get());
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::make_unique<detail::GaugeCell>())
+             .first;
+  }
+  return Gauge(it->second.get());
+}
+
+HistogramHandle Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return HistogramHandle(it->second.get());
+}
+
+void Registry::gauge_callback(std::string_view name,
+                              std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_[std::string(name)] = std::move(fn);
+}
+
+std::vector<Registry::MetricValue> Registry::scrape() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricValue> out;
+  out.reserve(counters_.size() + gauges_.size() + callbacks_.size() +
+              hists_.size());
+  for (const auto& [name, cell] : counters_) {
+    MetricValue m;
+    m.name = name;
+    m.kind = MetricValue::Kind::kCounter;
+    m.value = double(cell->value());
+    out.push_back(std::move(m));
+  }
+  for (const auto& [name, cell] : gauges_) {
+    MetricValue m;
+    m.name = name;
+    m.kind = MetricValue::Kind::kGauge;
+    m.value = double(cell->v.load(std::memory_order_relaxed));
+    out.push_back(std::move(m));
+  }
+  for (const auto& [name, fn] : callbacks_) {
+    MetricValue m;
+    m.name = name;
+    m.kind = MetricValue::Kind::kGauge;
+    m.value = fn();
+    out.push_back(std::move(m));
+  }
+  for (const auto& [name, h] : hists_) {
+    MetricValue m;
+    m.name = name;
+    m.kind = MetricValue::Kind::kHistogram;
+    m.hist = h->snapshot();
+    out.push_back(std::move(m));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+namespace {
+
+std::string fmt_double(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, std::int64_t(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Registry::render_text() const {
+  auto metrics = scrape();
+  std::string out;
+  out.reserve(metrics.size() * 64);
+  for (const auto& m : metrics) {
+    switch (m.kind) {
+      case MetricValue::Kind::kCounter:
+        out += "# TYPE " + m.name + " counter\n";
+        out += m.name + " " + fmt_double(m.value) + "\n";
+        break;
+      case MetricValue::Kind::kGauge:
+        out += "# TYPE " + m.name + " gauge\n";
+        out += m.name + " " + fmt_double(m.value) + "\n";
+        break;
+      case MetricValue::Kind::kHistogram: {
+        out += "# TYPE " + m.name + " summary\n";
+        const auto& h = m.hist;
+        for (double q : {0.5, 0.9, 0.99, 0.999}) {
+          out += m.name + "{quantile=\"" + fmt_double(q) + "\"} " +
+                 fmt_double(h.percentile(q * 100.0)) + "\n";
+        }
+        out += m.name + "_sum " + fmt_double(double(h.sum)) + "\n";
+        out += m.name + "_count " + fmt_double(double(h.count)) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::render_json(int indent) const {
+  auto metrics = scrape();
+  const std::string pad(std::size_t(indent), ' ');
+  const std::string pad2(std::size_t(indent) + 2, ' ');
+  std::string out = "{";
+  bool first = true;
+  for (const auto& m : metrics) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n" + pad + "\"" + m.name + "\": ";
+    if (m.kind == MetricValue::Kind::kHistogram) {
+      const auto& h = m.hist;
+      out += "{\n";
+      out += pad2 + "\"count\": " + fmt_double(double(h.count)) + ",\n";
+      out += pad2 + "\"min\": " + fmt_double(double(h.min)) + ",\n";
+      out += pad2 + "\"max\": " + fmt_double(double(h.max)) + ",\n";
+      out += pad2 + "\"mean\": " + fmt_double(h.mean()) + ",\n";
+      out += pad2 + "\"p50\": " + fmt_double(h.percentile(50)) + ",\n";
+      out += pad2 + "\"p90\": " + fmt_double(h.percentile(90)) + ",\n";
+      out += pad2 + "\"p99\": " + fmt_double(h.percentile(99)) + ",\n";
+      out += pad2 + "\"p999\": " + fmt_double(h.percentile(99.9)) + "\n";
+      out += pad + "}";
+    } else {
+      out += fmt_double(m.value);
+    }
+  }
+  out += "\n" + std::string(std::size_t(indent > 2 ? indent - 2 : 0), ' ') +
+         "}";
+  return out;
+}
+
+Histogram::Snapshot Registry::histogram_snapshot(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hists_.find(name);
+  if (it == hists_.end()) return {};
+  return it->second->snapshot();
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) return 0;
+  return it->second->value();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, cell] : counters_) cell->reset();
+  for (auto& [name, cell] : gauges_) {
+    cell->v.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : hists_) h->reset();
+}
+
+}  // namespace clash::obs

@@ -1,0 +1,170 @@
+// obs::Registry: named counters, gauges, and histograms with lock-free
+// hot paths. Counters are striped across cache-line-padded atomic
+// cells (threads hash to a stripe, so the transport loop never
+// contends with a scrape); gauges are single atomics or callbacks
+// evaluated at scrape time; histograms are obs::Histogram. Handles are
+// value types that may be empty (default-constructed), in which case
+// every operation is a no-op — instrumented code never null-checks.
+// Metrics are get-or-created by name, so two subsystems asking for the
+// same series share one cell and their recordings merge naturally.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace clash::obs {
+
+namespace detail {
+
+/// One striped counter: stripes are cache-line padded so concurrent
+/// writers on different threads do not false-share.
+struct CounterCell {
+  static constexpr std::size_t kStripes = 16;
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Stripe stripes[kStripes];
+
+  static std::size_t my_stripe();
+  void add(std::uint64_t n) {
+    static thread_local std::size_t slot = my_stripe();
+    stripes[slot].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : stripes) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void reset() {
+    for (auto& s : stripes) s.v.store(0, std::memory_order_relaxed);
+  }
+};
+
+struct GaugeCell {
+  std::atomic<std::int64_t> v{0};
+};
+
+}  // namespace detail
+
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) {
+    if (cell_ != nullptr) cell_->add(n);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return cell_ == nullptr ? 0 : cell_->value();
+  }
+  [[nodiscard]] bool valid() const { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Counter(detail::CounterCell* c) : cell_(c) {}
+  detail::CounterCell* cell_ = nullptr;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t v) {
+    if (cell_ != nullptr) cell_->v.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) {
+    if (cell_ != nullptr) cell_->v.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return cell_ == nullptr ? 0 : cell_->v.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool valid() const { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(detail::GaugeCell* c) : cell_(c) {}
+  detail::GaugeCell* cell_ = nullptr;
+};
+
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+  void record(std::uint64_t v) {
+    if (hist_ != nullptr) hist_->record(v);
+  }
+  void record_signed(std::int64_t v) {
+    if (hist_ != nullptr) hist_->record_signed(v);
+  }
+  [[nodiscard]] bool valid() const { return hist_ != nullptr; }
+  /// The underlying histogram (null for an empty handle); for direct
+  /// attachment to hot loops (EventLoop's tick timer).
+  [[nodiscard]] Histogram* raw() const { return hist_; }
+
+ private:
+  friend class Registry;
+  explicit HistogramHandle(Histogram* h) : hist_(h) {}
+  Histogram* hist_ = nullptr;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create by name. Handles stay valid for the registry's
+  /// lifetime (cells are never destroyed, only reset).
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  HistogramHandle histogram(std::string_view name);
+  /// A gauge computed at scrape time. Replaces any previous callback
+  /// under the same name. The callback must be safe to run on whatever
+  /// thread scrapes (ClashNode scrapes on its event loop only).
+  void gauge_callback(std::string_view name, std::function<double()> fn);
+
+  /// One scraped metric; exactly one of value / hist is meaningful.
+  struct MetricValue {
+    enum class Kind { kCounter, kGauge, kHistogram };
+    std::string name;
+    Kind kind = Kind::kCounter;
+    double value = 0;
+    Histogram::Snapshot hist;
+  };
+  /// Point-in-time view of every metric, sorted by name.
+  [[nodiscard]] std::vector<MetricValue> scrape() const;
+
+  /// Prometheus-style text exposition (counters/gauges as-is,
+  /// histograms as summaries with quantile labels).
+  [[nodiscard]] std::string render_text() const;
+  /// JSON object {"name": value | {count,min,max,mean,p50,...}} for
+  /// embedding into bench artifacts.
+  [[nodiscard]] std::string render_json(int indent = 2) const;
+
+  /// Snapshot of one histogram by name, if it exists and has samples.
+  [[nodiscard]] Histogram::Snapshot histogram_snapshot(
+      std::string_view name) const;
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  /// Zero every counter/gauge/histogram (callbacks are kept). For
+  /// benches that run several configurations in one process.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<detail::CounterCell>, std::less<>>
+      counters_;
+  std::map<std::string, std::unique_ptr<detail::GaugeCell>, std::less<>>
+      gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> hists_;
+  std::map<std::string, std::function<double()>, std::less<>> callbacks_;
+};
+
+}  // namespace clash::obs

@@ -1,0 +1,101 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace clash::obs {
+
+const char* span_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::kQueryMatch:
+      return "query_match";
+    case SpanKind::kCommit:
+      return "repl_commit";
+    case SpanKind::kFailover:
+      return "failover";
+    case SpanKind::kSnapshotTransfer:
+      return "snapshot_transfer";
+    case SpanKind::kWalFsync:
+      return "wal_fsync";
+    case SpanKind::kLoopTick:
+      return "loop_tick";
+    case SpanKind::kRecoveryScan:
+      return "recovery_scan";
+  }
+  return "span";
+}
+
+const char* span_category(SpanKind k) {
+  switch (k) {
+    case SpanKind::kQueryMatch:
+      return "cq";
+    case SpanKind::kCommit:
+      return "repl";
+    case SpanKind::kFailover:
+      return "repl";
+    case SpanKind::kSnapshotTransfer:
+      return "repl";
+    case SpanKind::kWalFsync:
+      return "storage";
+    case SpanKind::kLoopTick:
+      return "net";
+    case SpanKind::kRecoveryScan:
+      return "storage";
+  }
+  return "obs";
+}
+
+std::vector<Span> TraceRecorder::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next_ <= ring_.size()) return ring_;
+  // Ring wrapped: oldest surviving span sits at the write cursor.
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  std::size_t head = next_ % capacity_;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head + i) % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_ <= capacity_ ? 0 : next_ - capacity_;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  auto all = spans();
+  std::stable_sort(all.begin(), all.end(), [](const Span& a, const Span& b) {
+    return a.start_us < b.start_us;
+  });
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& s : all) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    out += span_name(s.kind);
+    out += "\",\"cat\":\"";
+    out += span_category(s.kind);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(s.start_us);
+    out += ",\"dur\":";
+    out += std::to_string(s.dur_us);
+    out += ",\"pid\":";
+    out += std::to_string(s.pid);
+    out += ",\"tid\":";
+    out += std::to_string(unsigned(s.kind));
+    out += ",\"args\":{\"arg\":";
+    out += std::to_string(s.arg);
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace clash::obs

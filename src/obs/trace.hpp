@@ -1,0 +1,84 @@
+// obs::TraceRecorder: a bounded ring of typed spans exported as Chrome
+// trace_event JSON (load in chrome://tracing or ui.perfetto.dev).
+// Recording is off by default and gated by one atomic load, so
+// instrumented code calls record() unconditionally; when the ring
+// fills, the oldest spans are overwritten (dropped() reports how
+// many). Timestamps are whatever clock the caller passes — sim time in
+// SimCluster, wall microseconds in net::ClashNode — the export is
+// agnostic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace clash::obs {
+
+enum class SpanKind : std::uint8_t {
+  kQueryMatch,        // cq engine: one process() batch that fired matches
+  kCommit,            // repl: ReplAppend send -> first ok ReplAck
+  kFailover,          // recovery session open -> replica promoted
+  kSnapshotTransfer,  // snapshot offer accepted -> image installed
+  kWalFsync,          // storage: one fsync of the WAL
+  kLoopTick,          // net: one slow event-loop dispatch round
+  kRecoveryScan,      // storage: crash-recovery scan at startup
+};
+
+[[nodiscard]] const char* span_name(SpanKind k);
+[[nodiscard]] const char* span_category(SpanKind k);
+
+struct Span {
+  SpanKind kind = SpanKind::kCommit;
+  std::uint64_t pid = 0;       // server/node id
+  std::int64_t start_us = 0;   // caller's clock
+  std::int64_t dur_us = 0;
+  std::uint64_t arg = 0;       // kind-specific (group bits, bytes, seq)
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 16384)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void record(SpanKind kind, std::uint64_t pid, SimTime start,
+              SimDuration dur, std::uint64_t arg = 0) {
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    Span s{kind, pid, start.usec, dur.usec < 0 ? 0 : dur.usec, arg};
+    if (ring_.size() < capacity_) {
+      ring_.push_back(s);
+    } else {
+      ring_[next_ % capacity_] = s;
+    }
+    ++next_;
+  }
+
+  [[nodiscard]] std::vector<Span> spans() const;
+  /// Spans overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+  void clear();
+
+  /// {"traceEvents": [...]} — complete "X" (duration) events, one
+  /// track per (pid, span kind).
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<Span> ring_;
+  std::uint64_t next_ = 0;  // total spans ever recorded
+};
+
+}  // namespace clash::obs

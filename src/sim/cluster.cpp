@@ -144,6 +144,9 @@ SimCluster::SimCluster(Config config)
   servers_.reserve(config_.num_servers);
   server_envs_.reserve(config_.num_servers);
   alive_.assign(config_.num_servers, true);
+  crash_time_.assign(config_.num_servers, SimTime{-1});
+  failover_detect_us_ =
+      obs::Hub::global().registry.histogram("clash_failover_detect_usec");
   const bool durable =
       config_.clash.durability_mode != ClashConfig::DurabilityMode::kNone;
   for (std::size_t i = 0; i < config_.num_servers; ++i) {
@@ -157,6 +160,7 @@ SimCluster::SimCluster(Config config)
       stores_.push_back(std::make_unique<storage::NodeStore>(
           *backends_.back(),
           storage::NodeStore::Config::from(config_.clash)));
+      stores_.back()->set_obs(&obs::Hub::global(), i);
       servers_.back()->set_storage(stores_.back().get());
     }
   }
@@ -249,11 +253,19 @@ void SimCluster::crash_server(ServerId id) {
   if (alive_[id.value] && id.value < backends_.size()) {
     backends_[id.value]->crash();
   }
+  if (alive_[id.value]) crash_time_[id.value] = now_;
   alive_[id.value] = false;
 }
 
 std::size_t SimCluster::evict_server(ServerId id) {
   if (is_alive(id) || !ring_.contains(id)) return 0;
+  // The detection window closes here: survivors converged on the
+  // death. Under fail_server (oracle detection) the gap is zero; a
+  // staged crash -> set_now -> evict sequence measures the real one.
+  if (crash_time_[id.value].usec >= 0) {
+    failover_detect_us_.record_signed((now_ - crash_time_[id.value]).usec);
+    crash_time_[id.value] = SimTime{-1};
+  }
   ring_.remove_server(id);
 
   // The groups the dead server actively owned, per the owner index.
@@ -291,6 +303,7 @@ std::size_t SimCluster::retry_pending_failovers() {
 void SimCluster::restart_server(ServerId id) {
   if (id.value >= servers_.size() || is_alive(id)) return;
   alive_[id.value] = true;
+  crash_time_[id.value] = SimTime{-1};  // restart without eviction
   // The restarted process lost all protocol state: fresh server, and
   // any groups still indexed to it fail over like an eviction (usually
   // none — eviction normally precedes a restart).
@@ -306,6 +319,7 @@ void SimCluster::restart_server(ServerId id) {
     // backend and restore the pre-crash groups as replica records.
     stores_[id.value] = std::make_unique<storage::NodeStore>(
         *backends_[id.value], storage::NodeStore::Config::from(config_.clash));
+    stores_[id.value]->set_obs(&obs::Hub::global(), id.value);
     servers_[id.value]->set_storage(stores_[id.value].get());
     servers_[id.value]->restore_from_storage();
   }

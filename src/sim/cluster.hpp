@@ -17,6 +17,7 @@
 #include "clash/server.hpp"
 #include "clash/stats.hpp"
 #include "dht/chord.hpp"
+#include "obs/hub.hpp"
 #include "sim/link_matrix.hpp"
 #include "storage/backend.hpp"
 #include "storage/store.hpp"
@@ -211,6 +212,11 @@ class SimCluster {
   std::unordered_map<KeyGroup, ServerId> owners_;
   std::vector<KeyGroup> pending_failover_;  // heir was dead at eviction
   std::vector<bool> alive_;
+  /// Sim-time of each server's crash (usec < 0 = none pending); the
+  /// crash -> evict gap is the detection window, recorded into
+  /// clash_failover_detect_usec when the eviction lands.
+  std::vector<SimTime> crash_time_;
+  obs::HistogramHandle failover_detect_us_;
   MessageStats stats_;
   LinkMatrix links_;
   DelaySink delay_sink_;

@@ -1,5 +1,6 @@
 #include "storage/store.hpp"
 
+#include <chrono>
 #include <limits>
 #include <utility>
 
@@ -9,6 +10,7 @@ namespace clash::storage {
 
 NodeStore::NodeStore(Backend& backend, Config cfg)
     : backend_(backend), cfg_(std::move(cfg)) {
+  const auto scan_start = std::chrono::steady_clock::now();
   // Sweep half-written snapshots a crash left behind (recovery ignores
   // them, but an unlinked tmp must not linger to confuse operators or
   // fill the disk).
@@ -18,6 +20,10 @@ NodeStore::NodeStore(Backend& backend, Config cfg)
     }
   }
   image_ = recover_image(backend_, cfg_.wal_dir, cfg_.snap_dir);
+  recovered_groups_ = image_.groups.size();
+  recovery_usec_ = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - scan_start)
+                       .count();
   recovery_stats_ = image_.stats;
   floors_ = image_.snapshot_floors;
   dropped_ = image_.dropped_epochs;
@@ -34,16 +40,32 @@ NodeStore::NodeStore(Backend& backend, Config cfg)
   if (cfg_.mode == ClashConfig::DurabilityMode::kWalSnapshot) truncate();
 }
 
-void NodeStore::append_op(const KeyGroup& group, repl::LogHead head,
-                          const repl::LogOp& op, SimTime now) {
+void NodeStore::set_obs(obs::Hub* hub, std::uint64_t node) {
+  hub_ = hub;
+  node_ = node;
+  if (hub_ == nullptr) {
+    fsync_us_ = obs::HistogramHandle{};
+    return;
+  }
+  fsync_us_ = hub_->registry.histogram("clash_wal_fsync_usec");
+  hub_->registry.gauge("clash_storage_recovery_usec").set(recovery_usec_);
+  hub_->tracer.record(obs::SpanKind::kRecoveryScan, node_, SimTime{0},
+                      SimDuration{recovery_usec_}, recovered_groups_);
+}
+
+std::uint64_t NodeStore::append_op(const KeyGroup& group, repl::LogHead head,
+                                   const repl::LogOp& op, SimTime now) {
+  const std::uint64_t before = wal_->stats().bytes;
   wal_->append_op(group, head, op);
   stats_.ops_appended++;
   maybe_sync(now);
+  return wal_->stats().bytes - before;
 }
 
-void NodeStore::write_snapshot(const SnapshotImage& img, bool checkpoint) {
+std::uint64_t NodeStore::write_snapshot(const SnapshotImage& img,
+                                        bool checkpoint) {
   if (checkpoint && cfg_.mode != ClashConfig::DurabilityMode::kWalSnapshot) {
-    return;  // kWal: the baseline anchors replay, the log keeps growing
+    return 0;  // kWal: the baseline anchors replay, the log keeps growing
   }
   const auto bytes = encode_snapshot(img);
   if (!backend_.write_file_atomic(snapshot_path(cfg_.snap_dir, img.group),
@@ -56,13 +78,14 @@ void NodeStore::write_snapshot(const SnapshotImage& img, bool checkpoint) {
     failed_snapshots_.insert(img.group);
     CLASH_ERROR << "snapshot write failed for " << img.group.label()
                 << " (will retry at the next load check)";
-    return;
+    return 0;
   }
   failed_snapshots_.erase(img.group);
   stats_.snapshots_written++;
   stats_.snapshot_bytes += bytes.size();
   floors_[img.group] = img.head;
   if (cfg_.mode == ClashConfig::DurabilityMode::kWalSnapshot) truncate();
+  return bytes.size();
 }
 
 void NodeStore::drop_group(const KeyGroup& group, std::uint64_t epoch,
@@ -74,7 +97,7 @@ void NodeStore::drop_group(const KeyGroup& group, std::uint64_t epoch,
   // An unsynced drop paired with the immediately-durable unlink below
   // would let a crash resurrect a handed-off group from its residual
   // op records: state another node now legitimately owns.
-  wal_->sync();
+  timed_sync(now);
   backend_.remove_file(snapshot_path(cfg_.snap_dir, group));
   floors_.erase(group);
   auto [it, inserted] = dropped_.try_emplace(group, epoch);
@@ -95,14 +118,27 @@ void NodeStore::truncate() {
       });
 }
 
+bool NodeStore::timed_sync(SimTime now) {
+  if (!fsync_us_.valid()) return wal_->sync();
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool ok = wal_->sync();
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  fsync_us_.record(std::uint64_t(us));
+  hub_->tracer.record(obs::SpanKind::kWalFsync, node_, now,
+                      SimDuration{us});
+  return ok;
+}
+
 void NodeStore::maybe_sync(SimTime now) {
   switch (cfg_.fsync) {
     case ClashConfig::FsyncPolicy::kPerAppend:
-      wal_->sync();
+      timed_sync(now);
       break;
     case ClashConfig::FsyncPolicy::kInterval:
       if (now - last_sync_ >= cfg_.fsync_interval) {
-        wal_->sync();
+        timed_sync(now);
         last_sync_ = now;
       }
       break;
@@ -114,7 +150,7 @@ void NodeStore::maybe_sync(SimTime now) {
 void NodeStore::tick(SimTime now) {
   if (cfg_.fsync == ClashConfig::FsyncPolicy::kInterval &&
       now - last_sync_ >= cfg_.fsync_interval) {
-    wal_->sync();
+    timed_sync(now);
     last_sync_ = now;
   }
 }

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "clash/config.hpp"
+#include "obs/hub.hpp"
 #include "storage/recovery.hpp"
 #include "storage/snapshot.hpp"
 #include "storage/wal.hpp"
@@ -64,16 +65,18 @@ class NodeStore {
   }
 
   /// Append one mutation of an owned group (`head` is the op's
-  /// position after the append). Applies the fsync policy.
-  void append_op(const KeyGroup& group, repl::LogHead head,
-                 const repl::LogOp& op, SimTime now);
+  /// position after the append). Applies the fsync policy. Returns the
+  /// WAL bytes the record cost (per-group storage metering).
+  std::uint64_t append_op(const KeyGroup& group, repl::LogHead head,
+                          const repl::LogOp& op, SimTime now);
 
   /// Write `img` atomically as `group`'s snapshot file. Baselines
   /// (`checkpoint == false`: activation under a new epoch) are written
   /// in every durable mode — they anchor WAL replay. Checkpoints
   /// (log-compaction cuts) only land in kWalSnapshot mode, where they
   /// advance the truncation floor and reclaim covered segments.
-  void write_snapshot(const SnapshotImage& img, bool checkpoint);
+  /// Returns the encoded bytes written (0 when skipped or failed).
+  std::uint64_t write_snapshot(const SnapshotImage& img, bool checkpoint);
 
   /// The group left this node (split away, reclaimed, handed off):
   /// log a drop record (fsync policy applies) and delete its snapshot
@@ -90,7 +93,14 @@ class NodeStore {
   }
 
   /// Force everything appended so far to stable storage.
-  void flush() { wal_->sync(); }
+  void flush() { timed_sync(last_sync_); }
+
+  /// Attach an observability hub: fsync latencies feed its
+  /// clash_wal_fsync_usec histogram (wall-clock cost of each sync,
+  /// traced as WalFsync spans stamped with `node`), and the
+  /// construction-time recovery scan is published as the
+  /// clash_storage_recovery_usec gauge plus a RecoveryScan span.
+  void set_obs(obs::Hub* hub, std::uint64_t node);
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const Wal::Stats& wal_stats() const {
@@ -100,6 +110,9 @@ class NodeStore {
 
  private:
   void maybe_sync(SimTime now);
+  /// wal_->sync() wrapped with the fsync histogram/trace span (`now`
+  /// stamps the span; the duration is wall-clock).
+  bool timed_sync(SimTime now);
   void truncate();
 
   Backend& backend_;
@@ -118,6 +131,12 @@ class NodeStore {
   std::set<KeyGroup> failed_snapshots_;
   SimTime last_sync_{0};
   Stats stats_;
+
+  obs::Hub* hub_ = nullptr;
+  std::uint64_t node_ = 0;
+  obs::HistogramHandle fsync_us_;
+  std::int64_t recovery_usec_ = 0;       // construction-scan duration
+  std::size_t recovered_groups_ = 0;     // before take_image moves it
 };
 
 }  // namespace clash::storage

@@ -1,0 +1,67 @@
+// Leveled logging: level-name parsing (the CLASH_LOG grammar) and the
+// explicit set_level() threshold. The environment path itself is
+// consulted once per process, so it is exercised by running any binary
+// under CLASH_LOG rather than from inside this suite.
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clash::log {
+namespace {
+
+TEST(Logging, LevelFromNameParsesEveryLevel) {
+  EXPECT_EQ(level_from_name("trace", Level::kOff), Level::kTrace);
+  EXPECT_EQ(level_from_name("debug", Level::kOff), Level::kDebug);
+  EXPECT_EQ(level_from_name("info", Level::kOff), Level::kInfo);
+  EXPECT_EQ(level_from_name("warn", Level::kOff), Level::kWarn);
+  EXPECT_EQ(level_from_name("warning", Level::kOff), Level::kWarn);
+  EXPECT_EQ(level_from_name("error", Level::kOff), Level::kError);
+  EXPECT_EQ(level_from_name("off", Level::kInfo), Level::kOff);
+  EXPECT_EQ(level_from_name("none", Level::kInfo), Level::kOff);
+}
+
+TEST(Logging, LevelFromNameIsCaseInsensitive) {
+  EXPECT_EQ(level_from_name("DEBUG", Level::kOff), Level::kDebug);
+  EXPECT_EQ(level_from_name("Warn", Level::kOff), Level::kWarn);
+  EXPECT_EQ(level_from_name("ERROR", Level::kOff), Level::kError);
+}
+
+TEST(Logging, LevelFromNameFallsBackOnGarbage) {
+  EXPECT_EQ(level_from_name("", Level::kWarn), Level::kWarn);
+  EXPECT_EQ(level_from_name("verbose", Level::kError), Level::kError);
+  EXPECT_EQ(level_from_name("2", Level::kInfo), Level::kInfo);
+}
+
+TEST(Logging, SetLevelGatesEnabled) {
+  const Level saved = level();
+  set_level(Level::kError);
+  EXPECT_FALSE(enabled(Level::kDebug));
+  EXPECT_FALSE(enabled(Level::kWarn));
+  EXPECT_TRUE(enabled(Level::kError));
+
+  set_level(Level::kTrace);
+  EXPECT_TRUE(enabled(Level::kTrace));
+  EXPECT_TRUE(enabled(Level::kError));
+
+  set_level(Level::kOff);
+  EXPECT_FALSE(enabled(Level::kError));
+
+  set_level(saved);
+}
+
+TEST(Logging, StatementsBelowThresholdAreDiscarded) {
+  const Level saved = level();
+  set_level(Level::kOff);
+  // The macro must short-circuit: the streamed expression never runs.
+  bool evaluated = false;
+  auto touch = [&evaluated] {
+    evaluated = true;
+    return "x";
+  };
+  CLASH_ERROR << touch();
+  EXPECT_FALSE(evaluated);
+  set_level(saved);
+}
+
+}  // namespace
+}  // namespace clash::log

@@ -1,0 +1,153 @@
+// obs::Histogram: bucket geometry, percentile accuracy against exact
+// quantiles, snapshot merge associativity, and the signed-record clamp.
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace clash::obs {
+namespace {
+
+TEST(Histogram, SmallValuesGetExactBuckets) {
+  // Below the first octave every value has its own width-1 bucket.
+  for (std::uint64_t v = 0; v < Histogram::kSub; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_lo(v), v);
+    EXPECT_EQ(Histogram::bucket_hi(v), v + 1);
+  }
+}
+
+TEST(Histogram, BucketBoundsContainTheirValues) {
+  std::vector<std::uint64_t> probes;
+  for (unsigned e = 0; e < 63; ++e) {
+    const std::uint64_t p = 1ull << e;
+    probes.push_back(p - 1);
+    probes.push_back(p);
+    probes.push_back(p + 1);
+    probes.push_back(p + p / 3);
+  }
+  for (std::uint64_t v : probes) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    ASSERT_LT(idx, Histogram::kBuckets);
+    EXPECT_LE(Histogram::bucket_lo(idx), v) << "v=" << v;
+    EXPECT_LT(v, Histogram::bucket_hi(idx)) << "v=" << v;
+  }
+}
+
+TEST(Histogram, BucketsAreContiguous) {
+  // Each bucket's exclusive upper bound is the next one's lower bound,
+  // and lower bounds round-trip through bucket_index.
+  for (std::size_t idx = 0; idx + 1 < Histogram::kBuckets; ++idx) {
+    EXPECT_EQ(Histogram::bucket_hi(idx), Histogram::bucket_lo(idx + 1));
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lo(idx)), idx);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_hi(idx) - 1), idx);
+  }
+  // Everything at or above 2^kMaxExp collapses into the overflow bucket.
+  EXPECT_EQ(Histogram::bucket_index(1ull << Histogram::kMaxExp),
+            Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_index(~0ull), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, PercentilesTrackExactQuantiles) {
+  // The log-linear layout bounds relative quantisation error by
+  // 2^{1-kSubBits} = 6.25%; allow a little interpolation slack on top.
+  constexpr double kTolerance = 0.07;
+  Histogram h;
+  Rng rng(1234);
+  std::vector<std::uint64_t> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    // Skewed latency-like distribution across several octaves.
+    const std::uint64_t v = 1 + rng.next() % 1000 +
+                            (rng.next() % 100 == 0
+                                 ? rng.next() % 1000000
+                                 : 0);
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.count, values.size());
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    const auto rank = std::size_t(p / 100.0 * double(values.size() - 1));
+    const double exact = double(values[rank]);
+    const double approx = snap.percentile(p);
+    EXPECT_NEAR(approx, exact, exact * kTolerance) << "p=" << p;
+  }
+  EXPECT_EQ(snap.min, values.front());
+  EXPECT_EQ(snap.max, values.back());
+  // p0/p100 clamp to [min, max] up to one bucket's interpolation width.
+  EXPECT_LE(snap.percentile(0), double(values.front()) + 1.0);
+  EXPECT_GE(snap.percentile(100), double(values.back()) * (1 - kTolerance));
+}
+
+Histogram::Snapshot merged(const Histogram::Snapshot& a,
+                           const Histogram::Snapshot& b) {
+  Histogram::Snapshot out = a;
+  out.merge(b);
+  return out;
+}
+
+void expect_same(const Histogram::Snapshot& a,
+                 const Histogram::Snapshot& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.buckets, b.buckets);
+}
+
+TEST(Histogram, MergeIsAssociativeAndOrderFree) {
+  Histogram ha, hb, hc, hall;
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.next() % 100000;
+    (i % 3 == 0 ? ha : i % 3 == 1 ? hb : hc).record(v);
+    hall.record(v);
+  }
+  const auto a = ha.snapshot();
+  const auto b = hb.snapshot();
+  const auto c = hc.snapshot();
+  // (a + b) + c == a + (b + c) == recording everything into one.
+  const auto left = merged(merged(a, b), c);
+  const auto right = merged(a, merged(b, c));
+  expect_same(left, right);
+  expect_same(left, hall.snapshot());
+  // Merging an empty snapshot is the identity.
+  expect_same(merged(left, Histogram::Snapshot{}), left);
+  expect_same(merged(Histogram::Snapshot{}, left), left);
+}
+
+TEST(Histogram, SignedRecordClampsNegativesToZero) {
+  Histogram h;
+  h.record_signed(-12345);
+  h.record_signed(7);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 7u);
+  EXPECT_EQ(snap.sum, 7u);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(std::uint64_t(i));
+  ASSERT_EQ(h.count(), 100u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.percentile(50), 0.0);
+  // Still usable after reset.
+  h.record(42);
+  EXPECT_EQ(h.snapshot().max, 42u);
+}
+
+}  // namespace
+}  // namespace clash::obs

@@ -1,0 +1,205 @@
+// obs::Registry: get-or-create sharing, empty-handle no-ops, gauge
+// callbacks, reset semantics, the render_text -> parse_exposition
+// round trip, and — the TSan target — scraping while recorder threads
+// hammer the hot path.
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/expose.hpp"
+
+namespace clash::obs {
+namespace {
+
+TEST(Registry, HandlesWithTheSameNameShareOneCell) {
+  Registry r;
+  Counter a = r.counter("requests_total");
+  Counter b = r.counter("requests_total");
+  a.inc(3);
+  b.inc(4);
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(r.counter_value("requests_total"), 7u);
+
+  HistogramHandle h1 = r.histogram("lat_usec");
+  HistogramHandle h2 = r.histogram("lat_usec");
+  h1.record(10);
+  h2.record(20);
+  EXPECT_EQ(r.histogram_snapshot("lat_usec").count, 2u);
+}
+
+TEST(Registry, EmptyHandlesAreNoOps) {
+  // Default-constructed handles are what uninstrumented code holds;
+  // every operation must be safe and value() must read as zero.
+  Counter c;
+  Gauge g;
+  HistogramHandle h;
+  c.inc(5);
+  g.set(9);
+  g.add(1);
+  h.record(123);
+  h.record_signed(-1);
+  EXPECT_FALSE(c.valid());
+  EXPECT_FALSE(g.valid());
+  EXPECT_FALSE(h.valid());
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.raw(), nullptr);
+}
+
+TEST(Registry, GaugesAndCallbacks) {
+  Registry r;
+  Gauge g = r.gauge("queue_depth");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+
+  int calls = 0;
+  r.gauge_callback("live_value", [&calls] {
+    ++calls;
+    return 42.0;
+  });
+  EXPECT_EQ(calls, 0) << "callbacks run at scrape time, not registration";
+  const auto metrics = r.scrape();
+  EXPECT_EQ(calls, 1);
+  bool found = false;
+  for (const auto& m : metrics) {
+    if (m.name == "live_value") {
+      found = true;
+      EXPECT_EQ(m.value, 42.0);
+      EXPECT_EQ(m.kind, Registry::MetricValue::Kind::kGauge);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // Re-registering under the same name replaces the callback.
+  r.gauge_callback("live_value", [] { return 7.0; });
+  for (const auto& m : r.scrape()) {
+    if (m.name == "live_value") {
+      EXPECT_EQ(m.value, 7.0);
+    }
+  }
+}
+
+TEST(Registry, ResetZeroesValuesButKeepsSeriesAndCallbacks) {
+  Registry r;
+  Counter c = r.counter("c");
+  Gauge g = r.gauge("g");
+  HistogramHandle h = r.histogram("h");
+  r.gauge_callback("cb", [] { return 5.0; });
+  c.inc(10);
+  g.set(-4);
+  h.record(100);
+
+  r.reset();
+
+  // Handles stay attached to the (now zeroed) cells.
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(r.histogram_snapshot("h").count, 0u);
+  c.inc();
+  EXPECT_EQ(r.counter_value("c"), 1u);
+
+  std::set<std::string> names;
+  for (const auto& m : r.scrape()) names.insert(m.name);
+  EXPECT_EQ(names, (std::set<std::string>{"c", "cb", "g", "h"}));
+  for (const auto& m : r.scrape()) {
+    if (m.name == "cb") {
+      EXPECT_EQ(m.value, 5.0);
+    }
+  }
+}
+
+TEST(Registry, RenderTextParsesBackExactly) {
+  Registry r;
+  r.counter("clash_puts_total").inc(1234);
+  r.gauge("clash_node_ring_servers").set(32);
+  r.gauge_callback("clash_frac", [] { return 0.625; });
+  HistogramHandle h = r.histogram("clash_commit_usec");
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+
+  const auto parsed = parse_exposition(r.render_text());
+
+  ASSERT_TRUE(parsed.count("clash_puts_total"));
+  EXPECT_EQ(parsed.at("clash_puts_total"), 1234.0);
+  ASSERT_TRUE(parsed.count("clash_node_ring_servers"));
+  EXPECT_EQ(parsed.at("clash_node_ring_servers"), 32.0);
+  ASSERT_TRUE(parsed.count("clash_frac"));
+  EXPECT_NEAR(parsed.at("clash_frac"), 0.625, 1e-9);
+
+  // Histograms expand to quantile series plus _sum/_count.
+  ASSERT_TRUE(parsed.count("clash_commit_usec_count"));
+  EXPECT_EQ(parsed.at("clash_commit_usec_count"), 1000.0);
+  EXPECT_EQ(parsed.at("clash_commit_usec_sum"), 500500.0);
+  ASSERT_TRUE(parsed.count("clash_commit_usec{quantile=\"0.5\"}"));
+  EXPECT_NEAR(parsed.at("clash_commit_usec{quantile=\"0.5\"}"), 500.0,
+              500.0 * 0.07);
+  ASSERT_TRUE(parsed.count("clash_commit_usec{quantile=\"0.99\"}"));
+  EXPECT_NEAR(parsed.at("clash_commit_usec{quantile=\"0.99\"}"), 990.0,
+              990.0 * 0.07);
+}
+
+TEST(Registry, ScrapeWhileRecordingIsConsistent) {
+  // The TSan target: recorder threads drive counters and a histogram
+  // through the hot path while the main thread scrapes continuously.
+  // Under -fsanitize=thread this must be race-free; under any build the
+  // final totals must be exact.
+  Registry r;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50000;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> recorders;
+  recorders.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&r, t] {
+      Counter c = r.counter("stress_total");
+      Gauge g = r.gauge("stress_gauge");
+      HistogramHandle h = r.histogram("stress_usec");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.inc();
+        g.set(std::int64_t(i));
+        h.record(i % 4096 + std::uint64_t(t));
+      }
+    });
+  }
+  std::thread scraper([&r, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string text = r.render_text();
+      const auto parsed = parse_exposition(text);
+      // Mid-run values are arbitrary but never torn into nonsense.
+      if (parsed.count("stress_total")) {
+        EXPECT_LE(parsed.at("stress_total"),
+                  double(kThreads) * double(kPerThread));
+      }
+    }
+  });
+  for (auto& t : recorders) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  EXPECT_EQ(r.counter_value("stress_total"),
+            std::uint64_t(kThreads) * kPerThread);
+  const auto snap = r.histogram_snapshot("stress_usec");
+  EXPECT_EQ(snap.count, std::uint64_t(kThreads) * kPerThread);
+}
+
+TEST(Registry, RenderJsonContainsHistogramSummary) {
+  Registry r;
+  r.counter("a_total").inc(3);
+  r.histogram("b_usec").record(100);
+  const std::string json = r.render_json();
+  EXPECT_NE(json.find("\"a_total\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"b_usec\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace clash::obs

@@ -1,0 +1,104 @@
+// obs::TraceRecorder: the enabled gate, the bounded ring with
+// oldest-first overwrite, and the Chrome trace_event JSON export.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace clash::obs {
+namespace {
+
+TEST(TraceRecorder, DisabledByDefaultRecordsNothing) {
+  TraceRecorder tr;
+  EXPECT_FALSE(tr.enabled());
+  tr.record(SpanKind::kCommit, 1, SimTime{100}, SimDuration{10});
+  EXPECT_TRUE(tr.spans().empty());
+  EXPECT_EQ(tr.dropped(), 0u);
+}
+
+TEST(TraceRecorder, RecordsSpansWhenEnabled) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  tr.record(SpanKind::kFailover, 7, SimTime{1000}, SimDuration{250}, 42);
+  const auto spans = tr.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].kind, SpanKind::kFailover);
+  EXPECT_EQ(spans[0].pid, 7u);
+  EXPECT_EQ(spans[0].start_us, 1000);
+  EXPECT_EQ(spans[0].dur_us, 250);
+  EXPECT_EQ(spans[0].arg, 42u);
+}
+
+TEST(TraceRecorder, NegativeDurationsClampToZero) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  tr.record(SpanKind::kCommit, 0, SimTime{5}, SimDuration{-3});
+  ASSERT_EQ(tr.spans().size(), 1u);
+  EXPECT_EQ(tr.spans()[0].dur_us, 0);
+}
+
+TEST(TraceRecorder, RingOverwritesOldestAndCountsDrops) {
+  TraceRecorder tr(4);
+  tr.set_enabled(true);
+  for (int i = 0; i < 6; ++i) {
+    tr.record(SpanKind::kWalFsync, 0, SimTime{i}, SimDuration{1});
+  }
+  const auto spans = tr.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(tr.dropped(), 2u);
+  // Spans 0 and 1 were overwritten; 2..5 survive.
+  std::int64_t min_start = spans[0].start_us;
+  std::int64_t max_start = spans[0].start_us;
+  for (const auto& s : spans) {
+    min_start = std::min(min_start, s.start_us);
+    max_start = std::max(max_start, s.start_us);
+  }
+  EXPECT_EQ(min_start, 2);
+  EXPECT_EQ(max_start, 5);
+}
+
+TEST(TraceRecorder, ClearEmptiesTheRing) {
+  TraceRecorder tr(2);
+  tr.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    tr.record(SpanKind::kLoopTick, 0, SimTime{i}, SimDuration{1});
+  }
+  tr.clear();
+  EXPECT_TRUE(tr.spans().empty());
+  EXPECT_EQ(tr.dropped(), 0u);
+  tr.record(SpanKind::kLoopTick, 0, SimTime{9}, SimDuration{1});
+  EXPECT_EQ(tr.spans().size(), 1u);
+}
+
+TEST(TraceRecorder, ChromeJsonHasCompleteEvents) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  tr.record(SpanKind::kCommit, 3, SimTime{100}, SimDuration{50}, 7);
+  tr.record(SpanKind::kSnapshotTransfer, 4, SimTime{200}, SimDuration{25});
+  const std::string json = tr.to_chrome_json();
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // One complete ("X") event per span, named per kind.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"repl_commit\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"snapshot_transfer\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":50"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+}
+
+TEST(TraceRecorder, SpanNamesCoverEveryKind) {
+  for (auto k :
+       {SpanKind::kQueryMatch, SpanKind::kCommit, SpanKind::kFailover,
+        SpanKind::kSnapshotTransfer, SpanKind::kWalFsync,
+        SpanKind::kLoopTick, SpanKind::kRecoveryScan}) {
+    EXPECT_NE(std::string(span_name(k)), "");
+    EXPECT_NE(std::string(span_category(k)), "");
+  }
+}
+
+}  // namespace
+}  // namespace clash::obs
