@@ -134,7 +134,7 @@ RunResult run_one(ClashConfig::ReplicationMode mode, unsigned factor,
 
   DelayPump pump(cluster);
   LinkMatrix::Fault wire;
-  wire.delay = SimDuration{kLinkDelayUsec};
+  wire.delay_usec = kLinkDelayUsec;
   cluster.links().set_default_fault(wire);
 
   ClashClient client(cluster.clash_config(), cluster.client_env(ServerId{0}),

@@ -120,6 +120,11 @@ struct ReplAppend {
   std::uint64_t epoch = 0;
   std::uint64_t base_seq = 0;
   std::vector<repl::LogOp> entries;
+  /// CRC32 over the encoded content (wire::content_crc) — the
+  /// receiver's fence against in-flight byte flips that still decode.
+  /// 0 = unchecksummed (legacy senders / hand-built test messages):
+  /// the fence is skipped, the epoch/seq gates still apply.
+  std::uint32_t checksum = 0;
 };
 
 /// Replica -> sender: applied up to `head`. `ok == false` flags an
@@ -157,6 +162,8 @@ struct SnapshotChunk {
   std::vector<QueryInfo> queries;
   std::vector<std::uint8_t> app_state;
   std::vector<std::vector<std::uint8_t>> app_deltas;
+  /// Content CRC fence (see ReplAppend::checksum); 0 = unchecksummed.
+  std::uint32_t checksum = 0;
 };
 
 /// One element of an anti-entropy (epoch, seq) vector.
@@ -213,6 +220,11 @@ struct Gossip {
   std::uint64_t sequence = 0;  // correlates acks with pending probes
   ServerId target{};           // kPingReq: node to probe; kAck: who acked
   std::vector<MemberUpdate> updates;
+  /// Content CRC fence (see ReplAppend::checksum); 0 = unchecksummed.
+  /// Membership rumours are the highest-blast-radius payload to
+  /// corrupt — a flipped incarnation or state could kill an innocent
+  /// member cluster-wide — so gossip carries the fence too.
+  std::uint32_t checksum = 0;
 };
 
 using Message =

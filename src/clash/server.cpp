@@ -6,6 +6,7 @@
 
 #include "common/logging.hpp"
 #include "storage/store.hpp"
+#include "wire/codec.hpp"
 
 namespace clash {
 
@@ -24,6 +25,7 @@ ClashServer::ClashServer(ServerId self, const ClashConfig& cfg, ServerEnv& env,
   snapshot_install_us_ = reg.histogram("clash_snapshot_install_usec");
   puts_total_ = reg.counter("clash_puts_total");
   repl_bytes_total_ = reg.counter("clash_repl_bytes_total");
+  corrupt_rejected_total_ = reg.counter("clash_corrupt_rejected_total");
 }
 
 // Structural wire-size model for the cost vector: close enough to the
@@ -936,6 +938,7 @@ void ClashServer::send_append_batch(const KeyGroup& group,
   msg.epoch = batch.epoch;
   msg.base_seq = batch.base_seq;
   msg.entries = std::move(batch.entries);
+  msg.checksum = wire::content_crc(msg);
   const auto targets = replica_set(group);
   std::uint64_t wire = kMsgOverheadBytes;
   for (const auto& op : msg.entries) wire += approx_op_bytes(op);
@@ -1063,6 +1066,7 @@ void ClashServer::send_state_snapshot(
       chunk.app_state = app_state;
       chunk.app_deltas = app_deltas;
     }
+    chunk.checksum = wire::content_crc(chunk);
     out.chunks.push_back(std::move(chunk));
   }
   outbound_snapshots_[{to, group}] = std::move(out);
@@ -1146,6 +1150,18 @@ void ClashServer::send_anti_entropy() {
 }
 
 void ClashServer::handle_repl_append(ServerId from, const ReplAppend& m) {
+  // Corruption fences, before any state is touched. The content CRC
+  // catches in-flight byte flips that survive the codec's structural
+  // checks; the seq overflow guard catches a base_seq flipped into
+  // wrap-around territory. Rejected appends are simply dropped — no
+  // nack, because a nack would trigger repair off a forged head; the
+  // sender's anti-entropy probe re-syncs us on the next period.
+  if ((m.checksum != 0 && m.checksum != wire::content_crc(m)) ||
+      m.base_seq + m.entries.size() < m.base_seq) {
+    stats_.corrupt_rejected++;
+    corrupt_rejected_total_.inc();
+    return;
+  }
   // Never apply replica traffic to a group this server actively owns
   // (a stale owner racing a promotion).
   if (const auto* entry = table_.find(m.group);
@@ -1231,6 +1247,16 @@ void ClashServer::handle_repl_ack(ServerId from, const ReplAck& m) {
 
 void ClashServer::handle_snapshot_offer(ServerId /*from*/,
                                         const SnapshotOffer& m) {
+  // Sanity fence: no legitimate snapshot approaches a million chunks
+  // (the pacer would never finish one); a count that large is a
+  // corrupted or hostile offer and would wedge the assembly forever
+  // waiting for chunks that do not exist.
+  constexpr std::uint32_t kMaxSaneChunks = 1u << 20;
+  if (m.total_chunks == 0 || m.total_chunks > kMaxSaneChunks) {
+    stats_.corrupt_rejected++;
+    corrupt_rejected_total_.inc();
+    return;
+  }
   if (const auto* entry = table_.find(m.group);
       entry != nullptr && entry->active) {
     return;
@@ -1260,6 +1286,15 @@ void ClashServer::handle_snapshot_offer(ServerId /*from*/,
 
 void ClashServer::handle_snapshot_chunk(ServerId from,
                                         const SnapshotChunk& m) {
+  // Corruption fence first: installing a flipped stream rate or query
+  // id into a pending assembly would poison the replica at promotion.
+  // Dropping the chunk desyncs the stream, and the *next* chunk's
+  // index mismatch nacks the transfer into a clean restart.
+  if (m.checksum != 0 && m.checksum != wire::content_crc(m)) {
+    stats_.corrupt_rejected++;
+    corrupt_rejected_total_.inc();
+    return;
+  }
   if (const auto* entry = table_.find(m.group);
       entry != nullptr && entry->active) {
     return;
@@ -1369,8 +1404,10 @@ void ClashServer::repair_peer(ServerId to, const KeyGroup& group,
         std::uint64_t wire = kMsgOverheadBytes;
         for (const auto& op : out) wire += approx_op_bytes(op);
         meter_repl_bytes(group, wire);
-        env_.send(to, ReplAppend{group, self_, log.epoch(), have.seq,
-                                 std::move(out)});
+        ReplAppend repair{group, self_, log.epoch(), have.seq,
+                          std::move(out)};
+        repair.checksum = wire::content_crc(repair);
+        env_.send(to, repair);
       }
     } else {
       send_snapshot_to(to, *entry);
@@ -1387,8 +1424,10 @@ void ClashServer::repair_peer(ServerId to, const KeyGroup& group,
   std::vector<repl::LogOp> out;
   if (have.epoch == head.epoch && rec.log.suffix_from(have.seq, out)) {
     if (!out.empty()) {
-      env_.send(to, ReplAppend{group, rec.owner, head.epoch, have.seq,
-                               std::move(out)});
+      ReplAppend repair{group, rec.owner, head.epoch, have.seq,
+                        std::move(out)};
+      repair.checksum = wire::content_crc(repair);
+      env_.send(to, repair);
     }
     return;
   }

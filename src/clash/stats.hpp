@@ -53,6 +53,11 @@ namespace clash {
   X(link_drops)       /* messages eaten by the fault matrix */               \
   X(snapshot_aborts)  /* out-of-sync transfers nacked */                     \
   X(snapshot_offers_ignored) /* dup offers mid-transfer */                   \
+  X(corrupt_drops)    /* in-flight corruption made the payload               \
+                         undecodable (codec fence ate it) */                 \
+  X(corrupt_rejected) /* decoded-valid corruption rejected by the            \
+                         receiver's checksum/sanity fences */                \
+  X(slow_evictions)   /* live-but-slow members excommunicated */             \
   /* Encoded bytes of delivered server->server messages. Populated           \
      only when SimCluster::set_wire_metering is on (bench use); zero         \
      otherwise. */                                                           \

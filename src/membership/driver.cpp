@@ -1,5 +1,7 @@
 #include "membership/driver.hpp"
 
+#include "wire/codec.hpp"
+
 namespace clash::membership {
 
 MembershipDriver::MembershipDriver(ServerId self, MembershipConfig cfg,
@@ -17,6 +19,7 @@ void MembershipDriver::send(ServerId to, GossipKind kind,
   msg.sequence = sequence;
   msg.target = target;
   msg.updates = view_.pick_updates(cfg_.gossip_max_updates);
+  msg.checksum = wire::content_crc(msg);
   env_.gossip_send(to, msg);
 }
 
@@ -75,6 +78,17 @@ void MembershipDriver::tick() {
 }
 
 void MembershipDriver::handle(ServerId from, const Gossip& msg) {
+  // Corruption fence: a rumour batch damaged in flight but still
+  // structurally valid could suspect (or kill) an arbitrary member at
+  // an arbitrary incarnation — the worst possible garbage to install.
+  // Reject the whole message on checksum mismatch; SWIM's probe
+  // redundancy re-delivers the news on the next period.
+  if (msg.checksum != 0 && msg.checksum != wire::content_crc(msg)) {
+    ++corrupt_rejected_;
+    corrupt_rejected_c_.inc();
+    return;
+  }
+
   // A message from a member we hold suspect or dead contradicts the
   // view; re-queue the rumour so our reply tells them and they can
   // refute with a bumped incarnation (the revival path rides on this).

@@ -62,6 +62,25 @@ class MembershipDriver {
   [[nodiscard]] const MembershipView& view() const { return view_; }
   [[nodiscard]] std::uint64_t periods() const { return period_; }
 
+  /// Retune this member's suspicion timeout live (per-node eviction
+  /// aggressiveness: a deployment can give flaky-but-valuable nodes a
+  /// longer leash without touching anyone else's config). Suspicions
+  /// already running are re-judged against the new value on the next
+  /// tick.
+  void set_suspicion_periods(unsigned periods) {
+    cfg_.suspicion_periods = periods;
+  }
+  [[nodiscard]] unsigned suspicion_periods() const {
+    return cfg_.suspicion_periods;
+  }
+
+  /// Gossip payloads whose content CRC fence failed — corrupted in
+  /// flight but still structurally valid; dropped before any rumour
+  /// was applied.
+  [[nodiscard]] std::uint64_t corrupt_rejected() const {
+    return corrupt_rejected_;
+  }
+
   /// Attach observability: suspicion-to-death latency (in protocol
   /// periods — the SWIM half of the detect->promote failover path)
   /// feeds clash_membership_detect_periods.
@@ -70,6 +89,10 @@ class MembershipDriver {
                           ? obs::HistogramHandle{}
                           : hub->registry.histogram(
                                 "clash_membership_detect_periods");
+    corrupt_rejected_c_ =
+        hub == nullptr
+            ? obs::Counter{}
+            : hub->registry.counter("clash_corrupt_rejected_total");
   }
 
  private:
@@ -97,7 +120,9 @@ class MembershipDriver {
   std::uint64_t next_relay_sequence_ = 1;
   std::map<std::uint64_t, Relay> relays_;          // relay seq -> origin
   std::map<ServerId, std::uint64_t> suspected_at_;  // member -> period
+  std::uint64_t corrupt_rejected_ = 0;
   obs::HistogramHandle detect_periods_;
+  obs::Counter corrupt_rejected_c_;
 };
 
 }  // namespace clash::membership

@@ -10,6 +10,7 @@
 #include "common/logging.hpp"
 #include "wire/buffer.hpp"
 #include "wire/buffer_pool.hpp"
+#include "wire/codec.hpp"
 
 namespace clash::net {
 namespace {
@@ -175,6 +176,28 @@ bool Connection::enqueue(std::vector<std::uint8_t>&& frame) {
       return true;
     }
     if (verdict.duplicate) ++stats_.faults_duplicated;
+    if (verdict.corrupt) {
+      // In-flight byte damage, scoped to the payload *content* of the
+      // checksummed message kinds (Gossip / ReplAppend /
+      // SnapshotChunk): the frame stays structurally parseable, so it
+      // reaches the receiver's content-CRC fence instead of dying in
+      // the codec. Envelope layout: [4 len][1 ver][1 kind][8 req]
+      // [8 sender][1 msg type][content...] — type at 22, content
+      // from 23.
+      constexpr std::size_t kTypeOff = 22;
+      constexpr std::size_t kContentOff = 23;
+      const auto type = frame.size() > kContentOff
+                            ? wire::MsgType(frame[kTypeOff])
+                            : wire::MsgType(0);
+      if (frame.size() > kContentOff &&
+          (type == wire::MsgType::kGossip ||
+           type == wire::MsgType::kReplAppend ||
+           type == wire::MsgType::kSnapshotChunk)) {
+        ++stats_.faults_corrupted;
+        fault_->corrupt_byte(std::span<std::uint8_t>(
+            frame.data() + kContentOff, frame.size() - kContentOff));
+      }
+    }
     if (verdict.reorder) {
       // Reordering bypasses the FIFO horizon entirely: the frame
       // lands after its jitter while later sends flow past it — the

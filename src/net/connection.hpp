@@ -48,6 +48,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
     std::uint64_t faults_delayed = 0;
     std::uint64_t faults_duplicated = 0;
     std::uint64_t faults_reordered = 0;
+    std::uint64_t faults_corrupted = 0;
   };
 
   using FrameHandler =

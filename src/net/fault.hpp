@@ -1,39 +1,40 @@
 // FaultInjector: deterministic link faults for the TCP transport. A
 // Connection with an injector attached consults it for every outbound
-// frame and drops or delays it before the frame reaches the socket
-// queue — the wire-level twin of sim::LinkMatrix, so the same
-// partition / lossy-link scenarios run against real sockets in tests.
+// frame and drops, delays, duplicates, reorders, slows, or corrupts it
+// before the frame reaches the socket queue — the wire-level twin of
+// sim::LinkMatrix, built on the same shared FaultSpec vocabulary
+// (common/fault_spec.hpp), so the identical partition / lossy-link /
+// fail-slow / corruption scenarios run against real sockets in tests.
 //
 // Determinism comes from two directions: a seeded Rng for
-// probabilistic drops, and an explicit drop_next(n) script hook that
+// probabilistic faults, and an explicit drop_next(n) script hook that
 // eats exactly the next n frames regardless of probability (the way
 // tests force "this specific SnapshotChunk never arrives").
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <span>
 
+#include "common/fault_spec.hpp"
 #include "common/rng.hpp"
 
 namespace clash::net {
 
 class FaultInjector {
  public:
-  struct Config {
-    /// Probability an outbound frame is silently dropped.
-    double drop_prob = 0.0;
-    /// Extra latency added to every surviving frame.
-    std::chrono::microseconds delay{0};
-    /// Hard cut: every frame is dropped until reconfigured.
-    bool cut = false;
-    /// Probability a frame is sent twice (at-least-once middleboxes).
-    double dup_prob = 0.0;
-    /// Probability a frame is reordered: it picks up a uniform random
-    /// delay in (0, reorder_window] and — unlike plain delay, which
-    /// preserves FIFO — later frames may overtake it.
-    double reorder_prob = 0.0;
-    std::chrono::microseconds reorder_window{2000};
+  /// The shared link-fault profile plus the injector's Rng seed.
+  /// Durations are microseconds (FaultSpec convention); use delay() /
+  /// reorder_window() below for chrono-typed access.
+  struct Config : FaultSpec {
     std::uint64_t seed = 0x5eedf417ULL;
+
+    [[nodiscard]] std::chrono::microseconds delay() const {
+      return std::chrono::microseconds(delay_usec);
+    }
+    [[nodiscard]] std::chrono::microseconds reorder_window() const {
+      return std::chrono::microseconds(reorder_window_usec);
+    }
   };
 
   struct Stats {
@@ -42,6 +43,7 @@ class FaultInjector {
     std::uint64_t passed = 0;
     std::uint64_t duplicated = 0;
     std::uint64_t reordered = 0;
+    std::uint64_t corrupted = 0;
   };
 
   struct Verdict {
@@ -50,6 +52,8 @@ class FaultInjector {
     bool duplicate = false;
     /// Deliver after `delay` OUTSIDE the FIFO (overtakable).
     bool reorder = false;
+    /// Flip a byte inside the frame payload before sending.
+    bool corrupt = false;
   };
 
   FaultInjector() : FaultInjector(Config{}) {}
@@ -68,33 +72,33 @@ class FaultInjector {
     if (forced_drops_ > 0) {
       --forced_drops_;
       ++stats_.dropped;
-      return Verdict{true, {}, false, false};
+      return Verdict{true, {}, false, false, false};
     }
-    if (cfg_.cut ||
-        (cfg_.drop_prob > 0.0 && rng_.bernoulli(cfg_.drop_prob))) {
+    const auto fv = judge_fault(cfg_, rng_);
+    if (!fv.deliver) {
       ++stats_.dropped;
-      return Verdict{true, {}, false, false};
+      return Verdict{true, {}, false, false, false};
     }
-    Verdict v{false, cfg_.delay, false, false};
-    if (cfg_.dup_prob > 0.0 && rng_.bernoulli(cfg_.dup_prob)) {
-      v.duplicate = true;
-      ++stats_.duplicated;
-    }
-    if (cfg_.reorder_prob > 0.0 && rng_.bernoulli(cfg_.reorder_prob) &&
-        cfg_.reorder_window.count() > 0) {
-      v.reorder = true;
-      v.delay += std::chrono::microseconds(
-          1 + std::int64_t(rng_.below(
-                  std::uint64_t(cfg_.reorder_window.count()))));
+    Verdict v{false, std::chrono::microseconds(fv.delay_usec), fv.duplicate,
+              fv.reorder, fv.corrupt};
+    if (v.duplicate) ++stats_.duplicated;
+    if (v.corrupt) ++stats_.corrupted;
+    if (v.reorder) {
       ++stats_.reordered;
-      return v;
-    }
-    if (v.delay.count() > 0) {
+    } else if (v.delay.count() > 0) {
       ++stats_.delayed;
     } else if (!v.duplicate) {
       ++stats_.passed;
     }
     return v;
+  }
+
+  /// Corrupt-mode mutation: flip one random byte inside `payload`
+  /// (the caller scopes the span to the corruptible frame region).
+  void corrupt_byte(std::span<std::uint8_t> payload) {
+    if (payload.empty()) return;
+    const auto pos = std::size_t(rng_.below(payload.size()));
+    payload[pos] ^= std::uint8_t(1 + rng_.below(255));
   }
 
   [[nodiscard]] const Stats& stats() const { return stats_; }

@@ -619,19 +619,25 @@ void ClashNode::send_to_peer(ServerId to, std::vector<std::uint8_t>&& frame) {
 
 void ClashNode::handle_frame(const std::shared_ptr<Connection>& conn,
                              std::span<const std::uint8_t> frame) {
+  // A frame that fails to decode is dropped, not fatal: the length
+  // prefix already delimited it, so the stream stays in sync and the
+  // next frame parses normally. Closing here would let a single
+  // corrupted payload (fault injection, bit rot) tear down an
+  // otherwise healthy peer link — the codec fence plus the counter is
+  // the right response.
   const auto decoded = wire::decode_frame(frame);
   if (!decoded.ok()) {
     CLASH_WARN << to_string(config_.id)
-               << ": bad frame: " << decoded.error().message;
-    conn->close();
+               << ": dropping bad frame: " << decoded.error().message;
+    hub_.registry.counter("clash_net_decode_rejected_total").inc();
     return;
   }
   const auto& env = decoded.value().envelope;
   const auto msg = wire::decode_message(decoded.value().payload);
   if (!msg.ok()) {
     CLASH_WARN << to_string(config_.id)
-               << ": bad payload: " << msg.error().message;
-    conn->close();
+               << ": dropping bad payload: " << msg.error().message;
+    hub_.registry.counter("clash_net_decode_rejected_total").inc();
     return;
   }
 

@@ -2,7 +2,20 @@
 
 #include <cassert>
 
+#include "wire/codec.hpp"
+
 namespace clash::sim {
+
+namespace {
+/// A local clock running at `rate` experiences a true-time interval of
+/// d / rate between its own ticks: a fast clock (rate > 1) fires more
+/// often in sim-time, a slow one less often.
+SimDuration skewed(SimDuration d, double rate) {
+  if (rate <= 0.0 || rate == 1.0) return d;
+  const auto usec = std::int64_t(double(d.usec) / rate);
+  return SimDuration{usec > 0 ? usec : 1};
+}
+}  // namespace
 
 // Gossip transport over the event queue: per-message latency, messages
 // to crashed servers dropped, every message counted.
@@ -10,20 +23,39 @@ class ChurnSim::GossipEnvImpl final : public membership::MembershipEnv {
  public:
   GossipEnvImpl(ChurnSim& sim, ServerId self) : sim_(sim), self_(self) {}
 
-  void gossip_send(ServerId to, const Gossip& msg) override {
+  void gossip_send(ServerId to, const Gossip& orig) override {
     // Gossip crosses the same faulty links as protocol traffic — a
     // partition must starve the failure detector too, or SWIM would
     // see through the very faults it is meant to detect.
     SimDuration delay = sim_.config_.gossip_delay;
     bool duplicate = false;
+    Gossip msg = orig;
     if (!sim_.cluster_->links().quiet()) {
-      const auto verdict = sim_.cluster_->links().judge(self_, to);
+      // The clean-link latency goes in as the judge's base so a
+      // link-level slow fault multiplies it rather than stacking on top.
+      const auto verdict = sim_.cluster_->links().judge(
+          self_, to, sim_.config_.gossip_delay);
       if (!verdict.deliver) {
         sim_.cluster_->transport_stats().link_drops++;
         return;
       }
-      delay = delay + verdict.delay;
+      delay = verdict.delay;
       duplicate = verdict.duplicate;
+      if (verdict.corrupt) {
+        auto mangled = wire::corrupt_message(Message{msg},
+                                             sim_.corrupt_rng_);
+        if (!mangled || !std::holds_alternative<Gossip>(*mangled)) {
+          sim_.cluster_->transport_stats().corrupt_drops++;
+          return;
+        }
+        msg = std::get<Gossip>(*mangled);
+      }
+    }
+    // Fail-slow endpoints pay their lag on gossip too — that is how
+    // the failure detector sees the slowness in the first place.
+    if (sim_.cluster_->any_node_slow()) {
+      delay.usec += sim_.cluster_->slow_penalty(self_).usec;
+      delay.usec += sim_.cluster_->slow_penalty(to).usec;
     }
     const auto deliver = [this, to, msg] {
       // Look the driver up at delivery time: a revival swaps it out.
@@ -49,7 +81,8 @@ class ChurnSim::GossipEnvImpl final : public membership::MembershipEnv {
   ServerId self_;
 };
 
-ChurnSim::ChurnSim(Config config) : config_(config) {
+ChurnSim::ChurnSim(Config config)
+    : config_(config), corrupt_rng_(config.seed ^ 0x90551bf1ULL) {
   cluster_ = std::make_unique<SimCluster>(config_.cluster);
   // Link delays ride the event queue; without this sink SimCluster
   // would deliver delayed messages inline.
@@ -61,6 +94,7 @@ ChurnSim::ChurnSim(Config config) : config_(config) {
   envs_.reserve(n);
   drivers_.reserve(n);
   generation_.assign(n, 0);
+  clock_rate_.assign(n, 1.0);
   for (std::size_t i = 0; i < n; ++i) {
     envs_.push_back(std::make_unique<GossipEnvImpl>(*this, ServerId{i}));
     drivers_.push_back(make_driver(ServerId{i}, 0));
@@ -71,10 +105,16 @@ ChurnSim::~ChurnSim() = default;
 
 std::unique_ptr<membership::MembershipDriver> ChurnSim::make_driver(
     ServerId id, std::uint64_t generation) {
+  auto cfg = config_.membership;
+  if (const auto it = config_.suspicion_periods_override.find(id.value);
+      it != config_.suspicion_periods_override.end()) {
+    cfg.suspicion_periods = it->second;
+  }
   auto driver = std::make_unique<membership::MembershipDriver>(
-      id, config_.membership, *envs_[id.value],
+      id, cfg, *envs_[id.value],
       config_.seed * 0x9e3779b97f4a7c15ULL + id.value +
           generation * 7919);
+  driver->set_obs(&obs::Hub::global());
   for (std::size_t j = 0; j < config_.cluster.num_servers; ++j) {
     driver->add_seed(ServerId{j});
   }
@@ -111,7 +151,11 @@ void ChurnSim::run_for(SimDuration d) {
 void ChurnSim::tick_server(std::size_t idx) {
   cluster_->set_now(events_.now());
   if (cluster_->is_alive(ServerId{idx})) drivers_[idx]->tick();
-  events_.after(config_.protocol_period, [this, idx] { tick_server(idx); });
+  // The next period fires on this node's own clock: a skewed node's
+  // suspicion timers (counted in local ticks) stretch or shrink in
+  // true time accordingly.
+  events_.after(skewed(config_.protocol_period, clock_rate_[idx]),
+                [this, idx] { tick_server(idx); });
 }
 
 void ChurnSim::run_load_check(std::size_t idx) {
@@ -122,8 +166,9 @@ void ChurnSim::run_load_check(std::size_t idx) {
       cluster_->ring().contains(ServerId{idx})) {
     cluster_->run_load_check(ServerId{idx});
   }
-  events_.after(config_.cluster.clash.load_check_period,
-                [this, idx] { run_load_check(idx); });
+  events_.after(
+      skewed(config_.cluster.clash.load_check_period, clock_rate_[idx]),
+      [this, idx] { run_load_check(idx); });
 }
 
 void ChurnSim::kill(ServerId id) {
@@ -137,6 +182,28 @@ void ChurnSim::revive(ServerId id) {
   if (cluster_->is_alive(id)) return;
   drivers_[id.value] = make_driver(id, ++generation_[id.value]);
   cluster_->restart_server(id);
+}
+
+void ChurnSim::set_slow(ServerId id, double factor) {
+  cluster_->set_node_slow(id, factor);
+}
+
+void ChurnSim::set_clock_rate(ServerId id, double rate) {
+  if (id.value < clock_rate_.size() && rate > 0.0) {
+    clock_rate_[id.value] = rate;
+  }
+}
+
+void ChurnSim::set_suspicion_periods(ServerId id, unsigned periods) {
+  if (id.value >= drivers_.size()) return;
+  config_.suspicion_periods_override[id.value] = periods;
+  drivers_[id.value]->set_suspicion_periods(periods);
+}
+
+std::uint64_t ChurnSim::gossip_corrupt_rejected() const {
+  std::uint64_t total = 0;
+  for (const auto& driver : drivers_) total += driver->corrupt_rejected();
+  return total;
 }
 
 std::vector<ServerId> ChurnSim::complement(
@@ -204,6 +271,30 @@ void ChurnSim::sweep_convergence() {
           all_survivors_see_alive(id)) {
         cluster_->join_server(id);
         progressed = true;
+      }
+      // Excommunication: the survivors unanimously hold an *alive* ring
+      // member dead — a fail-slow, skewed, or cut-off process that kept
+      // running but could not refute in time. The group fences it out:
+      // its state is discarded and its groups fail over exactly as for
+      // a crash (it must rejoin via revive, like any evicted node —
+      // accepting its stale writes after eviction would fork history).
+      if (cluster_->is_alive(id) && cluster_->ring().contains(id) &&
+          all_survivors_see_dead(id)) {
+        // Unanimity among zero peers is vacuous; never self-fence the
+        // last live node.
+        bool has_peer = false;
+        for (std::size_t j = 0; j < drivers_.size(); ++j) {
+          if (j != i && cluster_->is_alive(ServerId{j})) {
+            has_peer = true;
+            break;
+          }
+        }
+        if (has_peer) {
+          cluster_->crash_server(id);
+          cluster_->evict_server(id);
+          cluster_->transport_stats().slow_evictions++;
+          progressed = true;
+        }
       }
     }
   }

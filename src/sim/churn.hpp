@@ -15,9 +15,11 @@
 //   all survivors agree  -> join_server: ring grows again
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "membership/driver.hpp"
 #include "sim/cluster.hpp"
 #include "sim/event_queue.hpp"
@@ -35,6 +37,10 @@ class ChurnSim {
     SimDuration gossip_delay = SimTime::from_seconds(0.02);
     /// Also drive periodic load checks (replica refresh, splits).
     bool run_load_checks = true;
+    /// Per-node suspicion-timeout override (server index -> periods):
+    /// nodes listed here run SWIM with their own eviction leash instead
+    /// of membership.suspicion_periods. Survives revivals.
+    std::map<std::size_t, unsigned> suspicion_periods_override;
     std::uint64_t seed = 42;
   };
 
@@ -65,6 +71,35 @@ class ChurnSim {
   /// Restart `id` with a fresh driver (and empty protocol state). It
   /// refutes its own death rumour and rejoins the ring on convergence.
   void revive(ServerId id);
+
+  // --- Beyond crash-stop ------------------------------------------------
+
+  /// Mark `id` fail-slow (factor > 1) or healthy again (factor <= 1):
+  /// the node keeps answering, but every message it sends or receives
+  /// gains cluster.slow_node_lag * (factor - 1) of latency each way —
+  /// gossip included. A factor large enough to push probe round trips
+  /// past the SWIM timeouts gets the node suspected, declared dead, and
+  /// excommunicated (crash + evict) once the survivors agree; revive()
+  /// brings it back as a fresh process.
+  void set_slow(ServerId id, double factor);
+
+  /// Skew `id`'s local clock: it runs its protocol periods and load
+  /// checks `rate` times faster (rate > 1) or slower (rate < 1) than
+  /// sim-time. Suspicion timeouts count local ticks, so a skewed node
+  /// probes, suspects, and expires suspicions on its own notion of
+  /// time — eviction/refutation must stay correct regardless.
+  void set_clock_rate(ServerId id, double rate);
+  [[nodiscard]] double clock_rate(ServerId id) const {
+    return id.value < clock_rate_.size() ? clock_rate_[id.value] : 1.0;
+  }
+
+  /// Retune one node's suspicion timeout live (applies to the current
+  /// driver and to every future revival of `id`).
+  void set_suspicion_periods(ServerId id, unsigned periods);
+
+  /// Sum over all drivers of gossip messages rejected by the content
+  /// CRC fence (corrupted in flight but structurally valid).
+  [[nodiscard]] std::uint64_t gossip_corrupt_rejected() const;
 
   // --- Link faults & partition events ----------------------------------
   // All protocol AND gossip traffic consults cluster().links(); these
@@ -122,6 +157,8 @@ class ChurnSim {
   std::vector<std::unique_ptr<GossipEnvImpl>> envs_;
   std::vector<std::unique_ptr<membership::MembershipDriver>> drivers_;
   std::vector<std::uint64_t> generation_;  // bumped per revival
+  std::vector<double> clock_rate_;         // local-clock speed (1 = true)
+  Rng corrupt_rng_;                        // gossip byte-flip stream
   bool started_ = false;
 };
 

@@ -29,19 +29,43 @@ class SimCluster::ServerEnvImpl final : public ServerEnv {
       cluster_.stats_.dropped_msgs++;
       return;
     }
+    // Fail-slow nodes pay their lag on every message they touch, even
+    // over otherwise-clean links: the slowness lives in the process
+    // (GC pauses, dying disk, saturated NIC), not the wire.
+    SimDuration delay{0};
+    if (cluster_.any_node_slow()) {
+      delay.usec += cluster_.slow_penalty(self_).usec;
+      delay.usec += cluster_.slow_penalty(to).usec;
+    }
     if (!cluster_.links_.quiet()) {
       const auto verdict = cluster_.links_.judge(self_, to);
       if (!verdict.deliver) {
         cluster_.stats_.link_drops++;
         return;
       }
-      deliver_copy(to, msg, verdict.delay);
+      delay.usec += verdict.delay.usec;
+      if (verdict.corrupt) {
+        // In-flight byte damage: re-encode, flip, re-decode. When the
+        // codec itself rejects the mangled frame the message simply
+        // vanishes (a wire-level fence); when it decodes, the receiver
+        // gets structurally-valid garbage and its content fences must
+        // hold the line.
+        auto mangled = wire::corrupt_message(msg, cluster_.corrupt_rng_);
+        if (!mangled) {
+          cluster_.stats_.corrupt_drops++;
+          return;
+        }
+        deliver_copy(to, *mangled, delay);
+        if (verdict.duplicate) deliver_copy(to, *mangled, delay);
+        return;
+      }
+      deliver_copy(to, msg, delay);
       // A duplicating link delivers the same frame again (same delay:
       // the copies travel together — receivers must be idempotent).
-      if (verdict.duplicate) deliver_copy(to, msg, verdict.delay);
+      if (verdict.duplicate) deliver_copy(to, msg, delay);
       return;
     }
-    deliver_copy(to, msg, SimDuration{0});
+    deliver_copy(to, msg, delay);
   }
 
   void deliver_copy(ServerId to, const Message& msg, SimDuration delay) {
@@ -137,13 +161,15 @@ SimCluster::SimCluster(Config config)
     : config_(config),
       ring_(dht::ChordRing::Config{config.hash_bits, config.virtual_servers,
                                    config.hash_algo, config.seed}),
-      links_(config.seed ^ 0x11ae5eedULL) {
+      links_(config.seed ^ 0x11ae5eedULL),
+      corrupt_rng_(config.seed ^ 0xc044f1a7ULL) {
   if (config_.num_servers == 0) {
     throw std::invalid_argument("cluster needs at least one server");
   }
   servers_.reserve(config_.num_servers);
   server_envs_.reserve(config_.num_servers);
   alive_.assign(config_.num_servers, true);
+  node_slow_.assign(config_.num_servers, 1.0);
   crash_time_.assign(config_.num_servers, SimTime{-1});
   failover_detect_us_ =
       obs::Hub::global().registry.histogram("clash_failover_detect_usec");
@@ -300,10 +326,20 @@ std::size_t SimCluster::retry_pending_failovers() {
   return fail_groups_over(pending);
 }
 
+void SimCluster::set_node_slow(ServerId id, double factor) {
+  if (id.value >= node_slow_.size()) return;
+  const bool was_slow = node_slow_[id.value] > 1.0;
+  const bool is_slow = factor > 1.0;
+  node_slow_[id.value] = is_slow ? factor : 1.0;
+  if (is_slow && !was_slow) ++slow_nodes_;
+  if (!is_slow && was_slow) --slow_nodes_;
+}
+
 void SimCluster::restart_server(ServerId id) {
   if (id.value >= servers_.size() || is_alive(id)) return;
   alive_[id.value] = true;
   crash_time_[id.value] = SimTime{-1};  // restart without eviction
+  set_node_slow(id, 1.0);  // replacement hardware: slowness dies with it
   // The restarted process lost all protocol state: fresh server, and
   // any groups still indexed to it fail over like an eviction (usually
   // none — eviction normally precedes a restart).

@@ -33,6 +33,12 @@ class SimCluster {
     unsigned virtual_servers = 1;
     dht::KeyHasher::Algo hash_algo = dht::KeyHasher::Algo::kMix64;
     std::uint64_t seed = 42;
+    /// Unit of fail-slow lag: a node marked slow with factor f adds
+    /// slow_node_lag * (f - 1) to every message it sends or receives,
+    /// on top of link faults. 20ms mirrors the default ChurnSim gossip
+    /// delay, so factor 100 pushes a probe round trip past typical
+    /// suspicion timeouts while factor 10 stays inside them.
+    SimDuration slow_node_lag{20'000};
   };
 
   explicit SimCluster(Config config);
@@ -101,6 +107,27 @@ class SimCluster {
   using DelaySink =
       std::function<void(SimDuration delay, std::function<void()> deliver)>;
   void set_delay_sink(DelaySink sink) { delay_sink_ = std::move(sink); }
+
+  // --- Fail-slow injection ----------------------------------------------
+  /// Mark a node fail-slow: it keeps running and answering, but every
+  /// message touching it picks up slow_node_lag * (factor - 1) of
+  /// extra latency each way (dispatch-level slowness, independent of
+  /// any per-link fault). factor 1 restores full speed; restart_server
+  /// also clears it (a restarted process is presumed healthy).
+  /// Needs the delay sink (ChurnSim) for the lag to be real.
+  void set_node_slow(ServerId id, double factor);
+  [[nodiscard]] double node_slow(ServerId id) const {
+    return id.value < node_slow_.size() ? node_slow_[id.value] : 1.0;
+  }
+  /// The one-way lag this node's slowness adds to a message.
+  [[nodiscard]] SimDuration slow_penalty(ServerId id) const {
+    const double f = node_slow(id);
+    if (f <= 1.0) return SimDuration{0};
+    return SimDuration{
+        std::int64_t(double(config_.slow_node_lag.usec) * (f - 1.0))};
+  }
+  /// Any node currently marked slow? (fast path for dispatch)
+  [[nodiscard]] bool any_node_slow() const { return slow_nodes_ > 0; }
 
   // --- Durable storage (src/storage/) ----------------------------------
   /// Per-server in-memory durable store, created when
@@ -212,6 +239,9 @@ class SimCluster {
   std::unordered_map<KeyGroup, ServerId> owners_;
   std::vector<KeyGroup> pending_failover_;  // heir was dead at eviction
   std::vector<bool> alive_;
+  std::vector<double> node_slow_;  // fail-slow factor per node (1 = ok)
+  std::size_t slow_nodes_ = 0;     // count of factors > 1
+  Rng corrupt_rng_;                // byte-flip stream (corrupt faults)
   /// Sim-time of each server's crash (usec < 0 = none pending); the
   /// crash -> evict gap is the detection window, recorded into
   /// clash_failover_detect_usec when the eviction lands.

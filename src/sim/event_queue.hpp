@@ -32,6 +32,9 @@ class EventQueue {
 
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] bool empty() const { return events_.empty(); }
+  /// Events scheduled but not yet run — the soak harness bounds this
+  /// as its pending-work growth gate.
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
 
   /// Run events with t <= end (inclusive); leaves now() == end.

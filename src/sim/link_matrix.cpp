@@ -18,7 +18,7 @@ void LinkMatrix::set_drop(ServerId from, ServerId to, double prob) {
 
 void LinkMatrix::set_delay(ServerId from, ServerId to, SimDuration d) {
   Fault f = fault_of(from, to);
-  f.delay = d;
+  f.delay_usec = d.usec;
   set_fault(from, to, f);
 }
 
@@ -32,7 +32,19 @@ void LinkMatrix::set_reordering(ServerId from, ServerId to, double prob,
                                 SimDuration window) {
   Fault f = fault_of(from, to);
   f.reorder_prob = prob;
-  if (window.usec > 0) f.reorder_window = window;
+  if (window.usec > 0) f.reorder_window_usec = window.usec;
+  set_fault(from, to, f);
+}
+
+void LinkMatrix::set_slow(ServerId from, ServerId to, double factor) {
+  Fault f = fault_of(from, to);
+  f.slow_factor = factor;
+  set_fault(from, to, f);
+}
+
+void LinkMatrix::set_corruption(ServerId from, ServerId to, double prob) {
+  Fault f = fault_of(from, to);
+  f.corrupt_prob = prob;
   set_fault(from, to, f);
 }
 
@@ -81,7 +93,8 @@ LinkMatrix::Fault LinkMatrix::fault_of(ServerId from, ServerId to) const {
   return it != faults_.end() ? it->second : default_;
 }
 
-LinkMatrix::Verdict LinkMatrix::judge(ServerId from, ServerId to) {
+LinkMatrix::Verdict LinkMatrix::judge(ServerId from, ServerId to,
+                                      SimDuration base) {
   const auto sit = scripts_.find(key(from, to));
   if (sit != scripts_.end()) {
     const bool drop = sit->second.front();
@@ -91,29 +104,20 @@ LinkMatrix::Verdict LinkMatrix::judge(ServerId from, ServerId to) {
       ++stats_.dropped;
       return Verdict{false, SimDuration{0}};
     }
-    return Verdict{true, SimDuration{0}};
+    return Verdict{true, base};
   }
   const Fault f = fault_of(from, to);
-  if (f.cut || (f.drop_prob > 0.0 && rng_.bernoulli(f.drop_prob))) {
+  const auto fv = judge_fault(f, rng_, base.usec);
+  if (!fv.deliver) {
     ++stats_.dropped;
-    return Verdict{false, SimDuration{0}, false};
+    return Verdict{false, SimDuration{0}};
   }
-  Verdict v{true, f.delay, false};
-  if (f.delay.usec > 0) ++stats_.delayed;
-  if (f.dup_prob > 0.0 && rng_.bernoulli(f.dup_prob)) {
-    v.duplicate = true;
-    ++stats_.duplicated;
-  }
-  if (f.reorder_prob > 0.0 && f.reorder_window.usec > 0 &&
-      rng_.bernoulli(f.reorder_prob)) {
-    // Uniform jitter in (0, window]: under an event queue this lets
-    // anything sent in the window overtake the jittered message.
-    v.delay = v.delay +
-              SimDuration{1 + std::int64_t(rng_.below(
-                                  std::uint64_t(f.reorder_window.usec)))};
-    ++stats_.reordered;
-  }
-  return v;
+  if (f.delay_usec > 0) ++stats_.delayed;
+  if (fv.duplicate) ++stats_.duplicated;
+  if (fv.reorder) ++stats_.reordered;
+  if (f.slow_factor > 1.0) ++stats_.slowed;
+  if (fv.corrupt) ++stats_.corrupted;
+  return Verdict{true, SimDuration{fv.delay_usec}, fv.duplicate, fv.corrupt};
 }
 
 }  // namespace clash::sim

@@ -5,12 +5,17 @@
 //   - dropped probabilistically (lossy WAN links),
 //   - delayed by a fixed extra latency (slow links),
 //   - duplicated (retransmitting middleboxes / at-least-once relays),
-//   - reordered by a random jitter inside reorder_window (multi-path
-//     routing — needs a delay sink so the jittered copy genuinely
-//     lands late), or
+//   - reordered by a random jitter inside the reorder window (multi-
+//     path routing — needs a delay sink so the jittered copy genuinely
+//     lands late),
+//   - slowed by a latency multiplier (fail-slow links: everything
+//     arrives, just 10-100x late),
+//   - corrupted (bytes flipped inside the payload in flight), or
 //   - cut outright (hard partition — one direction at a time, so
 //     asymmetric partitions are first-class).
 //
+// The fault vocabulary itself is common/fault_spec.hpp, shared with
+// net::FaultInjector so both layers speak identical fault configs.
 // Faults are keyed on the *ordered* (from, to) pair and mutable
 // mid-run; ChurnSim layers split/heal/flap schedules on top. All
 // randomness flows through one seeded Rng so fault runs replay
@@ -22,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/fault_spec.hpp"
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
 #include "common/types.hpp"
@@ -30,32 +36,17 @@ namespace clash::sim {
 
 class LinkMatrix {
  public:
-  /// Behaviour of one directed link. `cut` dominates; `drop_prob` is
-  /// evaluated per message; `delay` adds to whatever base latency the
-  /// transport already models.
-  struct Fault {
-    double drop_prob = 0.0;
-    SimDuration delay{0};
-    bool cut = false;
-    /// Probability the message is delivered twice (the duplicate rides
-    /// the same delay as the original).
-    double dup_prob = 0.0;
-    /// Probability the message picks up a uniform random extra delay
-    /// in (0, reorder_window], letting later sends overtake it.
-    double reorder_prob = 0.0;
-    SimDuration reorder_window{1000};  // 1ms default jitter span
+  /// One directed link's fault profile (shared with the TCP layer).
+  using Fault = FaultSpec;
 
-    [[nodiscard]] bool benign() const {
-      return !cut && drop_prob <= 0.0 && delay.usec <= 0 &&
-             dup_prob <= 0.0 && reorder_prob <= 0.0;
-    }
-  };
-
-  /// Outcome for one message on one directed link.
+  /// Outcome for one message on one directed link. `delay` already
+  /// includes the base latency passed to judge() and the slow-factor
+  /// stretch.
   struct Verdict {
     bool deliver = true;
     SimDuration delay{0};
     bool duplicate = false;
+    bool corrupt = false;
   };
 
   struct Stats {
@@ -63,6 +54,8 @@ class LinkMatrix {
     std::uint64_t delayed = 0;
     std::uint64_t duplicated = 0;
     std::uint64_t reordered = 0;
+    std::uint64_t slowed = 0;    // messages stretched by slow_factor
+    std::uint64_t corrupted = 0; // messages flagged for byte flips
   };
 
   explicit LinkMatrix(std::uint64_t seed = 0x11ae5eedULL) : rng_(seed) {}
@@ -74,6 +67,11 @@ class LinkMatrix {
   void set_duplication(ServerId from, ServerId to, double prob);
   void set_reordering(ServerId from, ServerId to, double prob,
                       SimDuration window);
+  /// Fail-slow link: every message (base latency included) takes
+  /// `factor` times as long. 1 restores full speed.
+  void set_slow(ServerId from, ServerId to, double factor);
+  /// Corrupt each delivered message with probability `prob`.
+  void set_corruption(ServerId from, ServerId to, double prob);
   /// Hard one-way cut: nothing flows from -> to until healed.
   void cut(ServerId from, ServerId to);
   void heal(ServerId from, ServerId to);
@@ -103,7 +101,10 @@ class LinkMatrix {
   void script(ServerId from, ServerId to, std::vector<bool> drops);
 
   /// Decide one message's fate (consumes randomness for lossy links).
-  [[nodiscard]] Verdict judge(ServerId from, ServerId to);
+  /// `base` is the transport's own clean-link latency for this
+  /// message, folded in so slow links stretch the whole path.
+  [[nodiscard]] Verdict judge(ServerId from, ServerId to,
+                              SimDuration base = SimDuration{0});
 
   /// Fast path: true when no fault (explicit or default) is configured,
   /// so dispatch can skip the lookup entirely.

@@ -1,5 +1,7 @@
 #include "wire/codec.hpp"
 
+#include "common/crc32.hpp"
+
 namespace clash::wire {
 namespace {
 
@@ -248,12 +250,14 @@ void encode_message(Writer& w, const Message& msg) {
           encode_group(w, m.group);
         } else if constexpr (std::is_same_v<T, Gossip>) {
           w.u8(std::uint8_t(MsgType::kGossip));
+          w.u32(m.checksum);  // content fence: always right after type
           w.u8(std::uint8_t(m.kind));
           w.u64(m.sequence);
           w.u64(m.target.value);
           encode_vector(w, m.updates, encode_member_update);
         } else if constexpr (std::is_same_v<T, ReplAppend>) {
           w.u8(std::uint8_t(MsgType::kReplAppend));
+          w.u32(m.checksum);
           encode_group(w, m.group);
           w.u64(m.owner.value);
           w.u64(m.epoch);
@@ -277,6 +281,7 @@ void encode_message(Writer& w, const Message& msg) {
           w.u32(m.total_chunks);
         } else if constexpr (std::is_same_v<T, SnapshotChunk>) {
           w.u8(std::uint8_t(MsgType::kSnapshotChunk));
+          w.u32(m.checksum);
           encode_group(w, m.group);
           encode_log_head(w, m.head);
           w.u32(m.index);
@@ -306,6 +311,62 @@ std::size_t encoded_payload_size(const Message& msg) {
   Writer w;
   encode_message(w, msg);
   return w.size();
+}
+
+namespace {
+
+// Checksummed payloads lay out as [type u8][checksum u32][content...];
+// the CRC covers the type byte and the content, skipping its own slot,
+// so it is independent of whatever checksum value the struct holds.
+constexpr std::size_t kChecksumSlot = 1;
+constexpr std::size_t kContentOffset = kChecksumSlot + 4;
+
+std::uint32_t crc_of_encoded(const Message& msg) {
+  Writer w;
+  encode_message(w, msg);
+  const auto& bytes = w.data();
+  Crc32 crc;
+  crc.update(std::span<const std::uint8_t>(bytes.data(), kChecksumSlot));
+  crc.update(std::span<const std::uint8_t>(bytes.data() + kContentOffset,
+                                           bytes.size() - kContentOffset));
+  return crc.value();
+}
+
+}  // namespace
+
+std::uint32_t content_crc(const Gossip& m) {
+  return crc_of_encoded(Message(m));
+}
+std::uint32_t content_crc(const ReplAppend& m) {
+  return crc_of_encoded(Message(m));
+}
+std::uint32_t content_crc(const SnapshotChunk& m) {
+  return crc_of_encoded(Message(m));
+}
+
+bool corruptible(const Message& msg) {
+  return std::holds_alternative<Gossip>(msg) ||
+         std::holds_alternative<ReplAppend>(msg) ||
+         std::holds_alternative<SnapshotChunk>(msg);
+}
+
+std::optional<Message> corrupt_message(const Message& msg, Rng& rng) {
+  if (!corruptible(msg)) return msg;  // fault scoped to fenced payloads
+  Writer w;
+  encode_message(w, msg);
+  auto bytes = w.take();
+  if (bytes.empty()) return std::nullopt;
+  // Flip 1-3 bytes anywhere past the type byte (checksum slot
+  // included: a damaged fence is a fence mismatch too).
+  const unsigned flips = 1 + unsigned(rng.below(3));
+  for (unsigned i = 0; i < flips; ++i) {
+    const auto pos =
+        kChecksumSlot + std::size_t(rng.below(bytes.size() - kChecksumSlot));
+    bytes[pos] ^= std::uint8_t(1 + rng.below(255));
+  }
+  auto decoded = decode_message(bytes);
+  if (!decoded.ok()) return std::nullopt;  // codec fence caught it
+  return std::move(decoded.value());
 }
 
 Expected<Message> decode_message(std::span<const std::uint8_t> payload) {
@@ -406,6 +467,7 @@ Expected<Message> decode_message(std::span<const std::uint8_t> payload) {
     }
     case MsgType::kGossip: {
       Gossip m;
+      m.checksum = r.u32();
       const auto kind = r.u8();
       if (kind > std::uint8_t(GossipKind::kAck)) {
         return Error::protocol("bad gossip kind");
@@ -421,6 +483,7 @@ Expected<Message> decode_message(std::span<const std::uint8_t> payload) {
     }
     case MsgType::kReplAppend: {
       ReplAppend m;
+      m.checksum = r.u32();
       m.group = decode_group(r);
       m.owner = ServerId{r.u64()};
       m.epoch = r.u64();
@@ -455,6 +518,7 @@ Expected<Message> decode_message(std::span<const std::uint8_t> payload) {
     }
     case MsgType::kSnapshotChunk: {
       SnapshotChunk m;
+      m.checksum = r.u32();
       m.group = decode_group(r);
       m.head = decode_log_head(r);
       m.index = r.u32();

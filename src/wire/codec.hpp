@@ -5,11 +5,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "clash/messages.hpp"
 #include "common/expected.hpp"
+#include "common/rng.hpp"
 #include "wire/buffer.hpp"
 
 namespace clash::wire {
@@ -63,6 +65,31 @@ void encode_message(Writer& w, const Message& msg);
 /// path; the simulator's wire metering uses it to compare transfer
 /// bytes across recovery strategies.
 [[nodiscard]] std::size_t encoded_payload_size(const Message& msg);
+
+// --- Content checksums (corruption fences) ------------------------------
+// Gossip / ReplAppend / SnapshotChunk — the payloads whose in-flight
+// corruption can poison membership or replica state — carry a CRC32
+// over their encoded content ([type][checksum][content...], the CRC
+// covering type + content). Senders stamp msg.checksum with
+// content_crc(msg); receivers reject on mismatch. checksum == 0 means
+// "unchecksummed" and skips the fence (hand-built test messages).
+
+[[nodiscard]] std::uint32_t content_crc(const Gossip& m);
+[[nodiscard]] std::uint32_t content_crc(const ReplAppend& m);
+[[nodiscard]] std::uint32_t content_crc(const SnapshotChunk& m);
+
+/// True for the message types that carry a content checksum — the
+/// types the corrupt fault mode targets.
+[[nodiscard]] bool corruptible(const Message& msg);
+
+/// The corrupt fault mode's mutation for struct-passing transports
+/// (the simulator): encode `msg`, flip 1-3 random bytes, re-decode.
+/// Returns the original untouched for non-corruptible types, nullopt
+/// when the mutation no longer decodes (the codec fence caught it),
+/// and the corrupted-but-well-formed message otherwise — which the
+/// receiver's checksum/epoch/seq fences must then reject.
+[[nodiscard]] std::optional<Message> corrupt_message(const Message& msg,
+                                                    Rng& rng);
 
 void encode_reply(Writer& w, const AcceptObjectReply& reply);
 [[nodiscard]] Expected<AcceptObjectReply> decode_reply(

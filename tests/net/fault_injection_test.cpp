@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <memory>
@@ -18,6 +19,7 @@
 #include "net/fault.hpp"
 #include "net/node.hpp"
 #include "wire/buffer.hpp"
+#include "wire/codec.hpp"
 
 namespace clash::net {
 namespace {
@@ -105,7 +107,7 @@ TEST_F(FaultConnFixture, DropNextEatsExactlyTheScriptedFrames) {
 
 TEST_F(FaultConnFixture, DelayHoldsFramesUntilTheTimerFires) {
   FaultInjector::Config cfg;
-  cfg.delay = std::chrono::milliseconds(60);
+  cfg.delay_usec = 60'000;
   injector->configure(cfg);
   EXPECT_TRUE(conn->send_frame(payload_of(8, 0x42)));
   pump(20);
@@ -121,7 +123,7 @@ TEST_F(FaultConnFixture, HealingMidDelayNeverReordersFrames) {
   // in-order chunks, so the healed link keeps the delayed frame's
   // horizon.
   FaultInjector::Config cfg;
-  cfg.delay = std::chrono::milliseconds(60);
+  cfg.delay_usec = 60'000;
   injector->configure(cfg);
   EXPECT_TRUE(conn->send_frame(payload_of(8, 0xAA)));  // delayed
   conn->set_fault_injector(nullptr);                   // link heals
@@ -153,7 +155,7 @@ TEST_F(FaultConnFixture, DuplicationSendsTheFrameTwice) {
 TEST_F(FaultConnFixture, ReorderedFrameIsOvertakenByLaterSends) {
   FaultInjector::Config cfg;
   cfg.reorder_prob = 1.0;
-  cfg.reorder_window = std::chrono::milliseconds(60);
+  cfg.reorder_window_usec = 60'000;
   injector->configure(cfg);
   EXPECT_TRUE(conn->send_frame(payload_of(8, 0xAA)));  // jittered
   conn->set_fault_injector(nullptr);                   // link heals
@@ -165,6 +167,67 @@ TEST_F(FaultConnFixture, ReorderedFrameIsOvertakenByLaterSends) {
   ASSERT_GE(received.size(), 5u);
   EXPECT_EQ(received[4], 0xBB);
   EXPECT_EQ(conn->stats().faults_reordered, 1u);
+}
+
+TEST_F(FaultConnFixture, SlowFactorStretchesTheConfiguredLatency) {
+  // Fail-slow link: the same 20ms base latency, multiplied 4x. The
+  // frame must still be absent well after the un-stretched deadline.
+  FaultInjector::Config cfg;
+  cfg.delay_usec = 20'000;
+  cfg.slow_factor = 4.0;  // effective 80ms
+  injector->configure(cfg);
+  EXPECT_TRUE(conn->send_frame(payload_of(8, 0x42)));
+  pump(45);
+  EXPECT_EQ(drain_raw_frames(), 0u)
+      << "frame arrived at 1x speed despite the slow factor";
+  pump(100);
+  EXPECT_EQ(drain_raw_frames(), 1u);
+  EXPECT_EQ(conn->stats().faults_delayed, 1u);
+}
+
+TEST_F(FaultConnFixture, CorruptionFlipsBytesOnlyInsideChecksummedFrames) {
+  FaultInjector::Config cfg;
+  cfg.corrupt_prob = 1.0;
+  injector->configure(cfg);
+
+  // A checksummed kind (Gossip) gets a byte flipped inside its content
+  // region — header and type byte stay intact, so the frame still
+  // parses and dies at the receiver's content-CRC fence instead.
+  Gossip gossip;
+  gossip.kind = GossipKind::kPing;
+  gossip.sequence = 7;
+  gossip.target = ServerId{1};
+  gossip.updates.push_back({ServerId{2}, MemberState::kSuspect, 3});
+  gossip.checksum = wire::content_crc(gossip);
+  auto w = begin_frame(wire::Envelope{wire::FrameKind::kOneway, 1, ServerId{0}});
+  wire::encode_message(w, Message{gossip});
+  const auto clean = wire::finish_frame(std::move(w));
+  auto copy = clean;
+  EXPECT_TRUE(conn->send_wire_frame(std::move(copy)));
+  pump();
+  ASSERT_EQ(drain_raw_frames(), 1u);
+  EXPECT_EQ(conn->stats().faults_corrupted, 1u);
+  ASSERT_EQ(received.size(), clean.size());
+  // Header + type byte untouched...
+  EXPECT_TRUE(std::equal(clean.begin(), clean.begin() + 23, received.begin()));
+  // ...but the content differs somewhere.
+  EXPECT_FALSE(std::equal(clean.begin(), clean.end(), received.begin()));
+
+  // A non-checksummed kind passes through byte-identical even with the
+  // corrupt fault live: there is no fence to catch the damage, so the
+  // injector refuses to create it.
+  received.clear();
+  auto w2 = begin_frame(wire::Envelope{wire::FrameKind::kOneway, 2, ServerId{0}});
+  wire::encode_message(w2, Message{AcceptObjectOk{5}});
+  const auto plain = wire::finish_frame(std::move(w2));
+  auto copy2 = plain;
+  EXPECT_TRUE(conn->send_wire_frame(std::move(copy2)));
+  pump();
+  ASSERT_EQ(drain_raw_frames(), 1u);
+  EXPECT_EQ(conn->stats().faults_corrupted, 1u) << "non-checksummed frame "
+                                                   "was mutated";
+  ASSERT_EQ(received.size(), plain.size());
+  EXPECT_TRUE(std::equal(plain.begin(), plain.end(), received.begin()));
 }
 
 // --- End-to-end snapshot pacing over TCP ------------------------------

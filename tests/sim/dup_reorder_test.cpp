@@ -153,7 +153,7 @@ TEST(DupReorderReplication, SnapshotAssemblySurvivesDupAndReorder) {
   LinkMatrix::Fault f;
   f.dup_prob = 0.4;
   f.reorder_prob = 0.4;
-  f.reorder_window = SimDuration{2000};
+  f.reorder_window_usec = 2000;
   cluster.links().set_default_fault(f);
 
   for (int round = 1; round <= 6; ++round) {
