@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -254,9 +255,20 @@ RunResult run_one(ClashConfig::ReplicationMode mode, unsigned factor,
     if (FILE* f = std::fopen(trace_path, "w"); f != nullptr) {
       std::fwrite(json.data(), 1, json.size(), f);
       std::fclose(f);
-      std::printf("# trace: %llu spans (%llu overwritten) -> %s\n",
+      // How many logical flows stitched across nodes: trace ids whose
+      // spans landed on >= 2 distinct pids (ingest on the owner, apply
+      // on a replica, snapshot legs on the heir, ...).
+      std::map<std::uint64_t, std::set<std::uint64_t>> flows;
+      for (const auto& span : tracer.spans()) {
+        if (span.trace_id != 0) flows[span.trace_id].insert(span.pid);
+      }
+      std::size_t cross = 0;
+      for (const auto& [id, pids] : flows) cross += pids.size() >= 2;
+      std::printf("# trace: %llu spans (%llu overwritten), %zu/%zu flows "
+                  "span >= 2 nodes -> %s\n",
                   (unsigned long long)tracer.spans().size(),
-                  (unsigned long long)tracer.dropped(), trace_path);
+                  (unsigned long long)tracer.dropped(), cross, flows.size(),
+                  trace_path);
     } else {
       std::fprintf(stderr, "cannot write trace to %s\n", trace_path);
     }

@@ -15,12 +15,19 @@
 //   - corruption never installs: the content-CRC fences reject
 //     in-flight damage (non-zero rejection counters, invariants clean),
 //   - bounded growth: replica records and pending-event backlog return
-//     to a fixed multiple of their post-bootstrap baseline each round.
+//     to a fixed multiple of their post-bootstrap baseline each round,
+//   - census health: after every settle the gossiped cost census is
+//     converged (every live table holds exactly the live set), and
+//     across the whole soak its gossip payload averages under
+//     --census-budget bytes per node per protocol period — the budget
+//     knobs (census_max_records, top_k) must actually bound the
+//     traffic, storms included. (The relative census-vs-data-plane
+//     gate lives in abl_census, which drives an ingest workload.)
 //
 // Usage: abl_soak [--servers=18] [--rounds=4] [--queries=40]
 //                 [--storm-minutes=12] [--settle-minutes=30]
 //                 [--slow-evict-limit=180] [--seed=42] [--json=PATH]
-//                 [--metrics-json]
+//                 [--census-budget=1024] [--metrics-json]
 //
 // Defaults cover ~90+ simulated minutes; CI smoke runs
 // --rounds=1 --storm-minutes=8 --settle-minutes=25 in about a minute.
@@ -54,6 +61,7 @@ struct RoundResult {
   std::uint64_t corrupt_drops = 0;     // cumulative codec-level drops
   std::size_t replica_records = 0;
   std::size_t pending_events = 0;
+  bool census_ok = false;  // census tables == live set after settle
 };
 
 ChurnSim::Config base_config(std::size_t servers, std::uint64_t seed) {
@@ -123,6 +131,27 @@ std::optional<std::string> heads_converged(const SimCluster& cluster) {
   return std::nullopt;
 }
 
+/// Every live node's census table holds exactly the live set — the
+/// telemetry plane survived the storm along with the data plane.
+bool census_converged(ChurnSim& sim, std::size_t servers) {
+  std::size_t alive = 0;
+  for (std::size_t i = 0; i < servers; ++i) {
+    if (sim.cluster().is_alive(ServerId{i})) ++alive;
+  }
+  for (std::size_t i = 0; i < servers; ++i) {
+    const ServerId id{i};
+    if (!sim.cluster().is_alive(id)) continue;
+    if (sim.census_of(id).table_size() != alive) return false;
+    for (std::size_t j = 0; j < servers; ++j) {
+      if ((sim.census_of(id).record_of(ServerId{j}) != nullptr) !=
+          sim.cluster().is_alive(ServerId{j})) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 std::uint64_t total_corrupt_rejected(const ChurnSim& sim) {
   // Gossip fences live in the membership drivers, ReplAppend /
   // SnapshotChunk fences in the servers' event stats.
@@ -145,18 +174,22 @@ int main(int argc, char** argv) {
   const double corrupt_pct = double(args.get_int("corrupt-pct", 3));
   const unsigned flap_cycles = unsigned(args.get_int("flap-cycles", 3));
   const bool skew = args.get_int("skew", 1) != 0;
+  const double census_budget = double(args.get_int("census-budget", 1024));
 
   ChurnSim sim(base_config(servers, seed));
   sim.start();
+  // Metered for the whole soak: the census-overhead gate is cumulative
+  // across every storm, not a quiet-window measurement.
+  sim.cluster().set_wire_metering(true);
   Rng pick(seed * 77 + 3);
 
   std::printf("# Soak: %zu servers, %u rounds of "
               "kill/flap/slow/skew/corrupt churn, ~%.0f sim-minutes\n",
               servers, rounds,
               rounds * (storm_minutes + 4 + settle_minutes / 2));
-  std::printf("%-6s %-9s %11s %13s %15s %15s %9s %8s\n", "round",
+  std::printf("%-6s %-9s %11s %13s %15s %15s %9s %8s %7s\n", "round",
               "converged", "settle_min", "queries_kept", "slow_evict_sec",
-              "corrupt_rejd", "replicas", "events");
+              "corrupt_rejd", "replicas", "events", "census");
 
   // Warm-up: register the first batch and let replication settle
   // before the first storm, so round 1 has durable state to threaten.
@@ -270,6 +303,13 @@ int main(int argc, char** argv) {
                    sim.cluster().alive_count(), servers,
                    int(sim.ring_matches_membership()));
     }
+    r.census_ok = census_converged(sim, servers);
+    if (!r.census_ok) {
+      // The data plane can converge while the last census records are
+      // still in flight; give gossip a short grace before judging.
+      sim.run_for(SimTime::from_minutes(2));
+      r.census_ok = census_converged(sim, servers);
+    }
     r.queries_registered = acked;
     r.queries_kept = live_queries(sim.cluster());
     r.corrupt_rejected = total_corrupt_rejected(sim);
@@ -283,11 +323,11 @@ int main(int argc, char** argv) {
       std::abort();
     }
 
-    std::printf("%-6u %-9s %11.1f %8zu/%-4zu %15.1f %15llu %9zu %8zu\n",
+    std::printf("%-6u %-9s %11.1f %8zu/%-4zu %15.1f %15llu %9zu %8zu %7s\n",
                 r.round, r.converged ? "yes" : "NO", r.settle_minutes,
                 r.queries_kept, r.queries_registered, r.slow_evict_seconds,
                 (unsigned long long)r.corrupt_rejected, r.replica_records,
-                r.pending_events);
+                r.pending_events, r.census_ok ? "ok" : "STALE");
 
     // --- Gates ---------------------------------------------------------
     if (!r.converged || r.queries_kept != r.queries_registered) {
@@ -301,6 +341,12 @@ int main(int argc, char** argv) {
                    "FAIL round %u: fail-slow s%zu not evicted within "
                    "%.0fs\n",
                    round, slow.value, slow_evict_limit);
+      ok = false;
+    }
+    if (!r.census_ok) {
+      std::fprintf(stderr,
+                   "FAIL round %u: census not converged after settle\n",
+                   round);
       ok = false;
     }
     // Replica records may grow with the query load but must stay a
@@ -331,6 +377,22 @@ int main(int argc, char** argv) {
     ok = false;
   }
 
+  // Census byte-rate across the whole soak, storms included.
+  const auto wire = sim.cluster().total_stats();
+  const double periods = sim.cluster().now().seconds();  // 1s period
+  const double census_rate =
+      periods <= 0 ? 0 : double(wire.census_bytes) / (periods * servers);
+  if (wire.census_records == 0 ||
+      wire.census_bytes == 0 ||
+      census_rate > census_budget) {
+    std::fprintf(stderr,
+                 "FAIL: census gossip averaged %.0f bytes/node/period "
+                 "(budget %.0f, records=%llu)\n",
+                 census_rate, census_budget,
+                 (unsigned long long)wire.census_records);
+    ok = false;
+  }
+
   bool first = true;
   for (const auto& r : results) {
     char line[512];
@@ -340,12 +402,13 @@ int main(int argc, char** argv) {
         "\"settle_minutes\": %.1f, \"queries_registered\": %zu, "
         "\"queries_kept\": %zu, \"slow_evict_seconds\": %.1f, "
         "\"corrupt_rejected\": %llu, \"corrupt_codec_drops\": %llu, "
-        "\"replica_records\": %zu, \"pending_events\": %zu}",
+        "\"replica_records\": %zu, \"pending_events\": %zu, "
+        "\"census_converged\": %s}",
         first ? "" : ",", r.round, r.converged ? "true" : "false",
         r.settle_minutes, r.queries_registered, r.queries_kept,
         r.slow_evict_seconds, (unsigned long long)r.corrupt_rejected,
         (unsigned long long)r.corrupt_drops, r.replica_records,
-        r.pending_events);
+        r.pending_events, r.census_ok ? "true" : "false");
     json += line;
     json += "\n";
     first = false;
@@ -360,6 +423,11 @@ int main(int argc, char** argv) {
   json += "  \"slow_evictions\": " +
           std::to_string(sim.cluster().total_stats().slow_evictions) +
           ",\n";
+  json += "  \"census_records\": " + std::to_string(wire.census_records) +
+          ",\n";
+  json += "  \"census_bytes\": " + std::to_string(wire.census_bytes) + ",\n";
+  json += "  \"census_bytes_per_node_period\": " +
+          std::to_string(census_rate) + ",\n";
   json += "  \"passed\": " + std::string(ok ? "true" : "false") + "\n}\n";
 
   std::printf("\n# expectation: every round converges with zero lost "

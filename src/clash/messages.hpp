@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "clash/objects.hpp"
+#include "clash/stats.hpp"
 #include "common/types.hpp"
 #include "keys/key.hpp"
 #include "keys/key_group.hpp"
@@ -25,6 +26,10 @@ struct AcceptObject {
   double stream_rate = 0; // valid when kind == kData (sim rate model)
   ClientId source{};
   bool probe_only = false;
+  /// Cross-node correlation id: 0 = untraced, otherwise every span this
+  /// object's processing produces (ingest, match, commit, snapshot)
+  /// carries the id, on every node it touches.
+  std::uint64_t trace_id = 0;
 };
 
 /// Server -> client, cases (a) and (b) of Section 5: object accepted;
@@ -119,6 +124,9 @@ struct ReplAppend {
   ServerId owner;  // authoritative owner (may differ from the sender)
   std::uint64_t epoch = 0;
   std::uint64_t base_seq = 0;
+  /// Correlation id of the traced operation (if any) in this batch;
+  /// 0 = untraced. Lets the replica's apply span join the owner's trace.
+  std::uint64_t trace_id = 0;
   std::vector<repl::LogOp> entries;
   /// CRC32 over the encoded content (wire::content_crc) — the
   /// receiver's fence against in-flight byte flips that still decode.
@@ -146,6 +154,8 @@ struct SnapshotOffer {
   bool root = false;
   ServerId parent{};
   std::uint32_t total_chunks = 1;
+  /// Correlation id for the whole transfer; 0 = untraced.
+  std::uint64_t trace_id = 0;
 };
 
 /// One slice of an announced snapshot: a batch of streams/queries plus
@@ -158,6 +168,8 @@ struct SnapshotChunk {
   repl::LogHead head;
   std::uint32_t index = 0;
   std::uint32_t total = 1;
+  /// Correlation id echoing the offer's; 0 = untraced.
+  std::uint64_t trace_id = 0;
   std::vector<StreamInfo> streams;
   std::vector<QueryInfo> queries;
   std::vector<std::uint8_t> app_state;
@@ -215,11 +227,47 @@ enum class GossipKind : std::uint8_t {
   kAck = 2,      // `target` is alive; answers ping seq `sequence`
 };
 
+// --- Cost census (src/obs/census.*) -----------------------------------
+
+/// One entry of a node's top-K cost ranking: the group and the Gray
+/// cost vector its owner metered for it.
+struct CensusGroupCost {
+  KeyGroup group;
+  GroupCost cost;
+};
+
+/// One node's periodic self-portrait, disseminated by piggybacking on
+/// SWIM gossip exactly like MemberUpdate rumours. (incarnation, seq)
+/// totally orders records per node: receivers keep the lexicographic
+/// max and drop the rest, so stale records lose and replays are
+/// harmless. The per-record CRC fences each record independently of the
+/// enclosing Gossip checksum — a record relayed through many frames
+/// keeps its own integrity proof.
+struct NodeCensusRecord {
+  ServerId node{};
+  std::uint64_t incarnation = 0;
+  std::uint64_t seq = 0;          // bumped by `node` on every refresh
+  double load = 0;                // ServerTable load units
+  std::uint32_t active_groups = 0;
+  std::uint32_t replica_records = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t streams = 0;
+  GroupCost totals;               // sum over ALL groups, not just top-K
+  std::vector<CensusGroupCost> top_groups;  // by total_bytes() desc
+  /// CRC32 over the encoded record minus this field
+  /// (wire::census_record_crc); 0 = unchecksummed.
+  std::uint32_t checksum = 0;
+};
+
 struct Gossip {
   GossipKind kind = GossipKind::kPing;
   std::uint64_t sequence = 0;  // correlates acks with pending probes
   ServerId target{};           // kPingReq: node to probe; kAck: who acked
   std::vector<MemberUpdate> updates;
+  /// Piggybacked cost-census records (obs::Census::pick_records), each
+  /// with its own CRC fence. Bounded by MembershipConfig::
+  /// census_max_records per frame; empty when no census is attached.
+  std::vector<NodeCensusRecord> census;
   /// Content CRC fence (see ReplAppend::checksum); 0 = unchecksummed.
   /// Membership rumours are the highest-blast-radius payload to
   /// corrupt — a flipped incarnation or state could kill an innocent

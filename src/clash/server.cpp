@@ -47,6 +47,25 @@ std::uint64_t approx_chunk_bytes(const SnapshotChunk& c) {
   return b;
 }
 
+/// RAII for ClashServer::active_trace_: installs `id` (when nonzero)
+/// for the duration of one message dispatch and restores the previous
+/// value on exit, so nested dispatches under synchronous transports
+/// keep their own correlation ids.
+class TraceScope {
+ public:
+  TraceScope(std::uint64_t& slot, std::uint64_t id)
+      : slot_(slot), saved_(slot) {
+    if (id != 0) slot_ = id;
+  }
+  ~TraceScope() { slot_ = saved_; }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  std::uint64_t& slot_;
+  std::uint64_t saved_;
+};
+
 }  // namespace
 
 void ClashServer::meter_matches(const Key& key, std::size_t n,
@@ -57,7 +76,7 @@ void ClashServer::meter_matches(const Key& key, std::size_t n,
   cost.matches += n;
   cost.bytes_served += bytes;
   hub_->tracer.record(obs::SpanKind::kQueryMatch, self_.value, env_.now(),
-                      SimDuration{0}, n);
+                      SimDuration{0}, n, active_trace_);
 }
 
 void ClashServer::meter_repl_bytes(const KeyGroup& group,
@@ -69,6 +88,31 @@ void ClashServer::meter_repl_bytes(const KeyGroup& group,
 void ClashServer::meter_storage_bytes(const KeyGroup& group,
                                       std::uint64_t bytes) {
   group_costs_[group].storage_bytes += bytes;
+}
+
+void ClashServer::fold_census(NodeCensusRecord& rec,
+                              std::size_t top_k) const {
+  rec.load = server_load();
+  rec.active_groups = std::uint32_t(table_.active_count());
+  rec.replica_records = std::uint32_t(replicas_.size());
+  rec.queries = total_queries();
+  rec.streams = total_streams();
+  rec.totals = total_group_cost();
+  rec.top_groups.clear();
+  rec.top_groups.reserve(group_costs_.size());
+  for (const auto& [group, cost] : group_costs_) {
+    rec.top_groups.push_back(CensusGroupCost{group, cost});
+  }
+  // Deterministic top-K: heaviest first, ties by group identity so two
+  // folds of the same state publish the same record.
+  std::sort(rec.top_groups.begin(), rec.top_groups.end(),
+            [](const CensusGroupCost& a, const CensusGroupCost& b) {
+              if (a.cost.total_bytes() != b.cost.total_bytes()) {
+                return a.cost.total_bytes() > b.cost.total_bytes();
+              }
+              return a.group < b.group;
+            });
+  if (rec.top_groups.size() > top_k) rec.top_groups.resize(top_k);
 }
 
 void ClashServer::install_entry(const ServerTableEntry& entry) {
@@ -93,6 +137,7 @@ bool ClashServer::mark_group_root(const KeyGroup& group) {
 // ---------------------------------------------------------------------------
 
 AcceptObjectReply ClashServer::handle_accept_object(const AcceptObject& m) {
+  const TraceScope trace(active_trace_, m.trace_id);
   ServerTableEntry* entry = table_.active_entry_for(m.key);
   if (entry == nullptr) {
     // Case (c): not responsible. Reply with the longest prefix match
@@ -102,6 +147,9 @@ AcceptObjectReply ClashServer::handle_accept_object(const AcceptObject& m) {
   // Cases (a) (right depth) and (b) (wrong depth, right server) differ
   // only in the echoed depth; the client compares.
   if (!m.probe_only) {
+    hub_->tracer.record(obs::SpanKind::kIngest, self_.value, env_.now(),
+                        SimDuration{0}, std::uint64_t(m.kind),
+                        active_trace_);
     GroupState& gs = state_[entry->group];
     GroupCost& cost = group_costs_[entry->group];
     ++cost.puts;
@@ -719,6 +767,10 @@ void ClashServer::replicate_group(const ServerTableEntry& entry) {
 void ClashServer::retire_replicas(const KeyGroup& group) {
   cancel_outbound_snapshots(group);  // the image being streamed is dead
   drop_group_log(group);
+  // The group left this server (gc / split / merge / handoff): its cost
+  // history goes with it, or the map — and its scrape-time gauges —
+  // grow without bound under churn. The new owner meters from zero.
+  group_costs_.erase(group);
   if (cfg_.replication_factor == 0) return;
   const auto targets = env_.replica_targets(
       hasher_.hash_key(group.virtual_key()), cfg_.replication_factor);
@@ -734,6 +786,12 @@ void ClashServer::gc_stale_replicas() {
       std::max(cfg_.load_check_period.usec, observed_check_gap_usec_) * 3);
   for (auto it = replicas_.begin(); it != replicas_.end();) {
     if (now - it->second.refreshed > lease) {
+      // Replication-byte costs metered for a replica we no longer hold
+      // go too — unless the group is also actively owned here.
+      const ServerTableEntry* entry = table_.find(it->first);
+      if (entry == nullptr || !entry->active) {
+        group_costs_.erase(it->first);
+      }
       it = replicas_.erase(it);
     } else {
       ++it;
@@ -759,6 +817,8 @@ void ClashServer::handle_replicate(ServerId /*from*/,
 void ClashServer::handle_drop_replica(ServerId /*from*/,
                                       const DropReplica& m) {
   replicas_.erase(m.group);
+  const ServerTableEntry* entry = table_.find(m.group);
+  if (entry == nullptr || !entry->active) group_costs_.erase(m.group);
 }
 
 // ---------------------------------------------------------------------------
@@ -895,6 +955,7 @@ void ClashServer::log_op(const KeyGroup& group, repl::LogOp op) {
       pit->second.epoch = log.epoch();
       pit->second.base_seq = log.head().seq;
     }
+    if (pit->second.trace_id == 0) pit->second.trace_id = active_trace_;
     pit->second.entries.push_back(op);
   }
   // Append-on-mutate, WAL first: the op is durable (per the fsync
@@ -937,8 +998,9 @@ void ClashServer::send_append_batch(const KeyGroup& group,
   msg.owner = self_;
   msg.epoch = batch.epoch;
   msg.base_seq = batch.base_seq;
+  msg.trace_id = batch.trace_id;
   msg.entries = std::move(batch.entries);
-  msg.checksum = wire::content_crc(msg);
+  msg.checksum = wire::content_crc(msg);  // trace_id set first: covered
   const auto targets = replica_set(group);
   std::uint64_t wire = kMsgOverheadBytes;
   for (const auto& op : msg.entries) wire += approx_op_bytes(op);
@@ -954,7 +1016,8 @@ void ClashServer::send_append_batch(const KeyGroup& group,
     // delivers the holders' acks re-entrantly inside env_.send.
     auto& inflight = pending_commits_[group];
     inflight.push_back(PendingCommit{
-        msg.epoch, msg.base_seq + msg.entries.size(), env_.now()});
+        msg.epoch, msg.base_seq + msg.entries.size(), env_.now(),
+        msg.trace_id});
     if (inflight.size() > 4096) inflight.pop_front();
   }
   for (const ServerId target : targets) {
@@ -1026,6 +1089,12 @@ void ClashServer::send_state_snapshot(
   const auto total =
       std::uint32_t(std::max<std::size_t>(1, (objects + per_chunk - 1) /
                                                  per_chunk));
+  // Every transfer gets a correlation id: the active trace when the
+  // snapshot is a consequence of a traced op, a fresh one otherwise
+  // (| 1 keeps it nonzero), so offer, chunks, and the receiver's
+  // install span stitch into one flow.
+  const std::uint64_t trace_id =
+      active_trace_ != 0 ? active_trace_ : (rng_.next() | 1);
   SnapshotOffer offer;
   offer.group = group;
   offer.owner = owner;
@@ -1033,7 +1102,10 @@ void ClashServer::send_state_snapshot(
   offer.root = root;
   offer.parent = parent;
   offer.total_chunks = total;
+  offer.trace_id = trace_id;
   meter_repl_bytes(group, kMsgOverheadBytes);
+  hub_->tracer.record(obs::SpanKind::kSnapshotTransfer, self_.value,
+                      env_.now(), SimDuration{0}, total, trace_id);
   env_.send(to, offer);
 
   // Pre-cut the chunks into an outbound cursor instead of blasting
@@ -1051,6 +1123,7 @@ void ClashServer::send_state_snapshot(
     chunk.head = head;
     chunk.index = idx;
     chunk.total = total;
+    chunk.trace_id = trace_id;  // before the CRC stamp below
     std::size_t in_chunk = 0;
     while (in_chunk < per_chunk && stream_it != st.streams.end()) {
       chunk.streams.push_back(stream_it->second);
@@ -1150,6 +1223,7 @@ void ClashServer::send_anti_entropy() {
 }
 
 void ClashServer::handle_repl_append(ServerId from, const ReplAppend& m) {
+  const TraceScope trace(active_trace_, m.trace_id);
   // Corruption fences, before any state is touched. The content CRC
   // catches in-flight byte flips that survive the codec's structural
   // checks; the seq overflow guard catches a base_seq flipped into
@@ -1207,8 +1281,12 @@ void ClashServer::handle_repl_append(ServerId from, const ReplAppend& m) {
   }
   const std::size_t applied =
       m.entries.size() > skip ? m.entries.size() - skip : 0;
-  if (applied > 0 && recovery_.active(m.group)) {
-    recovery_.note_entries_repaired(m.group, applied);
+  if (applied > 0) {
+    hub_->tracer.record(obs::SpanKind::kReplApply, self_.value, env_.now(),
+                        SimDuration{0}, applied, active_trace_);
+    if (recovery_.active(m.group)) {
+      recovery_.note_entries_repaired(m.group, applied);
+    }
   }
   env_.send(from, ReplAck{m.group, rec.log.head(), true});
 }
@@ -1234,7 +1312,8 @@ void ClashServer::handle_repl_ack(ServerId from, const ReplAck& m) {
         commit_latency_us_.record_signed(latency.usec);
         hub_->tracer.record(obs::SpanKind::kCommit, self_.value,
                             inflight.front().sent, latency,
-                            inflight.front().seq);
+                            inflight.front().seq,
+                            inflight.front().trace_id);
         inflight.pop_front();
       }
       if (inflight.empty()) pending_commits_.erase(it);
@@ -1280,6 +1359,7 @@ void ClashServer::handle_snapshot_offer(ServerId /*from*/,
   pending.parent = m.parent;
   pending.total = m.total_chunks;
   pending.started = env_.now();
+  pending.trace_id = m.trace_id;
   rec.pending = std::move(pending);
   rec.last_nacked = repl::LogHead{};  // the new stream starts clean
 }
@@ -1350,7 +1430,8 @@ void ClashServer::handle_snapshot_chunk(ServerId from,
   if (rec.advertised < m.head) rec.advertised = m.head;
   snapshot_install_us_.record_signed((env_.now() - p.started).usec);
   hub_->tracer.record(obs::SpanKind::kSnapshotTransfer, self_.value,
-                      p.started, env_.now() - p.started, p.total);
+                      p.started, env_.now() - p.started, p.total,
+                      p.trace_id);
   rec.pending.reset();
   if (recovery_.active(m.group)) recovery_.note_snapshot_pulled(m.group);
   env_.send(from, ReplAck{m.group, rec.log.head(), true});
@@ -1405,7 +1486,7 @@ void ClashServer::repair_peer(ServerId to, const KeyGroup& group,
         for (const auto& op : out) wire += approx_op_bytes(op);
         meter_repl_bytes(group, wire);
         ReplAppend repair{group, self_, log.epoch(), have.seq,
-                          std::move(out)};
+                          active_trace_, std::move(out)};
         repair.checksum = wire::content_crc(repair);
         env_.send(to, repair);
       }
@@ -1425,7 +1506,7 @@ void ClashServer::repair_peer(ServerId to, const KeyGroup& group,
   if (have.epoch == head.epoch && rec.log.suffix_from(have.seq, out)) {
     if (!out.empty()) {
       ReplAppend repair{group, rec.owner, head.epoch, have.seq,
-                        std::move(out)};
+                        active_trace_, std::move(out)};
       repair.checksum = wire::content_crc(repair);
       env_.send(to, repair);
     }

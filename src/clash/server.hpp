@@ -153,8 +153,10 @@ class ClashServer {
   void reset_stats() { stats_ = MessageStats{}; }
 
   // --- Per-group cost metering (observability layer) -------------------
-  /// The Gray cost vector per group this server has (ever) owned:
-  /// what each group costs in serving, replication, and storage.
+  /// The Gray cost vector per group this server owns or replicates:
+  /// what each group costs in serving, replication, and storage. The
+  /// record follows the group — split, handoff, and replica drop
+  /// evict it (keeping the census bounded under churn).
   [[nodiscard]] const std::map<KeyGroup, GroupCost>& group_costs() const {
     return group_costs_;
   }
@@ -164,10 +166,18 @@ class ClashServer {
     return total;
   }
   void reset_group_costs() { group_costs_.clear(); }
+  /// Fill a census record's gauges + top-`top_k` per-group costs from
+  /// this server's registry and cost map (the obs::Census collector;
+  /// identity, seq, and checksum are stamped by the census itself).
+  void fold_census(NodeCensusRecord& rec, std::size_t top_k) const;
   /// Attribute `n` query matches (serving `bytes` to clients) to the
   /// active group covering `key` — called by cq::EngineHooks when the
   /// stream engine fires.
   void meter_matches(const Key& key, std::size_t n, std::size_t bytes);
+  /// Meter `bytes` of replication stream out of `group`.
+  void meter_repl_bytes(const KeyGroup& group, std::uint64_t bytes);
+  /// Meter `bytes` of durable-storage writes for `group`.
+  void meter_storage_bytes(const KeyGroup& group, std::uint64_t bytes);
   /// The hub this server records into (env-provided).
   [[nodiscard]] obs::Hub& obs_hub() const { return *hub_; }
 
@@ -489,6 +499,8 @@ class ClashServer {
       std::vector<std::vector<std::uint8_t>> app_deltas;
       /// When the offer opened the assembly (snapshot-transfer span).
       SimTime started{0};
+      /// Correlation id from the offer (0 = untraced).
+      std::uint64_t trace_id = 0;
     };
     std::optional<PendingSnapshot> pending;
   };
@@ -510,6 +522,9 @@ class ClashServer {
   struct PendingAppend {
     std::uint64_t epoch = 0;
     std::uint64_t base_seq = 0;
+    /// Correlation id of the traced op (if any) batched here; a batch
+    /// coalescing several ops keeps the first traced one's id.
+    std::uint64_t trace_id = 0;
     std::vector<repl::LogOp> entries;
   };
   std::map<KeyGroup, PendingAppend> pending_appends_;
@@ -535,11 +550,6 @@ class ClashServer {
   MessageStats stats_;
 
   // --- Observability (src/obs/) ----------------------------------------
-  /// Meter `bytes` of replication stream out of `group`.
-  void meter_repl_bytes(const KeyGroup& group, std::uint64_t bytes);
-  /// Meter `bytes` of durable-storage writes for `group`.
-  void meter_storage_bytes(const KeyGroup& group, std::uint64_t bytes);
-
   obs::Hub* hub_ = nullptr;  // env_.obs(), cached at construction
   obs::HistogramHandle commit_latency_us_;
   obs::HistogramHandle failover_us_;
@@ -555,10 +565,18 @@ class ClashServer {
     std::uint64_t epoch = 0;
     std::uint64_t seq = 0;
     SimTime sent{0};
+    std::uint64_t trace_id = 0;
   };
   std::map<KeyGroup, std::deque<PendingCommit>> pending_commits_;
   /// Recovery sessions opened at promote time (failover span start).
   std::map<KeyGroup, SimTime> recovery_started_;
+
+  /// Correlation id of the operation currently being dispatched
+  /// (nonzero only while handling a traced AcceptObject / ReplAppend /
+  /// snapshot): every span recorded and every replication message sent
+  /// downstream inside the dispatch inherits it, which is what stitches
+  /// one query's flow across nodes. Scoped by TraceScope in server.cpp.
+  std::uint64_t active_trace_ = 0;
 };
 
 }  // namespace clash

@@ -58,10 +58,16 @@ namespace clash {
   X(corrupt_rejected) /* decoded-valid corruption rejected by the            \
                          receiver's checksum/sanity fences */                \
   X(slow_evictions)   /* live-but-slow members excommunicated */             \
+  /* Cost-census records delivered piggybacked on gossip frames. */          \
+  X(census_records)                                                          \
   /* Encoded bytes of delivered server->server messages. Populated           \
      only when SimCluster::set_wire_metering is on (bench use); zero         \
      otherwise. */                                                           \
-  X(wire_bytes)
+  X(wire_bytes)                                                              \
+  /* Encoded bytes of the census payload inside delivered gossip             \
+     frames — numerator of the census overhead gate. Wire-metering           \
+     only, like wire_bytes. */                                               \
+  X(census_bytes)
 
 struct MessageStats {
 #define CLASH_STATS_DECLARE(name) std::uint64_t name = 0;

@@ -19,13 +19,17 @@ void MembershipDriver::send(ServerId to, GossipKind kind,
   msg.sequence = sequence;
   msg.target = target;
   msg.updates = view_.pick_updates(cfg_.gossip_max_updates);
-  msg.checksum = wire::content_crc(msg);
+  if (census_ != nullptr) {
+    msg.census = census_->pick_records(cfg_.census_max_records);
+  }
+  msg.checksum = wire::content_crc(msg);  // covers the census too
   env_.gossip_send(to, msg);
 }
 
 void MembershipDriver::drain_view_events() {
   for (const ServerId id : view_.take_died()) {
     detector_.forget(id);
+    if (census_ != nullptr) census_->forget(id);
     if (const auto it = suspected_at_.find(id);
         it != suspected_at_.end()) {
       detect_periods_.record(period_ - it->second);
@@ -40,6 +44,7 @@ void MembershipDriver::drain_view_events() {
 
 void MembershipDriver::tick() {
   ++period_;
+  if (census_ != nullptr) census_->tick(view_.self_incarnation());
 
   // Relays whose target never acked are dead weight; the requester has
   // long since timed out on its own schedule.
@@ -99,6 +104,30 @@ void MembershipDriver::handle(ServerId from, const Gossip& msg) {
   // Piggybacked rumours first: even a bare ack carries news.
   for (const MemberUpdate& update : msg.updates) {
     view_.apply(update);
+  }
+  // Then the census payload, each record against its own CRC fence —
+  // the frame fence above already passed, but a record relayed from a
+  // third node carries the original publisher's proof, which survives
+  // re-framing (and hand-built unchecksummed frames in tests).
+  if (census_ != nullptr) {
+    for (const NodeCensusRecord& rec : msg.census) {
+      if (rec.checksum != 0 &&
+          rec.checksum != wire::census_record_crc(rec)) {
+        census_->count_crc_reject();
+        continue;
+      }
+      // Death fence: a record for a member this view holds dead is an
+      // echo still circulating in the epidemic. Without this check the
+      // echoes re-install the tombstoned entry (each relay resets its
+      // age), so a dead node's record would never leave the census.
+      // Once the member refutes with a bumped incarnation it turns
+      // alive here first, and its fresh records absorb normally.
+      if (rec.node != self_ &&
+          view_.state_of(rec.node) == MemberState::kDead) {
+        continue;
+      }
+      census_->absorb(rec);
+    }
   }
   drain_view_events();
 

@@ -12,6 +12,7 @@
 #include "clash/messages.hpp"
 #include "membership/detector.hpp"
 #include "membership/view.hpp"
+#include "obs/census.hpp"
 #include "obs/hub.hpp"
 
 namespace clash::membership {
@@ -24,6 +25,10 @@ struct MembershipConfig {
   unsigned suspicion_periods = 3;
   /// Max rumours piggybacked per gossip message.
   std::size_t gossip_max_updates = 6;
+  /// Max cost-census records piggybacked per gossip message (when a
+  /// census is attached). Small on purpose: census freshness is worth
+  /// little, so it gets the leftover budget, not its own traffic.
+  std::size_t census_max_records = 2;
 };
 
 /// Runtime services the driver needs, plus the membership-change
@@ -81,6 +86,13 @@ class MembershipDriver {
     return corrupt_rejected_;
   }
 
+  /// Attach a cost census: outgoing gossip piggybacks up to
+  /// census_max_records of its records, incoming census payloads are
+  /// CRC-verified and absorbed, dead members are forgotten, and the
+  /// census ticks once per protocol period. nullptr detaches.
+  void set_census(obs::Census* census) { census_ = census; }
+  [[nodiscard]] obs::Census* census() const { return census_; }
+
   /// Attach observability: suspicion-to-death latency (in protocol
   /// periods — the SWIM half of the detect->promote failover path)
   /// feeds clash_membership_detect_periods.
@@ -121,6 +133,7 @@ class MembershipDriver {
   std::map<std::uint64_t, Relay> relays_;          // relay seq -> origin
   std::map<ServerId, std::uint64_t> suspected_at_;  // member -> period
   std::uint64_t corrupt_rejected_ = 0;
+  obs::Census* census_ = nullptr;
   obs::HistogramHandle detect_periods_;
   obs::Counter corrupt_rejected_c_;
 };

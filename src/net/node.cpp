@@ -95,7 +95,8 @@ class ClashNode::GossipEnv final : public membership::MembershipEnv {
   ClashNode& node_;
 };
 
-ClashNode::ClashNode(NodeConfig config) : config_(std::move(config)) {
+ClashNode::ClashNode(NodeConfig config)
+    : config_(std::move(config)), census_(config_.id, config_.census) {
   if (config_.members.count(config_.id) == 0) {
     throw std::invalid_argument("node id missing from member list");
   }
@@ -126,6 +127,13 @@ ClashNode::ClashNode(NodeConfig config) : config_(std::move(config)) {
         config_.id.value * 0x9e3779b97f4a7c15ULL + config_.ring_salt);
     for (const auto& [id, _] : config_.members) membership_->add_seed(id);
     membership_->set_obs(&hub_);
+    // Cost census rides the gossip the driver already sends: the
+    // collector folds this server's registry + group costs on each
+    // refresh cadence, the driver piggybacks and absorbs records.
+    census_.set_collector([this](NodeCensusRecord& rec) {
+      server_->fold_census(rec, config_.census.top_k);
+    });
+    membership_->set_census(&census_);
   }
   loop_->set_obs(hub_.registry.histogram("clash_loop_tick_usec").raw(),
                  &hub_.tracer, config_.id.value);
@@ -377,6 +385,45 @@ void ClashNode::register_node_gauges() {
         r.gauge_callback(std::string("clash_msgs_") + name,
                          [ptr] { return double(*ptr); });
       });
+  // Cluster-wide series off the gossiped census: every node serves the
+  // same converged numbers, so any one scrape target shows the whole
+  // deployment. view() folds the table fresh per scrape (loop thread).
+  r.gauge_callback("clash_cluster_nodes", [this] {
+    return double(census_.view().nodes.size());
+  });
+  r.gauge_callback("clash_cluster_total_load", [this] {
+    return census_.view().total_load;
+  });
+  r.gauge_callback("clash_cluster_active_groups", [this] {
+    return double(census_.view().total_groups);
+  });
+  r.gauge_callback("clash_cluster_replica_records", [this] {
+    return double(census_.view().total_replicas);
+  });
+  r.gauge_callback("clash_cluster_queries", [this] {
+    return double(census_.view().total_queries);
+  });
+  r.gauge_callback("clash_cluster_streams", [this] {
+    return double(census_.view().total_streams);
+  });
+  r.gauge_callback("clash_cluster_census_age_periods", [this] {
+    return double(census_.view().max_age_periods);
+  });
+  r.gauge_callback("clash_cluster_top_group_bytes", [this] {
+    const auto view = census_.view();
+    return view.top_groups.empty()
+               ? 0.0
+               : double(view.top_groups.front().cost.total_bytes());
+  });
+  r.gauge_callback("clash_census_absorbed", [this] {
+    return double(census_.absorbed());
+  });
+  r.gauge_callback("clash_census_stale_rejected", [this] {
+    return double(census_.stale_rejected());
+  });
+  r.gauge_callback("clash_census_crc_rejected", [this] {
+    return double(census_.crc_rejected());
+  });
 }
 
 void ClashNode::start_stats_listener() {
@@ -435,20 +482,39 @@ void ClashNode::on_stats_client(int fd, std::uint32_t events) {
       close_stats_client(fd);
       return;
     }
-    // The endpoint serves exactly one document, so any complete
-    // request line is good enough — respond at the first newline
-    // (HTTP clients and bare `nc` alike), or give up past 8 KiB.
+    // The endpoint is read-only and stateless, so any complete request
+    // line is good enough — respond at the first newline (HTTP clients
+    // and bare `nc` alike), or give up past 8 KiB. The path picks the
+    // document: /trace and /healthz are special, everything else (and
+    // a pathless bare newline) gets the metrics exposition.
     if (client.in.find('\n') == std::string::npos &&
         client.in.size() <= 8192) {
       return;
     }
-    const std::string body = hub_.registry.render_text();
-    client.out =
-        "HTTP/1.0 200 OK\r\n"
-        "Content-Type: text/plain; version=0.0.4\r\n"
-        "Content-Length: " +
-        std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
-        body;
+    std::string body;
+    const char* content_type = "text/plain; version=0.0.4";
+    if (client.in.find(" /trace") != std::string::npos) {
+      body = hub_.tracer.to_chrome_json();
+      content_type = "application/json";
+    } else if (client.in.find(" /healthz") != std::string::npos) {
+      const auto view = census_.view();
+      body = "{\"status\":\"ok\",\"ring_servers\":" +
+             std::to_string(ring_->server_count()) +
+             ",\"trace_spans\":" +
+             std::to_string(hub_.tracer.spans().size()) +
+             ",\"trace_dropped\":" +
+             std::to_string(hub_.tracer.dropped()) +
+             ",\"census_nodes\":" + std::to_string(view.nodes.size()) +
+             ",\"census_max_age_periods\":" +
+             std::to_string(view.max_age_periods) + "}\n";
+      content_type = "application/json";
+    } else {
+      body = hub_.registry.render_text();
+    }
+    client.out = "HTTP/1.0 200 OK\r\nContent-Type: " +
+                 std::string(content_type) +
+                 "\r\nContent-Length: " + std::to_string(body.size()) +
+                 "\r\nConnection: close\r\n\r\n" + body;
   }
   while (client.off < client.out.size()) {
     const ssize_t n = ::write(fd, client.out.data() + client.off,

@@ -23,6 +23,7 @@
 #include "net/connection.hpp"
 #include "net/event_loop.hpp"
 #include "net/socket.hpp"
+#include "obs/census.hpp"
 #include "obs/hub.hpp"
 #include "storage/backend.hpp"
 #include "storage/store.hpp"
@@ -73,8 +74,13 @@ struct NodeConfig {
   /// Live stats endpoint: serve the node's metrics registry as
   /// Prometheus text exposition over plain HTTP, read-only, off the
   /// existing event loop (no extra thread). -1 disables; 0 picks a
-  /// free port — read it back with ClashNode::stats_port().
+  /// free port — read it back with ClashNode::stats_port(). Besides
+  /// the default metrics document it serves GET /trace (Chrome
+  /// trace_event JSON) and GET /healthz (liveness + census freshness).
   int stats_port = -1;
+  /// Cost-census dissemination knobs (records piggyback on SWIM
+  /// gossip; inert when enable_membership is false).
+  obs::CensusConfig census;
 };
 
 class ClashNode {
@@ -138,6 +144,11 @@ class ClashNode {
   /// same document the stats endpoint serves (thread-safe).
   [[nodiscard]] std::string scrape_text() {
     return call_on_loop([&] { return hub_.registry.render_text(); });
+  }
+  /// This node's converged view of the cluster census (thread-safe
+  /// snapshot; empty until gossip has disseminated records).
+  [[nodiscard]] obs::ClusterView cluster_view() {
+    return call_on_loop([&] { return census_.view(); });
   }
 
   // --- Link-fault injection (thread-safe) -----------------------------
@@ -230,6 +241,9 @@ class ClashNode {
   std::unique_ptr<storage::FileBackend> storage_backend_;
   std::unique_ptr<storage::NodeStore> store_;
   bool recovered_ = false;
+  /// Declared before membership_: the driver holds a raw pointer and
+  /// absorbs into it until destroyed (reverse order protects this).
+  obs::Census census_;
   std::unique_ptr<GossipEnv> gossip_env_;
   std::unique_ptr<membership::MembershipDriver> membership_;
 

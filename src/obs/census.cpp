@@ -1,0 +1,167 @@
+#include "obs/census.hpp"
+
+#include <algorithm>
+
+#include "wire/codec.hpp"
+
+namespace clash::obs {
+
+void Census::tick(std::uint64_t self_incarnation) {
+  ++ticks_;
+  // Age every peer record and expire the silent ones. The local record
+  // never expires — it is about to be refreshed below or soon after.
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (it->first == self_.value) {
+      ++it;
+      continue;
+    }
+    if (++it->second.age_periods > cfg_.ttl_periods) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const auto cadence = std::max<std::uint64_t>(1, cfg_.refresh_periods);
+  if (collector_ && (ticks_ == 1 || ticks_ % cadence == 0)) {
+    refresh_local(self_incarnation);
+  }
+}
+
+void Census::refresh_local(std::uint64_t self_incarnation) {
+  NodeCensusRecord rec;
+  collector_(rec);
+  rec.node = self_;
+  rec.incarnation = self_incarnation;
+  rec.seq = ++next_seq_;
+  if (rec.top_groups.size() > cfg_.top_k) {
+    rec.top_groups.resize(cfg_.top_k);
+  }
+  rec.checksum = wire::census_record_crc(rec);
+  auto& slot = table_[self_.value];
+  slot.rec = std::move(rec);
+  slot.age_periods = 0;
+  slot.transmits_left = cfg_.transmit_budget;
+}
+
+bool Census::absorb(const NodeCensusRecord& rec) {
+  if (rec.node == self_) return false;  // we are the authority on us
+  auto it = table_.find(rec.node.value);
+  if (it != table_.end()) {
+    const auto& have = it->second.rec;
+    const auto ours = std::make_pair(have.incarnation, have.seq);
+    const auto theirs = std::make_pair(rec.incarnation, rec.seq);
+    if (theirs < ours) {
+      ++stale_rejected_;
+      return false;
+    }
+    if (theirs == ours) {        // duplicate relay: refresh the age so
+      it->second.age_periods = 0;  // a live quiet peer never expires
+      return false;
+    }
+  }
+  auto& slot = table_[rec.node.value];
+  slot.rec = rec;
+  slot.age_periods = 0;
+  slot.transmits_left = cfg_.transmit_budget;
+  ++absorbed_;
+  return true;
+}
+
+void Census::forget(ServerId node) {
+  if (node == self_) return;
+  table_.erase(node.value);
+}
+
+std::vector<NodeCensusRecord> Census::pick_records(std::size_t max) {
+  std::vector<NodeCensusRecord> out;
+  if (max == 0 || table_.empty()) return out;
+  // Both passes scan the table in ring order, starting just past where
+  // the last frame's cursor stopped. This is load-bearing: under heavy
+  // refresh traffic most records hold transmit budget most of the
+  // time, and an id-ordered budget pass would hand every frame's slots
+  // to the lowest ids forever — high-id records (and their updates)
+  // would never leave their publisher, so big clusters would converge
+  // on a prefix of the id space and stall.
+  std::vector<std::map<std::uint64_t, Slot>::iterator> ring;
+  ring.reserve(table_.size());
+  for (auto it = table_.upper_bound(rotor_); it != table_.end(); ++it) {
+    ring.push_back(it);
+  }
+  for (auto it = table_.begin();
+       it != table_.end() && it->first <= rotor_; ++it) {
+    ring.push_back(it);
+  }
+  // Pass 1: records still inside their epidemic push budget.
+  for (const auto& it : ring) {
+    if (out.size() >= max) break;
+    if (it->second.transmits_left > 0) {
+      --it->second.transmits_left;
+      out.push_back(it->second.rec);
+      rotor_ = it->first;
+    }
+  }
+  // Pass 2: round-robin backfill — background anti-entropy so two
+  // healed sides reconcile even when nothing is changing.
+  for (const auto& it : ring) {
+    if (out.size() >= max) break;
+    const auto& rec = it->second.rec;
+    const bool already =
+        std::any_of(out.begin(), out.end(), [&](const NodeCensusRecord& r) {
+          return r.node == rec.node;
+        });
+    if (!already) {
+      out.push_back(rec);
+      rotor_ = it->first;
+    }
+  }
+  return out;
+}
+
+const NodeCensusRecord* Census::record_of(ServerId node) const {
+  const auto it = table_.find(node.value);
+  return it == table_.end() ? nullptr : &it->second.rec;
+}
+
+ClusterView Census::view() const {
+  ClusterView v;
+  v.nodes.reserve(table_.size());
+  std::map<KeyGroup, GroupCost> merged;
+  for (const auto& [id, slot] : table_) {
+    const auto& rec = slot.rec;
+    ClusterView::Node n;
+    n.id = rec.node;
+    n.incarnation = rec.incarnation;
+    n.seq = rec.seq;
+    n.load = rec.load;
+    n.active_groups = rec.active_groups;
+    n.replica_records = rec.replica_records;
+    n.queries = rec.queries;
+    n.streams = rec.streams;
+    n.totals = rec.totals;
+    n.age_periods = slot.age_periods;
+    v.nodes.push_back(n);
+
+    v.totals += rec.totals;
+    v.total_load += rec.load;
+    v.total_queries += rec.queries;
+    v.total_streams += rec.streams;
+    v.total_groups += rec.active_groups;
+    v.total_replicas += rec.replica_records;
+    v.max_age_periods = std::max(v.max_age_periods, slot.age_periods);
+    for (const auto& gc : rec.top_groups) merged[gc.group] += gc.cost;
+  }
+  v.top_groups.reserve(merged.size());
+  for (const auto& [group, cost] : merged) {
+    v.top_groups.push_back(CensusGroupCost{group, cost});
+  }
+  std::sort(v.top_groups.begin(), v.top_groups.end(),
+            [](const CensusGroupCost& a, const CensusGroupCost& b) {
+              if (a.cost.total_bytes() != b.cost.total_bytes()) {
+                return a.cost.total_bytes() > b.cost.total_bytes();
+              }
+              return a.group < b.group;
+            });
+  return v;
+}
+
+}  // namespace clash::obs

@@ -1,0 +1,148 @@
+// obs::Census: the cluster-wide cost census. Each node keeps a table of
+// NodeCensusRecord — its own, refreshed on a cadence from a collector
+// callback, plus the freshest record it has heard for every peer —
+// and piggybacks a bounded batch on outgoing SWIM gossip frames, the
+// same epidemic channel membership rumours ride. (incarnation, seq)
+// totally orders records per node, so replays and stale relays lose
+// deterministically; records for members the failure detector declared
+// dead are dropped immediately, and records that stop refreshing age
+// out after a TTL. view() folds the table into the ClusterView a
+// placement policy (and the clash_cluster_* gauges) consumes.
+//
+// Threading: none. Census lives on its node's event-loop thread (or
+// the simulator's single thread) like MembershipDriver; the stats
+// endpoint reads view() via call_on_loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "clash/messages.hpp"
+#include "common/types.hpp"
+
+namespace clash::obs {
+
+struct CensusConfig {
+  /// Top-K per-group cost entries a node publishes about itself.
+  std::size_t top_k = 4;
+  /// Refresh the local record every this many ticks (protocol periods).
+  std::uint64_t refresh_periods = 4;
+  /// Drop a peer record not refreshed for this many ticks. Must dwarf
+  /// refresh_periods x dissemination latency or healthy peers flicker.
+  std::uint64_t ttl_periods = 96;
+  /// How many outgoing frames eagerly carry a record after it changes
+  /// (epidemic push); afterwards it still rotates through frames
+  /// round-robin as background anti-entropy.
+  unsigned transmit_budget = 8;
+};
+
+/// The converged global view: one entry per known node plus cluster
+/// totals and a merged per-group cost ranking.
+struct ClusterView {
+  struct Node {
+    ServerId id{};
+    std::uint64_t incarnation = 0;
+    std::uint64_t seq = 0;
+    double load = 0;
+    std::uint32_t active_groups = 0;
+    std::uint32_t replica_records = 0;
+    std::uint64_t queries = 0;
+    std::uint64_t streams = 0;
+    GroupCost totals;
+    /// Ticks since this record was installed or refreshed.
+    std::uint64_t age_periods = 0;
+  };
+
+  std::vector<Node> nodes;  // sorted by id
+  /// Union of all nodes' top-K lists, per-group costs summed across
+  /// publishers, sorted by total_bytes() desc (ties: smaller group
+  /// label first). Global ranking modulo each node's K truncation.
+  std::vector<CensusGroupCost> top_groups;
+  GroupCost totals;                  // sum over nodes[].totals
+  double total_load = 0;
+  std::uint64_t total_queries = 0;
+  std::uint64_t total_streams = 0;
+  std::uint64_t total_groups = 0;    // sum of active_groups
+  std::uint64_t total_replicas = 0;  // sum of replica_records
+  /// Staleness of the oldest record in the table — the /healthz
+  /// census-freshness signal.
+  std::uint64_t max_age_periods = 0;
+};
+
+class Census {
+ public:
+  /// Fills gauges + top-K groups of the local record. Census itself
+  /// stamps node, incarnation, seq, and checksum.
+  using Collector = std::function<void(NodeCensusRecord&)>;
+
+  explicit Census(ServerId self, CensusConfig cfg = {})
+      : self_(self), cfg_(cfg) {}
+
+  void set_collector(Collector c) { collector_ = std::move(c); }
+  [[nodiscard]] const CensusConfig& config() const { return cfg_; }
+
+  /// Call once per protocol period (MembershipDriver::tick does).
+  /// Ages and expires peer records; refreshes the local record from
+  /// the collector on the refresh cadence (and on the first tick).
+  void tick(std::uint64_t self_incarnation);
+
+  /// Absorb a record received off the wire (already CRC-verified by
+  /// the caller). Self-echoes and stale (incarnation, seq) lose;
+  /// fresher records install with a full transmit budget.
+  /// Returns true when the table changed.
+  bool absorb(const NodeCensusRecord& rec);
+
+  /// The failure detector declared `node` dead: drop its record now
+  /// instead of waiting out the TTL. (A revived node re-enters with a
+  /// higher incarnation.)
+  void forget(ServerId node);
+
+  /// Up to `max` records for one outgoing gossip frame: changed
+  /// records with transmit budget left first, then round-robin over
+  /// the rest so even quiescent tables keep reconciling after heals.
+  [[nodiscard]] std::vector<NodeCensusRecord> pick_records(
+      std::size_t max);
+
+  /// Fold the table into the global view.
+  [[nodiscard]] ClusterView view() const;
+
+  [[nodiscard]] std::size_t table_size() const { return table_.size(); }
+  [[nodiscard]] const NodeCensusRecord* record_of(ServerId node) const;
+
+  // Counters (scraped as census_* metrics by the embedding node).
+  [[nodiscard]] std::uint64_t stale_rejected() const {
+    return stale_rejected_;
+  }
+  [[nodiscard]] std::uint64_t crc_rejected() const { return crc_rejected_; }
+  [[nodiscard]] std::uint64_t absorbed() const { return absorbed_; }
+  /// Caller-side tally for records that failed the CRC fence (the
+  /// fence itself lives in the membership driver, which has the frame).
+  void count_crc_reject() { ++crc_rejected_; }
+
+ private:
+  struct Slot {
+    NodeCensusRecord rec;
+    std::uint64_t age_periods = 0;
+    unsigned transmits_left = 0;
+  };
+
+  void refresh_local(std::uint64_t self_incarnation);
+
+  ServerId self_;
+  CensusConfig cfg_;
+  Collector collector_;
+  std::map<std::uint64_t, Slot> table_;  // keyed by ServerId::value
+  std::uint64_t ticks_ = 0;
+  std::uint64_t next_seq_ = 0;
+  /// Round-robin cursor for pick_records; starts past every id so the
+  /// first backfill scan begins at the smallest key.
+  std::uint64_t rotor_ = ServerId::kInvalid;
+  std::uint64_t stale_rejected_ = 0;
+  std::uint64_t crc_rejected_ = 0;
+  std::uint64_t absorbed_ = 0;
+};
+
+}  // namespace clash::obs

@@ -20,6 +20,10 @@ const char* span_name(SpanKind k) {
       return "loop_tick";
     case SpanKind::kRecoveryScan:
       return "recovery_scan";
+    case SpanKind::kIngest:
+      return "ingest";
+    case SpanKind::kReplApply:
+      return "repl_apply";
   }
   return "span";
 }
@@ -40,6 +44,10 @@ const char* span_category(SpanKind k) {
       return "net";
     case SpanKind::kRecoveryScan:
       return "storage";
+    case SpanKind::kIngest:
+      return "clash";
+    case SpanKind::kReplApply:
+      return "repl";
   }
   return "obs";
 }
@@ -92,6 +100,13 @@ std::string TraceRecorder::to_chrome_json() const {
     out += std::to_string(unsigned(s.kind));
     out += ",\"args\":{\"arg\":";
     out += std::to_string(s.arg);
+    if (s.trace_id != 0) {
+      // Decimal id string: grep-able across per-node dumps, and what
+      // the bench-side merge matches on.
+      out += ",\"trace_id\":\"";
+      out += std::to_string(s.trace_id);
+      out += "\"";
+    }
     out += "}}";
   }
   out += "\n]}\n";

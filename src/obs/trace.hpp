@@ -26,6 +26,8 @@ enum class SpanKind : std::uint8_t {
   kWalFsync,          // storage: one fsync of the WAL
   kLoopTick,          // net: one slow event-loop dispatch round
   kRecoveryScan,      // storage: crash-recovery scan at startup
+  kIngest,            // clash: owner accepted an object (put/query)
+  kReplApply,         // repl: replica applied a ReplAppend batch
 };
 
 [[nodiscard]] const char* span_name(SpanKind k);
@@ -37,6 +39,10 @@ struct Span {
   std::int64_t start_us = 0;   // caller's clock
   std::int64_t dur_us = 0;
   std::uint64_t arg = 0;       // kind-specific (group bits, bytes, seq)
+  /// Cross-node correlation id: spans of one logical operation carry
+  /// the same nonzero id on every node it touched, so per-node dumps
+  /// stitch into one flow. 0 = untraced.
+  std::uint64_t trace_id = 0;
 };
 
 class TraceRecorder {
@@ -52,10 +58,12 @@ class TraceRecorder {
   }
 
   void record(SpanKind kind, std::uint64_t pid, SimTime start,
-              SimDuration dur, std::uint64_t arg = 0) {
+              SimDuration dur, std::uint64_t arg = 0,
+              std::uint64_t trace_id = 0) {
     if (!enabled()) return;
     std::lock_guard<std::mutex> lock(mu_);
-    Span s{kind, pid, start.usec, dur.usec < 0 ? 0 : dur.usec, arg};
+    Span s{kind, pid, start.usec, dur.usec < 0 ? 0 : dur.usec, arg,
+           trace_id};
     if (ring_.size() < capacity_) {
       ring_.push_back(s);
     } else {

@@ -65,10 +65,10 @@ class ChurnSim::GossipEnvImpl final : public membership::MembershipEnv {
       }
       sim_.drivers_[to.value]->handle(self_, msg);
     };
-    sim_.cluster_->transport_stats().gossip_msgs++;
+    count_sent(msg);
     sim_.events_.after(delay, deliver);
     if (duplicate) {
-      sim_.cluster_->transport_stats().gossip_msgs++;
+      count_sent(msg);
       sim_.events_.after(delay, deliver);
     }
   }
@@ -77,6 +77,19 @@ class ChurnSim::GossipEnvImpl final : public membership::MembershipEnv {
   void on_member_joined(ServerId) override { sim_.sweep_convergence(); }
 
  private:
+  /// Account one gossip frame on the wire. Record counts are always
+  /// cheap; byte counts need a second encode, so they ride the same
+  /// opt-in switch as protocol wire metering (overhead benches).
+  void count_sent(const Gossip& msg) {
+    auto& stats = sim_.cluster_->transport_stats();
+    stats.gossip_msgs++;
+    stats.census_records += msg.census.size();
+    if (sim_.cluster_->wire_metering()) {
+      stats.wire_bytes += wire::encoded_payload_size(Message{msg});
+      stats.census_bytes += wire::encoded_census_size(msg.census);
+    }
+  }
+
   ChurnSim& sim_;
   ServerId self_;
 };
@@ -92,11 +105,13 @@ ChurnSim::ChurnSim(Config config)
       });
   const std::size_t n = config_.cluster.num_servers;
   envs_.reserve(n);
+  censuses_.reserve(n);
   drivers_.reserve(n);
   generation_.assign(n, 0);
   clock_rate_.assign(n, 1.0);
   for (std::size_t i = 0; i < n; ++i) {
     envs_.push_back(std::make_unique<GossipEnvImpl>(*this, ServerId{i}));
+    censuses_.push_back(make_census(ServerId{i}));
     drivers_.push_back(make_driver(ServerId{i}, 0));
   }
 }
@@ -115,10 +130,21 @@ std::unique_ptr<membership::MembershipDriver> ChurnSim::make_driver(
       config_.seed * 0x9e3779b97f4a7c15ULL + id.value +
           generation * 7919);
   driver->set_obs(&obs::Hub::global());
+  if (config_.enable_census) {
+    driver->set_census(censuses_[id.value].get());
+  }
   for (std::size_t j = 0; j < config_.cluster.num_servers; ++j) {
     driver->add_seed(ServerId{j});
   }
   return driver;
+}
+
+std::unique_ptr<obs::Census> ChurnSim::make_census(ServerId id) {
+  auto census = std::make_unique<obs::Census>(id, config_.census);
+  census->set_collector([this, id](NodeCensusRecord& rec) {
+    cluster_->server(id).fold_census(rec, config_.census.top_k);
+  });
+  return census;
 }
 
 void ChurnSim::start() {
@@ -180,6 +206,11 @@ void ChurnSim::kill(ServerId id) {
 
 void ChurnSim::revive(ServerId id) {
   if (cluster_->is_alive(id)) return;
+  // Fresh census before the fresh driver: the driver holds a raw
+  // pointer to it, and a restarted process's cluster knowledge (and
+  // sequence counter) starts from zero — peers out-sequence its stale
+  // pre-crash records via the bumped incarnation.
+  censuses_[id.value] = make_census(id);
   drivers_[id.value] = make_driver(id, ++generation_[id.value]);
   cluster_->restart_server(id);
 }

@@ -21,6 +21,7 @@
 
 #include "common/rng.hpp"
 #include "membership/driver.hpp"
+#include "obs/census.hpp"
 #include "sim/cluster.hpp"
 #include "sim/event_queue.hpp"
 
@@ -41,6 +42,12 @@ class ChurnSim {
     /// nodes listed here run SWIM with their own eviction leash instead
     /// of membership.suspicion_periods. Survives revivals.
     std::map<std::size_t, unsigned> suspicion_periods_override;
+    /// Run a per-node cost census piggybacked on the gossip (records
+    /// folded from each ClashServer, disseminated per
+    /// membership.census_max_records). Off only for experiments that
+    /// want byte-identical gossip to the pre-census protocol.
+    bool enable_census = true;
+    obs::CensusConfig census;
     std::uint64_t seed = 42;
   };
 
@@ -101,6 +108,16 @@ class ChurnSim {
   /// CRC fence (corrupted in flight but structurally valid).
   [[nodiscard]] std::uint64_t gossip_corrupt_rejected() const;
 
+  /// This node's census table (its local slice of the cluster view).
+  /// A revival replaces the census along with the driver — a restarted
+  /// process relearns the cluster from gossip like everything else.
+  [[nodiscard]] obs::Census& census_of(ServerId id) {
+    return *censuses_[id.value];
+  }
+  [[nodiscard]] const obs::Census& census_of(ServerId id) const {
+    return *censuses_[id.value];
+  }
+
   // --- Link faults & partition events ----------------------------------
   // All protocol AND gossip traffic consults cluster().links(); these
   // helpers drive whole-partition scenarios on it. Partition events
@@ -150,11 +167,13 @@ class ChurnSim {
   void sweep_convergence();
   [[nodiscard]] std::unique_ptr<membership::MembershipDriver> make_driver(
       ServerId id, std::uint64_t generation);
+  [[nodiscard]] std::unique_ptr<obs::Census> make_census(ServerId id);
 
   Config config_;
   std::unique_ptr<SimCluster> cluster_;
   EventQueue events_;
   std::vector<std::unique_ptr<GossipEnvImpl>> envs_;
+  std::vector<std::unique_ptr<obs::Census>> censuses_;
   std::vector<std::unique_ptr<membership::MembershipDriver>> drivers_;
   std::vector<std::uint64_t> generation_;  // bumped per revival
   std::vector<double> clock_rate_;         // local-clock speed (1 = true)

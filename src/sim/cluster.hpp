@@ -147,6 +147,7 @@ class SimCluster {
   /// message into transport_stats().wire_bytes (bench instrumentation:
   /// off by default, it encodes each message a second time).
   void set_wire_metering(bool on) { meter_wire_ = on; }
+  [[nodiscard]] bool wire_metering() const { return meter_wire_; }
 
   // --- Failure injection (replication extension) -----------------------
   /// Oracle-style crash: crash_server + evict_server in one step, as if

@@ -1,5 +1,7 @@
 #include "wire/codec.hpp"
 
+#include <cmath>
+
 #include "common/crc32.hpp"
 
 namespace clash::wire {
@@ -99,6 +101,51 @@ GroupHead decode_group_head(Reader& r) {
   return gh;
 }
 
+void encode_group_cost(Writer& w, const GroupCost& c) {
+  w.u64(c.puts);
+  w.u64(c.matches);
+  w.u64(c.bytes_served);
+  w.u64(c.repl_bytes);
+  w.u64(c.storage_bytes);
+}
+
+GroupCost decode_group_cost(Reader& r) {
+  GroupCost c;
+  c.puts = r.u64();
+  c.matches = r.u64();
+  c.bytes_served = r.u64();
+  c.repl_bytes = r.u64();
+  c.storage_bytes = r.u64();
+  return c;
+}
+
+void encode_census_group_cost(Writer& w, const CensusGroupCost& gc) {
+  encode_group(w, gc.group);
+  encode_group_cost(w, gc.cost);
+}
+
+CensusGroupCost decode_census_group_cost(Reader& r) {
+  CensusGroupCost gc;
+  gc.group = decode_group(r);
+  gc.cost = decode_group_cost(r);
+  return gc;
+}
+
+// Everything in the record except the trailing checksum — the exact
+// bytes census_record_crc runs over.
+void encode_census_content(Writer& w, const NodeCensusRecord& rec) {
+  w.u64(rec.node.value);
+  w.u64(rec.incarnation);
+  w.u64(rec.seq);
+  w.f64(rec.load);
+  w.u32(rec.active_groups);
+  w.u32(rec.replica_records);
+  w.u64(rec.queries);
+  w.u64(rec.streams);
+  encode_group_cost(w, rec.totals);
+  encode_vector(w, rec.top_groups, encode_census_group_cost);
+}
+
 }  // namespace
 
 void encode_log_op(Writer& w, const repl::LogOp& op) {
@@ -187,6 +234,46 @@ KeyGroup decode_group(Reader& r) {
   return KeyGroup::of(vkey, depth);
 }
 
+void encode_census_record(Writer& w, const NodeCensusRecord& rec) {
+  encode_census_content(w, rec);
+  w.u32(rec.checksum);  // trailing so the CRC bytes are a prefix
+}
+
+NodeCensusRecord decode_census_record(Reader& r) {
+  NodeCensusRecord rec;
+  rec.node = ServerId{r.u64()};
+  rec.incarnation = r.u64();
+  rec.seq = r.u64();
+  rec.load = r.f64();
+  if (r.ok() && !(std::isfinite(rec.load) && rec.load >= 0)) r.fail();
+  rec.active_groups = r.u32();
+  rec.replica_records = r.u32();
+  rec.queries = r.u64();
+  rec.streams = r.u64();
+  rec.totals = decode_group_cost(r);
+  // 50 = encoded CensusGroupCost (group 10 + cost 40).
+  if (!decode_vector(r, rec.top_groups, 50, decode_census_group_cost)) {
+    r.fail();
+  }
+  rec.checksum = r.u32();
+  return rec;
+}
+
+std::uint32_t census_record_crc(const NodeCensusRecord& rec) {
+  Writer w;
+  encode_census_content(w, rec);
+  Crc32 crc;
+  crc.update(std::span<const std::uint8_t>(w.data().data(), w.size()));
+  return crc.value();
+}
+
+std::size_t encoded_census_size(
+    const std::vector<NodeCensusRecord>& census) {
+  Writer w;
+  encode_vector(w, census, encode_census_record);
+  return w.size();
+}
+
 void encode_message(Writer& w, const Message& msg) {
   std::visit(
       [&](const auto& m) {
@@ -200,6 +287,7 @@ void encode_message(Writer& w, const Message& msg) {
           w.f64(m.stream_rate);
           w.u64(m.source.value);
           w.boolean(m.probe_only);
+          w.u64(m.trace_id);
         } else if constexpr (std::is_same_v<T, AcceptObjectOk>) {
           w.u8(std::uint8_t(MsgType::kAcceptObjectOk));
           w.u8(std::uint8_t(m.depth));
@@ -255,6 +343,7 @@ void encode_message(Writer& w, const Message& msg) {
           w.u64(m.sequence);
           w.u64(m.target.value);
           encode_vector(w, m.updates, encode_member_update);
+          encode_vector(w, m.census, encode_census_record);
         } else if constexpr (std::is_same_v<T, ReplAppend>) {
           w.u8(std::uint8_t(MsgType::kReplAppend));
           w.u32(m.checksum);
@@ -262,6 +351,7 @@ void encode_message(Writer& w, const Message& msg) {
           w.u64(m.owner.value);
           w.u64(m.epoch);
           w.u64(m.base_seq);
+          w.u64(m.trace_id);
           encode_vector(w, m.entries,
                         [](Writer& ww, const repl::LogOp& op) {
                           encode_log_op(ww, op);
@@ -279,6 +369,7 @@ void encode_message(Writer& w, const Message& msg) {
           w.boolean(m.root);
           w.u64(m.parent.value);
           w.u32(m.total_chunks);
+          w.u64(m.trace_id);
         } else if constexpr (std::is_same_v<T, SnapshotChunk>) {
           w.u8(std::uint8_t(MsgType::kSnapshotChunk));
           w.u32(m.checksum);
@@ -286,6 +377,7 @@ void encode_message(Writer& w, const Message& msg) {
           encode_log_head(w, m.head);
           w.u32(m.index);
           w.u32(m.total);
+          w.u64(m.trace_id);
           encode_vector(w, m.streams, encode_stream_info);
           encode_vector(w, m.queries, encode_query_info);
           w.u32(std::uint32_t(m.app_state.size()));
@@ -389,6 +481,7 @@ Expected<Message> decode_message(std::span<const std::uint8_t> payload) {
       m.stream_rate = r.f64();
       m.source = ClientId{r.u64()};
       m.probe_only = r.boolean();
+      m.trace_id = r.u64();
       if (r.ok() && m.depth > m.key.width()) {
         return Error::protocol("depth exceeds key width");
       }
@@ -478,6 +571,10 @@ Expected<Message> decode_message(std::span<const std::uint8_t> payload) {
       if (!decode_vector(r, m.updates, 17, decode_member_update)) {
         return Error::protocol("bad membership updates");
       }
+      // 104 = fixed census-record fields + empty top-K + checksum.
+      if (!decode_vector(r, m.census, 104, decode_census_record)) {
+        return Error::protocol("bad census records");
+      }
       out = std::move(m);
       break;
     }
@@ -488,6 +585,7 @@ Expected<Message> decode_message(std::span<const std::uint8_t> payload) {
       m.owner = ServerId{r.u64()};
       m.epoch = r.u64();
       m.base_seq = r.u64();
+      m.trace_id = r.u64();
       if (!decode_vector(r, m.entries, 9, decode_log_op)) {
         return Error::protocol("bad log entries");
       }
@@ -510,6 +608,7 @@ Expected<Message> decode_message(std::span<const std::uint8_t> payload) {
       m.root = r.boolean();
       m.parent = ServerId{r.u64()};
       m.total_chunks = r.u32();
+      m.trace_id = r.u64();
       if (r.ok() && m.total_chunks == 0) {
         return Error::protocol("snapshot offer with zero chunks");
       }
@@ -523,6 +622,7 @@ Expected<Message> decode_message(std::span<const std::uint8_t> payload) {
       m.head = decode_log_head(r);
       m.index = r.u32();
       m.total = r.u32();
+      m.trace_id = r.u64();
       if (!decode_vector(r, m.streams, 17, decode_stream_info) ||
           !decode_vector(r, m.queries, 17, decode_query_info) ||
           !decode_blob(r, m.app_state)) {

@@ -78,6 +78,19 @@ void encode_message(Writer& w, const Message& msg);
 [[nodiscard]] std::uint32_t content_crc(const ReplAppend& m);
 [[nodiscard]] std::uint32_t content_crc(const SnapshotChunk& m);
 
+/// CRC32 over one encoded census record minus its checksum field.
+/// Census records are fenced individually (not just by the enclosing
+/// Gossip checksum) because a record outlives the frame that carried
+/// it: it is re-gossiped from the receiver's table across many later
+/// frames, and each hop re-verifies the record's own proof.
+[[nodiscard]] std::uint32_t census_record_crc(const NodeCensusRecord& rec);
+
+/// Encoded bytes of a census payload as it rides a gossip frame
+/// (vector count + records). Instrumentation for the census-overhead
+/// gate, not hot path.
+[[nodiscard]] std::size_t encoded_census_size(
+    const std::vector<NodeCensusRecord>& census);
+
 /// True for the message types that carry a content checksum — the
 /// types the corrupt fault mode targets.
 [[nodiscard]] bool corruptible(const Message& msg);
@@ -128,5 +141,7 @@ void encode_group(Writer& w, const KeyGroup& g);
 [[nodiscard]] KeyGroup decode_group(Reader& r);
 void encode_log_op(Writer& w, const repl::LogOp& op);
 [[nodiscard]] repl::LogOp decode_log_op(Reader& r);
+void encode_census_record(Writer& w, const NodeCensusRecord& rec);
+[[nodiscard]] NodeCensusRecord decode_census_record(Reader& r);
 
 }  // namespace clash::wire

@@ -30,11 +30,11 @@ NodeConfig single_node_config() {
 
 /// Blocking HTTP/1.0 GET against the stats endpoint; returns the full
 /// wire response (headers + body) or fails the test.
-std::string http_get(std::uint16_t port) {
+std::string http_get(std::uint16_t port, const std::string& path = "/metrics") {
   auto fd = connect_tcp(Endpoint{"127.0.0.1", port});
   EXPECT_TRUE(fd.ok());
   if (!fd.ok()) return {};
-  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
   std::size_t sent = 0;
   while (sent < request.size()) {
     const ssize_t n = ::send(fd.value().get(), request.data() + sent,
@@ -134,6 +134,73 @@ TEST(StatsEndpoint, ServesRepeatedAndPipelinedClients) {
     EXPECT_NE(headers.find("200 OK"), std::string::npos);
     EXPECT_FALSE(obs::parse_exposition(body).empty());
   }
+
+  node.stop();
+}
+
+TEST(StatsEndpoint, ServesClusterGaugesFromTheCensus) {
+  // Membership on (self-only): the driver's tick refreshes the local
+  // census record, so the clash_cluster_* gauges fold a one-node view.
+  NodeConfig cfg = single_node_config();
+  cfg.enable_membership = true;
+  cfg.protocol_period = std::chrono::milliseconds(20);
+  ClashNode node(cfg);
+  node.start();
+  ASSERT_NE(node.stats_port(), 0);
+
+  // Wait for the first census refresh to land (loop-thread tick).
+  for (int i = 0; i < 200 && node.cluster_view().nodes.empty(); ++i) {
+    usleep(10'000);
+  }
+  ASSERT_EQ(node.cluster_view().nodes.size(), 1u);
+
+  const auto [headers, body] = split_http(http_get(node.stats_port()));
+  EXPECT_NE(headers.find("200 OK"), std::string::npos);
+  const auto parsed = obs::parse_exposition(body);
+  ASSERT_TRUE(parsed.count("clash_cluster_nodes"));
+  EXPECT_EQ(parsed.at("clash_cluster_nodes"), 1.0);
+  EXPECT_TRUE(parsed.count("clash_cluster_total_load"));
+  EXPECT_TRUE(parsed.count("clash_cluster_active_groups"));
+  EXPECT_TRUE(parsed.count("clash_cluster_census_age_periods"));
+  EXPECT_TRUE(parsed.count("clash_census_absorbed"));
+
+  node.stop();
+}
+
+TEST(StatsEndpoint, ServesTraceAndHealthzDocuments) {
+  NodeConfig cfg = single_node_config();
+  cfg.enable_membership = true;
+  cfg.protocol_period = std::chrono::milliseconds(20);
+  ClashNode node(cfg);
+  node.start();
+  ASSERT_NE(node.stats_port(), 0);
+  for (int i = 0; i < 200 && node.cluster_view().nodes.empty(); ++i) {
+    usleep(10'000);
+  }
+
+  // /trace serves a Chrome trace_event document (possibly empty).
+  const auto [trace_headers, trace_body] =
+      split_http(http_get(node.stats_port(), "/trace"));
+  EXPECT_NE(trace_headers.find("200 OK"), std::string::npos);
+  EXPECT_NE(trace_headers.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_NE(trace_body.find("\"traceEvents\""), std::string::npos);
+
+  // /healthz reports ring size and census freshness as JSON.
+  const auto [hz_headers, hz_body] =
+      split_http(http_get(node.stats_port(), "/healthz"));
+  EXPECT_NE(hz_headers.find("200 OK"), std::string::npos);
+  EXPECT_NE(hz_headers.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_NE(hz_body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(hz_body.find("\"ring_servers\":1"), std::string::npos);
+  EXPECT_NE(hz_body.find("\"census_nodes\":1"), std::string::npos);
+  EXPECT_NE(hz_body.find("\"census_max_age_periods\""), std::string::npos);
+
+  // The default path still serves the metrics document.
+  const auto [m_headers, m_body] = split_http(http_get(node.stats_port()));
+  EXPECT_NE(m_headers.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_FALSE(obs::parse_exposition(m_body).empty());
 
   node.stop();
 }

@@ -1,0 +1,246 @@
+// obs::Census: local-record refresh cadence, (incarnation, seq)
+// staleness ordering, TTL aging with duplicate-relay refresh, death
+// eviction, the budget + rotor record picker, and the view() fold.
+#include "obs/census.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "keys/key_group.hpp"
+#include "wire/codec.hpp"
+
+namespace clash::obs {
+namespace {
+
+NodeCensusRecord make_record(std::uint64_t node, std::uint64_t incarnation,
+                             std::uint64_t seq, double load = 1.0) {
+  NodeCensusRecord rec;
+  rec.node = ServerId{node};
+  rec.incarnation = incarnation;
+  rec.seq = seq;
+  rec.load = load;
+  rec.queries = 2;
+  rec.streams = 3;
+  rec.active_groups = 4;
+  rec.replica_records = 5;
+  rec.totals.bytes_served = 100;
+  rec.checksum = wire::census_record_crc(rec);
+  return rec;
+}
+
+TEST(Census, RefreshesLocalRecordOnCadence) {
+  CensusConfig cfg;
+  cfg.refresh_periods = 4;
+  Census census(ServerId{7}, cfg);
+  unsigned collects = 0;
+  census.set_collector([&](NodeCensusRecord& rec) {
+    ++collects;
+    rec.load = 0.5;
+  });
+
+  census.tick(3);  // first tick refreshes immediately
+  EXPECT_EQ(collects, 1u);
+  const NodeCensusRecord* rec = census.record_of(ServerId{7});
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->node, ServerId{7});
+  EXPECT_EQ(rec->incarnation, 3u);
+  EXPECT_EQ(rec->seq, 1u);
+  EXPECT_DOUBLE_EQ(rec->load, 0.5);
+  // The census stamps a self-consistent per-record CRC.
+  EXPECT_EQ(rec->checksum, wire::census_record_crc(*rec));
+
+  census.tick(3);
+  census.tick(3);
+  EXPECT_EQ(collects, 1u);  // ticks 2, 3: off-cadence
+  census.tick(3);
+  EXPECT_EQ(collects, 2u);  // tick 4: cadence
+  EXPECT_EQ(census.record_of(ServerId{7})->seq, 2u);
+}
+
+TEST(Census, TruncatesLocalTopGroupsToTopK) {
+  CensusConfig cfg;
+  cfg.top_k = 2;
+  Census census(ServerId{0}, cfg);
+  census.set_collector([](NodeCensusRecord& rec) {
+    for (unsigned d = 0; d < 5; ++d) {
+      CensusGroupCost gc;
+      gc.group = KeyGroup::root(24);
+      gc.cost.bytes_served = 10 * (d + 1);
+      rec.top_groups.push_back(gc);
+    }
+  });
+  census.tick(1);
+  ASSERT_NE(census.record_of(ServerId{0}), nullptr);
+  EXPECT_EQ(census.record_of(ServerId{0})->top_groups.size(), 2u);
+}
+
+TEST(Census, AbsorbOrdersByIncarnationThenSeq) {
+  Census census(ServerId{0}, {});
+  EXPECT_TRUE(census.absorb(make_record(1, 2, 5)));
+  EXPECT_EQ(census.absorbed(), 1u);
+
+  // Lower seq at the same incarnation: stale.
+  EXPECT_FALSE(census.absorb(make_record(1, 2, 4)));
+  EXPECT_EQ(census.stale_rejected(), 1u);
+  // Higher seq but LOWER incarnation: still stale (incarnation wins).
+  EXPECT_FALSE(census.absorb(make_record(1, 1, 99)));
+  EXPECT_EQ(census.stale_rejected(), 2u);
+  EXPECT_EQ(census.record_of(ServerId{1})->seq, 5u);
+
+  // Higher incarnation with a reset seq: fresher (restart case).
+  EXPECT_TRUE(census.absorb(make_record(1, 3, 1)));
+  EXPECT_EQ(census.record_of(ServerId{1})->incarnation, 3u);
+  EXPECT_EQ(census.record_of(ServerId{1})->seq, 1u);
+}
+
+TEST(Census, SelfEchoesNeverAbsorb) {
+  Census census(ServerId{4}, {});
+  // A relayed copy of our own record (even "fresher") must not install:
+  // the local collector is the only authority on the local record.
+  EXPECT_FALSE(census.absorb(make_record(4, 100, 100)));
+  EXPECT_EQ(census.table_size(), 0u);
+}
+
+TEST(Census, PeerRecordsAgeOutAfterTtl) {
+  CensusConfig cfg;
+  cfg.ttl_periods = 3;
+  Census census(ServerId{0}, cfg);
+  ASSERT_TRUE(census.absorb(make_record(1, 1, 1)));
+  census.tick(1);
+  census.tick(1);
+  census.tick(1);
+  EXPECT_EQ(census.table_size(), 1u);
+  census.tick(1);  // age 4 > ttl 3
+  EXPECT_EQ(census.table_size(), 0u);
+}
+
+TEST(Census, DuplicateRelayRefreshesAge) {
+  CensusConfig cfg;
+  cfg.ttl_periods = 3;
+  Census census(ServerId{0}, cfg);
+  ASSERT_TRUE(census.absorb(make_record(1, 1, 1)));
+  census.tick(1);
+  census.tick(1);
+  // An identical (incarnation, seq) relay is not fresher, but it proves
+  // the peer's record still circulates — reset the age.
+  EXPECT_FALSE(census.absorb(make_record(1, 1, 1)));
+  census.tick(1);
+  census.tick(1);
+  census.tick(1);
+  EXPECT_EQ(census.table_size(), 1u);
+  census.tick(1);
+  EXPECT_EQ(census.table_size(), 0u);
+}
+
+TEST(Census, LocalRecordNeverExpires) {
+  CensusConfig cfg;
+  cfg.ttl_periods = 2;
+  cfg.refresh_periods = 1000;  // refresh only on the first tick
+  Census census(ServerId{0}, cfg);
+  census.set_collector([](NodeCensusRecord&) {});
+  for (int i = 0; i < 10; ++i) census.tick(1);
+  EXPECT_NE(census.record_of(ServerId{0}), nullptr);
+}
+
+TEST(Census, ForgetDropsDeadPeerImmediately) {
+  Census census(ServerId{0}, {});
+  ASSERT_TRUE(census.absorb(make_record(1, 1, 1)));
+  ASSERT_TRUE(census.absorb(make_record(2, 1, 1)));
+  census.forget(ServerId{1});
+  EXPECT_EQ(census.record_of(ServerId{1}), nullptr);
+  EXPECT_NE(census.record_of(ServerId{2}), nullptr);
+  census.forget(ServerId{0});  // never forget self (no-op)
+  EXPECT_EQ(census.table_size(), 1u);
+}
+
+TEST(Census, PickRecordsSpendsBudgetThenRotates) {
+  CensusConfig cfg;
+  cfg.transmit_budget = 2;
+  Census census(ServerId{0}, cfg);
+  for (std::uint64_t n = 1; n <= 3; ++n) {
+    ASSERT_TRUE(census.absorb(make_record(n, 1, 1)));
+  }
+  // Budgeted pass: each record rides 2 frames eagerly.
+  for (int frame = 0; frame < 2; ++frame) {
+    const auto batch = census.pick_records(8);
+    EXPECT_EQ(batch.size(), 3u);
+  }
+  // Budget exhausted: the rotor still backfills every frame, so
+  // anti-entropy never stops.
+  const auto batch = census.pick_records(2);
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(census.pick_records(0).empty());
+}
+
+TEST(Census, PickRecordsRotorCoversTableAcrossFrames) {
+  CensusConfig cfg;
+  cfg.transmit_budget = 0;  // rotor only
+  Census census(ServerId{0}, cfg);
+  for (std::uint64_t n = 1; n <= 6; ++n) {
+    ASSERT_TRUE(census.absorb(make_record(n, 1, 1)));
+  }
+  std::set<std::uint64_t> seen;
+  for (int frame = 0; frame < 3; ++frame) {
+    for (const auto& rec : census.pick_records(2)) {
+      seen.insert(rec.node.value);
+    }
+  }
+  // 3 frames x 2 records with a round-robin cursor = all 6 peers.
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Census, ViewFoldsNodesAndTotals) {
+  Census census(ServerId{0}, {});
+  ASSERT_TRUE(census.absorb(make_record(2, 1, 1, 0.25)));
+  ASSERT_TRUE(census.absorb(make_record(1, 1, 1, 0.75)));
+
+  const ClusterView view = census.view();
+  ASSERT_EQ(view.nodes.size(), 2u);
+  EXPECT_EQ(view.nodes[0].id, ServerId{1});  // sorted by id
+  EXPECT_EQ(view.nodes[1].id, ServerId{2});
+  EXPECT_DOUBLE_EQ(view.total_load, 1.0);
+  EXPECT_EQ(view.total_queries, 4u);
+  EXPECT_EQ(view.total_streams, 6u);
+  EXPECT_EQ(view.total_groups, 8u);
+  EXPECT_EQ(view.total_replicas, 10u);
+  EXPECT_EQ(view.totals.bytes_served, 200u);
+}
+
+TEST(Census, ViewMergesAndRanksTopGroups) {
+  const auto group_a = KeyGroup::root(24);
+  const auto group_b = group_a.left_child();   // deeper, same prefix
+  const auto group_c = group_a.left_child().right_child();
+
+  Census census(ServerId{0}, {});
+  auto rec1 = make_record(1, 1, 1);
+  rec1.top_groups = {{group_a, GroupCost{0, 0, 50, 0, 0}},
+                     {group_b, GroupCost{0, 0, 10, 0, 0}}};
+  rec1.checksum = wire::census_record_crc(rec1);
+  auto rec2 = make_record(2, 1, 1);
+  rec2.top_groups = {{group_b, GroupCost{0, 0, 45, 0, 0}},
+                     {group_c, GroupCost{0, 0, 30, 0, 0}}};
+  rec2.checksum = wire::census_record_crc(rec2);
+  ASSERT_TRUE(census.absorb(rec1));
+  ASSERT_TRUE(census.absorb(rec2));
+
+  const ClusterView view = census.view();
+  ASSERT_EQ(view.top_groups.size(), 3u);
+  // group_b's cost sums across its two publishers: 10 + 45 = 55.
+  EXPECT_EQ(view.top_groups[0].group, group_b);
+  EXPECT_EQ(view.top_groups[0].cost.total_bytes(), 55u);
+  EXPECT_EQ(view.top_groups[1].group, group_a);
+  EXPECT_EQ(view.top_groups[2].group, group_c);
+}
+
+TEST(Census, ViewReportsMaxAge) {
+  Census census(ServerId{0}, {});
+  ASSERT_TRUE(census.absorb(make_record(1, 1, 1)));
+  census.tick(1);
+  census.tick(1);
+  ASSERT_TRUE(census.absorb(make_record(2, 1, 1)));
+  EXPECT_EQ(census.view().max_age_periods, 2u);
+}
+
+}  // namespace
+}  // namespace clash::obs

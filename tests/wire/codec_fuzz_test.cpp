@@ -27,6 +27,7 @@ std::vector<Message> representative_messages() {
   obj.query_id = QueryId{424242};
   obj.stream_rate = 2.5;
   obj.source = ClientId{99};
+  obj.trace_id = 0xFEEDFACE12345678ULL;
   all.emplace_back(obj);
 
   all.emplace_back(AcceptObjectOk{5});
@@ -69,6 +70,17 @@ std::vector<Message> representative_messages() {
   gossip.target = ServerId{6};
   gossip.updates.push_back({ServerId{2}, MemberState::kSuspect, 3});
   gossip.updates.push_back({ServerId{4}, MemberState::kDead, 9});
+  NodeCensusRecord census_rec;
+  census_rec.node = ServerId{4};
+  census_rec.incarnation = 9;
+  census_rec.seq = 3;
+  census_rec.load = 77.5;
+  census_rec.active_groups = 2;
+  census_rec.queries = 5;
+  census_rec.totals.bytes_served = 512;
+  census_rec.top_groups.push_back({g, GroupCost{1, 2, 3, 4, 5}});
+  census_rec.checksum = census_record_crc(census_rec);
+  gossip.census.push_back(census_rec);
   gossip.checksum = content_crc(gossip);
   all.emplace_back(gossip);
 
@@ -77,6 +89,7 @@ std::vector<Message> representative_messages() {
   app.owner = ServerId{3};
   app.epoch = 5;
   app.base_seq = 41;
+  app.trace_id = 0xABCDEF99ULL;
   app.entries.push_back(
       repl::LogOp::put_stream({ClientId{9}, Key(0x601234, 24), 2.5}));
   app.entries.push_back(
@@ -94,6 +107,7 @@ std::vector<Message> representative_messages() {
   offer.root = true;
   offer.parent = ServerId{6};
   offer.total_chunks = 3;
+  offer.trace_id = 0x1111222233334444ULL;
   all.emplace_back(offer);
 
   SnapshotChunk chunk;
@@ -101,6 +115,7 @@ std::vector<Message> representative_messages() {
   chunk.head = head;
   chunk.index = 1;
   chunk.total = 3;
+  chunk.trace_id = 0x1111222233334444ULL;
   chunk.streams.push_back({ClientId{5}, Key(0x601234, 24), 4.5});
   chunk.queries.push_back({QueryId{77}, Key(0x609999, 24)});
   chunk.app_state = {9, 8, 7};
@@ -226,6 +241,58 @@ TEST(CodecFuzz, CorruptMessageNeverSlipsPastTheContentFence) {
   }
   EXPECT_GT(fenced, 0) << "corrupt_message never produced a mutation "
                           "for the content fence to reject";
+}
+
+TEST(CodecFuzz, CensusRecordFenceCatchesWhatTheFrameFenceMisses) {
+  // The census payload carries the publisher's own CRC per record, so
+  // even a frame re-built by a relay (checksum slot zeroed, frame
+  // fence vacuous) cannot smuggle a mutated record: every byte flip
+  // that still decodes must either fail the record CRC or leave the
+  // record byte-identical.
+  const KeyGroup g = KeyGroup::parse("0110*", 24).value();
+  Gossip gossip;
+  gossip.kind = GossipKind::kPing;
+  gossip.sequence = 41;
+  gossip.target = ServerId{6};
+  NodeCensusRecord rec;
+  rec.node = ServerId{4};
+  rec.incarnation = 9;
+  rec.seq = 3;
+  rec.load = 77.5;
+  rec.totals.bytes_served = 512;
+  rec.top_groups.push_back({g, GroupCost{1, 2, 3, 4, 5}});
+  rec.checksum = census_record_crc(rec);
+  gossip.census.push_back(rec);
+  gossip.checksum = 0;  // unfenced frame: relays and tests build these
+
+  Rng rng(0xF5555EED);
+  Writer w;
+  encode_message(w, Message(gossip));
+  const auto clean = w.take();
+  int record_fenced = 0;
+  for (std::size_t pos = 0; pos < clean.size(); ++pos) {
+    auto mutated = clean;
+    mutated[pos] ^= std::uint8_t(1 + rng.below(255));
+    const auto decoded = decode_message(mutated);
+    if (!decoded.ok()) continue;
+    const auto* out = std::get_if<Gossip>(&decoded.value());
+    if (out == nullptr) continue;
+    for (const auto& out_rec : out->census) {
+      if (out_rec.checksum != 0 &&
+          out_rec.checksum != census_record_crc(out_rec)) {
+        ++record_fenced;
+        continue;  // the membership driver drops exactly these
+      }
+      // Record CRC verifies: the record content must be untouched
+      // (the flip landed outside it, or inside its checksum turning
+      // it to 0 — which un-fences but cannot alter the gauges).
+      if (out_rec.checksum != 0) {
+        EXPECT_EQ(census_record_crc(out_rec), census_record_crc(rec));
+      }
+    }
+  }
+  EXPECT_GT(record_fenced, 0)
+      << "no flip ever exercised the per-record CRC fence";
 }
 
 TEST(CodecFuzz, NonCorruptibleTypesPassThroughUntouched) {

@@ -24,6 +24,7 @@ TEST(Codec, AcceptObjectRoundTrip) {
   m.stream_rate = 2.5;
   m.source = ClientId{99};
   m.probe_only = true;
+  m.trace_id = 0xFEEDFACE12345678ULL;
 
   const auto out = std::get<AcceptObject>(round_trip(Message(m)));
   EXPECT_EQ(out.key, m.key);
@@ -33,6 +34,7 @@ TEST(Codec, AcceptObjectRoundTrip) {
   EXPECT_DOUBLE_EQ(out.stream_rate, m.stream_rate);
   EXPECT_EQ(out.source, m.source);
   EXPECT_TRUE(out.probe_only);
+  EXPECT_EQ(out.trace_id, m.trace_id);
 }
 
 TEST(Codec, AcceptKeyGroupWithStateRoundTrip) {
@@ -125,6 +127,7 @@ TEST(Codec, ReplAppendRoundTrip) {
   m.owner = ServerId{3};
   m.epoch = 5;
   m.base_seq = 41;
+  m.trace_id = 0xABCDEF99ULL;
   m.entries.push_back(
       repl::LogOp::put_stream({ClientId{9}, Key(0x601234, 24), 2.5}));
   m.entries.push_back(repl::LogOp::del_stream(ClientId{9}));
@@ -138,6 +141,7 @@ TEST(Codec, ReplAppendRoundTrip) {
   EXPECT_EQ(out.owner, m.owner);
   EXPECT_EQ(out.epoch, 5u);
   EXPECT_EQ(out.base_seq, 41u);
+  EXPECT_EQ(out.trace_id, 0xABCDEF99ULL);
   ASSERT_EQ(out.entries.size(), 5u);
   EXPECT_EQ(out.entries[0].kind, repl::OpKind::kPutStream);
   EXPECT_DOUBLE_EQ(out.entries[0].stream.rate, 2.5);
@@ -169,22 +173,26 @@ TEST(Codec, SnapshotAndAntiEntropyRoundTrip) {
   offer.root = true;
   offer.parent = ServerId{6};
   offer.total_chunks = 3;
+  offer.trace_id = 0x1111222233334444ULL;
   const auto offer_out = std::get<SnapshotOffer>(round_trip(Message(offer)));
   EXPECT_EQ(offer_out.head, head);
   EXPECT_TRUE(offer_out.root);
   EXPECT_EQ(offer_out.total_chunks, 3u);
+  EXPECT_EQ(offer_out.trace_id, offer.trace_id);
 
   SnapshotChunk chunk;
   chunk.group = g;
   chunk.head = head;
   chunk.index = 1;
   chunk.total = 3;
+  chunk.trace_id = 0x1111222233334444ULL;
   chunk.streams.push_back({ClientId{5}, Key(0x601234, 24), 4.5});
   chunk.queries.push_back({QueryId{77}, Key(0x609999, 24)});
   chunk.app_state = {9, 8, 7};
   chunk.app_deltas = {{1}, {2, 3}};
   const auto chunk_out = std::get<SnapshotChunk>(round_trip(Message(chunk)));
   EXPECT_EQ(chunk_out.index, 1u);
+  EXPECT_EQ(chunk_out.trace_id, chunk.trace_id);
   ASSERT_EQ(chunk_out.streams.size(), 1u);
   EXPECT_EQ(chunk_out.app_state, (std::vector<std::uint8_t>{9, 8, 7}));
   ASSERT_EQ(chunk_out.app_deltas.size(), 2u);
@@ -284,9 +292,10 @@ TEST(Codec, ReplAppendRejectsBadOpKind) {
   Writer w;
   encode_message(w, Message(m));
   auto bytes = w.take();
-  // The op kind byte sits right after group(10) + owner(8) + epoch(8) +
-  // base_seq(8) + count(4) = 38 bytes plus the leading type byte.
-  bytes[39] = 0xEE;
+  // The op kind byte sits right after type(1) + checksum(4) +
+  // group(10) + owner(8) + epoch(8) + base_seq(8) + trace_id(8) +
+  // count(4) = 51 bytes.
+  bytes[51] = 0xEE;
   EXPECT_FALSE(decode_message(bytes).ok());
 }
 
@@ -299,6 +308,23 @@ TEST(Codec, GossipRoundTrip) {
   m.updates.push_back({ServerId{9}, MemberState::kDead, 0});
   m.updates.push_back({ServerId{12}, MemberState::kAlive, 8});
 
+  // A census record piggybacks beside the membership rumours.
+  NodeCensusRecord rec;
+  rec.node = ServerId{3};
+  rec.incarnation = 7;
+  rec.seq = 22;
+  rec.load = 123.5;
+  rec.active_groups = 4;
+  rec.replica_records = 9;
+  rec.queries = 17;
+  rec.streams = 33;
+  rec.totals.bytes_served = 1000;
+  rec.totals.repl_bytes = 200;
+  rec.top_groups.push_back(
+      {KeyGroup::parse("0110*", 24).value(), GroupCost{1, 2, 3, 4, 5}});
+  rec.checksum = census_record_crc(rec);
+  m.census.push_back(rec);
+
   const auto out = std::get<Gossip>(round_trip(Message(m)));
   EXPECT_EQ(out.kind, m.kind);
   EXPECT_EQ(out.sequence, m.sequence);
@@ -309,6 +335,23 @@ TEST(Codec, GossipRoundTrip) {
   EXPECT_EQ(out.updates[0].incarnation, 7u);
   EXPECT_EQ(out.updates[1].state, MemberState::kDead);
   EXPECT_EQ(out.updates[2].state, MemberState::kAlive);
+  ASSERT_EQ(out.census.size(), 1u);
+  const auto& crec = out.census[0];
+  EXPECT_EQ(crec.node, rec.node);
+  EXPECT_EQ(crec.incarnation, 7u);
+  EXPECT_EQ(crec.seq, 22u);
+  EXPECT_DOUBLE_EQ(crec.load, 123.5);
+  EXPECT_EQ(crec.active_groups, 4u);
+  EXPECT_EQ(crec.replica_records, 9u);
+  EXPECT_EQ(crec.queries, 17u);
+  EXPECT_EQ(crec.streams, 33u);
+  EXPECT_EQ(crec.totals.bytes_served, 1000u);
+  ASSERT_EQ(crec.top_groups.size(), 1u);
+  EXPECT_EQ(crec.top_groups[0].group, rec.top_groups[0].group);
+  EXPECT_EQ(crec.top_groups[0].cost.storage_bytes, 5u);
+  // The per-record CRC survives the round trip and still verifies.
+  EXPECT_EQ(crec.checksum, rec.checksum);
+  EXPECT_EQ(census_record_crc(crec), crec.checksum);
 
   // An empty piggyback batch is fine.
   Gossip bare;
@@ -317,6 +360,76 @@ TEST(Codec, GossipRoundTrip) {
   bare.target = ServerId{1};
   const auto bare_out = std::get<Gossip>(round_trip(Message(bare)));
   EXPECT_TRUE(bare_out.updates.empty());
+  EXPECT_TRUE(bare_out.census.empty());
+}
+
+TEST(Codec, CensusRecordRejectsMalformedPayloads) {
+  Gossip m;
+  m.kind = GossipKind::kPing;
+  m.sequence = 1;
+  m.target = ServerId{2};
+  NodeCensusRecord rec;
+  rec.node = ServerId{3};
+  rec.incarnation = 1;
+  rec.seq = 1;
+  rec.load = 0.5;
+  rec.top_groups.push_back(
+      {KeyGroup::parse("01*", 24).value(), GroupCost{1, 1, 1, 1, 1}});
+  rec.checksum = census_record_crc(rec);
+  m.census.push_back(rec);
+
+  Writer w;
+  encode_message(w, Message(m));
+  const auto bytes = w.take();
+
+  // Every strict prefix of the frame is an error — truncation can
+  // never surface a plausible census record.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(decode_message(std::span(bytes.data(), len)).ok())
+        << "prefix of " << len << " bytes decoded";
+  }
+
+  // A non-finite or negative load is rejected structurally (it would
+  // poison every view() fold downstream of one bad frame).
+  auto poison = rec;
+  poison.load = -1.0;
+  Gossip bad;
+  bad.kind = GossipKind::kPing;
+  bad.sequence = 1;
+  bad.target = ServerId{2};
+  bad.census.push_back(poison);
+  Writer wb;
+  encode_message(wb, Message(bad));
+  EXPECT_FALSE(decode_message(wb.data()).ok());
+
+  // Adversarial census count: more records than bytes remain.
+  Writer wc;
+  wc.u8(12);  // MsgType::kGossip
+  wc.u32(0);  // checksum slot
+  wc.u8(0);   // kPing
+  wc.u64(1);
+  wc.u64(2);
+  wc.u32(0);         // zero membership updates
+  wc.u32(0xFFFFFF);  // absurd census count
+  EXPECT_FALSE(decode_message(wc.data()).ok());
+}
+
+TEST(Codec, CensusRecordCrcDetectsFieldTampering) {
+  NodeCensusRecord rec;
+  rec.node = ServerId{5};
+  rec.incarnation = 2;
+  rec.seq = 9;
+  rec.load = 1.25;
+  rec.totals.bytes_served = 4096;
+  rec.checksum = census_record_crc(rec);
+  EXPECT_EQ(census_record_crc(rec), rec.checksum);
+  // Any gauge flip invalidates the publisher's proof.
+  auto tampered = rec;
+  tampered.totals.bytes_served = 4097;
+  EXPECT_NE(census_record_crc(tampered), rec.checksum);
+  auto reseq = rec;
+  reseq.seq = 10;
+  EXPECT_NE(census_record_crc(reseq), rec.checksum);
 }
 
 TEST(Codec, GossipRejectsMalformedPayloads) {
