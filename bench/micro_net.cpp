@@ -75,6 +75,7 @@ ThroughputResult run_throughput(std::size_t frame_bytes, std::uint64_t total,
                                 std::size_t batch,
                                 obs::Hub* hub = nullptr) {
   EventLoop loop;
+  CLASH_ASSERT_ON_LOOP(loop);  // loop idle until run(): we hold affinity
   if (hub != nullptr) {
     loop.set_obs(hub->registry.histogram("clash_loop_tick_usec").raw(),
                  &hub->tracer, 0);
@@ -128,6 +129,7 @@ ThroughputResult run_throughput(std::size_t frame_bytes, std::uint64_t total,
 /// the next on receipt. Returns average round-trip in microseconds.
 double run_latency(std::uint64_t round_trips) {
   EventLoop loop;
+  CLASH_ASSERT_ON_LOOP(loop);  // loop idle until run(): we hold affinity
   auto listener = listen_tcp(Endpoint{"127.0.0.1", 0}).value();
   const auto port = bound_port(listener).value();
 

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Reject implicit-memory-order atomic operations in src/obs.
+
+The observability layer is the one subsystem whose atomics are hit from
+every thread (counters from the loop, scrapes from anywhere), so each
+operation must state the ordering it actually needs: seq_cst-by-default
+both hides the intent and costs fences on ARM. A counter bump is
+`fetch_add(1, std::memory_order_relaxed)`; a published flag is
+acquire/release. No bare `.load()` / `.store(x)` / `.fetch_add(x)`.
+
+Scope is src/obs (plus src/net/event_loop.* which carries the
+loop-state atomics the obs layer reads). Inline suppression:
+`lint:allow-implicit-order(<reason>)` on the line.
+"""
+
+import pathlib
+import re
+import sys
+
+ATOMIC_CALL_RE = re.compile(
+    r"\.(fetch_add|fetch_sub|fetch_or|fetch_and|load|store|exchange)"
+    r"\s*\("
+)
+
+SCAN_PATHS = [
+    "src/obs",
+    "src/net/event_loop.hpp",
+    "src/net/event_loop.cpp",
+]
+
+ALLOW_MARKER = "lint:allow-implicit-order"
+
+
+def call_args(text: str, open_paren: int) -> str:
+    """The argument text of the call whose '(' is at open_paren."""
+    depth = 0
+    for i in range(open_paren, min(len(text), open_paren + 500)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1 : i]
+    return text[open_paren + 1 :]
+
+
+def scan_text(rel_path: str, text: str) -> list[str]:
+    violations = []
+    lines = text.splitlines()
+    offsets = []
+    pos = 0
+    for line in lines:
+        offsets.append(pos)
+        pos += len(line) + 1
+    for m in ATOMIC_CALL_RE.finditer(text):
+        lineno = next(
+            i + 1
+            for i in range(len(offsets) - 1, -1, -1)
+            if offsets[i] <= m.start()
+        )
+        line = lines[lineno - 1]
+        if ALLOW_MARKER in line:
+            continue
+        # Ignore comments (prose mentioning .load( etc.).
+        comment_at = line.find("//")
+        if comment_at != -1 and (m.start() - offsets[lineno - 1]) > comment_at:
+            continue
+        args = call_args(text, m.end() - 1)
+        if "memory_order" not in args:
+            violations.append(
+                f"{rel_path}:{lineno}: `{m.group(1)}` without an explicit "
+                f"std::memory_order (state the ordering, or mark the line "
+                f"`{ALLOW_MARKER}(<reason>)`)"
+            )
+    return violations
+
+
+def scan_tree(root: pathlib.Path) -> list[str]:
+    violations = []
+    for entry in SCAN_PATHS:
+        path = root / entry
+        files = (
+            sorted(p for p in path.rglob("*")
+                   if p.suffix in (".cpp", ".hpp", ".h", ".cc"))
+            if path.is_dir()
+            else [path]
+        )
+        for f in files:
+            if f.exists():
+                rel = f.relative_to(root).as_posix()
+                violations.extend(scan_text(rel, f.read_text()))
+    return violations
+
+
+def selftest() -> int:
+    bad = (
+        "void f() {\n"
+        "  count_.fetch_add(1);\n"
+        "  running_.store(true);\n"
+        "  if (running_.load()) return;\n"
+        "}\n"
+    )
+    hits = scan_text("src/obs/fake.hpp", bad)
+    assert len(hits) == 3, f"expected 3 violations, got {hits}"
+
+    good = (
+        "void f() {\n"
+        "  count_.fetch_add(1, std::memory_order_relaxed);\n"
+        "  running_.store(true, std::memory_order_release);\n"
+        "  if (running_.load(std::memory_order_acquire)) return;\n"
+        "  // prose about .load() in a comment is fine\n"
+        "  legacy_.load();  // lint:allow-implicit-order(selftest)\n"
+        "}\n"
+    )
+    assert scan_text("src/obs/fake.hpp", good) == []
+
+    multiline = (
+        "void f() {\n"
+        "  count_.fetch_add(\n"
+        "      1, std::memory_order_relaxed);\n"
+        "}\n"
+    )
+    assert scan_text("src/obs/fake.hpp", multiline) == []
+    print("check_atomics: selftest OK")
+    return 0
+
+
+def main() -> int:
+    if "--selftest" in sys.argv:
+        return selftest()
+    root = pathlib.Path(__file__).resolve().parents[2]
+    violations = scan_tree(root)
+    for v in violations:
+        print(v, file=sys.stderr)
+    if violations:
+        print(f"check_atomics: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("check_atomics: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Reject blocking syscalls on EventLoop tick paths.
+
+The net layer runs single-threaded on an epoll loop: one blocking call
+(fsync, sleep, a blocking connect) stalls every peer, timer, and stats
+client the node serves. Durable I/O belongs in src/storage (the WAL's
+fsync runs there under an explicit policy); sleeping belongs nowhere.
+
+Scans src/net, src/obs, and src/membership for calls to a blocking
+primitive. Suppressions live in EXEMPT_FILES below with a one-line
+justification each, or inline via a `lint:allow-blocking(<reason>)`
+comment on the offending line.
+"""
+
+import pathlib
+import re
+import sys
+
+# Each pattern must match a call site, not a name mention.
+BLOCKING_PATTERNS = [
+    (re.compile(r"\bfsync\s*\("), "fsync"),
+    (re.compile(r"\bfdatasync\s*\("), "fdatasync"),
+    (re.compile(r"(?<![_\w])sleep\s*\("), "sleep"),
+    (re.compile(r"\busleep\s*\("), "usleep"),
+    (re.compile(r"\bnanosleep\s*\("), "nanosleep"),
+    (re.compile(r"\bsleep_for\s*\("), "std::this_thread::sleep_for"),
+    (re.compile(r"\bsleep_until\s*\("), "std::this_thread::sleep_until"),
+    (re.compile(r"\bsystem\s*\("), "system"),
+    (re.compile(r"\bpopen\s*\("), "popen"),
+    # The blocking connect variant; loop code must use connect_tcp_async.
+    (re.compile(r"\bconnect_tcp\s*\((?!.*_async)"), "connect_tcp"),
+]
+
+# Directories whose code runs on (or is reachable from) the event loop.
+SCAN_DIRS = ["src/net", "src/obs", "src/membership"]
+
+# Suppression baseline: every entry carries its justification and is
+# re-audited when this file changes. src/storage is not scanned at all —
+# it is the sanctioned home of durable (blocking) I/O, driven by the
+# loop under an explicit fsync policy.
+EXEMPT_FILES = {
+    # Deliberately synchronous operator/test client; runs on the
+    # caller's thread, never on a node's event loop.
+    "src/net/blocking_client.cpp",
+    # Definition + declaration site of the blocking connect itself;
+    # loop code is required to call connect_tcp_async instead.
+    "src/net/socket.cpp",
+    "src/net/socket.hpp",
+}
+
+ALLOW_MARKER = "lint:allow-blocking"
+
+
+def scan_text(rel_path: str, text: str) -> list[str]:
+    """Return one violation message per blocking call found."""
+    if rel_path in EXEMPT_FILES:
+        return []
+    violations = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if ALLOW_MARKER in line:
+            continue
+        # Strip line comments so prose about fsync does not trip it.
+        code = line.split("//", 1)[0]
+        for pattern, name in BLOCKING_PATTERNS:
+            if pattern.search(code):
+                violations.append(
+                    f"{rel_path}:{lineno}: blocking call `{name}` on an "
+                    f"event-loop path (move it to src/storage or mark "
+                    f"the line `{ALLOW_MARKER}(<reason>)`)"
+                )
+    return violations
+
+
+def scan_tree(root: pathlib.Path) -> list[str]:
+    violations = []
+    for scan_dir in SCAN_DIRS:
+        base = root / scan_dir
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".cpp", ".hpp", ".h", ".cc"):
+                continue
+            rel = path.relative_to(root).as_posix()
+            violations.extend(scan_text(rel, path.read_text()))
+    return violations
+
+
+def selftest() -> int:
+    """The check must fire on seeded violations and stay quiet on
+    sanctioned constructs."""
+    bad = "void tick() {\n  ::fsync(fd_);\n  sleep(1);\n}\n"
+    hits = scan_text("src/net/fake.cpp", bad)
+    assert len(hits) == 2, f"expected 2 violations, got {hits}"
+
+    allowed = "void tick() {\n  ::fsync(fd_);  // lint:allow-blocking(test)\n}\n"
+    assert scan_text("src/net/fake.cpp", allowed) == []
+
+    exempt = scan_text("src/net/blocking_client.cpp", bad)
+    assert exempt == [], "exempt file must not report"
+
+    clean = "void tick() {\n  connect_tcp_async(ep);\n  loop_.defer(fn);\n}\n"
+    assert scan_text("src/net/fake.cpp", clean) == []
+    print("check_blocking: selftest OK")
+    return 0
+
+
+def main() -> int:
+    if "--selftest" in sys.argv:
+        return selftest()
+    root = pathlib.Path(__file__).resolve().parents[2]
+    violations = scan_tree(root)
+    for v in violations:
+        print(v, file=sys.stderr)
+    if violations:
+        print(f"check_blocking: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("check_blocking: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# clang-format gate: the tree must be byte-identical to what the
+# repo's .clang-format produces. Runs --dry-run --Werror over every
+# tracked C++ file; any diff fails the check.
+#
+# CLANG_FORMAT overrides the binary (CI pins a version there). When no
+# clang-format is installed locally the check is skipped with a notice
+# rather than failed — the CI gate is authoritative.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check_format: $CLANG_FORMAT not found; skipping (CI enforces)"
+  exit 0
+fi
+
+cd "$ROOT"
+FILES=$(git ls-files '*.cpp' '*.hpp' '*.h' '*.cc')
+if [ -z "$FILES" ]; then
+  echo "check_format: no C++ files tracked"
+  exit 0
+fi
+
+# shellcheck disable=SC2086
+if "$CLANG_FORMAT" --dry-run --Werror $FILES; then
+  echo "check_format: OK"
+else
+  echo "check_format: formatting violations (run: $CLANG_FORMAT -i <files>)" >&2
+  exit 1
+fi

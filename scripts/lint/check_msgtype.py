@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Every wire MsgType enumerator must be dispatched and fuzz-covered.
+
+A new wire message that encodes but never decodes (or vice versa) is a
+silent protocol hole; one that decodes but is never fuzzed is a crash
+waiting for the corrupt fault mode. This check parses the MsgType enum
+from src/wire/codec.hpp and requires each enumerator to
+
+  1. appear at least twice in src/wire/codec.cpp — once on the encode
+     side (`w.u8(std::uint8_t(MsgType::kX))`) and once in the decode
+     dispatch (`case MsgType::kX:`), and
+  2. have its payload struct (the enumerator name minus the leading
+     `k`) exercised in tests/wire/codec_fuzz_test.cpp's representative
+     corpus.
+"""
+
+import pathlib
+import re
+import sys
+
+ENUM_RE = re.compile(
+    r"enum\s+class\s+MsgType[^{]*\{(?P<body>.*?)\}", re.DOTALL
+)
+ENUMERATOR_RE = re.compile(r"^\s*(k\w+)\s*=", re.MULTILINE)
+
+
+def parse_enumerators(codec_hpp: str) -> list[str]:
+    m = ENUM_RE.search(codec_hpp)
+    if m is None:
+        raise RuntimeError("MsgType enum not found in codec.hpp")
+    return ENUMERATOR_RE.findall(m.group("body"))
+
+
+def check(codec_hpp: str, codec_cpp: str, fuzz_cpp: str) -> list[str]:
+    violations = []
+    enumerators = parse_enumerators(codec_hpp)
+    if not enumerators:
+        return ["no MsgType enumerators parsed from codec.hpp"]
+    for name in enumerators:
+        dispatch_uses = len(
+            re.findall(rf"MsgType::{name}\b", codec_cpp)
+        )
+        if dispatch_uses < 2:
+            violations.append(
+                f"MsgType::{name}: {dispatch_uses} use(s) in codec.cpp "
+                f"(need encode + decode dispatch)"
+            )
+        struct_name = name[1:]  # kAcceptObject -> AcceptObject
+        if not re.search(rf"\b{struct_name}\b", fuzz_cpp):
+            violations.append(
+                f"MsgType::{name}: payload struct {struct_name} missing "
+                f"from tests/wire/codec_fuzz_test.cpp's representative "
+                f"corpus"
+            )
+    return violations
+
+
+def selftest() -> int:
+    """Seed an unregistered enumerator; the check must flag both the
+    missing dispatch and the missing fuzz coverage."""
+    hpp = """
+    enum class MsgType : std::uint8_t {
+      kPing = 1,
+      kBogusUnregistered = 2,
+    };
+    """
+    cpp = """
+    w.u8(std::uint8_t(MsgType::kPing));
+    case MsgType::kPing: { break; }
+    """
+    fuzz = "all.emplace_back(Ping{});"
+    hits = check(hpp, cpp, fuzz)
+    assert len(hits) == 2, f"expected 2 violations, got {hits}"
+    assert any("kBogusUnregistered" in h and "codec.cpp" in h
+               for h in hits)
+    assert any("BogusUnregistered" in h and "corpus" in h for h in hits)
+
+    # Encode-only (one mention) must also be flagged.
+    cpp_encode_only = "w.u8(std::uint8_t(MsgType::kPing));"
+    hits = check(
+        "enum class MsgType : std::uint8_t { kPing = 1, };",
+        cpp_encode_only,
+        fuzz,
+    )
+    assert len(hits) == 1 and "need encode + decode" in hits[0], hits
+
+    # Fully registered enumerator: quiet.
+    assert check(
+        "enum class MsgType : std::uint8_t { kPing = 1, };", cpp, fuzz
+    ) == []
+    print("check_msgtype: selftest OK")
+    return 0
+
+
+def main() -> int:
+    if "--selftest" in sys.argv:
+        return selftest()
+    root = pathlib.Path(__file__).resolve().parents[2]
+    violations = check(
+        (root / "src/wire/codec.hpp").read_text(),
+        (root / "src/wire/codec.cpp").read_text(),
+        (root / "tests/wire/codec_fuzz_test.cpp").read_text(),
+    )
+    for v in violations:
+        print(v, file=sys.stderr)
+    if violations:
+        print(f"check_msgtype: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("check_msgtype: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+// common::AffinityToken: a phantom capability representing "running in
+// this object's home context" — for CLASH that is almost always one
+// EventLoop's thread (or the simulator's single thread). Classes whose
+// state is protected by affinity instead of a mutex (Census, NodeStore,
+// MembershipDriver, Connection, EventLoop internals) declare a token
+// and mark members CLASH_GUARDED_BY(token): clang then demands a
+// visible witness — assert_held() / CLASH_ASSERT_ON_LOOP — on every
+// access path, turning "single-threaded by convention" into a
+// compile-time contract.
+//
+// assert_held() is the witness. Statically it asserts the capability
+// for the rest of the scope. At runtime (CLASH_LOOP_CHECKS builds) it
+// consults an optional probe: net::ClashNode binds its tokens to "the
+// event-loop thread, or the loop is idle", so cross-thread misuse
+// aborts with a diagnostic instead of racing silently. Unbound tokens
+// (simulator, unit tests — genuinely single-threaded) check nothing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/thread_annotations.hpp"
+
+namespace clash::common {
+
+class CLASH_CAPABILITY("affinity") AffinityToken {
+ public:
+  /// Returns true when the calling thread may touch the guarded state.
+  using Probe = bool (*)(const void* ctx);
+
+  AffinityToken() = default;
+  AffinityToken(const AffinityToken&) = delete;
+  AffinityToken& operator=(const AffinityToken&) = delete;
+
+  /// Attach a runtime probe (call during single-threaded setup, before
+  /// the home context starts running). `what` names the context in the
+  /// abort diagnostic. nullptr detaches.
+  void bind(Probe probe, const void* ctx, const char* what) {
+    ctx_ = ctx;
+    what_ = what;
+    probe_ = probe;
+  }
+
+  /// The capability witness: declares (to clang) and checks (in
+  /// CLASH_LOOP_CHECKS builds) that the caller is in the home context.
+  void assert_held() const CLASH_ASSERT_CAPABILITY(this) {
+#if CLASH_LOOP_CHECKS
+    if (probe_ != nullptr && !probe_(ctx_)) {
+      std::fprintf(stderr,
+                   "clash: affinity violation: %s state touched off its "
+                   "home thread\n",
+                   what_ == nullptr ? "affine" : what_);
+      std::fflush(stderr);
+      std::abort();
+    }
+#endif
+  }
+
+ private:
+  // Written once during setup, read from any thread afterwards; the
+  // bind-before-run contract (above) is what makes that safe.
+  Probe probe_ = nullptr;
+  const void* ctx_ = nullptr;
+  const char* what_ = nullptr;
+};
+
+}  // namespace clash::common

@@ -1,0 +1,50 @@
+// common::Mutex / MutexLock: std::mutex with clang capability
+// annotations. libstdc++'s std::mutex carries no thread-safety
+// attributes, so a std::lock_guard is invisible to -Wthread-safety —
+// guarded members would warn even in correctly locked code. This
+// wrapper is the visible lock witness: MutexLock's constructor
+// ACQUIREs the capability for its scope, so clang can prove every
+// CLASH_GUARDED_BY access. Zero overhead — both types compile down to
+// exactly std::mutex and std::lock_guard.
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace clash::common {
+
+class CLASH_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CLASH_ACQUIRE() { mu_.lock(); }
+  void unlock() CLASH_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() CLASH_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+  /// Escape hatch for interop (condition variables); using it bypasses
+  /// the analysis for whatever is done with the raw mutex.
+  [[nodiscard]] std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock with a scope the analysis understands.
+class CLASH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CLASH_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CLASH_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace clash::common

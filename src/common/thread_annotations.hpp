@@ -1,0 +1,80 @@
+// Thread-safety annotation macros over clang's capability analysis
+// (-Wthread-safety). On clang every CLASH_* macro expands to the
+// corresponding attribute and the whole tree is checked statically: a
+// member declared CLASH_GUARDED_BY(mu_) read without mu_ held, or a
+// CLASH_REQUIRES(...) function called without its capability, is a
+// compile error under -Werror=thread-safety. On GCC (which has no
+// equivalent analysis) they expand to nothing, so annotations are free
+// to use everywhere.
+//
+// The vocabulary mirrors Abseil's thread_annotations.h, which mirrors
+// clang's documented attribute set:
+//   CLASH_CAPABILITY(x)      - class declares a capability ("mutex",
+//                              "loop thread", ...)
+//   CLASH_SCOPED_CAPABILITY  - RAII type that acquires in its ctor and
+//                              releases in its dtor (MutexLock)
+//   CLASH_GUARDED_BY(c)      - member may only be touched holding c
+//   CLASH_PT_GUARDED_BY(c)   - pointee guarded by c (the pointer isn't)
+//   CLASH_REQUIRES(...)      - caller must hold the capabilities
+//   CLASH_REQUIRES_SHARED    - ... in shared (reader) mode
+//   CLASH_ACQUIRE / CLASH_RELEASE / CLASH_TRY_ACQUIRE
+//                            - locking-function effects
+//   CLASH_EXCLUDES(...)      - caller must NOT hold (anti-deadlock)
+//   CLASH_ASSERT_CAPABILITY  - runtime check that implies the
+//                              capability for the rest of the scope
+//   CLASH_RETURN_CAPABILITY  - getter returning a reference to c
+//   CLASH_NO_THREAD_SAFETY_ANALYSIS
+//                            - opt a function out (justify in a comment)
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CLASH_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef CLASH_THREAD_ANNOTATION
+#define CLASH_THREAD_ANNOTATION(x)
+#endif
+
+#define CLASH_CAPABILITY(x) CLASH_THREAD_ANNOTATION(capability(x))
+#define CLASH_SCOPED_CAPABILITY CLASH_THREAD_ANNOTATION(scoped_lockable)
+#define CLASH_GUARDED_BY(x) CLASH_THREAD_ANNOTATION(guarded_by(x))
+#define CLASH_PT_GUARDED_BY(x) CLASH_THREAD_ANNOTATION(pt_guarded_by(x))
+#define CLASH_ACQUIRED_BEFORE(...) \
+  CLASH_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define CLASH_ACQUIRED_AFTER(...) \
+  CLASH_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define CLASH_REQUIRES(...) \
+  CLASH_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define CLASH_REQUIRES_SHARED(...) \
+  CLASH_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define CLASH_ACQUIRE(...) \
+  CLASH_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CLASH_ACQUIRE_SHARED(...) \
+  CLASH_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define CLASH_RELEASE(...) \
+  CLASH_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define CLASH_RELEASE_SHARED(...) \
+  CLASH_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define CLASH_TRY_ACQUIRE(...) \
+  CLASH_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define CLASH_EXCLUDES(...) \
+  CLASH_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define CLASH_ASSERT_CAPABILITY(x) \
+  CLASH_THREAD_ANNOTATION(assert_capability(x))
+#define CLASH_RETURN_CAPABILITY(x) CLASH_THREAD_ANNOTATION(lock_returned(x))
+#define CLASH_NO_THREAD_SAFETY_ANALYSIS \
+  CLASH_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// Runtime half of the affinity checks (CLASH_ASSERT_ON_LOOP and
+// AffinityToken::assert_held): compiled in when CLASH_LOOP_CHECKS is 1.
+// The build defaults it ON through CMake (option CLASH_LOOP_CHECKS);
+// without a CMake opinion it follows NDEBUG, so a bare release build
+// pays zero cost. The static (clang) half is always on.
+#ifndef CLASH_LOOP_CHECKS
+#ifdef NDEBUG
+#define CLASH_LOOP_CHECKS 0
+#else
+#define CLASH_LOOP_CHECKS 1
+#endif
+#endif

@@ -43,6 +43,7 @@ void MembershipDriver::drain_view_events() {
 }
 
 void MembershipDriver::tick() {
+  affinity_.assert_held();
   ++period_;
   if (census_ != nullptr) census_->tick(view_.self_incarnation());
 
@@ -83,6 +84,7 @@ void MembershipDriver::tick() {
 }
 
 void MembershipDriver::handle(ServerId from, const Gossip& msg) {
+  affinity_.assert_held();
   // Corruption fence: a rumour batch damaged in flight but still
   // structurally valid could suspect (or kill) an arbitrary member at
   // an arbitrary incarnation — the worst possible garbage to install.

@@ -31,6 +31,7 @@ std::shared_ptr<Connection> Connection::adopt(EventLoop& loop, Fd fd,
   set_nonblocking(fd);
   auto conn = std::shared_ptr<Connection>(new Connection(
       loop, std::move(fd), std::move(on_frame), std::move(on_close)));
+  conn->on_loop_.assert_held();
   conn->register_with_loop();
   return conn;
 }
@@ -38,6 +39,7 @@ std::shared_ptr<Connection> Connection::adopt(EventLoop& loop, Fd fd,
 Connection::Connection(EventLoop& loop, Fd fd, FrameHandler on_frame,
                        CloseHandler on_close)
     : loop_(loop),
+      on_loop_(loop.loop_thread()),
       fd_(std::move(fd)),
       on_frame_(std::move(on_frame)),
       on_close_(std::move(on_close)) {}
@@ -47,15 +49,20 @@ Connection::~Connection() {
 }
 
 void Connection::register_with_loop() {
+  loop_.assert_on_loop();
   // Keep a weak reference: the owner (node/transport) holds the shared
   // pointer; the loop callback must not extend the lifetime on close.
   std::weak_ptr<Connection> weak = shared_from_this();
   loop_.add_fd(fd_.get(), EPOLLIN, [weak](std::uint32_t events) {
-    if (const auto self = weak.lock()) self->on_events(events);
+    const auto self = weak.lock();
+    if (self == nullptr) return;
+    self->on_loop_.assert_held();
+    self->on_events(events);
   });
 }
 
 void Connection::set_obs(obs::Hub* hub) {
+  on_loop_.assert_held();
   if (hub == nullptr) {
     frames_sent_c_ = {};
     bytes_sent_c_ = {};
@@ -133,6 +140,7 @@ void Connection::parse_frames() {
 }
 
 bool Connection::send_frame(std::span<const std::uint8_t> payload) {
+  on_loop_.assert_held();
   if (closed()) return false;
   if (payload.size() > kMaxFrame) {
     ++stats_.send_oversized;
@@ -148,6 +156,7 @@ bool Connection::send_frame(std::span<const std::uint8_t> payload) {
 }
 
 bool Connection::send_wire_frame(std::vector<std::uint8_t>&& frame) {
+  on_loop_.assert_held();
   if (closed()) return false;
   if (frame.size() < 4 ||
       wire::load_u32_le(frame.data()) != frame.size() - 4) {
@@ -238,14 +247,14 @@ bool Connection::enqueue_fifo(std::vector<std::uint8_t>&& frame,
     ++stats_.faults_delayed;
     delayed_q_.push_back(std::move(frame));
     std::weak_ptr<Connection> weak = weak_from_this();
+    loop_.assert_on_loop();
     loop_.call_after(
         std::chrono::duration_cast<std::chrono::microseconds>(target - now),
         [weak] {
           const auto self = weak.lock();
-          if (self == nullptr || self->closed() ||
-              self->delayed_q_.empty()) {
-            return;
-          }
+          if (self == nullptr) return;
+          self->on_loop_.assert_held();
+          if (self->closed() || self->delayed_q_.empty()) return;
           auto head = std::move(self->delayed_q_.front());
           self->delayed_q_.pop_front();
           self->enqueue_now(std::move(head));
@@ -259,9 +268,12 @@ void Connection::schedule_reordered(std::vector<std::uint8_t>&& frame,
                                     std::chrono::microseconds delay) {
   std::weak_ptr<Connection> weak = weak_from_this();
   auto shared = std::make_shared<std::vector<std::uint8_t>>(std::move(frame));
+  loop_.assert_on_loop();
   loop_.call_after(delay, [weak, shared] {
     const auto self = weak.lock();
-    if (self == nullptr || self->closed()) return;
+    if (self == nullptr) return;
+    self->on_loop_.assert_held();
+    if (self->closed()) return;
     self->enqueue_now(std::move(*shared));
   });
 }
@@ -276,8 +288,12 @@ bool Connection::enqueue_now(std::vector<std::uint8_t>&& frame) {
   if (!flush_scheduled_ && !want_write_) {
     flush_scheduled_ = true;
     std::weak_ptr<Connection> weak = weak_from_this();
+    loop_.assert_on_loop();
     loop_.defer([weak] {
-      if (const auto self = weak.lock()) self->flush();
+      const auto self = weak.lock();
+      if (self == nullptr) return;
+      self->on_loop_.assert_held();
+      self->flush();
     });
   }
   return true;
@@ -332,6 +348,7 @@ void Connection::flush() {
 }
 
 std::size_t Connection::send_queue_bytes() const {
+  on_loop_.assert_held();
   std::size_t total = 0;
   for (const auto& f : out_q_) total += f.size();
   return total - out_head_offset_;
@@ -341,12 +358,15 @@ void Connection::update_interest() {
   const bool need_write = !out_q_.empty();
   if (need_write == want_write_) return;
   want_write_ = need_write;
+  loop_.assert_on_loop();
   loop_.modify_fd(fd_.get(),
                   EPOLLIN | (need_write ? std::uint32_t(EPOLLOUT) : 0u));
 }
 
 void Connection::close() {
+  on_loop_.assert_held();
   if (closed()) return;
+  loop_.assert_on_loop();
   loop_.remove_fd(fd_.get());
   fd_.reset();
   auto& pool = wire::BufferPool::local();

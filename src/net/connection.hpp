@@ -8,6 +8,12 @@
 // loop tick is flushed with a single writev(2) at end of tick.
 // Inbound bytes land in a consume-cursor arena — parsing advances a
 // cursor instead of memmoving the buffer per batch.
+//
+// Thread contract: a Connection is affine to its EventLoop. Every
+// member is CLASH_GUARDED_BY(on_loop_) — the loop's affinity
+// capability — and every public method witnesses it at entry, so
+// off-loop use aborts in CLASH_LOOP_CHECKS builds and guarded access
+// without a witness fails clang's -Wthread-safety.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +23,8 @@
 #include <span>
 #include <vector>
 
+#include "common/affinity.hpp"
+#include "common/thread_annotations.hpp"
 #include "net/event_loop.hpp"
 #include "net/fault.hpp"
 #include "net/socket.hpp"
@@ -81,6 +89,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// may be dropped or delayed before reaching the socket queue
   /// (deterministic partition / lossy-link tests). nullptr detaches.
   void set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+    on_loop_.assert_held();
     fault_ = std::move(injector);
   }
 
@@ -96,12 +105,22 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// (snapshot-chunk flow control).
   using DrainHandler = std::function<void()>;
   void set_drain_handler(DrainHandler handler) {
+    on_loop_.assert_held();
     on_drain_ = std::move(handler);
   }
 
-  [[nodiscard]] bool closed() const { return !fd_.valid(); }
-  [[nodiscard]] int fd() const { return fd_.get(); }
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] bool closed() const {
+    on_loop_.assert_held();
+    return !fd_.valid();
+  }
+  [[nodiscard]] int fd() const {
+    on_loop_.assert_held();
+    return fd_.get();
+  }
+  [[nodiscard]] const Stats& stats() const {
+    on_loop_.assert_held();
+    return stats_;
+  }
   /// Bytes queued but not yet accepted by the kernel (backpressure).
   [[nodiscard]] std::size_t send_queue_bytes() const;
 
@@ -109,55 +128,61 @@ class Connection : public std::enable_shared_from_this<Connection> {
   Connection(EventLoop& loop, Fd fd, FrameHandler on_frame,
              CloseHandler on_close);
 
-  void register_with_loop();
-  void on_events(std::uint32_t events);
-  void handle_readable();
-  bool enqueue(std::vector<std::uint8_t>&& frame);
+  void register_with_loop() CLASH_REQUIRES(on_loop_);
+  void on_events(std::uint32_t events) CLASH_REQUIRES(on_loop_);
+  void handle_readable() CLASH_REQUIRES(on_loop_);
+  bool enqueue(std::vector<std::uint8_t>&& frame) CLASH_REQUIRES(on_loop_);
   /// Enqueue preserving send order (delay timers drain a FIFO).
   bool enqueue_fifo(std::vector<std::uint8_t>&& frame,
-                    std::chrono::microseconds delay);
+                    std::chrono::microseconds delay)
+      CLASH_REQUIRES(on_loop_);
   /// Enqueue after `delay` outside the FIFO — later frames overtake.
   void schedule_reordered(std::vector<std::uint8_t>&& frame,
-                          std::chrono::microseconds delay);
-  bool enqueue_now(std::vector<std::uint8_t>&& frame);
-  void flush();
-  void update_interest();
-  void parse_frames();
+                          std::chrono::microseconds delay)
+      CLASH_REQUIRES(on_loop_);
+  bool enqueue_now(std::vector<std::uint8_t>&& frame)
+      CLASH_REQUIRES(on_loop_);
+  void flush() CLASH_REQUIRES(on_loop_);
+  void update_interest() CLASH_REQUIRES(on_loop_);
+  void parse_frames() CLASH_REQUIRES(on_loop_);
 
   EventLoop& loop_;
-  Fd fd_;
-  FrameHandler on_frame_;
-  CloseHandler on_close_;
-  DrainHandler on_drain_;
-  std::shared_ptr<FaultInjector> fault_;
+  /// The owning loop's affinity capability; guards every member below.
+  common::AffinityToken& on_loop_;
+  Fd fd_ CLASH_GUARDED_BY(on_loop_);
+  FrameHandler on_frame_ CLASH_GUARDED_BY(on_loop_);
+  CloseHandler on_close_ CLASH_GUARDED_BY(on_loop_);
+  DrainHandler on_drain_ CLASH_GUARDED_BY(on_loop_);
+  std::shared_ptr<FaultInjector> fault_ CLASH_GUARDED_BY(on_loop_);
   /// Fault-delayed frames awaiting their timers, in send order; each
   /// fire releases the head so frames can never overtake each other —
   /// even across an injector reconfigure or heal.
-  std::deque<std::vector<std::uint8_t>> delayed_q_;
+  std::deque<std::vector<std::uint8_t>> delayed_q_
+      CLASH_GUARDED_BY(on_loop_);
   /// Latest scheduled release time; later frames never fire earlier.
-  EventLoop::Clock::time_point delay_horizon_{};
+  EventLoop::Clock::time_point delay_horizon_ CLASH_GUARDED_BY(on_loop_){};
 
   // Inbound arena: bytes [in_pos_, in_end_) are unparsed; the vector's
   // size is the high-water mark so refills never re-zero memory.
-  std::vector<std::uint8_t> in_;
-  std::size_t in_pos_ = 0;
-  std::size_t in_end_ = 0;
+  std::vector<std::uint8_t> in_ CLASH_GUARDED_BY(on_loop_);
+  std::size_t in_pos_ CLASH_GUARDED_BY(on_loop_) = 0;
+  std::size_t in_end_ CLASH_GUARDED_BY(on_loop_) = 0;
 
   // Outbound queue of whole owned frames; the head frame may be
   // partially written (out_head_offset_ bytes already consumed).
-  std::deque<std::vector<std::uint8_t>> out_q_;
-  std::size_t out_head_offset_ = 0;
-  bool flush_scheduled_ = false;
-  bool want_write_ = false;
+  std::deque<std::vector<std::uint8_t>> out_q_ CLASH_GUARDED_BY(on_loop_);
+  std::size_t out_head_offset_ CLASH_GUARDED_BY(on_loop_) = 0;
+  bool flush_scheduled_ CLASH_GUARDED_BY(on_loop_) = false;
+  bool want_write_ CLASH_GUARDED_BY(on_loop_) = false;
 
-  Stats stats_;
+  Stats stats_ CLASH_GUARDED_BY(on_loop_);
 
   // Registry mirrors of the hot-path Stats fields (empty = detached).
-  obs::Counter frames_sent_c_;
-  obs::Counter bytes_sent_c_;
-  obs::Counter flush_syscalls_c_;
-  obs::Counter frames_received_c_;
-  obs::Counter bytes_received_c_;
+  obs::Counter frames_sent_c_ CLASH_GUARDED_BY(on_loop_);
+  obs::Counter bytes_sent_c_ CLASH_GUARDED_BY(on_loop_);
+  obs::Counter flush_syscalls_c_ CLASH_GUARDED_BY(on_loop_);
+  obs::Counter frames_received_c_ CLASH_GUARDED_BY(on_loop_);
+  obs::Counter bytes_received_c_ CLASH_GUARDED_BY(on_loop_);
 };
 
 }  // namespace clash::net

@@ -11,7 +11,17 @@
 
 namespace clash::net {
 
+namespace {
+// Runtime probe behind the loop's AffinityToken: guarded state may be
+// touched by the thread inside run(), or by anyone while no run() is
+// in progress (setup, teardown, post-exit inline fallback).
+bool loop_probe(const void* ctx) {
+  return static_cast<const EventLoop*>(ctx)->on_loop_or_idle();
+}
+}  // namespace
+
 EventLoop::EventLoop() {
+  affinity_.bind(&loop_probe, this, "EventLoop");
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) {
     throw std::runtime_error(std::string("epoll_create1: ") +
@@ -73,7 +83,7 @@ void EventLoop::cancel_timer(std::uint64_t id) { timer_tasks_.erase(id); }
 
 bool EventLoop::post(Task task) {
   {
-    const std::lock_guard<std::mutex> lock(posted_mutex_);
+    const common::MutexLock lock(posted_mutex_);
     if (finished_) return false;
     posted_.push_back(std::move(task));
   }
@@ -101,7 +111,7 @@ void EventLoop::run_deferred() {
 void EventLoop::drain_posted() {
   std::vector<Task> tasks;
   {
-    const std::lock_guard<std::mutex> lock(posted_mutex_);
+    const common::MutexLock lock(posted_mutex_);
     tasks.swap(posted_);
   }
   for (auto& t : tasks) t();
@@ -131,7 +141,7 @@ int EventLoop::next_timeout_ms() const {
 }
 
 void EventLoop::rearm() {
-  const std::lock_guard<std::mutex> lock(posted_mutex_);
+  const common::MutexLock lock(posted_mutex_);
   finished_ = false;
   exited_.store(false, std::memory_order_release);
 }
@@ -153,12 +163,24 @@ void EventLoop::note_tick(Clock::time_point start) {
   }
 }
 
+void EventLoop::enter_loop() {
+  // Publish the tid before running_: a racer that observes
+  // running_ == true (acquire) must also see who the loop thread is,
+  // or on_loop_or_idle() would misjudge it.
+  loop_tid_.store(std::this_thread::get_id(), std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+}
+
+void EventLoop::exit_loop() {
+  running_.store(false, std::memory_order_release);
+}
+
 void EventLoop::run() {
   rearm();
-  running_ = true;
+  enter_loop();
   epoll_event events[64];
   auto tick_start = Clock::now();
-  while (!stop_requested_) {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
     drain_posted();
     fire_due_timers();
     run_deferred();
@@ -189,19 +211,19 @@ void EventLoop::run() {
   // a poster blocking on its result can never hang.
   std::vector<Task> last;
   {
-    const std::lock_guard<std::mutex> lock(posted_mutex_);
+    const common::MutexLock lock(posted_mutex_);
     finished_ = true;
     last.swap(posted_);
   }
   for (auto& t : last) t();
   run_deferred();
-  running_ = false;
-  stop_requested_ = false;
+  exit_loop();
+  stop_requested_.store(false, std::memory_order_relaxed);
   exited_.store(true, std::memory_order_release);
 }
 
 void EventLoop::stop() {
-  stop_requested_ = true;
+  stop_requested_.store(true, std::memory_order_release);
   wake();
 }
 

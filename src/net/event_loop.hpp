@@ -2,6 +2,18 @@
 // timers, and a thread-safe post() for cross-thread task injection.
 // Each networked CLASH node runs one loop on one thread, so protocol
 // handlers never need locks.
+//
+// That invariant is now a checked capability, not folklore. The loop
+// owns a common::AffinityToken (loop_thread()); loop-affine state here
+// and in the classes built on the loop (Connection, ClashNode) is
+// CLASH_GUARDED_BY it, and loop-only methods CLASH_REQUIRES it. Entry
+// points that clang cannot see through (fd-handler lambdas, posted
+// tasks, timers) open with CLASH_ASSERT_ON_LOOP(loop): statically that
+// asserts the capability for the rest of the scope; in
+// CLASH_LOOP_CHECKS builds it also verifies at runtime that the caller
+// *is* the loop thread — or that the loop is idle, which covers
+// single-threaded setup/teardown and the documented run-inline
+// fallback after the final drain.
 #pragma once
 
 #include <atomic>
@@ -9,10 +21,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <queue>
+#include <thread>
 #include <vector>
 
+#include "common/affinity.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 
@@ -30,27 +45,49 @@ class EventLoop {
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
+  /// The loop-affinity capability: state guarded by it may only be
+  /// touched from the loop thread (or while the loop is idle).
+  [[nodiscard]] common::AffinityToken& loop_thread()
+      CLASH_RETURN_CAPABILITY(affinity_) {
+    return affinity_;
+  }
+
+  /// Capability witness: see CLASH_ASSERT_ON_LOOP below.
+  void assert_on_loop() const CLASH_ASSERT_CAPABILITY(affinity_) {
+    affinity_.assert_held();
+  }
+
+  /// True when the calling thread may touch loop-affine state: it is
+  /// the thread inside run(), or no run() is in progress at all.
+  [[nodiscard]] bool on_loop_or_idle() const {
+    return !running_.load(std::memory_order_acquire) ||
+           loop_tid_.load(std::memory_order_acquire) ==
+               std::this_thread::get_id();
+  }
+
   /// Register interest in `events` (EPOLLIN/EPOLLOUT) for `fd`.
-  void add_fd(int fd, std::uint32_t events, FdHandler handler);
-  void modify_fd(int fd, std::uint32_t events);
-  void remove_fd(int fd);
+  void add_fd(int fd, std::uint32_t events, FdHandler handler)
+      CLASH_REQUIRES(affinity_);
+  void modify_fd(int fd, std::uint32_t events) CLASH_REQUIRES(affinity_);
+  void remove_fd(int fd) CLASH_REQUIRES(affinity_);
 
   /// One-shot timer relative to now. Returns a cancellation id.
-  std::uint64_t call_after(std::chrono::microseconds delay, Task task);
-  void cancel_timer(std::uint64_t id);
+  std::uint64_t call_after(std::chrono::microseconds delay, Task task)
+      CLASH_REQUIRES(affinity_);
+  void cancel_timer(std::uint64_t id) CLASH_REQUIRES(affinity_);
 
   /// Run `task` once at the end of the current dispatch round, before
   /// the next epoll_wait (loop thread only). Connections use this to
   /// coalesce every frame queued during one tick into a single
   /// scatter-gather flush instead of one write per send.
-  void defer(Task task);
+  void defer(Task task) CLASH_REQUIRES(affinity_);
 
   /// Enqueue a task from any thread; runs on the loop thread. Returns
   /// false once the loop has finished its final drain (the task will
   /// never run): callers must execute it themselves or give up. Tasks
   /// accepted before that point are guaranteed to run, even when they
   /// race with stop() — run() drains the queue once more on exit.
-  [[nodiscard]] bool post(Task task);
+  [[nodiscard]] bool post(Task task) CLASH_EXCLUDES(posted_mutex_);
 
   /// Run until stop(). Must be called from exactly one thread.
   void run();
@@ -62,7 +99,7 @@ class EventLoop {
   /// only once the loop thread gets scheduled — an owner that spawns
   /// run() on a fresh thread must rearm first, or posts in the spawn
   /// window are spuriously refused against the stale latches.
-  void rearm();
+  void rearm() CLASH_EXCLUDES(posted_mutex_);
 
   /// Attach tick observability (call before run()). Every dispatch
   /// round — from an epoll_wait wakeup to the next wait, idle time
@@ -70,13 +107,15 @@ class EventLoop {
   /// or longer also land a kLoopTick span in `tracer` (when enabled).
   /// Timestamps are steady-clock microseconds. Null pointers detach.
   void set_obs(obs::Histogram* tick_hist, obs::TraceRecorder* tracer,
-               std::uint64_t pid) {
+               std::uint64_t pid) CLASH_REQUIRES(affinity_) {
     tick_hist_ = tick_hist;
     tracer_ = tracer;
     obs_pid_ = pid;
   }
 
-  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
   /// True once run() has returned, i.e. the loop thread executes no
   /// further tasks. post() starts failing slightly before this (during
   /// the final drain); a caller that got refused must wait for
@@ -94,34 +133,54 @@ class EventLoop {
     }
   };
 
-  void drain_posted();
-  void run_deferred();
-  void note_tick(Clock::time_point start);
-  void fire_due_timers();
-  [[nodiscard]] int next_timeout_ms() const;
+  /// run()'s bracket around the dispatch loop: publishes this thread
+  /// as the loop thread (the runtime half of the capability) and
+  /// acquires/releases the static capability so the loop body may
+  /// touch guarded state.
+  void enter_loop() CLASH_ACQUIRE(affinity_);
+  void exit_loop() CLASH_RELEASE(affinity_);
+
+  void drain_posted() CLASH_REQUIRES(affinity_);
+  void run_deferred() CLASH_REQUIRES(affinity_);
+  void note_tick(Clock::time_point start) CLASH_REQUIRES(affinity_);
+  void fire_due_timers() CLASH_REQUIRES(affinity_);
+  [[nodiscard]] int next_timeout_ms() const CLASH_REQUIRES(affinity_);
   void wake();
 
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;  // eventfd
-  std::map<int, FdHandler> handlers_;
+  common::AffinityToken affinity_;
 
-  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
-  std::map<std::uint64_t, Task> timer_tasks_;
-  std::uint64_t next_timer_id_ = 1;
+  int epoll_fd_ = -1;  // immutable after construction
+  int wake_fd_ = -1;   // eventfd; immutable after construction
+  std::map<int, FdHandler> handlers_ CLASH_GUARDED_BY(affinity_);
 
-  std::vector<Task> deferred_;  // loop thread only
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_
+      CLASH_GUARDED_BY(affinity_);
+  std::map<std::uint64_t, Task> timer_tasks_ CLASH_GUARDED_BY(affinity_);
+  std::uint64_t next_timer_id_ CLASH_GUARDED_BY(affinity_) = 1;
 
-  std::mutex posted_mutex_;
-  std::vector<Task> posted_;
-  bool finished_ = false;  // guarded by posted_mutex_
+  std::vector<Task> deferred_ CLASH_GUARDED_BY(affinity_);
+
+  common::Mutex posted_mutex_;
+  std::vector<Task> posted_ CLASH_GUARDED_BY(posted_mutex_);
+  bool finished_ CLASH_GUARDED_BY(posted_mutex_) = false;
   std::atomic<bool> exited_{false};
 
-  obs::Histogram* tick_hist_ = nullptr;
-  obs::TraceRecorder* tracer_ = nullptr;
-  std::uint64_t obs_pid_ = 0;
+  obs::Histogram* tick_hist_ CLASH_GUARDED_BY(affinity_) = nullptr;
+  obs::TraceRecorder* tracer_ CLASH_GUARDED_BY(affinity_) = nullptr;
+  std::uint64_t obs_pid_ CLASH_GUARDED_BY(affinity_) = 0;
 
+  /// The thread currently inside run(); meaningful while running_.
+  std::atomic<std::thread::id> loop_tid_{};
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
 };
 
 }  // namespace clash::net
+
+/// The loop-affinity witness. Statically: asserts `loop`'s capability
+/// for the rest of the scope, satisfying -Wthread-safety for guarded
+/// accesses and CLASH_REQUIRES calls. At runtime (CLASH_LOOP_CHECKS
+/// builds): aborts with a diagnostic when the caller is neither the
+/// loop thread nor running against an idle loop. Free in release
+/// builds configured with -DCLASH_LOOP_CHECKS=OFF.
+#define CLASH_ASSERT_ON_LOOP(loop) (loop).assert_on_loop()

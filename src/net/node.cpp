@@ -11,23 +11,36 @@
 
 namespace clash::net {
 
+namespace {
+// Affinity probe shared by every token the node binds (census,
+// membership driver, store): their home thread is the node's loop.
+bool node_loop_probe(const void* ctx) {
+  return static_cast<const EventLoop*>(ctx)->on_loop_or_idle();
+}
+}  // namespace
+
 // ServerEnv bridging the protocol logic onto the loop + transport.
+// Every override runs on the loop thread (the server only acts from
+// deliver/tick paths), witnessed by the assertions below.
 class ClashNode::Env final : public ServerEnv {
  public:
   explicit Env(ClashNode& node) : node_(node) {}
 
   dht::LookupResult dht_lookup(dht::HashKey h) override {
+    node_.on_loop_.assert_held();
     return node_.ring_->lookup(h, node_.config_.id);
   }
 
   std::vector<ServerId> replica_targets(dht::HashKey h,
                                         unsigned n) override {
+    node_.on_loop_.assert_held();
     auto servers = node_.ring_->successors(h, std::size_t(n) + 1);
     if (!servers.empty()) servers.erase(servers.begin());  // drop owner
     return servers;
   }
 
   void send(ServerId to, const Message& msg) override {
+    node_.on_loop_.assert_held();
     // Encoded exactly once, straight into the pooled frame buffer the
     // transport queues and flushes — no intermediate copies.
     auto w = wire::begin_frame(
@@ -44,6 +57,7 @@ class ClashNode::Env final : public ServerEnv {
   }
 
   std::size_t snapshot_chunk_budget(ServerId to) override {
+    node_.on_loop_.assert_held();
     const auto it = node_.peers_.find(to);
     if (it == node_.peers_.end() || it->second->closed()) {
       if (node_.connecting_.count(to) > 0) {
@@ -68,6 +82,7 @@ class ClashNode::Env final : public ServerEnv {
   }
 
   void defer(std::function<void()> fn) override {
+    node_.loop_->assert_on_loop();
     node_.loop_->defer(std::move(fn));
   }
 
@@ -88,19 +103,32 @@ class ClashNode::GossipEnv final : public membership::MembershipEnv {
     node_.env_->send(to, Message(msg));
   }
 
-  void on_member_dead(ServerId id) override { node_.on_member_dead(id); }
-  void on_member_joined(ServerId id) override { node_.on_member_joined(id); }
+  void on_member_dead(ServerId id) override {
+    node_.on_loop_.assert_held();
+    node_.on_member_dead(id);
+  }
+  void on_member_joined(ServerId id) override {
+    node_.on_loop_.assert_held();
+    node_.on_member_joined(id);
+  }
 
  private:
   ClashNode& node_;
 };
 
 ClashNode::ClashNode(NodeConfig config)
-    : config_(std::move(config)), census_(config_.id, config_.census) {
+    : config_(std::move(config)),
+      loop_(std::make_unique<EventLoop>()),
+      on_loop_(loop_->loop_thread()),
+      census_(config_.id, config_.census) {
   if (config_.members.count(config_.id) == 0) {
     throw std::invalid_argument("node id missing from member list");
   }
-  loop_ = std::make_unique<EventLoop>();
+  // The census (and below, the driver and store) live on the loop
+  // thread; bind their affinity tokens to it so off-loop access aborts
+  // in checked builds. Everything in this constructor passes the probe
+  // because the loop is idle until start() spawns its thread.
+  census_.affinity().bind(&node_loop_probe, loop_.get(), "Census");
   ring_ = std::make_unique<dht::ChordRing>(dht::ChordRing::Config{
       config_.hash_bits, config_.virtual_servers, config_.hash_algo,
       config_.ring_salt});
@@ -117,6 +145,7 @@ ClashNode::ClashNode(NodeConfig config)
         std::make_unique<storage::FileBackend>(config_.storage_dir);
     store_ = std::make_unique<storage::NodeStore>(
         *storage_backend_, storage::NodeStore::Config::from(config_.clash));
+    store_->affinity().bind(&node_loop_probe, loop_.get(), "NodeStore");
     store_->set_obs(&hub_, config_.id.value);
     server_->set_storage(store_.get());
   }
@@ -125,6 +154,8 @@ ClashNode::ClashNode(NodeConfig config)
     membership_ = std::make_unique<membership::MembershipDriver>(
         config_.id, config_.membership, *gossip_env_,
         config_.id.value * 0x9e3779b97f4a7c15ULL + config_.ring_salt);
+    membership_->affinity().bind(&node_loop_probe, loop_.get(),
+                                 "MembershipDriver");
     for (const auto& [id, _] : config_.members) membership_->add_seed(id);
     membership_->set_obs(&hub_);
     // Cost census rides the gossip the driver already sends: the
@@ -154,6 +185,10 @@ void ClashNode::install_entries(
 
 void ClashNode::start() {
   if (running_) return;
+  // The loop is idle until the thread spawn below, so this caller holds
+  // the affinity capability for the whole setup sequence.
+  on_loop_.assert_held();
+  loop_->assert_on_loop();
   auto listener = listen_tcp(config_.listen);
   if (!listener.ok()) {
     throw std::runtime_error("clash node listen failed: " +
@@ -164,8 +199,10 @@ void ClashNode::start() {
   if (!port.ok()) throw std::runtime_error(port.error().message);
   port_ = port.value();
 
-  loop_->add_fd(listener_.get(), EPOLLIN,
-                [this](std::uint32_t) { on_listener_ready(); });
+  loop_->add_fd(listener_.get(), EPOLLIN, [this](std::uint32_t) {
+    on_loop_.assert_held();
+    on_listener_ready();
+  });
   if (config_.stats_port >= 0) start_stats_listener();
   if (store_ != nullptr && !recovered_) recover_from_storage();
   schedule_load_check();
@@ -184,8 +221,11 @@ void ClashNode::stop() {
   if (thread_.joinable()) thread_.join();
   // Only now does !running_ imply "the loop thread is gone": flipping
   // it any earlier would let call_on_loop's inline path race the still
-  // draining loop.
+  // draining loop. The joined loop is idle again, so this thread holds
+  // the affinity capability for the teardown below.
   running_ = false;
+  on_loop_.assert_held();
+  loop_->assert_on_loop();
   peers_.clear();
   connecting_.clear();
   inbound_.clear();
@@ -197,20 +237,25 @@ void ClashNode::stop() {
 }
 
 void ClashNode::schedule_load_check() {
+  loop_->assert_on_loop();
   loop_->call_after(config_.load_check_interval, [this] {
+    on_loop_.assert_held();
     server_->run_load_check();
     schedule_load_check();
   });
 }
 
 void ClashNode::schedule_membership_tick() {
+  loop_->assert_on_loop();
   loop_->call_after(config_.protocol_period, [this] {
+    on_loop_.assert_held();
     membership_->tick();
     schedule_membership_tick();
   });
 }
 
 void ClashNode::recover_from_storage() {
+  loop_->assert_on_loop();
   recovered_ = true;
   const std::size_t restored = server_->restore_from_storage();
   if (restored == 0) return;
@@ -233,6 +278,7 @@ void ClashNode::recover_from_storage() {
     }
     server_->begin_group_recovery(group);
     loop_->call_after(config_.recovery_grace, [this, group] {
+      on_loop_.assert_held();
       if (ring_->map(ring_->hasher().hash_key(group.virtual_key())) ==
           config_.id) {
         (void)server_->promote_replica(group);
@@ -244,6 +290,7 @@ void ClashNode::recover_from_storage() {
 }
 
 void ClashNode::on_member_dead(ServerId id) {
+  loop_->assert_on_loop();
   if (id == config_.id || !ring_->contains(id)) return;
   CLASH_WARN << to_string(config_.id) << ": member " << to_string(id)
              << " declared dead; removing from ring";
@@ -264,6 +311,7 @@ void ClashNode::on_member_dead(ServerId id) {
     if (server_->log_replication()) {
       server_->begin_group_recovery(group);
       loop_->call_after(config_.recovery_grace, [this, id, group] {
+        on_loop_.assert_held();
         // Re-validate after the grace window: the death may have been
         // refuted (member back on the ring — it was handed its groups)
         // or the ring may have shifted the group to another heir.
@@ -302,6 +350,7 @@ void ClashNode::on_member_joined(ServerId id) {
 
 void ClashNode::set_link_fault(ServerId peer, FaultInjector::Config cfg) {
   call_on_loop([&] {
+    on_loop_.assert_held();
     auto& slot = link_faults_[peer];
     if (slot == nullptr) {
       slot = std::make_shared<FaultInjector>(cfg);
@@ -316,6 +365,7 @@ void ClashNode::set_link_fault(ServerId peer, FaultInjector::Config cfg) {
 
 void ClashNode::clear_link_fault(ServerId peer) {
   call_on_loop([&] {
+    on_loop_.assert_held();
     link_faults_.erase(peer);
     const auto it = peers_.find(peer);
     if (it != peers_.end()) it->second->set_fault_injector(nullptr);
@@ -325,6 +375,7 @@ void ClashNode::clear_link_fault(ServerId peer) {
 
 FaultInjector::Stats ClashNode::link_fault_stats(ServerId peer) {
   return call_on_loop([&] {
+    on_loop_.assert_held();
     const auto it = link_faults_.find(peer);
     return it != link_faults_.end() ? it->second->stats()
                                     : FaultInjector::Stats{};
@@ -332,11 +383,15 @@ FaultInjector::Stats ClashNode::link_fault_stats(ServerId peer) {
 }
 
 std::size_t ClashNode::ring_server_count() {
-  return call_on_loop([&] { return ring_->server_count(); });
+  return call_on_loop([&] {
+    on_loop_.assert_held();
+    return ring_->server_count();
+  });
 }
 
 MemberState ClashNode::member_state(ServerId id) {
   return call_on_loop([&] {
+    on_loop_.assert_held();
     if (membership_ == nullptr) {
       return config_.members.count(id) > 0 ? MemberState::kAlive
                                            : MemberState::kDead;
@@ -346,6 +401,7 @@ MemberState ClashNode::member_state(ServerId id) {
 }
 
 void ClashNode::on_listener_ready() {
+  loop_->assert_on_loop();
   for (;;) {
     auto fd = accept_tcp(listener_);
     if (!fd.ok()) break;  // kWouldBlock or transient error
@@ -357,11 +413,17 @@ void ClashNode::register_node_gauges() {
   // Callbacks are evaluated at scrape time only, and every scrape of
   // this hub runs on the loop thread (the endpoint handler and
   // scrape_text() both route there), so reading loop-owned state
-  // needs no locks.
+  // needs no locks. Each callback witnesses the affinity token: a
+  // scrape reaching this registry off the loop (e.g. hub().registry
+  // .render_text() from a test thread) would otherwise race the loop's
+  // writes — with the asserts it aborts in checked builds instead.
   auto& r = hub_.registry;
-  r.gauge_callback("clash_node_peer_connections",
-                   [this] { return double(peers_.size()); });
+  r.gauge_callback("clash_node_peer_connections", [this] {
+    on_loop_.assert_held();
+    return double(peers_.size());
+  });
   r.gauge_callback("clash_node_send_queue_bytes", [this] {
+    on_loop_.assert_held();
     std::size_t total = 0;
     for (const auto& [_, conn] : peers_) {
       if (!conn->closed()) total += conn->send_queue_bytes();
@@ -369,13 +431,17 @@ void ClashNode::register_node_gauges() {
     return double(total);
   });
   r.gauge_callback("clash_node_active_groups", [this] {
+    on_loop_.assert_held();
     return double(server_->table().active_count());
   });
   r.gauge_callback("clash_node_replica_records", [this] {
+    on_loop_.assert_held();
     return double(server_->replica_count());
   });
-  r.gauge_callback("clash_node_ring_servers",
-                   [this] { return double(ring_->server_count()); });
+  r.gauge_callback("clash_node_ring_servers", [this] {
+    on_loop_.assert_held();
+    return double(ring_->server_count());
+  });
   // One gauge per MessageStats field, straight off the X-macro list:
   // the field reference aims at the server's live stats_ member, which
   // outlives every scrape (reset_stats() assigns in place).
@@ -427,6 +493,7 @@ void ClashNode::register_node_gauges() {
 }
 
 void ClashNode::start_stats_listener() {
+  loop_->assert_on_loop();
   auto listener = listen_tcp(
       Endpoint{config_.listen.host, std::uint16_t(config_.stats_port)});
   if (!listener.ok()) {
@@ -437,13 +504,16 @@ void ClashNode::start_stats_listener() {
   const auto port = bound_port(stats_listener_);
   if (!port.ok()) throw std::runtime_error(port.error().message);
   stats_port_ = port.value();
-  loop_->add_fd(stats_listener_.get(), EPOLLIN,
-                [this](std::uint32_t) { on_stats_ready(); });
+  loop_->add_fd(stats_listener_.get(), EPOLLIN, [this](std::uint32_t) {
+    on_loop_.assert_held();
+    on_stats_ready();
+  });
   CLASH_INFO << to_string(config_.id) << ": stats endpoint on "
              << config_.listen.host << ":" << stats_port_;
 }
 
 void ClashNode::on_stats_ready() {
+  loop_->assert_on_loop();
   for (;;) {
     auto fd = accept_tcp(stats_listener_);
     if (!fd.ok()) break;
@@ -452,12 +522,14 @@ void ClashNode::on_stats_ready() {
     const int raw = client.get();
     stats_clients_[raw].fd = std::move(client);
     loop_->add_fd(raw, EPOLLIN, [this, raw](std::uint32_t events) {
+      on_loop_.assert_held();
       on_stats_client(raw, events);
     });
   }
 }
 
 void ClashNode::on_stats_client(int fd, std::uint32_t events) {
+  loop_->assert_on_loop();
   const auto it = stats_clients_.find(fd);
   if (it == stats_clients_.end()) return;
   StatsClient& client = it->second;
@@ -535,6 +607,7 @@ void ClashNode::on_stats_client(int fd, std::uint32_t events) {
 }
 
 void ClashNode::close_stats_client(int fd) {
+  loop_->assert_on_loop();
   const auto it = stats_clients_.find(fd);
   if (it == stats_clients_.end()) return;
   loop_->remove_fd(fd);
@@ -548,9 +621,11 @@ void ClashNode::adopt_peer(Fd fd) {
   auto conn = Connection::adopt(
       *loop_, std::move(fd),
       [this, conn_slot](std::span<const std::uint8_t> frame) {
+        on_loop_.assert_held();
         if (const auto c = conn_slot->lock()) handle_frame(c, frame);
       },
       [this, conn_slot] {
+        on_loop_.assert_held();
         if (const auto c = conn_slot->lock()) {
           std::erase_if(inbound_,
                         [&](const auto& entry) { return entry == c; });
@@ -566,14 +641,19 @@ std::shared_ptr<Connection> ClashNode::adopt_outbound(ServerId to, Fd fd) {
   auto conn = Connection::adopt(
       *loop_, std::move(fd),
       [this, conn_slot](std::span<const std::uint8_t> frame) {
+        on_loop_.assert_held();
         if (const auto c = conn_slot->lock()) handle_frame(c, frame);
       },
-      [this, to] { peers_.erase(to); });
+      [this, to] {
+        on_loop_.assert_held();
+        peers_.erase(to);
+      });
   *conn_slot = conn;
   conn->set_obs(&hub_);
   // Resume paced snapshot transfers the moment the socket drains
   // instead of waiting for the next load check.
   conn->set_drain_handler([this] {
+    on_loop_.assert_held();
     if (server_->has_pending_snapshots()) server_->pump_snapshots();
   });
   if (const auto fault = link_faults_.find(to);
@@ -610,11 +690,15 @@ void ClashNode::begin_connect(ServerId to,
   pending.fd = std::move(res.value().fd);
   pending.queued.push_back(std::move(frame));
   const int raw_fd = pending.fd.get();
-  pending.timeout_timer = loop_->call_after(
-      config_.connect_timeout,
-      [this, to] { drop_pending_connect(to, "connect timeout"); });
+  loop_->assert_on_loop();
+  pending.timeout_timer =
+      loop_->call_after(config_.connect_timeout, [this, to] {
+        on_loop_.assert_held();
+        drop_pending_connect(to, "connect timeout");
+      });
   connecting_.emplace(to, std::move(pending));
   loop_->add_fd(raw_fd, EPOLLOUT, [this, to](std::uint32_t events) {
+    on_loop_.assert_held();
     finish_connect(to, events);
   });
 }
@@ -632,6 +716,7 @@ void ClashNode::finish_connect(ServerId to, std::uint32_t events) {
   }
   PendingConnect pending = std::move(it->second);
   connecting_.erase(it);
+  loop_->assert_on_loop();
   loop_->cancel_timer(pending.timeout_timer);
   loop_->remove_fd(pending.fd.get());
   set_nodelay(pending.fd);
@@ -649,6 +734,7 @@ void ClashNode::drop_pending_connect(ServerId to, const char* reason) {
                << to_string(to) << " (" << reason << ", "
                << it->second.queued.size() << " frames dropped)";
   }
+  loop_->assert_on_loop();
   loop_->cancel_timer(it->second.timeout_timer);
   loop_->remove_fd(it->second.fd.get());
   connecting_.erase(it);

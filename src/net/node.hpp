@@ -18,6 +18,8 @@
 
 #include "clash/server.hpp"
 #include "clash/server_table.hpp"
+#include "common/affinity.hpp"
+#include "common/thread_annotations.hpp"
 #include "dht/chord.hpp"
 #include "membership/driver.hpp"
 #include "net/connection.hpp"
@@ -111,7 +113,10 @@ class ClashNode {
   /// posted lambda that would otherwise be silently dropped.
   template <typename Fn>
   auto run_on_loop(Fn fn) -> decltype(fn(std::declval<ClashServer&>())) {
-    return call_on_loop([&] { return fn(*server_); });
+    return call_on_loop([&] {
+      on_loop_.assert_held();
+      return fn(*server_);
+    });
   }
 
   // --- Membership introspection (thread-safe) -------------------------
@@ -205,60 +210,81 @@ class ClashNode {
     std::size_t off = 0;
   };
 
-  void loop_main();
-  void on_listener_ready();
-  void start_stats_listener();
-  void on_stats_ready();
-  void on_stats_client(int fd, std::uint32_t events);
-  void close_stats_client(int fd);
-  void register_node_gauges();
-  void adopt_peer(Fd fd);
+  void on_listener_ready() CLASH_REQUIRES(on_loop_);
+  void start_stats_listener() CLASH_REQUIRES(on_loop_);
+  void on_stats_ready() CLASH_REQUIRES(on_loop_);
+  void on_stats_client(int fd, std::uint32_t events)
+      CLASH_REQUIRES(on_loop_);
+  void close_stats_client(int fd) CLASH_REQUIRES(on_loop_);
+  void register_node_gauges() CLASH_REQUIRES(on_loop_);
+  void adopt_peer(Fd fd) CLASH_REQUIRES(on_loop_);
   void handle_frame(const std::shared_ptr<Connection>& conn,
-                    std::span<const std::uint8_t> frame);
+                    std::span<const std::uint8_t> frame)
+      CLASH_REQUIRES(on_loop_);
   /// Takes an owned, finished wire frame (wire::finish_frame output).
-  void send_to_peer(ServerId to, std::vector<std::uint8_t>&& frame);
-  void begin_connect(ServerId to, std::vector<std::uint8_t>&& frame);
-  void finish_connect(ServerId to, std::uint32_t events);
-  void drop_pending_connect(ServerId to, const char* reason);
-  std::shared_ptr<Connection> adopt_outbound(ServerId to, Fd fd);
-  void schedule_load_check();
-  void schedule_membership_tick();
-  void on_member_dead(ServerId id);
-  void on_member_joined(ServerId id);
+  void send_to_peer(ServerId to, std::vector<std::uint8_t>&& frame)
+      CLASH_REQUIRES(on_loop_);
+  void begin_connect(ServerId to, std::vector<std::uint8_t>&& frame)
+      CLASH_REQUIRES(on_loop_);
+  void finish_connect(ServerId to, std::uint32_t events)
+      CLASH_REQUIRES(on_loop_);
+  void drop_pending_connect(ServerId to, const char* reason)
+      CLASH_REQUIRES(on_loop_);
+  std::shared_ptr<Connection> adopt_outbound(ServerId to, Fd fd)
+      CLASH_REQUIRES(on_loop_);
+  void schedule_load_check() CLASH_REQUIRES(on_loop_);
+  void schedule_membership_tick() CLASH_REQUIRES(on_loop_);
+  void on_member_dead(ServerId id) CLASH_REQUIRES(on_loop_);
+  void on_member_joined(ServerId id) CLASH_REQUIRES(on_loop_);
   /// First start only: restore the durable image and re-promote every
   /// recovered group the ring still maps here (log mode holds the
   /// recovery-grace pull window first, exactly like a failover heir).
-  void recover_from_storage();
+  void recover_from_storage() CLASH_REQUIRES(on_loop_);
 
-  NodeConfig config_;
+  NodeConfig config_;  // immutable after construction
   /// Declared before env_/server_: the Env's obs() override hands this
-  /// hub to the ClashServer constructor.
+  /// hub to the ClashServer constructor. Internally synchronized
+  /// (Registry/TraceRecorder carry their own mutexes) — but gauge
+  /// callbacks registered by this node touch loop-affine state, so
+  /// scrapes of THIS hub must run on the loop (scrape_text() does).
   obs::Hub hub_;
   std::unique_ptr<EventLoop> loop_;
-  std::unique_ptr<dht::ChordRing> ring_;
-  std::unique_ptr<Env> env_;
-  std::unique_ptr<ClashServer> server_;
+  /// The loop's affinity capability (alias of loop_->loop_thread());
+  /// guards every loop-affine member below.
+  common::AffinityToken& on_loop_;
+  std::unique_ptr<dht::ChordRing> ring_ CLASH_PT_GUARDED_BY(on_loop_);
+  std::unique_ptr<Env> env_;  // pointer immutable after construction
+  std::unique_ptr<ClashServer> server_ CLASH_PT_GUARDED_BY(on_loop_);
   std::unique_ptr<storage::FileBackend> storage_backend_;
-  std::unique_ptr<storage::NodeStore> store_;
-  bool recovered_ = false;
+  std::unique_ptr<storage::NodeStore> store_ CLASH_PT_GUARDED_BY(on_loop_);
+  bool recovered_ CLASH_GUARDED_BY(on_loop_) = false;
   /// Declared before membership_: the driver holds a raw pointer and
   /// absorbs into it until destroyed (reverse order protects this).
+  /// Self-guarded: carries its own AffinityToken, bound to this loop.
   obs::Census census_;
   std::unique_ptr<GossipEnv> gossip_env_;
-  std::unique_ptr<membership::MembershipDriver> membership_;
+  std::unique_ptr<membership::MembershipDriver> membership_
+      CLASH_PT_GUARDED_BY(on_loop_);
 
-  Fd listener_;
+  Fd listener_ CLASH_GUARDED_BY(on_loop_);
+  // port_/stats_port_ are written during start() (loop idle) and then
+  // immutable; tests read them cross-thread, so they are deliberately
+  // unguarded.
   std::uint16_t port_ = 0;
-  Fd stats_listener_;
+  Fd stats_listener_ CLASH_GUARDED_BY(on_loop_);
   std::uint16_t stats_port_ = 0;
-  std::map<int, StatsClient> stats_clients_;
-  std::map<ServerId, std::shared_ptr<Connection>> peers_;
-  std::map<ServerId, std::shared_ptr<FaultInjector>> link_faults_;
-  std::map<ServerId, PendingConnect> connecting_;
-  std::vector<std::shared_ptr<Connection>> inbound_;
+  std::map<int, StatsClient> stats_clients_ CLASH_GUARDED_BY(on_loop_);
+  std::map<ServerId, std::shared_ptr<Connection>> peers_
+      CLASH_GUARDED_BY(on_loop_);
+  std::map<ServerId, std::shared_ptr<FaultInjector>> link_faults_
+      CLASH_GUARDED_BY(on_loop_);
+  std::map<ServerId, PendingConnect> connecting_
+      CLASH_GUARDED_BY(on_loop_);
+  std::vector<std::shared_ptr<Connection>> inbound_
+      CLASH_GUARDED_BY(on_loop_);
   std::thread thread_;
   std::atomic<bool> running_{false};
-  std::chrono::steady_clock::time_point epoch_;
+  std::chrono::steady_clock::time_point epoch_;  // set once in ctor
 };
 
 }  // namespace clash::net

@@ -7,6 +7,7 @@
 namespace clash::obs {
 
 void Census::tick(std::uint64_t self_incarnation) {
+  affinity_.assert_held();
   ++ticks_;
   // Age every peer record and expire the silent ones. The local record
   // never expires — it is about to be refreshed below or soon after.
@@ -44,6 +45,7 @@ void Census::refresh_local(std::uint64_t self_incarnation) {
 }
 
 bool Census::absorb(const NodeCensusRecord& rec) {
+  affinity_.assert_held();
   if (rec.node == self_) return false;  // we are the authority on us
   auto it = table_.find(rec.node.value);
   if (it != table_.end()) {
@@ -68,11 +70,13 @@ bool Census::absorb(const NodeCensusRecord& rec) {
 }
 
 void Census::forget(ServerId node) {
+  affinity_.assert_held();
   if (node == self_) return;
   table_.erase(node.value);
 }
 
 std::vector<NodeCensusRecord> Census::pick_records(std::size_t max) {
+  affinity_.assert_held();
   std::vector<NodeCensusRecord> out;
   if (max == 0 || table_.empty()) return out;
   // Both passes scan the table in ring order, starting just past where
@@ -118,11 +122,13 @@ std::vector<NodeCensusRecord> Census::pick_records(std::size_t max) {
 }
 
 const NodeCensusRecord* Census::record_of(ServerId node) const {
+  affinity_.assert_held();
   const auto it = table_.find(node.value);
   return it == table_.end() ? nullptr : &it->second.rec;
 }
 
 ClusterView Census::view() const {
+  affinity_.assert_held();
   ClusterView v;
   v.nodes.reserve(table_.size());
   std::map<KeyGroup, GroupCost> merged;

@@ -11,7 +11,12 @@
 //
 // Threading: none. Census lives on its node's event-loop thread (or
 // the simulator's single thread) like MembershipDriver; the stats
-// endpoint reads view() via call_on_loop.
+// endpoint reads view() via call_on_loop. That affinity is enforced:
+// every member is CLASH_GUARDED_BY(affinity_) and every public method
+// witnesses the token at entry, so net::ClashNode (which binds the
+// token to its event loop) turns an off-loop call into an abort in
+// CLASH_LOOP_CHECKS builds. Unbound (sim / unit tests), the witness
+// checks nothing at runtime but still satisfies -Wthread-safety.
 #pragma once
 
 #include <cstddef>
@@ -21,6 +26,8 @@
 #include <vector>
 
 #include "clash/messages.hpp"
+#include "common/affinity.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace clash::obs {
@@ -81,7 +88,17 @@ class Census {
   explicit Census(ServerId self, CensusConfig cfg = {})
       : self_(self), cfg_(cfg) {}
 
-  void set_collector(Collector c) { collector_ = std::move(c); }
+  /// The affinity capability guarding all census state; the embedding
+  /// node binds it to its home-thread probe during setup.
+  [[nodiscard]] common::AffinityToken& affinity()
+      CLASH_RETURN_CAPABILITY(affinity_) {
+    return affinity_;
+  }
+
+  void set_collector(Collector c) {
+    affinity_.assert_held();
+    collector_ = std::move(c);
+  }
   [[nodiscard]] const CensusConfig& config() const { return cfg_; }
 
   /// Call once per protocol period (MembershipDriver::tick does).
@@ -109,18 +126,31 @@ class Census {
   /// Fold the table into the global view.
   [[nodiscard]] ClusterView view() const;
 
-  [[nodiscard]] std::size_t table_size() const { return table_.size(); }
+  [[nodiscard]] std::size_t table_size() const {
+    affinity_.assert_held();
+    return table_.size();
+  }
   [[nodiscard]] const NodeCensusRecord* record_of(ServerId node) const;
 
   // Counters (scraped as census_* metrics by the embedding node).
   [[nodiscard]] std::uint64_t stale_rejected() const {
+    affinity_.assert_held();
     return stale_rejected_;
   }
-  [[nodiscard]] std::uint64_t crc_rejected() const { return crc_rejected_; }
-  [[nodiscard]] std::uint64_t absorbed() const { return absorbed_; }
+  [[nodiscard]] std::uint64_t crc_rejected() const {
+    affinity_.assert_held();
+    return crc_rejected_;
+  }
+  [[nodiscard]] std::uint64_t absorbed() const {
+    affinity_.assert_held();
+    return absorbed_;
+  }
   /// Caller-side tally for records that failed the CRC fence (the
   /// fence itself lives in the membership driver, which has the frame).
-  void count_crc_reject() { ++crc_rejected_; }
+  void count_crc_reject() {
+    affinity_.assert_held();
+    ++crc_rejected_;
+  }
 
  private:
   struct Slot {
@@ -129,20 +159,23 @@ class Census {
     unsigned transmits_left = 0;
   };
 
-  void refresh_local(std::uint64_t self_incarnation);
+  void refresh_local(std::uint64_t self_incarnation)
+      CLASH_REQUIRES(affinity_);
 
+  common::AffinityToken affinity_;
   ServerId self_;
   CensusConfig cfg_;
-  Collector collector_;
-  std::map<std::uint64_t, Slot> table_;  // keyed by ServerId::value
-  std::uint64_t ticks_ = 0;
-  std::uint64_t next_seq_ = 0;
+  Collector collector_ CLASH_GUARDED_BY(affinity_);
+  std::map<std::uint64_t, Slot> table_
+      CLASH_GUARDED_BY(affinity_);  // keyed by ServerId::value
+  std::uint64_t ticks_ CLASH_GUARDED_BY(affinity_) = 0;
+  std::uint64_t next_seq_ CLASH_GUARDED_BY(affinity_) = 0;
   /// Round-robin cursor for pick_records; starts past every id so the
   /// first backfill scan begins at the smallest key.
-  std::uint64_t rotor_ = ServerId::kInvalid;
-  std::uint64_t stale_rejected_ = 0;
-  std::uint64_t crc_rejected_ = 0;
-  std::uint64_t absorbed_ = 0;
+  std::uint64_t rotor_ CLASH_GUARDED_BY(affinity_) = ServerId::kInvalid;
+  std::uint64_t stale_rejected_ CLASH_GUARDED_BY(affinity_) = 0;
+  std::uint64_t crc_rejected_ CLASH_GUARDED_BY(affinity_) = 0;
+  std::uint64_t absorbed_ CLASH_GUARDED_BY(affinity_) = 0;
 };
 
 }  // namespace clash::obs

@@ -19,7 +19,7 @@ std::size_t CounterCell::my_stripe() {
 }  // namespace detail
 
 Counter Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -31,7 +31,7 @@ Counter Registry::counter(std::string_view name) {
 }
 
 Gauge Registry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_
@@ -43,7 +43,7 @@ Gauge Registry::gauge(std::string_view name) {
 }
 
 HistogramHandle Registry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::MutexLock lock(mu_);
   auto it = hists_.find(name);
   if (it == hists_.end()) {
     it = hists_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -54,12 +54,12 @@ HistogramHandle Registry::histogram(std::string_view name) {
 
 void Registry::gauge_callback(std::string_view name,
                               std::function<double()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::MutexLock lock(mu_);
   callbacks_[std::string(name)] = std::move(fn);
 }
 
 std::vector<Registry::MetricValue> Registry::scrape() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::MutexLock lock(mu_);
   std::vector<MetricValue> out;
   out.reserve(counters_.size() + gauges_.size() + callbacks_.size() +
               hists_.size());
@@ -176,21 +176,21 @@ std::string Registry::render_json(int indent) const {
 
 Histogram::Snapshot Registry::histogram_snapshot(
     std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::MutexLock lock(mu_);
   auto it = hists_.find(name);
   if (it == hists_.end()) return {};
   return it->second->snapshot();
 }
 
 std::uint64_t Registry::counter_value(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) return 0;
   return it->second->value();
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::MutexLock lock(mu_);
   for (auto& [name, cell] : counters_) cell->reset();
   for (auto& [name, cell] : gauges_) {
     cell->v.store(0, std::memory_order_relaxed);

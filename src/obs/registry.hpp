@@ -14,11 +14,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/histogram.hpp"
 
 namespace clash::obs {
@@ -122,13 +123,16 @@ class Registry {
 
   /// Get-or-create by name. Handles stay valid for the registry's
   /// lifetime (cells are never destroyed, only reset).
-  Counter counter(std::string_view name);
-  Gauge gauge(std::string_view name);
-  HistogramHandle histogram(std::string_view name);
+  Counter counter(std::string_view name) CLASH_EXCLUDES(mu_);
+  Gauge gauge(std::string_view name) CLASH_EXCLUDES(mu_);
+  HistogramHandle histogram(std::string_view name) CLASH_EXCLUDES(mu_);
   /// A gauge computed at scrape time. Replaces any previous callback
   /// under the same name. The callback must be safe to run on whatever
-  /// thread scrapes (ClashNode scrapes on its event loop only).
-  void gauge_callback(std::string_view name, std::function<double()> fn);
+  /// thread scrapes (ClashNode scrapes on its event loop only), and it
+  /// runs under mu_: scraping or registering from inside one deadlocks
+  /// (hence the CLASH_EXCLUDES on every public method).
+  void gauge_callback(std::string_view name, std::function<double()> fn)
+      CLASH_EXCLUDES(mu_);
 
   /// One scraped metric; exactly one of value / hist is meaningful.
   struct MetricValue {
@@ -139,32 +143,36 @@ class Registry {
     Histogram::Snapshot hist;
   };
   /// Point-in-time view of every metric, sorted by name.
-  [[nodiscard]] std::vector<MetricValue> scrape() const;
+  [[nodiscard]] std::vector<MetricValue> scrape() const CLASH_EXCLUDES(mu_);
 
   /// Prometheus-style text exposition (counters/gauges as-is,
   /// histograms as summaries with quantile labels).
-  [[nodiscard]] std::string render_text() const;
+  [[nodiscard]] std::string render_text() const CLASH_EXCLUDES(mu_);
   /// JSON object {"name": value | {count,min,max,mean,p50,...}} for
   /// embedding into bench artifacts.
-  [[nodiscard]] std::string render_json(int indent = 2) const;
+  [[nodiscard]] std::string render_json(int indent = 2) const
+      CLASH_EXCLUDES(mu_);
 
   /// Snapshot of one histogram by name, if it exists and has samples.
   [[nodiscard]] Histogram::Snapshot histogram_snapshot(
-      std::string_view name) const;
-  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+      std::string_view name) const CLASH_EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const
+      CLASH_EXCLUDES(mu_);
 
   /// Zero every counter/gauge/histogram (callbacks are kept). For
   /// benches that run several configurations in one process.
-  void reset();
+  void reset() CLASH_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   std::map<std::string, std::unique_ptr<detail::CounterCell>, std::less<>>
-      counters_;
+      counters_ CLASH_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<detail::GaugeCell>, std::less<>>
-      gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> hists_;
-  std::map<std::string, std::function<double()>, std::less<>> callbacks_;
+      gauges_ CLASH_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> hists_
+      CLASH_GUARDED_BY(mu_);
+  std::map<std::string, std::function<double()>, std::less<>> callbacks_
+      CLASH_GUARDED_BY(mu_);
 };
 
 }  // namespace clash::obs

@@ -53,7 +53,7 @@ const char* span_category(SpanKind k) {
 }
 
 std::vector<Span> TraceRecorder::spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::MutexLock lock(mu_);
   if (next_ <= ring_.size()) return ring_;
   // Ring wrapped: oldest surviving span sits at the write cursor.
   std::vector<Span> out;
@@ -66,12 +66,12 @@ std::vector<Span> TraceRecorder::spans() const {
 }
 
 std::uint64_t TraceRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::MutexLock lock(mu_);
   return next_ <= capacity_ ? 0 : next_ - capacity_;
 }
 
 void TraceRecorder::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::MutexLock lock(mu_);
   ring_.clear();
   next_ = 0;
 }

@@ -10,11 +10,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/sim_time.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace clash::obs {
 
@@ -59,9 +60,9 @@ class TraceRecorder {
 
   void record(SpanKind kind, std::uint64_t pid, SimTime start,
               SimDuration dur, std::uint64_t arg = 0,
-              std::uint64_t trace_id = 0) {
+              std::uint64_t trace_id = 0) CLASH_EXCLUDES(mu_) {
     if (!enabled()) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    const common::MutexLock lock(mu_);
     Span s{kind, pid, start.usec, dur.usec < 0 ? 0 : dur.usec, arg,
            trace_id};
     if (ring_.size() < capacity_) {
@@ -72,21 +73,21 @@ class TraceRecorder {
     ++next_;
   }
 
-  [[nodiscard]] std::vector<Span> spans() const;
+  [[nodiscard]] std::vector<Span> spans() const CLASH_EXCLUDES(mu_);
   /// Spans overwritten because the ring was full.
-  [[nodiscard]] std::uint64_t dropped() const;
-  void clear();
+  [[nodiscard]] std::uint64_t dropped() const CLASH_EXCLUDES(mu_);
+  void clear() CLASH_EXCLUDES(mu_);
 
   /// {"traceEvents": [...]} — complete "X" (duration) events, one
   /// track per (pid, span kind).
-  [[nodiscard]] std::string to_chrome_json() const;
+  [[nodiscard]] std::string to_chrome_json() const CLASH_EXCLUDES(mu_);
 
  private:
   const std::size_t capacity_;
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::vector<Span> ring_;
-  std::uint64_t next_ = 0;  // total spans ever recorded
+  mutable common::Mutex mu_;
+  std::vector<Span> ring_ CLASH_GUARDED_BY(mu_);
+  std::uint64_t next_ CLASH_GUARDED_BY(mu_) = 0;  // total recorded
 };
 
 }  // namespace clash::obs

@@ -161,8 +161,8 @@ SimCluster::SimCluster(Config config)
     : config_(config),
       ring_(dht::ChordRing::Config{config.hash_bits, config.virtual_servers,
                                    config.hash_algo, config.seed}),
-      links_(config.seed ^ 0x11ae5eedULL),
-      corrupt_rng_(config.seed ^ 0xc044f1a7ULL) {
+      corrupt_rng_(config.seed ^ 0xc044f1a7ULL),
+      links_(config.seed ^ 0x11ae5eedULL) {
   if (config_.num_servers == 0) {
     throw std::invalid_argument("cluster needs at least one server");
   }

@@ -82,7 +82,7 @@ void LinkMatrix::clear() {
 }
 
 void LinkMatrix::script(ServerId from, ServerId to,
-                        std::vector<bool> drops) {
+                        const std::vector<bool>& drops) {
   auto& queue = scripts_[key(from, to)];
   for (const bool drop : drops) queue.push_back(drop);
   if (queue.empty()) scripts_.erase(key(from, to));

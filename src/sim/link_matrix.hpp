@@ -98,7 +98,7 @@ class LinkMatrix {
   /// script drains, the configured fault resumes. The precision tool
   /// for "this specific frame never arrives" regression tests —
   /// mirrors net::FaultInjector::drop_next.
-  void script(ServerId from, ServerId to, std::vector<bool> drops);
+  void script(ServerId from, ServerId to, const std::vector<bool>& drops);
 
   /// Decide one message's fate (consumes randomness for lossy links).
   /// `base` is the transport's own clean-link latency for this

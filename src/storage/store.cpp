@@ -41,6 +41,7 @@ NodeStore::NodeStore(Backend& backend, Config cfg)
 }
 
 void NodeStore::set_obs(obs::Hub* hub, std::uint64_t node) {
+  affinity_.assert_held();
   hub_ = hub;
   node_ = node;
   if (hub_ == nullptr) {
@@ -55,6 +56,7 @@ void NodeStore::set_obs(obs::Hub* hub, std::uint64_t node) {
 
 std::uint64_t NodeStore::append_op(const KeyGroup& group, repl::LogHead head,
                                    const repl::LogOp& op, SimTime now) {
+  affinity_.assert_held();
   const std::uint64_t before = wal_->stats().bytes;
   wal_->append_op(group, head, op);
   stats_.ops_appended++;
@@ -64,6 +66,7 @@ std::uint64_t NodeStore::append_op(const KeyGroup& group, repl::LogHead head,
 
 std::uint64_t NodeStore::write_snapshot(const SnapshotImage& img,
                                         bool checkpoint) {
+  affinity_.assert_held();
   if (checkpoint && cfg_.mode != ClashConfig::DurabilityMode::kWalSnapshot) {
     return 0;  // kWal: the baseline anchors replay, the log keeps growing
   }
@@ -90,6 +93,7 @@ std::uint64_t NodeStore::write_snapshot(const SnapshotImage& img,
 
 void NodeStore::drop_group(const KeyGroup& group, std::uint64_t epoch,
                            SimTime now) {
+  affinity_.assert_held();
   (void)now;
   wal_->append_drop(group, epoch);
   // The drop record must be durable BEFORE the snapshot deletion is —
@@ -148,6 +152,7 @@ void NodeStore::maybe_sync(SimTime now) {
 }
 
 void NodeStore::tick(SimTime now) {
+  affinity_.assert_held();
   if (cfg_.fsync == ClashConfig::FsyncPolicy::kInterval &&
       now - last_sync_ >= cfg_.fsync_interval) {
     timed_sync(now);

@@ -6,6 +6,11 @@
 // image eagerly — take_image() hands it to the server's restore path —
 // so the WAL always restarts on a fresh segment, never appending to a
 // possibly-torn tail.
+// Thread contract: a NodeStore is affine to its owner's single thread
+// (the node's event loop; the simulator's thread in sim runs). State is
+// CLASH_GUARDED_BY(affinity_) and public methods witness the token at
+// entry; net::ClashNode binds the token to its event-loop probe, so
+// off-loop storage calls abort in CLASH_LOOP_CHECKS builds.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +20,8 @@
 #include <string>
 
 #include "clash/config.hpp"
+#include "common/affinity.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/hub.hpp"
 #include "storage/recovery.hpp"
 #include "storage/snapshot.hpp"
@@ -57,10 +64,21 @@ class NodeStore {
   /// highest on disk. The backend must outlive the store.
   NodeStore(Backend& backend, Config cfg);
 
+  /// The affinity capability guarding all store state; the embedding
+  /// node binds it to its home-thread probe during setup.
+  [[nodiscard]] common::AffinityToken& affinity()
+      CLASH_RETURN_CAPABILITY(affinity_) {
+    return affinity_;
+  }
+
   /// The image recovered at construction (pre-crash owned groups).
   /// Moves: call once, from the server's restore path.
-  [[nodiscard]] RecoveredImage take_image() { return std::move(image_); }
+  [[nodiscard]] RecoveredImage take_image() {
+    affinity_.assert_held();
+    return std::move(image_);
+  }
   [[nodiscard]] const RecoveryScanStats& recovery_stats() const {
+    affinity_.assert_held();
     return recovery_stats_;
   }
 
@@ -89,11 +107,15 @@ class NodeStore {
   /// True when `group`'s last snapshot write failed and the server
   /// should re-persist it (checked each load check).
   [[nodiscard]] bool snapshot_retry_pending(const KeyGroup& group) const {
+    affinity_.assert_held();
     return failed_snapshots_.count(group) > 0;
   }
 
   /// Force everything appended so far to stable storage.
-  void flush() { timed_sync(last_sync_); }
+  void flush() {
+    affinity_.assert_held();
+    timed_sync(last_sync_);
+  }
 
   /// Attach an observability hub: fsync latencies feed its
   /// clash_wal_fsync_usec histogram (wall-clock cost of each sync,
@@ -102,41 +124,47 @@ class NodeStore {
   /// clash_storage_recovery_usec gauge plus a RecoveryScan span.
   void set_obs(obs::Hub* hub, std::uint64_t node);
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Stats& stats() const {
+    affinity_.assert_held();
+    return stats_;
+  }
   [[nodiscard]] const Wal::Stats& wal_stats() const {
+    affinity_.assert_held();
     return wal_->stats();
   }
   [[nodiscard]] const Config& config() const { return cfg_; }
 
  private:
-  void maybe_sync(SimTime now);
+  void maybe_sync(SimTime now) CLASH_REQUIRES(affinity_);
   /// wal_->sync() wrapped with the fsync histogram/trace span (`now`
   /// stamps the span; the duration is wall-clock).
-  bool timed_sync(SimTime now);
-  void truncate();
+  bool timed_sync(SimTime now) CLASH_REQUIRES(affinity_);
+  void truncate() CLASH_REQUIRES(affinity_);
 
+  common::AffinityToken affinity_;
   Backend& backend_;
   Config cfg_;
-  std::unique_ptr<Wal> wal_;
-  RecoveredImage image_;
-  RecoveryScanStats recovery_stats_;
+  std::unique_ptr<Wal> wal_ CLASH_PT_GUARDED_BY(affinity_);
+  RecoveredImage image_ CLASH_GUARDED_BY(affinity_);
+  RecoveryScanStats recovery_stats_ CLASH_GUARDED_BY(affinity_);
   /// Durable snapshot head per group; WAL records at or below their
   /// group's floor are reclaimable.
-  std::map<KeyGroup, repl::LogHead> floors_;
+  std::map<KeyGroup, repl::LogHead> floors_ CLASH_GUARDED_BY(affinity_);
   /// Epoch at which a group was dropped (covers its records without a
   /// floor entry).
-  std::map<KeyGroup, std::uint64_t> dropped_;
+  std::map<KeyGroup, std::uint64_t> dropped_ CLASH_GUARDED_BY(affinity_);
   /// Groups whose snapshot write failed (retried via
   /// snapshot_retry_pending).
-  std::set<KeyGroup> failed_snapshots_;
-  SimTime last_sync_{0};
-  Stats stats_;
+  std::set<KeyGroup> failed_snapshots_ CLASH_GUARDED_BY(affinity_);
+  SimTime last_sync_ CLASH_GUARDED_BY(affinity_){0};
+  Stats stats_ CLASH_GUARDED_BY(affinity_);
 
-  obs::Hub* hub_ = nullptr;
-  std::uint64_t node_ = 0;
-  obs::HistogramHandle fsync_us_;
-  std::int64_t recovery_usec_ = 0;       // construction-scan duration
-  std::size_t recovered_groups_ = 0;     // before take_image moves it
+  obs::Hub* hub_ CLASH_GUARDED_BY(affinity_) = nullptr;
+  std::uint64_t node_ CLASH_GUARDED_BY(affinity_) = 0;
+  obs::HistogramHandle fsync_us_ CLASH_GUARDED_BY(affinity_);
+  // Construction-scan duration / group count (before take_image moves).
+  std::int64_t recovery_usec_ CLASH_GUARDED_BY(affinity_) = 0;
+  std::size_t recovered_groups_ CLASH_GUARDED_BY(affinity_) = 0;
 };
 
 }  // namespace clash::storage

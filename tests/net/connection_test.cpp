@@ -36,6 +36,7 @@ struct ConnFixture : ::testing::Test {
 
   /// Drive the loop until it goes idle.
   void pump(int ms = 50) {
+    CLASH_ASSERT_ON_LOOP(loop);  // idle between run()s: we hold affinity
     loop.call_after(std::chrono::milliseconds(ms), [this] { loop.stop(); });
     loop.run();
   }
@@ -153,6 +154,7 @@ TEST(ConnFraming, ReassemblesAcrossEverySplitPoint) {
         },
         [] {});
     ASSERT_EQ(::write(fds[1], stream.data(), split), ssize_t(split));
+    CLASH_ASSERT_ON_LOOP(loop);  // loop not started yet
     loop.call_after(std::chrono::milliseconds(5), [&] {
       ASSERT_EQ(::write(fds[1], stream.data() + split, stream.size() - split),
                 ssize_t(stream.size() - split));

@@ -12,6 +12,7 @@ namespace {
 TEST(EventLoop, TimersFireInOrder) {
   EventLoop loop;
   std::vector<int> order;
+  CLASH_ASSERT_ON_LOOP(loop);  // loop idle until run(): we hold affinity
   loop.call_after(std::chrono::milliseconds(30), [&] {
     order.push_back(3);
     loop.stop();
@@ -25,6 +26,7 @@ TEST(EventLoop, TimersFireInOrder) {
 TEST(EventLoop, CancelledTimerDoesNotFire) {
   EventLoop loop;
   bool fired = false;
+  CLASH_ASSERT_ON_LOOP(loop);
   const auto id = loop.call_after(std::chrono::milliseconds(5),
                                   [&] { fired = true; });
   loop.cancel_timer(id);
@@ -50,6 +52,7 @@ TEST(EventLoop, PostFromAnotherThread) {
 
 TEST(EventLoop, PostAfterFinalDrainReturnsFalse) {
   EventLoop loop;
+  CLASH_ASSERT_ON_LOOP(loop);
   loop.call_after(std::chrono::milliseconds(1), [&] { loop.stop(); });
   loop.run();
   // The loop has finished: a post can never run, and says so instead of
@@ -86,6 +89,7 @@ TEST(EventLoop, FdReadiness) {
   int fds[2];
   ASSERT_EQ(::pipe(fds), 0);
   std::string received;
+  CLASH_ASSERT_ON_LOOP(loop);  // held before run() and again after it
   loop.add_fd(fds[0], EPOLLIN, [&](std::uint32_t) {
     char buf[16];
     const auto n = ::read(fds[0], buf, sizeof(buf));
@@ -106,12 +110,14 @@ TEST(EventLoop, TimerCanRescheduleItself) {
   EventLoop loop;
   int ticks = 0;
   std::function<void()> tick = [&] {
+    CLASH_ASSERT_ON_LOOP(loop);  // timers fire on the loop thread
     if (++ticks >= 3) {
       loop.stop();
     } else {
       loop.call_after(std::chrono::milliseconds(2), tick);
     }
   };
+  CLASH_ASSERT_ON_LOOP(loop);
   loop.call_after(std::chrono::milliseconds(2), tick);
   loop.run();
   EXPECT_EQ(ticks, 3);

@@ -40,6 +40,7 @@ struct FaultConnFixture : ::testing::Test {
   }
 
   void pump(int ms = 50) {
+    CLASH_ASSERT_ON_LOOP(loop);  // idle between run()s: we hold affinity
     loop.call_after(std::chrono::milliseconds(ms), [this] { loop.stop(); });
     loop.run();
   }

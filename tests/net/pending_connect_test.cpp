@@ -31,6 +31,7 @@ TEST(AsyncConnect, CompletesAgainstLiveListener) {
   if (res.value().in_progress) {
     EventLoop loop;
     int err = -1;
+    CLASH_ASSERT_ON_LOOP(loop);  // loop idle until run()
     loop.add_fd(res.value().fd.get(), EPOLLOUT, [&](std::uint32_t) {
       err = connect_result(res.value().fd);
       loop.stop();
@@ -57,6 +58,7 @@ TEST(AsyncConnect, ReportsRefusedConnection) {
   }
   EventLoop loop;
   int err = 0;
+  CLASH_ASSERT_ON_LOOP(loop);  // loop idle until run()
   loop.add_fd(res.value().fd.get(), EPOLLOUT, [&](std::uint32_t) {
     err = connect_result(res.value().fd);
     loop.stop();

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Proves clang's thread-safety analysis is live over the project's
+# annotation macros:
+#   1. the positive control (correctly locked) compiles clean, and
+#   2. the negative case (unlocked guarded access) is REJECTED with a
+#      thread-safety diagnostic.
+# Skipped (exit 77) under compilers without the analysis (GCC).
+#
+# Usage: run_negative_compile.sh <c++-compiler> <repo-root>
+set -u
+
+CXX="${1:?usage: run_negative_compile.sh <cxx> <repo-root>}"
+ROOT="${2:?usage: run_negative_compile.sh <cxx> <repo-root>}"
+
+if ! "$CXX" --version 2>/dev/null | grep -qi clang; then
+  echo "thread-safety negative test: $CXX is not clang; skipping"
+  exit 77
+fi
+
+ERR=$(mktemp)
+trap 'rm -f "$ERR"' EXIT
+FLAGS="-std=c++20 -I$ROOT/src -Wthread-safety -Werror=thread-safety -fsyntax-only"
+
+# shellcheck disable=SC2086
+if ! "$CXX" $FLAGS "$ROOT/tests/static/thread_safety_positive.cpp"; then
+  echo "FAIL: positive control does not compile — harness broken" >&2
+  exit 1
+fi
+
+# shellcheck disable=SC2086
+if "$CXX" $FLAGS "$ROOT/tests/static/thread_safety_negative.cpp" 2>"$ERR"; then
+  echo "FAIL: unlocked guarded access was NOT rejected" >&2
+  exit 1
+fi
+if ! grep -q "thread-safety" "$ERR"; then
+  echo "FAIL: negative case rejected, but not by the analysis:" >&2
+  cat "$ERR" >&2
+  exit 1
+fi
+echo "thread-safety negative test: OK"

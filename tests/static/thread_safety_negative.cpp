@@ -1,0 +1,34 @@
+// NEGATIVE compile test — this file must NOT compile under
+// clang -Wthread-safety -Werror=thread-safety (and is never built by
+// the normal tree). It accesses a CLASH_GUARDED_BY member without
+// holding the mutex; tests/static/run_negative_compile.sh asserts the
+// analysis rejects it, proving the annotation macros are live (not
+// compiled away) in thread-safety CI builds.
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    balance_ += amount;  // unlocked access: the analysis must reject
+  }
+
+  int balance() {
+    const clash::common::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  clash::common::Mutex mu_;
+  int balance_ CLASH_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return account.balance();
+}

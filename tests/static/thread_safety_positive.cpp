@@ -1,0 +1,34 @@
+// POSITIVE control for the negative compile test: identical shape to
+// thread_safety_negative.cpp but correctly locked, so it must compile
+// clean under clang -Wthread-safety -Werror=thread-safety. If this
+// file fails, the harness flags are broken and the negative result
+// proves nothing.
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    const clash::common::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance() {
+    const clash::common::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  clash::common::Mutex mu_;
+  int balance_ CLASH_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return account.balance();
+}
