@@ -25,6 +25,7 @@
 #include "common/argparse.hpp"
 #include "obs/expose.hpp"
 #include "obs/hub.hpp"
+#include "obs/postmortem.hpp"
 #include "common/rng.hpp"
 #include "sim/churn.hpp"
 
@@ -122,6 +123,13 @@ ScenarioResult run_scenario(const char* scenario, std::size_t servers,
                             double fault_minutes) {
   ChurnSim sim(base_config(servers, seed));
   sim.start();
+  // Dump target for the invariant abort and the main()-side gate: the
+  // source must be removed before `sim` dies (the lambda captures it).
+  obs::Postmortem& pm = obs::Postmortem::global();
+  if (pm.dir().empty()) pm.set_dir(".");
+  const std::uint64_t pm_src = obs::register_hub_source(
+      pm, obs::Hub::global(), std::string("abl_partition-") + scenario,
+      [&sim] { return sim.cluster().now().usec; });
   ScenarioResult r{};
   r.scenario = scenario;
   r.queries_registered = register_queries(sim, queries, 0);
@@ -171,8 +179,15 @@ ScenarioResult run_scenario(const char* scenario, std::size_t servers,
   if (const auto err = sim.cluster().check_invariants()) {
     std::fprintf(stderr, "INVARIANT VIOLATION (%s): %s\n", scenario,
                  err->c_str());
+    pm.dump(std::string("abl_partition invariant (") + scenario + "): " +
+            *err);
     std::abort();
   }
+  if (!r.converged || r.queries_kept != r.queries_registered ||
+      r.groups_lost != 0) {
+    pm.dump(std::string("abl_partition gate failure: ") + scenario);
+  }
+  pm.remove_source(pm_src);
   return r;
 }
 

@@ -41,6 +41,7 @@
 #include "common/rng.hpp"
 #include "obs/expose.hpp"
 #include "obs/hub.hpp"
+#include "obs/postmortem.hpp"
 #include "sim/churn.hpp"
 
 using namespace clash;
@@ -178,6 +179,12 @@ int main(int argc, char** argv) {
 
   ChurnSim sim(base_config(servers, seed));
   sim.start();
+  // Any gate failure (or invariant abort) below dumps the global
+  // flight ring + in-flight table next to the JSON artifact.
+  obs::Postmortem& pm = obs::Postmortem::global();
+  pm.set_dir(".");
+  obs::register_hub_source(pm, obs::Hub::global(), "abl_soak",
+                           [&sim] { return sim.cluster().now().usec; });
   // Metered for the whole soak: the census-overhead gate is cumulative
   // across every storm, not a quiet-window measurement.
   sim.cluster().set_wire_metering(true);
@@ -320,6 +327,7 @@ int main(int argc, char** argv) {
     if (const auto err = sim.cluster().check_invariants()) {
       std::fprintf(stderr, "INVARIANT VIOLATION (round %u): %s\n", round,
                    err->c_str());
+      obs::Postmortem::global().dump("abl_soak invariant: " + *err);
       std::abort();
     }
 
@@ -440,5 +448,6 @@ int main(int argc, char** argv) {
 
   obs::maybe_embed_metrics(args, json, obs::Hub::global().registry);
   if (!write_json_artifact(args, json)) return 1;
+  if (!ok) obs::Postmortem::global().dump("abl_soak gate failure");
   return ok ? 0 : 1;
 }

@@ -79,6 +79,13 @@ ThroughputResult run_throughput(std::size_t frame_bytes, std::uint64_t total,
   if (hub != nullptr) {
     loop.set_obs(hub->registry.histogram("clash_loop_tick_usec").raw(),
                  &hub->tracer, 0);
+    // Flight recorder armed exactly as a ClashNode arms it: tick-budget
+    // fence on the loop, fault/drop events on both connections. The
+    // overhead gate below therefore prices the flight ring too.
+    loop.set_stall_obs(&hub->flight,
+                       hub->registry.counter(
+                           "clash_stall_tick_overruns_total"),
+                       /*budget_us=*/1'000'000);
   }
   auto listener = listen_tcp(Endpoint{"127.0.0.1", 0}).value();
   const auto port = bound_port(listener).value();
@@ -94,13 +101,13 @@ ThroughputResult run_throughput(std::size_t frame_bytes, std::uint64_t total,
           if (++received == total) loop.stop();
         },
         [] {});
-    if (hub != nullptr) server->set_obs(hub);
+    if (hub != nullptr) server->set_obs(hub, /*epoch_us=*/0);
   });
 
   auto client_fd = connect_tcp(Endpoint{"127.0.0.1", port}).value();
   auto client = Connection::adopt(loop, std::move(client_fd),
                                   [](std::span<const std::uint8_t>) {}, [] {});
-  if (hub != nullptr) client->set_obs(hub);
+  if (hub != nullptr) client->set_obs(hub, /*epoch_us=*/0);
 
   const std::vector<std::uint8_t> payload(frame_bytes, 0xAB);
   std::uint64_t sent = 0;

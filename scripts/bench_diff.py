@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Compare two bench JSON artifacts and gate on regressions.
+
+Usage:
+  bench_diff.py --base BENCH_net.json --head fresh.json
+                [--tolerance 0.15] [--strict]
+                [--record trajectory.jsonl --label <sha-or-tag>]
+
+Flattens both artifacts to path -> number (list entries are keyed by
+their distinguishing field: frame_bytes, round, scenario — index
+otherwise) and compares every metric present in BOTH files; keys the
+older baseline schema lacks are reported as "new" and never gate, so a
+freshly-grown bench section does not need a baseline bump to land.
+
+Two gating tiers, because absolute frames/sec only means something when
+base and head ran on the same machine:
+
+  default  — gate only scale-free metrics (ratios, speedups, coalesce
+             factors): machine-independent, so a committed baseline
+             from any host is a valid reference;
+  --strict — additionally gate absolute throughput (…_per_sec) and
+             latency (…_us) metrics. For CI jobs that build base and
+             head back-to-back on one runner.
+
+A gated metric regressing by more than --tolerance (default 0.15 =
+15%) fails the run. Direction is inferred from the metric name:
+per_sec/ratio/speedup/ops higher-is-better; us/usec/latency/drops/
+aborts/lost lower-is-better; anything else is informational only.
+
+--record appends one JSON line (label, UTC time, flattened head
+metrics) to a trajectory file, so the perf history of a branch is a
+greppable log rather than a pile of artifacts.
+"""
+
+import argparse
+import datetime
+import json
+import pathlib
+import re
+import sys
+
+# A list entry is keyed by the first of these fields it carries.
+LIST_KEYS = ("frame_bytes", "round", "scenario", "bench", "name")
+
+HIGHER_BETTER = re.compile(r"(per_sec|ratio|speedup|ops_per|events_per)")
+LOWER_BETTER = re.compile(
+    r"(_us$|_usec$|latency|_drops$|_aborts$|_lost$|_failures$)"
+)
+SCALE_FREE = re.compile(r"(ratio|speedup|coalesce)")
+
+
+def flatten(node, prefix="", out=None):
+    if out is None:
+        out = {}
+    if isinstance(node, dict):
+        for k, v in sorted(node.items()):
+            flatten(v, f"{prefix}.{k}" if prefix else k, out)
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            key = str(i)
+            if isinstance(v, dict):
+                for lk in LIST_KEYS:
+                    if lk in v:
+                        key = f"{lk}={v[lk]}"
+                        break
+            flatten(v, f"{prefix}[{key}]", out)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[prefix] = float(node)
+    return out
+
+
+def direction(path):
+    leaf = path.rsplit(".", 1)[-1]
+    if HIGHER_BETTER.search(leaf):
+        return +1
+    if LOWER_BETTER.search(leaf):
+        return -1
+    return 0
+
+
+def gated(path, strict):
+    d = direction(path)
+    if d == 0:
+        return False
+    if SCALE_FREE.search(path):
+        return True
+    return strict
+
+
+def compare(base, head, tolerance, strict):
+    """Returns (failures, report_lines)."""
+    failures = []
+    lines = []
+    for path in sorted(set(base) | set(head)):
+        if path not in head:
+            lines.append(f"  gone   {path} (base={base[path]:g})")
+            continue
+        if path not in base:
+            lines.append(f"  new    {path} = {head[path]:g}")
+            continue
+        b, h = base[path], head[path]
+        d = direction(path)
+        if b == 0:
+            delta = 0.0 if h == 0 else float("inf")
+        else:
+            delta = (h - b) / abs(b)
+        marker = " "
+        is_gated = gated(path, strict)
+        regressed = (d > 0 and delta < -tolerance) or (
+            d < 0 and delta > tolerance
+        )
+        if is_gated and regressed:
+            failures.append(
+                f"{path}: {b:g} -> {h:g} ({delta:+.1%}, tolerance "
+                f"±{tolerance:.0%})"
+            )
+            marker = "!"
+        elif regressed:
+            marker = "~"  # informational regression, not gated
+        lines.append(
+            f"  {marker} {'gate' if is_gated else 'info':4} {path}: "
+            f"{b:g} -> {h:g} ({delta:+.1%})"
+        )
+    return failures, lines
+
+
+def record(path, label, head_raw, head_flat):
+    entry = {
+        "label": label,
+        "utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "bench": head_raw.get("bench", "?"),
+        "metrics": head_flat,
+    }
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--base", required=True)
+    ap.add_argument("--head", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.15)
+    ap.add_argument("--strict", action="store_true",
+                    help="also gate absolute throughput/latency metrics")
+    ap.add_argument("--record", help="append head metrics to this JSONL")
+    ap.add_argument("--label", default="local",
+                    help="label for --record entries (commit sha, tag)")
+    args = ap.parse_args()
+
+    base_raw = json.loads(pathlib.Path(args.base).read_text())
+    head_raw = json.loads(pathlib.Path(args.head).read_text())
+    base = flatten(base_raw)
+    head = flatten(head_raw)
+
+    failures, lines = compare(base, head, args.tolerance, args.strict)
+    print(f"bench_diff: {args.base} -> {args.head} "
+          f"({'strict' if args.strict else 'scale-free'} gate, "
+          f"tolerance ±{args.tolerance:.0%})")
+    for line in lines:
+        print(line)
+
+    if args.record:
+        record(args.record, args.label, head_raw, head)
+        print(f"bench_diff: recorded '{args.label}' -> {args.record}")
+
+    if failures:
+        print(f"bench_diff: {len(failures)} regression(s):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  FAIL {f}", file=sys.stderr)
+        return 1
+    print("bench_diff: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Reject eager log formatting on net/repl tick paths.
+
+CLASH_LOG and friends are lazy by construction: the statement expands
+to `if (!enabled(lvl)) {} else Statement(lvl) << args`, so the argument
+chain — to_string calls, label() renders, stream conversions — is never
+evaluated when the level is off, and enabled() itself is an inline
+relaxed load. That guarantee only holds if hot-path code actually goes
+through the macros. This check scans src/net and src/repl (code that
+runs on every dispatch tick or replication round) for the ways the
+guarantee gets bypassed:
+
+  * direct stdio (printf/fprintf/puts) or iostream (std::cout/cerr)
+    emission — formats unconditionally AND blocks on the write;
+  * direct use of log::detail::Statement or log::detail::emit —
+    formats before any level check;
+  * a formatted temporary built outside the macro and then streamed in
+    (`std::string msg = ...; CLASH_DEBUG << msg;` pays the format cost
+    even when debug is off). Heuristic: a local named *msg*/*log_* that
+    is assigned from a formatting call and only consumed by a CLASH_
+    statement is flagged via the detail::Statement rule when spelled
+    directly; the named-temporary shape is left to review.
+
+Suppressions: EXEMPT_FILES below with a one-line justification, or an
+inline `lint:allow-log(<reason>)` comment on the offending line.
+"""
+
+import pathlib
+import re
+import sys
+
+EAGER_PATTERNS = [
+    (re.compile(r"\bf?printf\s*\("), "printf/fprintf"),
+    (re.compile(r"\bputs\s*\("), "puts"),
+    (re.compile(r"\bstd::cout\b"), "std::cout"),
+    (re.compile(r"\bstd::cerr\b"), "std::cerr"),
+    (re.compile(r"\bstd::clog\b"), "std::clog"),
+    (re.compile(r"\bdetail::Statement\s*\("), "log::detail::Statement"),
+    (re.compile(r"\bdetail::emit\s*\("), "log::detail::emit"),
+]
+
+# Tick-path directories: every line of src/net runs on an event loop;
+# src/repl runs inside ClashServer handlers (one per delivered frame).
+SCAN_DIRS = ["src/net", "src/repl"]
+
+EXEMPT_FILES: set[str] = set()
+
+ALLOW_MARKER = "lint:allow-log"
+
+
+def scan_text(rel_path: str, text: str) -> list[str]:
+    """Return one violation message per eager-formatting site found."""
+    if rel_path in EXEMPT_FILES:
+        return []
+    violations = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if ALLOW_MARKER in line:
+            continue
+        code = line.split("//", 1)[0]
+        for pattern, name in EAGER_PATTERNS:
+            if pattern.search(code):
+                violations.append(
+                    f"{rel_path}:{lineno}: eager log formatting via "
+                    f"`{name}` on a tick path (use the lazy CLASH_LOG "
+                    f"macros, or mark the line "
+                    f"`{ALLOW_MARKER}(<reason>)`)"
+                )
+    return violations
+
+
+def scan_tree(root: pathlib.Path) -> list[str]:
+    violations = []
+    for scan_dir in SCAN_DIRS:
+        base = root / scan_dir
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".cpp", ".hpp", ".h", ".cc"):
+                continue
+            rel = path.relative_to(root).as_posix()
+            violations.extend(scan_text(rel, path.read_text()))
+    return violations
+
+
+def selftest() -> int:
+    """The check must fire on seeded violations and stay quiet on the
+    sanctioned lazy macros."""
+    bad = (
+        "void tick() {\n"
+        "  std::fprintf(stderr, \"peer %s\", to_string(id).c_str());\n"
+        "  std::cerr << state;\n"
+        "  log::detail::emit(lvl, msg);\n"
+        "}\n"
+    )
+    hits = scan_text("src/net/fake.cpp", bad)
+    assert len(hits) == 3, f"expected 3 violations, got {hits}"
+
+    allowed = (
+        "void tick() {\n"
+        "  std::fprintf(stderr, \"x\");  // lint:allow-log(fatal path)\n"
+        "}\n"
+    )
+    assert scan_text("src/net/fake.cpp", allowed) == []
+
+    clean = (
+        "void tick() {\n"
+        "  CLASH_DEBUG << \"peer \" << to_string(id) << \" state \"\n"
+        "              << state;\n"
+        "  CLASH_LOG(lvl) << expensive_render();\n"
+        "}\n"
+    )
+    assert scan_text("src/net/fake.cpp", clean) == []
+
+    # Prose in comments must not trip the patterns.
+    comment = "// printing via printf( here would be eager\n"
+    assert scan_text("src/net/fake.cpp", comment) == []
+    print("check_log_lazy: selftest OK")
+    return 0
+
+
+def main() -> int:
+    if "--selftest" in sys.argv:
+        return selftest()
+    root = pathlib.Path(__file__).resolve().parents[2]
+    violations = scan_tree(root)
+    for v in violations:
+        print(v, file=sys.stderr)
+    if violations:
+        print(f"check_log_lazy: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("check_log_lazy: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

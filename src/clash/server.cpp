@@ -119,7 +119,7 @@ void ClashServer::install_entry(const ServerTableEntry& entry) {
   table_.insert(entry);
   if (entry.active) {
     state_.try_emplace(entry.group);
-    env_.on_group_activated(entry.group);
+    note_group_activated(entry.group);
     if (cfg_.replication_factor > 0) replicate_group(entry);
     ensure_durable_group(entry);
   }
@@ -205,7 +205,7 @@ void ClashServer::maybe_gc_group(const KeyGroup& group_ref) {
   if (st == state_.end() || !st->second.empty()) return;
   state_.erase(st);
   table_.erase(group);
-  env_.on_group_deactivated(group);
+  note_group_deactivated(group);
   retire_replicas(group);
 }
 
@@ -263,7 +263,7 @@ void ClashServer::handle_accept_keygroup(ServerId from,
   entry.root = m.root;  // handoffs preserve lineage; splits send false
   entry.active = true;
   table_.insert(entry);
-  env_.on_group_activated(m.group);
+  note_group_activated(m.group);
 
   GroupState& gs = state_[m.group];
   for (const auto& s : m.streams) {
@@ -277,6 +277,7 @@ void ClashServer::handle_accept_keygroup(ServerId from,
   // A transfer supersedes any in-flight recovery of the same group
   // (e.g. a handoff landing inside a promotion grace window).
   recovery_.cancel(m.group);
+  end_recovery_op(m.group);
 
   // Replicate the freshly adopted group now rather than at the next
   // load check: a group must never live a whole check period with no
@@ -323,7 +324,7 @@ void ClashServer::handle_reclaim(ServerId from, const ReclaimKeyGroup& m) {
   }
   table_.erase(m.group);
   child_reports_.erase(m.group);
-  env_.on_group_deactivated(m.group);
+  note_group_deactivated(m.group);
   retire_replicas(m.group);
 
   ReclaimAck ack;
@@ -375,11 +376,11 @@ void ClashServer::handle_reclaim_ack(ServerId from, const ReclaimAck& m) {
 
   table_.erase(left);
   (void)left_entry;
-  env_.on_group_deactivated(left);
+  note_group_deactivated(left);
   parent_entry->active = true;
   parent_entry->right_child = ServerId{};
   state_[parent_group] = std::move(merged);
-  env_.on_group_activated(parent_group);
+  note_group_activated(parent_group);
   if (cfg_.replication_factor > 0) replicate_group(*parent_entry);
   ensure_durable_group(*parent_entry);
   // The merged parent's baseline is anchored; only now may the left
@@ -447,7 +448,7 @@ void ClashServer::split_group(const KeyGroup& group,
     assert(cur_entry != nullptr);
     cur_entry->active = false;
     cur_entry->right_child = owner.owner;
-    env_.on_group_deactivated(current);
+    note_group_deactivated(current);
 
     ServerTableEntry left_entry;
     left_entry.group = left;
@@ -455,7 +456,7 @@ void ClashServer::split_group(const KeyGroup& group,
     left_entry.active = true;
     table_.insert(left_entry);
     state_[left] = std::move(st);
-    env_.on_group_activated(left);
+    note_group_activated(left);
     // The left child is a final placement: replicate it immediately so
     // it never spends a check period unprotected (see
     // handle_accept_keygroup).
@@ -476,7 +477,7 @@ void ClashServer::split_group(const KeyGroup& group,
         cur_entry->right_child = self_;
         table_.insert(right_entry);
         state_[right] = std::move(right_state);
-        env_.on_group_activated(right);
+        note_group_activated(right);
         if (cfg_.replication_factor > 0) replicate_group(right_entry);
         ensure_durable_group(right_entry);
         stats_.self_remaps++;
@@ -511,7 +512,7 @@ void ClashServer::split_group(const KeyGroup& group,
     right_entry.parent = self_;
     right_entry.active = true;  // immediately re-split below
     table_.insert(right_entry);
-    env_.on_group_activated(right);
+    note_group_activated(right);
     st = std::move(right_state);
     current = right;
   }
@@ -703,7 +704,7 @@ void ClashServer::try_consolidate() {
       state_.erase(rs);
     }
     table_.erase(right);
-    env_.on_group_deactivated(right);
+    note_group_deactivated(right);
     retire_replicas(right);
 
     ReclaimAck local_ack;
@@ -896,7 +897,7 @@ void ClashServer::adopt_bare_group(ServerTableEntry& entry) {
   entry.root = true;
   table_.insert(entry);
   state_.try_emplace(entry.group);
-  env_.on_group_activated(entry.group);
+  note_group_activated(entry.group);
   stats_.failovers++;
   stats_.groups_lost++;
 }
@@ -910,8 +911,10 @@ void ClashServer::init_group_log(const KeyGroup& group,
   const auto it = retired_epochs_.find(group);
   if (it != retired_epochs_.end()) epoch = std::max(epoch, it->second + 1);
   logs_.insert_or_assign(group, repl::GroupLog(epoch, 0));
+  flight(obs::FlightKind::kEpochBump, group_tag(group), epoch);
   // Heads registered under the old line can never be acked now.
   pending_commits_.erase(group);
+  end_append_op(group);
   // A new line's baseline must hit the disk before any of its WAL
   // records: recovery anchors the replay on it (the state adopted
   // with the group — a split's share, a handoff, a promoted replica —
@@ -925,6 +928,7 @@ void ClashServer::init_group_log(const KeyGroup& group,
 void ClashServer::drop_group_log(const KeyGroup& group) {
   flush_pending_append(group);
   pending_commits_.erase(group);
+  end_append_op(group);
   const auto it = logs_.find(group);
   if (it == logs_.end()) return;
   retired_epochs_[group] = it->second.epoch();
@@ -1015,6 +1019,22 @@ void ClashServer::send_append_batch(const KeyGroup& group,
     // Register the in-flight head *before* sending: a synchronous env
     // delivers the holders' acks re-entrantly inside env_.send.
     auto& inflight = pending_commits_[group];
+    if (inflight.empty() && hub_ != nullptr) {
+      // Deque going empty -> non-empty opens the group's replication
+      // op in the in-flight table; the last draining ack closes it.
+      auto& tok = append_ops_[group];
+      if (tok != 0) hub_->inflight.end(tok);
+      std::uint64_t first_peer = 0;
+      for (const ServerId target : targets) {
+        if (target != self_) {
+          first_peer = target.value;
+          break;
+        }
+      }
+      tok = hub_->inflight.begin(obs::OpKind::kReplAppend,
+                                 std::uint32_t(self_.value), group.label(),
+                                 first_peer, env_.now().usec);
+    }
     inflight.push_back(PendingCommit{
         msg.epoch, msg.base_seq + msg.entries.size(), env_.now(),
         msg.trace_id});
@@ -1106,6 +1126,7 @@ void ClashServer::send_state_snapshot(
   meter_repl_bytes(group, kMsgOverheadBytes);
   hub_->tracer.record(obs::SpanKind::kSnapshotTransfer, self_.value,
                       env_.now(), SimDuration{0}, total, trace_id);
+  flight(obs::FlightKind::kSnapshotOfferSent, group_tag(group), total);
   env_.send(to, offer);
 
   // Pre-cut the chunks into an outbound cursor instead of blasting
@@ -1142,6 +1163,17 @@ void ClashServer::send_state_snapshot(
     chunk.checksum = wire::content_crc(chunk);
     out.chunks.push_back(std::move(chunk));
   }
+  if (hub_ != nullptr) {
+    // A restart for the same (to, group) replaces the cursor below:
+    // retire the superseded transfer's in-flight entry first.
+    if (const auto oit = outbound_snapshots_.find({to, group});
+        oit != outbound_snapshots_.end()) {
+      end_outbound_op(oit->second);
+    }
+    out.inflight_token = hub_->inflight.begin(
+        obs::OpKind::kSnapshotOut, std::uint32_t(self_.value),
+        group.label(), to.value, env_.now().usec, total);
+  }
   outbound_snapshots_[{to, group}] = std::move(out);
   pump_snapshots();
 }
@@ -1167,6 +1199,7 @@ std::size_t ClashServer::pump_snapshots() {
         if (it == outbound_snapshots_.end()) break;  // cancelled mid-pump
         OutboundSnapshot& out = it->second;
         if (out.next >= out.chunks.size()) {
+          end_outbound_op(out);
           outbound_snapshots_.erase(it);
           break;
         }
@@ -1177,7 +1210,13 @@ std::size_t ClashServer::pump_snapshots() {
                          approx_chunk_bytes(out.chunks[out.next]));
         Message msg(std::move(out.chunks[out.next]));
         ++out.next;
+        // Copy the token out: the send may re-enter and replace or
+        // erase this very map entry (stale tokens are ignored).
+        const std::uint64_t tok = out.inflight_token;
         env_.send(key.first, msg);
+        if (hub_ != nullptr && tok != 0) {
+          hub_->inflight.progress(tok, env_.now().usec);
+        }
       }
     }
     if (outbound_snapshots_.empty()) break;
@@ -1188,13 +1227,20 @@ std::size_t ClashServer::pump_snapshots() {
 
 void ClashServer::cancel_outbound_snapshot(ServerId to,
                                            const KeyGroup& group) {
-  outbound_snapshots_.erase({to, group});
+  const auto it = outbound_snapshots_.find({to, group});
+  if (it == outbound_snapshots_.end()) return;
+  flight(obs::FlightKind::kSnapshotAborted, group_tag(group), to.value);
+  end_outbound_op(it->second);
+  outbound_snapshots_.erase(it);
 }
 
 void ClashServer::cancel_outbound_snapshots(const KeyGroup& group) {
   for (auto it = outbound_snapshots_.begin();
        it != outbound_snapshots_.end();) {
     if (it->first.second == group) {
+      flight(obs::FlightKind::kSnapshotAborted, group_tag(group),
+             it->first.first.value);
+      end_outbound_op(it->second);
       it = outbound_snapshots_.erase(it);
     } else {
       ++it;
@@ -1234,6 +1280,7 @@ void ClashServer::handle_repl_append(ServerId from, const ReplAppend& m) {
       m.base_seq + m.entries.size() < m.base_seq) {
     stats_.corrupt_rejected++;
     corrupt_rejected_total_.inc();
+    flight(obs::FlightKind::kCorruptReject, group_tag(m.group));
     return;
   }
   // Never apply replica traffic to a group this server actively owns
@@ -1286,6 +1333,7 @@ void ClashServer::handle_repl_append(ServerId from, const ReplAppend& m) {
                         SimDuration{0}, applied, active_trace_);
     if (recovery_.active(m.group)) {
       recovery_.note_entries_repaired(m.group, applied);
+      progress_recovery_op(m.group, applied);
     }
   }
   env_.send(from, ReplAck{m.group, rec.log.head(), true});
@@ -1316,7 +1364,15 @@ void ClashServer::handle_repl_ack(ServerId from, const ReplAck& m) {
                             inflight.front().trace_id);
         inflight.pop_front();
       }
-      if (inflight.empty()) pending_commits_.erase(it);
+      if (inflight.empty()) {
+        pending_commits_.erase(it);
+        end_append_op(m.group);
+      } else if (hub_ != nullptr) {
+        const auto at = append_ops_.find(m.group);
+        if (at != append_ops_.end()) {
+          hub_->inflight.progress(at->second, now.usec);
+        }
+      }
     }
     return;
   }
@@ -1324,7 +1380,7 @@ void ClashServer::handle_repl_ack(ServerId from, const ReplAck& m) {
   repair_peer(from, m.group, m.head);
 }
 
-void ClashServer::handle_snapshot_offer(ServerId /*from*/,
+void ClashServer::handle_snapshot_offer(ServerId from,
                                         const SnapshotOffer& m) {
   // Sanity fence: no legitimate snapshot approaches a million chunks
   // (the pacer would never finish one); a count that large is a
@@ -1334,6 +1390,7 @@ void ClashServer::handle_snapshot_offer(ServerId /*from*/,
   if (m.total_chunks == 0 || m.total_chunks > kMaxSaneChunks) {
     stats_.corrupt_rejected++;
     corrupt_rejected_total_.inc();
+    flight(obs::FlightKind::kCorruptReject, group_tag(m.group));
     return;
   }
   if (const auto* entry = table_.find(m.group);
@@ -1352,6 +1409,13 @@ void ClashServer::handle_snapshot_offer(ServerId /*from*/,
     stats_.snapshot_offers_ignored++;
     return;
   }
+  flight(obs::FlightKind::kSnapshotOfferRecv, group_tag(m.group),
+         m.total_chunks);
+  if (rec.pending && hub_ != nullptr) {
+    // A strictly fresher offer preempts the assembly in flight; its
+    // in-flight entry must not outlive the record it tracked.
+    hub_->inflight.end(rec.pending->inflight_token);
+  }
   ReplicaRecord::PendingSnapshot pending;
   pending.head = m.head;
   pending.owner = m.owner;
@@ -1360,6 +1424,11 @@ void ClashServer::handle_snapshot_offer(ServerId /*from*/,
   pending.total = m.total_chunks;
   pending.started = env_.now();
   pending.trace_id = m.trace_id;
+  if (hub_ != nullptr) {
+    pending.inflight_token = hub_->inflight.begin(
+        obs::OpKind::kSnapshotIn, std::uint32_t(self_.value),
+        m.group.label(), from.value, env_.now().usec, m.total_chunks);
+  }
   rec.pending = std::move(pending);
   rec.last_nacked = repl::LogHead{};  // the new stream starts clean
 }
@@ -1373,6 +1442,7 @@ void ClashServer::handle_snapshot_chunk(ServerId from,
   if (m.checksum != 0 && m.checksum != wire::content_crc(m)) {
     stats_.corrupt_rejected++;
     corrupt_rejected_total_.inc();
+    flight(obs::FlightKind::kCorruptReject, group_tag(m.group));
     return;
   }
   if (const auto* entry = table_.find(m.group);
@@ -1396,6 +1466,11 @@ void ClashServer::handle_snapshot_chunk(ServerId from,
     // tear the assembly down and nack with our real head so the sender
     // restarts NOW — staying silent would leave it streaming a dead
     // transfer while recovery waits out a full anti-entropy period.
+    if (rec.pending) {
+      flight(obs::FlightKind::kSnapshotAborted, group_tag(m.group),
+             from.value);
+      if (hub_ != nullptr) hub_->inflight.end(rec.pending->inflight_token);
+    }
     rec.pending.reset();
     rec.last_nacked = m.head;
     stats_.snapshot_aborts++;
@@ -1417,7 +1492,11 @@ void ClashServer::handle_snapshot_chunk(ServerId from,
   p.app_state.insert(p.app_state.end(), m.app_state.begin(),
                      m.app_state.end());
   for (const auto& d : m.app_deltas) p.app_deltas.push_back(d);
-  if (++p.received < p.total) return;
+  ++p.received;
+  if (hub_ != nullptr) {
+    hub_->inflight.progress(p.inflight_token, env_.now().usec);
+  }
+  if (p.received < p.total) return;
 
   // Complete: install the image and re-anchor the retained log.
   rec.owner = p.owner;
@@ -1432,8 +1511,13 @@ void ClashServer::handle_snapshot_chunk(ServerId from,
   hub_->tracer.record(obs::SpanKind::kSnapshotTransfer, self_.value,
                       p.started, env_.now() - p.started, p.total,
                       p.trace_id);
+  flight(obs::FlightKind::kSnapshotInstalled, group_tag(m.group), p.total);
+  if (hub_ != nullptr) hub_->inflight.end(p.inflight_token);
   rec.pending.reset();
-  if (recovery_.active(m.group)) recovery_.note_snapshot_pulled(m.group);
+  if (recovery_.active(m.group)) {
+    recovery_.note_snapshot_pulled(m.group);
+    progress_recovery_op(m.group, 1);
+  }
   env_.send(from, ReplAck{m.group, rec.log.head(), true});
 }
 
@@ -1529,6 +1613,14 @@ void ClashServer::begin_group_recovery(const KeyGroup& group) {
       it != replicas_.end() ? it->second.log.head() : repl::LogHead{};
   if (!recovery_.begin(group, start)) return;  // probes already out
   recovery_started_.try_emplace(group, env_.now());
+  flight(obs::FlightKind::kRecoveryBegin, group_tag(group));
+  if (hub_ != nullptr) {
+    auto& tok = recovery_ops_[group];
+    if (tok != 0) hub_->inflight.end(tok);
+    tok = hub_->inflight.begin(obs::OpKind::kRecoveryPull,
+                               std::uint32_t(self_.value), group.label(),
+                               0, env_.now().usec);
+  }
   const AntiEntropyDiff pull{{GroupHead{group, start}}};
   for (const ServerId peer : replica_set(group)) {
     if (peer != self_) env_.send(peer, pull);
@@ -1567,12 +1659,17 @@ bool ClashServer::promote_with_recovery(const KeyGroup& group) {
       for (const auto& d : rec.app_tail) app_hooks_->apply_delta(group, d);
     }
     replicas_.erase(it);
-    env_.on_group_activated(group);
+    note_group_activated(group);
     stats_.failovers++;
   } else {
     adopt_bare_group(entry);
   }
   recovery_.finish(group, head, advertised);
+  flight(obs::FlightKind::kRecoveryFinish, group_tag(group),
+         recovered ? 1 : 0);
+  flight(obs::FlightKind::kReplicaPromoted, group_tag(group),
+         recovered ? 1 : 0);
+  end_recovery_op(group);
   if (const auto rs = recovery_started_.find(group);
       rs != recovery_started_.end()) {
     const SimDuration took = env_.now() - rs->second;
@@ -1654,7 +1751,7 @@ std::size_t ClashServer::handoff_groups(ServerId to) {
     // would wipe the fresh records.
     table_.erase(mv.group);
     child_reports_.erase(mv.group);
-    env_.on_group_deactivated(mv.group);
+    note_group_deactivated(mv.group);
     retire_replicas(mv.group);
     stats_.state_transfer_msgs += state_msgs_for(msg.queries.size());
     stats_.handoffs++;
@@ -1671,6 +1768,7 @@ bool ClashServer::promote_replica(const KeyGroup& group) {
   // probes of every future recovery of this group.
   if (const auto* existing = table_.find(group)) {
     recovery_.cancel(group);
+    end_recovery_op(group);
     return existing->active;
   }
   for (const ServerTableEntry* e : table_.active_entries()) {
@@ -1679,6 +1777,7 @@ bool ClashServer::promote_replica(const KeyGroup& group) {
                  << group.label() << " (overlaps active "
                  << e->group.label() << ")";
       recovery_.cancel(group);
+      end_recovery_op(group);
       return false;
     }
   }
@@ -1704,11 +1803,13 @@ bool ClashServer::promote_replica(const KeyGroup& group) {
       }
     }
     replicas_.erase(it);
-    env_.on_group_activated(group);
+    note_group_activated(group);
     stats_.failovers++;
   } else {
     adopt_bare_group(entry);
   }
+  flight(obs::FlightKind::kReplicaPromoted, group_tag(group),
+         recovered ? 1 : 0);
   // Re-replicate under the new ownership right away: the holders'
   // records still name the dead owner, so until they are refreshed a
   // second failure in this load-check period would strand a perfectly

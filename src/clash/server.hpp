@@ -246,6 +246,8 @@ class ClashServer {
   /// Drop an open recovery session without promoting (the grace-window
   /// re-check failed: the member rejoined or the ring moved the heir).
   void abandon_group_recovery(const KeyGroup& group) {
+    flight(obs::FlightKind::kRecoveryAbandon, group_tag(group));
+    end_recovery_op(group);
     recovery_.cancel(group);
     recovery_started_.erase(group);
   }
@@ -501,6 +503,8 @@ class ClashServer {
       SimTime started{0};
       /// Correlation id from the offer (0 = untraced).
       std::uint64_t trace_id = 0;
+      /// InflightTable registration (kSnapshotIn); 0 when untracked.
+      std::uint64_t inflight_token = 0;
     };
     std::optional<PendingSnapshot> pending;
   };
@@ -512,6 +516,8 @@ class ClashServer {
   struct OutboundSnapshot {
     std::vector<SnapshotChunk> chunks;
     std::size_t next = 0;
+    /// InflightTable registration (kSnapshotOut); 0 when untracked.
+    std::uint64_t inflight_token = 0;
   };
   std::map<std::pair<ServerId, KeyGroup>, OutboundSnapshot>
       outbound_snapshots_;
@@ -570,6 +576,62 @@ class ClashServer {
   std::map<KeyGroup, std::deque<PendingCommit>> pending_commits_;
   /// Recovery sessions opened at promote time (failover span start).
   std::map<KeyGroup, SimTime> recovery_started_;
+
+  // --- Flight recorder / in-flight table glue --------------------------
+  /// Stable correlation tag for a group in flight events (the label
+  /// string itself lives in the in-flight table entries).
+  [[nodiscard]] static std::uint64_t group_tag(const KeyGroup& group) {
+    return std::hash<KeyGroup>{}(group);
+  }
+  /// Record one lifecycle event in the hub's flight ring (no-op when
+  /// observability is detached).
+  void flight(obs::FlightKind kind, std::uint64_t a, std::uint64_t b = 0) {
+    if (hub_ != nullptr) {
+      hub_->flight.record(kind, std::uint32_t(self_.value),
+                          env_.now().usec, a, b);
+    }
+  }
+  /// One kReplAppend in-flight op per group while its pending-commit
+  /// deque is non-empty (token keyed like pending_commits_).
+  std::map<KeyGroup, std::uint64_t> append_ops_;
+  /// One kRecoveryPull op per open recovery session.
+  std::map<KeyGroup, std::uint64_t> recovery_ops_;
+  /// Retire the per-group kReplAppend op (pending commits drained or
+  /// invalidated by an epoch change).
+  void end_append_op(const KeyGroup& group) {
+    const auto it = append_ops_.find(group);
+    if (it == append_ops_.end()) return;
+    if (hub_ != nullptr) hub_->inflight.end(it->second);
+    append_ops_.erase(it);
+  }
+  void end_recovery_op(const KeyGroup& group) {
+    const auto it = recovery_ops_.find(group);
+    if (it == recovery_ops_.end()) return;
+    if (hub_ != nullptr) hub_->inflight.end(it->second);
+    recovery_ops_.erase(it);
+  }
+  void progress_recovery_op(const KeyGroup& group, std::uint64_t delta) {
+    if (hub_ == nullptr) return;
+    const auto it = recovery_ops_.find(group);
+    if (it != recovery_ops_.end()) {
+      hub_->inflight.progress(it->second, env_.now().usec, delta);
+    }
+  }
+  void end_outbound_op(OutboundSnapshot& out) {
+    if (hub_ != nullptr && out.inflight_token != 0) {
+      hub_->inflight.end(out.inflight_token);
+    }
+    out.inflight_token = 0;
+  }
+  /// Group lifecycle hooks with a flight-ring record attached.
+  void note_group_activated(const KeyGroup& group) {
+    flight(obs::FlightKind::kGroupActivated, group_tag(group));
+    env_.on_group_activated(group);
+  }
+  void note_group_deactivated(const KeyGroup& group) {
+    flight(obs::FlightKind::kGroupDeactivated, group_tag(group));
+    env_.on_group_deactivated(group);
+  }
 
   /// Correlation id of the operation currently being dispatched
   /// (nonzero only while handling a traced AcceptObject / ReplAppend /

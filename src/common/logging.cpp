@@ -64,16 +64,25 @@ Level level_from_name(std::string_view name, Level fallback) {
 void set_level(Level level) {
   g_level_pinned.store(true, std::memory_order_relaxed);
   g_level.store(level, std::memory_order_relaxed);
+  detail::g_threshold.store(int(level), std::memory_order_relaxed);
 }
 
 Level level() {
   load_env_level();
-  return g_level.load(std::memory_order_relaxed);
+  const Level l = g_level.load(std::memory_order_relaxed);
+  // Publish for the header fast path: every subsequent enabled() check
+  // is one relaxed load.
+  detail::g_threshold.store(int(l), std::memory_order_relaxed);
+  return l;
 }
 
-bool enabled(Level lvl) { return lvl >= level() && lvl != Level::kOff; }
-
 namespace detail {
+
+std::atomic<int> g_threshold{kUnresolvedLevel};
+
+bool enabled_slow(Level lvl) {
+  return lvl >= level() && lvl != Level::kOff;
+}
 
 void emit(Level lvl, std::string_view message) {
   const std::lock_guard<std::mutex> lock(g_emit_mutex);

@@ -5,6 +5,7 @@
 // explicit set_level() always wins over the environment.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -20,8 +21,28 @@ Level level();
 /// Parse a level name ("debug", "WARN", ...); `fallback` on no match.
 Level level_from_name(std::string_view name, Level fallback);
 
-/// True when `lvl` would currently be emitted.
-bool enabled(Level lvl);
+namespace detail {
+/// Resolved threshold as int(Level); kUnresolvedLevel until the first
+/// check has consulted the CLASH_LOG environment override.
+inline constexpr int kUnresolvedLevel = -1;
+extern std::atomic<int> g_threshold;
+/// Out-of-line: resolves the environment override, publishes
+/// g_threshold, then judges `lvl`. Taken at most a handful of times.
+[[nodiscard]] bool enabled_slow(Level lvl);
+}  // namespace detail
+
+/// True when `lvl` would currently be emitted. Inline fast path — one
+/// relaxed load and a compare — so a disabled CLASH_LOG on a hot tick
+/// path costs a predictable branch, never a function call into the
+/// formatting machinery.
+[[nodiscard]] inline bool enabled(Level lvl) {
+  const int threshold =
+      detail::g_threshold.load(std::memory_order_relaxed);
+  if (threshold == detail::kUnresolvedLevel) {
+    return detail::enabled_slow(lvl);
+  }
+  return int(lvl) >= threshold && lvl != Level::kOff;
+}
 
 namespace detail {
 void emit(Level lvl, std::string_view message);

@@ -61,7 +61,9 @@ void MembershipDriver::tick() {
   for (const ServerId id : view_.probe_candidates()) {
     if (view_.state_of(id) == MemberState::kSuspect) {
       const auto [it, fresh] = suspected_at_.try_emplace(id, period_);
-      if (!fresh && period_ - it->second >= cfg_.suspicion_periods) {
+      if (fresh) {
+        env_.on_member_suspected(id);
+      } else if (period_ - it->second >= cfg_.suspicion_periods) {
         view_.declare_dead(id);
       }
     } else {
@@ -73,7 +75,9 @@ void MembershipDriver::tick() {
   const auto actions = detector_.tick(view_.probe_candidates());
   for (const ServerId target : actions.unresponsive) {
     view_.suspect(target);
-    suspected_at_.try_emplace(target, period_);
+    if (suspected_at_.try_emplace(target, period_).second) {
+      env_.on_member_suspected(target);
+    }
   }
   for (const auto& ping : actions.pings) {
     send(ping.target, GossipKind::kPing, ping.sequence, ping.target);

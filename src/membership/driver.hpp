@@ -53,6 +53,11 @@ class MembershipEnv {
   /// `id` joined (or returned from the dead with a fresher
   /// incarnation): add it to the ring.
   virtual void on_member_joined(ServerId id) { (void)id; }
+
+  /// `id` entered suspect state (locally or via gossip) and its
+  /// refutation timer just started. Advisory: fired for observability
+  /// (flight recorders), not for failover — wait for on_member_dead.
+  virtual void on_member_suspected(ServerId id) { (void)id; }
 };
 
 class MembershipDriver {

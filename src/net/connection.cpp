@@ -61,7 +61,7 @@ void Connection::register_with_loop() {
   });
 }
 
-void Connection::set_obs(obs::Hub* hub) {
+void Connection::set_obs(obs::Hub* hub, std::int64_t epoch_us) {
   on_loop_.assert_held();
   if (hub == nullptr) {
     frames_sent_c_ = {};
@@ -69,8 +69,11 @@ void Connection::set_obs(obs::Hub* hub) {
     flush_syscalls_c_ = {};
     frames_received_c_ = {};
     bytes_received_c_ = {};
+    flight_ = nullptr;
     return;
   }
+  flight_ = &hub->flight;
+  flight_epoch_us_ = epoch_us;
   auto& r = hub->registry;
   frames_sent_c_ = r.counter("clash_net_frames_sent_total");
   bytes_sent_c_ = r.counter("clash_net_bytes_sent_total");
@@ -181,6 +184,10 @@ bool Connection::enqueue(std::vector<std::uint8_t>&& frame) {
       // The network ate it: the sender cannot tell, exactly like a
       // lossy link. The buffer still recycles.
       ++stats_.faults_dropped;
+      if (flight_ != nullptr) {
+        flight_->record(obs::FlightKind::kFaultDrop, 0, flight_now_us(),
+                        std::uint64_t(fd_.get()), stats_.faults_dropped);
+      }
       wire::BufferPool::local().release(std::move(frame));
       return true;
     }
@@ -203,6 +210,10 @@ bool Connection::enqueue(std::vector<std::uint8_t>&& frame) {
            type == wire::MsgType::kReplAppend ||
            type == wire::MsgType::kSnapshotChunk)) {
         ++stats_.faults_corrupted;
+        if (flight_ != nullptr) {
+          flight_->record(obs::FlightKind::kFaultCorrupt, 0,
+                          flight_now_us(), std::uint64_t(fd_.get()));
+        }
         fault_->corrupt_byte(std::span<std::uint8_t>(
             frame.data() + kContentOff, frame.size() - kContentOff));
       }

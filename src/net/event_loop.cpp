@@ -150,16 +150,26 @@ void EventLoop::note_tick(Clock::time_point start) {
   const auto dur = std::chrono::duration_cast<std::chrono::microseconds>(
                        Clock::now() - start)
                        .count();
-  tick_hist_->record(std::uint64_t(dur));
+  if (tick_hist_ != nullptr) tick_hist_->record(std::uint64_t(dur));
+  const auto start_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          start.time_since_epoch())
+          .count();
   // Only pathologically slow rounds earn a timeline entry; at normal
   // cadence they would just churn the trace ring.
   if (dur >= 1000 && tracer_ != nullptr) {
-    const auto start_us =
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            start.time_since_epoch())
-            .count();
     tracer_->record(obs::SpanKind::kLoopTick, obs_pid_, SimTime(start_us),
                     SimDuration(dur));
+  }
+  // Post-hoc budget fence: the round DID finish, but late enough that
+  // everything behind it (timers, acks, gossip) observably lagged.
+  // The live wedged case — a round that never finishes — is caught
+  // from outside by the StallWatchdog via current_tick().
+  if (flight_ != nullptr && tick_budget_us_ > 0 && dur >= tick_budget_us_) {
+    tick_overruns_c_.inc();
+    flight_->record(obs::FlightKind::kTickOverrun, std::uint32_t(obs_pid_),
+                    start_us - stall_epoch_us_, std::uint64_t(dur),
+                    std::uint64_t(tick_budget_us_));
   }
 }
 
@@ -186,10 +196,20 @@ void EventLoop::run() {
     run_deferred();
     // The round is over once the loop is about to sleep again; the
     // wait itself is idle time, not tick time.
-    if (tick_hist_ != nullptr) note_tick(tick_start);
+    if (tick_hist_ != nullptr || flight_ != nullptr) note_tick(tick_start);
+    // Retire the tick probe for the idle wait: a probe during
+    // epoll_wait must read "not stuck", however long the wait is.
+    tick_busy_.store(false, std::memory_order_release);
+    tick_seq_.fetch_add(1, std::memory_order_relaxed);
     const int n =
         ::epoll_wait(epoll_fd_, events, 64, next_timeout_ms());
     tick_start = Clock::now();
+    tick_started_us_.store(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            tick_start.time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+    tick_busy_.store(true, std::memory_order_release);
     if (n < 0) {
       if (errno == EINTR) continue;
       CLASH_ERROR << "epoll_wait: " << std::strerror(errno);
@@ -217,6 +237,7 @@ void EventLoop::run() {
   }
   for (auto& t : last) t();
   run_deferred();
+  tick_busy_.store(false, std::memory_order_release);
   exit_loop();
   stop_requested_.store(false, std::memory_order_relaxed);
   exited_.store(true, std::memory_order_release);

@@ -25,10 +25,15 @@
 #include <thread>
 #include <vector>
 
+#include <optional>
+#include <utility>
+
 #include "common/affinity.hpp"
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/histogram.hpp"
+#include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
 namespace clash::net {
@@ -113,6 +118,36 @@ class EventLoop {
     obs_pid_ = pid;
   }
 
+  /// Attach the flight recorder + post-hoc tick-budget fence (call
+  /// before run()). A dispatch round that finishes but exceeded
+  /// `budget_us` lands a kTickOverrun flight event and bumps
+  /// `overruns`; the live wedged-tick case is the watchdog's job via
+  /// current_tick(). Null flight detaches.
+  /// `epoch_us` (steady-clock microseconds) is subtracted from event
+  /// timestamps so they share the embedding node's timeline.
+  void set_stall_obs(obs::FlightRecorder* flight, obs::Counter overruns,
+                     std::int64_t budget_us, std::int64_t epoch_us = 0)
+      CLASH_REQUIRES(affinity_) {
+    flight_ = flight;
+    tick_overruns_c_ = overruns;
+    tick_budget_us_ = budget_us;
+    stall_epoch_us_ = epoch_us;
+  }
+
+  /// Tick progress probe for the stall watchdog (any thread): while a
+  /// dispatch round is in progress, its {sequence, start time in
+  /// steady-clock microseconds}; nullopt while the loop is idle in
+  /// epoll_wait (or not running). A seq/start pair read together is
+  /// consistent enough for stall detection: at worst a probe lands on
+  /// a tick boundary and reads the previous start, which only delays
+  /// the verdict by one poll.
+  [[nodiscard]] std::optional<std::pair<std::uint64_t, std::int64_t>>
+  current_tick() const {
+    if (!tick_busy_.load(std::memory_order_acquire)) return std::nullopt;
+    return std::make_pair(tick_seq_.load(std::memory_order_relaxed),
+                          tick_started_us_.load(std::memory_order_relaxed));
+  }
+
   [[nodiscard]] bool running() const {
     return running_.load(std::memory_order_acquire);
   }
@@ -168,6 +203,15 @@ class EventLoop {
   obs::Histogram* tick_hist_ CLASH_GUARDED_BY(affinity_) = nullptr;
   obs::TraceRecorder* tracer_ CLASH_GUARDED_BY(affinity_) = nullptr;
   std::uint64_t obs_pid_ CLASH_GUARDED_BY(affinity_) = 0;
+  obs::FlightRecorder* flight_ CLASH_GUARDED_BY(affinity_) = nullptr;
+  obs::Counter tick_overruns_c_ CLASH_GUARDED_BY(affinity_);
+  std::int64_t tick_budget_us_ CLASH_GUARDED_BY(affinity_) = 0;
+  std::int64_t stall_epoch_us_ CLASH_GUARDED_BY(affinity_) = 0;
+
+  /// Published tick progress (lock-free; read by the watchdog thread).
+  std::atomic<std::uint64_t> tick_seq_{0};
+  std::atomic<std::int64_t> tick_started_us_{0};
+  std::atomic<bool> tick_busy_{false};
 
   /// The thread currently inside run(); meaningful while running_.
   std::atomic<std::thread::id> loop_tid_{};

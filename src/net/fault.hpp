@@ -67,12 +67,30 @@ class FaultInjector {
   /// Script hook: unconditionally drop exactly the next `n` frames.
   void drop_next(unsigned n) { forced_drops_ += n; }
 
+  /// Script hook: pass the next `n` frames untouched, then drop every
+  /// frame after them — the way tests freeze a transfer mid-stream
+  /// ("deliver the offer and two chunks, then the link goes dark").
+  /// drop_next still takes precedence for frames it has claimed.
+  void drop_after(unsigned n) {
+    pass_quota_ = n;
+    drop_rest_ = true;
+  }
+
   /// Decide one frame's fate (consumes randomness on lossy links).
   Verdict judge() {
     if (forced_drops_ > 0) {
       --forced_drops_;
       ++stats_.dropped;
       return Verdict{true, {}, false, false, false};
+    }
+    if (drop_rest_) {
+      if (pass_quota_ == 0) {
+        ++stats_.dropped;
+        return Verdict{true, {}, false, false, false};
+      }
+      --pass_quota_;
+      ++stats_.passed;
+      return Verdict{};
     }
     const auto fv = judge_fault(cfg_, rng_);
     if (!fv.deliver) {
@@ -107,6 +125,8 @@ class FaultInjector {
   Config cfg_;
   Stats stats_;
   unsigned forced_drops_ = 0;
+  unsigned pass_quota_ = 0;
+  bool drop_rest_ = false;
   Rng rng_;
 };
 

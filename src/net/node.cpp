@@ -111,6 +111,12 @@ class ClashNode::GossipEnv final : public membership::MembershipEnv {
     node_.on_loop_.assert_held();
     node_.on_member_joined(id);
   }
+  void on_member_suspected(ServerId id) override {
+    node_.on_loop_.assert_held();
+    node_.hub_.flight.record(obs::FlightKind::kMemberSuspected,
+                             std::uint32_t(node_.config_.id.value),
+                             node_.node_now_us(), id.value);
+  }
 
  private:
   ClashNode& node_;
@@ -166,10 +172,19 @@ ClashNode::ClashNode(NodeConfig config)
     });
     membership_->set_census(&census_);
   }
+  epoch_ = std::chrono::steady_clock::now();
   loop_->set_obs(hub_.registry.histogram("clash_loop_tick_usec").raw(),
                  &hub_.tracer, config_.id.value);
+  // Flight-recorder wiring: tick-budget overruns land in the ring on
+  // the node's timeline (steady clock relative to epoch_).
+  loop_->set_stall_obs(
+      &hub_.flight,
+      hub_.registry.counter("clash_stall_tick_overruns_total"),
+      config_.watchdog.tick_budget_us,
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          epoch_.time_since_epoch())
+          .count());
   register_node_gauges();
-  epoch_ = std::chrono::steady_clock::now();
 }
 
 ClashNode::~ClashNode() { stop(); }
@@ -207,16 +222,64 @@ void ClashNode::start() {
   if (store_ != nullptr && !recovered_) recover_from_storage();
   schedule_load_check();
   if (membership_ != nullptr) schedule_membership_tick();
+
+  // Postmortem plane: register this node's black box with the
+  // process-global dump registry. The source reads only lock-free
+  // structures plus the try_lock-guarded cache refreshed below — it
+  // must work from a crashing thread without hopping to the loop.
+  auto& pm = obs::Postmortem::global();
+  const std::string pm_dir = config_.postmortem_dir.empty()
+                                 ? config_.storage_dir
+                                 : config_.postmortem_dir;
+  if (!pm_dir.empty()) pm.set_dir(pm_dir);
+  if (config_.install_crash_handler) pm.install_crash_handler();
+  pm_source_id_ =
+      pm.add_source("node-" + std::to_string(config_.id.value),
+                    [this] { return render_postmortem_source(); });
+  refresh_postmortem_cache();  // crash-before-first-timer coverage
+  schedule_postmortem_refresh();
+
   // Clear the previous run's latches before posters can see
   // running_ == true, or a restart would briefly bounce posts into
   // call_on_loop's inline path while the new loop thread spins up.
   loop_->rearm();
   running_ = true;
   thread_ = std::thread([this] { loop_->run(); });
+
+  if (config_.watchdog.enabled) {
+    watchdog_ = std::make_unique<obs::StallWatchdog>(
+        config_.watchdog, hub_, std::uint32_t(config_.id.value));
+    const std::int64_t epoch_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            epoch_.time_since_epoch())
+            .count();
+    watchdog_->set_clock([this] { return node_now_us(); });
+    // The loop publishes tick starts on the raw steady clock; shift
+    // them onto the node's timeline so ages subtract cleanly.
+    watchdog_->set_tick_probe(
+        [this, epoch_us]()
+            -> std::optional<std::pair<std::uint64_t, std::int64_t>> {
+          const auto tick = loop_->current_tick();
+          if (!tick) return std::nullopt;
+          return std::make_pair(tick->first, tick->second - epoch_us);
+        });
+    watchdog_->set_dump_hook([](const char* reason) {
+      obs::Postmortem::global().dump(reason);
+    });
+    watchdog_->start();
+  }
 }
 
 void ClashNode::stop() {
   if (!running_) return;
+  if (watchdog_ != nullptr) {
+    watchdog_->stop();
+    watchdog_.reset();
+  }
+  if (pm_source_id_ != 0) {
+    obs::Postmortem::global().remove_source(pm_source_id_);
+    pm_source_id_ = 0;
+  }
   loop_->stop();
   if (thread_.joinable()) thread_.join();
   // Only now does !running_ imply "the loop thread is gone": flipping
@@ -228,12 +291,80 @@ void ClashNode::stop() {
   loop_->assert_on_loop();
   peers_.clear();
   connecting_.clear();
+  for (const auto& [_, token] : connect_ops_) hub_.inflight.end(token);
+  connect_ops_.clear();
   inbound_.clear();
   for (const auto& [fd, _] : stats_clients_) loop_->remove_fd(fd);
   stats_clients_.clear();
   stats_listener_.reset();
   stats_port_ = 0;
   listener_.reset();
+}
+
+namespace {
+/// Compact ClusterView JSON for the postmortem state snapshot: enough
+/// to see who this node believed was alive and loaded at the crash.
+std::string census_view_json(const obs::ClusterView& view) {
+  std::string out = "{\"nodes\":[";
+  bool first = true;
+  for (const auto& n : view.nodes) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"id\":" + std::to_string(n.id.value) +
+           ",\"incarnation\":" + std::to_string(n.incarnation) +
+           ",\"load\":" + std::to_string(n.load) +
+           ",\"groups\":" + std::to_string(n.active_groups) +
+           ",\"replicas\":" + std::to_string(n.replica_records) +
+           ",\"age_periods\":" + std::to_string(n.age_periods) + "}";
+  }
+  out += "],\"total_load\":" + std::to_string(view.total_load) +
+         ",\"total_groups\":" + std::to_string(view.total_groups) +
+         ",\"total_replicas\":" + std::to_string(view.total_replicas) +
+         ",\"max_age_periods\":" + std::to_string(view.max_age_periods) +
+         "}";
+  return out;
+}
+}  // namespace
+
+void ClashNode::schedule_postmortem_refresh() {
+  loop_->call_after(config_.postmortem_refresh, [this] {
+    on_loop_.assert_held();
+    refresh_postmortem_cache();
+    schedule_postmortem_refresh();
+  });
+}
+
+void ClashNode::refresh_postmortem_cache() {
+  std::string fresh = "{\"cached_at_us\":" + std::to_string(node_now_us());
+  fresh += ",\"registry\":";
+  fresh += hub_.registry.render_json(0);
+  fresh += ",\"census\":";
+  fresh += census_view_json(census_.view());
+  fresh += ",\"ring_servers\":" + std::to_string(ring_->server_count());
+  fresh += "}";
+  const common::MutexLock lock(pm_cache_mu_);
+  pm_cache_ = std::move(fresh);
+}
+
+std::string ClashNode::render_postmortem_source() {
+  const std::int64_t now = node_now_us();
+  std::string out = "{\"node\":" + std::to_string(config_.id.value);
+  out += ",\"now_us\":" + std::to_string(now);
+  out += ",\"flight\":";
+  out += hub_.flight.to_json();
+  out += ",\"inflight\":";
+  out += hub_.inflight.to_json(now);
+  out += ",\"state\":";
+  // try_lock, never lock: the refresh writer runs on the loop thread,
+  // and the loop thread may be exactly what crashed.
+  if (pm_cache_mu_.try_lock()) {
+    out += pm_cache_.empty() ? "null" : pm_cache_;
+    pm_cache_mu_.unlock();
+  } else {
+    out += "null";
+  }
+  out += "}";
+  return out;
 }
 
 void ClashNode::schedule_load_check() {
@@ -294,6 +425,9 @@ void ClashNode::on_member_dead(ServerId id) {
   if (id == config_.id || !ring_->contains(id)) return;
   CLASH_WARN << to_string(config_.id) << ": member " << to_string(id)
              << " declared dead; removing from ring";
+  hub_.flight.record(obs::FlightKind::kMemberDead,
+                     std::uint32_t(config_.id.value), node_now_us(),
+                     id.value);
   ring_->remove_server(id);
   peers_.erase(id);
   drop_pending_connect(id, "member died");
@@ -335,6 +469,9 @@ void ClashNode::on_member_joined(ServerId id) {
   if (ring_->contains(id)) return;
   CLASH_INFO << to_string(config_.id) << ": member " << to_string(id)
              << " rejoined; adding to ring";
+  hub_.flight.record(obs::FlightKind::kMemberJoined,
+                     std::uint32_t(config_.id.value), node_now_us(),
+                     id.value);
   ring_->add_server(id);
   // Rejoin-gap fix: a restarted node comes back empty, yet the grown
   // ring routes its old key ranges to it again. Hand every active
@@ -568,6 +705,15 @@ void ClashNode::on_stats_client(int fd, std::uint32_t events) {
     if (client.in.find(" /trace") != std::string::npos) {
       body = hub_.tracer.to_chrome_json();
       content_type = "application/json";
+    } else if (client.in.find(" /flightrec") != std::string::npos) {
+      // The live black box: flight ring + in-flight op table, the same
+      // payload a postmortem dump would carry for this node.
+      const std::int64_t now = node_now_us();
+      body = "{\"node\":" + std::to_string(config_.id.value) +
+             ",\"now_us\":" + std::to_string(now) + ",\"flight\":" +
+             hub_.flight.to_json() + ",\"inflight\":" +
+             hub_.inflight.to_json(now) + "}\n";
+      content_type = "application/json";
     } else if (client.in.find(" /healthz") != std::string::npos) {
       const auto view = census_.view();
       body = "{\"status\":\"ok\",\"ring_servers\":" +
@@ -632,7 +778,10 @@ void ClashNode::adopt_peer(Fd fd) {
         }
       });
   *conn_slot = conn;
-  conn->set_obs(&hub_);
+  conn->set_obs(&hub_,
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    epoch_.time_since_epoch())
+                    .count());
   inbound_.push_back(conn);
 }
 
@@ -649,7 +798,10 @@ std::shared_ptr<Connection> ClashNode::adopt_outbound(ServerId to, Fd fd) {
         peers_.erase(to);
       });
   *conn_slot = conn;
-  conn->set_obs(&hub_);
+  conn->set_obs(&hub_,
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    epoch_.time_since_epoch())
+                    .count());
   // Resume paced snapshot transfers the moment the socket drains
   // instead of waiting for the next load check.
   conn->set_drain_handler([this] {
@@ -697,6 +849,10 @@ void ClashNode::begin_connect(ServerId to,
         drop_pending_connect(to, "connect timeout");
       });
   connecting_.emplace(to, std::move(pending));
+  connect_ops_[to] =
+      hub_.inflight.begin(obs::OpKind::kConnect,
+                          std::uint32_t(config_.id.value), "", to.value,
+                          node_now_us());
   loop_->add_fd(raw_fd, EPOLLOUT, [this, to](std::uint32_t events) {
     on_loop_.assert_held();
     finish_connect(to, events);
@@ -716,6 +872,10 @@ void ClashNode::finish_connect(ServerId to, std::uint32_t events) {
   }
   PendingConnect pending = std::move(it->second);
   connecting_.erase(it);
+  if (const auto op = connect_ops_.find(to); op != connect_ops_.end()) {
+    hub_.inflight.end(op->second);
+    connect_ops_.erase(op);
+  }
   loop_->assert_on_loop();
   loop_->cancel_timer(pending.timeout_timer);
   loop_->remove_fd(pending.fd.get());
@@ -738,6 +898,10 @@ void ClashNode::drop_pending_connect(ServerId to, const char* reason) {
   loop_->cancel_timer(it->second.timeout_timer);
   loop_->remove_fd(it->second.fd.get());
   connecting_.erase(it);
+  if (const auto op = connect_ops_.find(to); op != connect_ops_.end()) {
+    hub_.inflight.end(op->second);
+    connect_ops_.erase(op);
+  }
 }
 
 void ClashNode::send_to_peer(ServerId to, std::vector<std::uint8_t>&& frame) {

@@ -27,6 +27,8 @@
 #include "net/socket.hpp"
 #include "obs/census.hpp"
 #include "obs/hub.hpp"
+#include "obs/postmortem.hpp"
+#include "obs/watchdog.hpp"
 #include "storage/backend.hpp"
 #include "storage/store.hpp"
 
@@ -78,11 +80,27 @@ struct NodeConfig {
   /// existing event loop (no extra thread). -1 disables; 0 picks a
   /// free port — read it back with ClashNode::stats_port(). Besides
   /// the default metrics document it serves GET /trace (Chrome
-  /// trace_event JSON) and GET /healthz (liveness + census freshness).
+  /// trace_event JSON), GET /healthz (liveness + census freshness),
+  /// and GET /flightrec (flight-recorder ring + in-flight op table).
   int stats_port = -1;
   /// Cost-census dissemination knobs (records piggyback on SWIM
   /// gossip; inert when enable_membership is false).
   obs::CensusConfig census;
+  /// Stall watchdog: a sidecar thread polling the loop's tick probe
+  /// and the in-flight table; verdicts bump clash_stall_* and (rate
+  /// limited) trigger a postmortem dump.
+  obs::StallWatchdog::Config watchdog;
+  /// Where this node's postmortem dumps land; "" defaults to
+  /// storage_dir, and when that is empty too, dumps are disabled.
+  std::string postmortem_dir;
+  /// Install the process-wide SIGSEGV/SIGABRT/... dump-then-reraise
+  /// handler on start(). Off by default: embedding processes (tests,
+  /// benches) opt in explicitly, since signal disposition is global.
+  bool install_crash_handler = false;
+  /// Cadence of the loop-side refresh of the cached registry + census
+  /// snapshot the postmortem source reads (the crash path must never
+  /// hop to the loop).
+  std::chrono::microseconds postmortem_refresh = std::chrono::seconds(1);
 };
 
 class ClashNode {
@@ -234,6 +252,23 @@ class ClashNode {
       CLASH_REQUIRES(on_loop_);
   void schedule_load_check() CLASH_REQUIRES(on_loop_);
   void schedule_membership_tick() CLASH_REQUIRES(on_loop_);
+  void schedule_postmortem_refresh() CLASH_REQUIRES(on_loop_);
+  /// Rebuild the cached registry/census JSON the postmortem source
+  /// serves (loop thread; the only writer of pm_cache_).
+  void refresh_postmortem_cache() CLASH_REQUIRES(on_loop_);
+  /// The postmortem source body: flight ring + in-flight table (lock
+  /// free) + the cached state snapshot (try_lock; null when contended).
+  /// Runs on whatever thread is dumping — crash-context safe.
+  [[nodiscard]] std::string render_postmortem_source()
+      CLASH_NO_THREAD_SAFETY_ANALYSIS;
+  /// Microseconds since this node's epoch on the steady clock — the
+  /// timebase of every flight event and in-flight stamp the node
+  /// records (matches Env::now()).
+  [[nodiscard]] std::int64_t node_now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
   void on_member_dead(ServerId id) CLASH_REQUIRES(on_loop_);
   void on_member_joined(ServerId id) CLASH_REQUIRES(on_loop_);
   /// First start only: restore the durable image and re-promote every
@@ -285,6 +320,15 @@ class ClashNode {
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::chrono::steady_clock::time_point epoch_;  // set once in ctor
+
+  /// Tokens of in-flight kConnect ops, keyed like connecting_.
+  std::map<ServerId, std::uint64_t> connect_ops_ CLASH_GUARDED_BY(on_loop_);
+  /// Cached registry/census JSON for the postmortem source: written by
+  /// a loop timer, read (try_lock) from whatever thread is crashing.
+  common::Mutex pm_cache_mu_;
+  std::string pm_cache_ CLASH_GUARDED_BY(pm_cache_mu_);
+  std::uint64_t pm_source_id_ = 0;  // set in start(), cleared in stop()
+  std::unique_ptr<obs::StallWatchdog> watchdog_;
 };
 
 }  // namespace clash::net

@@ -1,0 +1,334 @@
+#include "obs/flightrec.hpp"
+
+#include <cstring>
+
+namespace clash::obs {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (std::uint8_t(c) >= 0x20) {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+const char* flight_kind_name(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kGroupActivated: return "group_activated";
+    case FlightKind::kGroupDeactivated: return "group_deactivated";
+    case FlightKind::kEpochBump: return "epoch_bump";
+    case FlightKind::kMemberSuspected: return "member_suspected";
+    case FlightKind::kMemberDead: return "member_dead";
+    case FlightKind::kMemberJoined: return "member_joined";
+    case FlightKind::kSnapshotOfferSent: return "snapshot_offer_sent";
+    case FlightKind::kSnapshotOfferRecv: return "snapshot_offer_recv";
+    case FlightKind::kSnapshotInstalled: return "snapshot_installed";
+    case FlightKind::kSnapshotAborted: return "snapshot_aborted";
+    case FlightKind::kRecoveryBegin: return "recovery_begin";
+    case FlightKind::kRecoveryFinish: return "recovery_finish";
+    case FlightKind::kRecoveryAbandon: return "recovery_abandon";
+    case FlightKind::kReplicaPromoted: return "replica_promoted";
+    case FlightKind::kWalFsync: return "wal_fsync";
+    case FlightKind::kWalRollover: return "wal_rollover";
+    case FlightKind::kFaultDrop: return "fault_drop";
+    case FlightKind::kFaultCorrupt: return "fault_corrupt";
+    case FlightKind::kCorruptReject: return "corrupt_reject";
+    case FlightKind::kStallTick: return "stall_tick";
+    case FlightKind::kStallOp: return "stall_op";
+    case FlightKind::kTickOverrun: return "tick_overrun";
+    case FlightKind::kPostmortemDump: return "postmortem_dump";
+    case FlightKind::kInvariantFail: return "invariant_fail";
+  }
+  return "unknown";
+}
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kReplAppend: return "repl_append";
+    case OpKind::kSnapshotOut: return "snapshot_out";
+    case OpKind::kSnapshotIn: return "snapshot_in";
+    case OpKind::kRecoveryPull: return "recovery_pull";
+    case OpKind::kConnect: return "connect";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity) {
+  const std::size_t cap = round_up_pow2(capacity == 0 ? 1 : capacity);
+  ring_ = std::make_unique<Slot[]>(cap);
+  mask_ = cap - 1;
+}
+
+void FlightRecorder::record(FlightKind kind, std::uint32_t node,
+                            std::int64_t t_us, std::uint64_t a,
+                            std::uint64_t b) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  const std::uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = ring_[seq & mask_];
+  // Claim -> write payload -> publish. The CAS claim serialises
+  // writers whose sequences collide on one slot (possible when the
+  // ring wraps within one reader pass): without it two writers could
+  // interleave payload stores and the later stamp publish would bless
+  // the mixture. The loser simply drops its event — its slot was
+  // nanoseconds from being overwritten anyway, and a skipped slot is
+  // exactly what readers already tolerate. A reader that raced the
+  // rewrite sees the claim sentinel or a different sequence and skips.
+  std::uint64_t cur = s.stamp.load(std::memory_order_relaxed);
+  if (cur == kWriting ||
+      !s.stamp.compare_exchange_strong(cur, kWriting,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+    return;
+  }
+  s.w0.store(std::uint64_t(t_us), std::memory_order_relaxed);
+  s.w1.store(a, std::memory_order_relaxed);
+  s.w2.store(b, std::memory_order_relaxed);
+  s.w3.store((std::uint64_t(node) << 8) | std::uint64_t(kind),
+             std::memory_order_relaxed);
+  s.stamp.store(seq + 1, std::memory_order_release);
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  const std::uint64_t n = total();
+  const std::uint64_t cap = mask_ + 1;
+  return n > cap ? n - cap : 0;
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  const std::uint64_t end = next_.load(std::memory_order_acquire);
+  const std::uint64_t cap = mask_ + 1;
+  const std::uint64_t begin = end > cap ? end - cap : 0;
+  std::vector<FlightEvent> out;
+  out.reserve(std::size_t(end - begin));
+  for (std::uint64_t seq = begin; seq < end; ++seq) {
+    const Slot& s = ring_[seq & mask_];
+    const std::uint64_t before = s.stamp.load(std::memory_order_acquire);
+    if (before != seq + 1) continue;  // overwritten or mid-write
+    FlightEvent ev;
+    ev.t_us = std::int64_t(s.w0.load(std::memory_order_relaxed));
+    ev.a = s.w1.load(std::memory_order_relaxed);
+    ev.b = s.w2.load(std::memory_order_relaxed);
+    const std::uint64_t w3 = s.w3.load(std::memory_order_relaxed);
+    ev.node = std::uint32_t(w3 >> 8);
+    ev.kind = FlightKind(w3 & 0xff);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.stamp.load(std::memory_order_relaxed) != before) continue;
+    out.push_back(ev);
+  }
+  return out;
+}
+
+std::string FlightRecorder::to_json() const {
+  const auto evs = events();
+  std::string out;
+  out.reserve(64 + evs.size() * 96);
+  out += "{\"schema\":\"clash-flightrec-v1\",\"total\":";
+  out += std::to_string(total());
+  out += ",\"dropped\":";
+  out += std::to_string(dropped());
+  out += ",\"capacity\":";
+  out += std::to_string(capacity());
+  out += ",\"events\":[";
+  bool first = true;
+  for (const auto& ev : evs) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"t_us\":";
+    out += std::to_string(ev.t_us);
+    out += ",\"node\":";
+    out += std::to_string(ev.node);
+    out += ",\"kind\":\"";
+    out += flight_kind_name(ev.kind);
+    out += "\",\"a\":";
+    out += std::to_string(ev.a);
+    out += ",\"b\":";
+    out += std::to_string(ev.b);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+void FlightRecorder::clear() {
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    ring_[i].stamp.store(0, std::memory_order_relaxed);
+  }
+  next_.store(0, std::memory_order_relaxed);
+}
+
+InflightTable::InflightTable() = default;
+
+std::uint64_t InflightTable::begin(OpKind kind, std::uint32_t node,
+                                   std::string_view group,
+                                   std::uint64_t peer, std::int64_t now_us,
+                                   std::uint64_t target) {
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    Slot& s = slots_[i];
+    std::uint64_t expected = 0;
+    if (!s.token.compare_exchange_strong(expected, kClaimed,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+      continue;
+    }
+    s.meta.store((std::uint64_t(node) << 8) | std::uint64_t(kind),
+                 std::memory_order_relaxed);
+    s.peer.store(peer, std::memory_order_relaxed);
+    s.start_us.store(now_us, std::memory_order_relaxed);
+    s.last_progress_us.store(now_us, std::memory_order_relaxed);
+    s.progress.store(0, std::memory_order_relaxed);
+    s.target.store(target, std::memory_order_relaxed);
+    char label[kLabelBytes] = {};
+    const std::size_t n = group.size() < kLabelBytes - 1
+                              ? group.size()
+                              : kLabelBytes - 1;
+    std::memcpy(label, group.data(), n);
+    for (std::size_t w = 0; w < kLabelBytes / 8; ++w) {
+      std::uint64_t word;
+      std::memcpy(&word, label + w * 8, 8);
+      s.label[w].store(word, std::memory_order_relaxed);
+    }
+    // Token counter never wraps into the index byte range in any
+    // realistic run (2^56 begins); slot index rides in the low byte.
+    const std::uint64_t token =
+        (next_token_.fetch_add(1, std::memory_order_relaxed) << 8) |
+        std::uint64_t(i);
+    s.token.store(token, std::memory_order_release);
+    return token;
+  }
+  overflow_.fetch_add(1, std::memory_order_relaxed);
+  return 0;
+}
+
+void InflightTable::progress(std::uint64_t token, std::int64_t now_us,
+                             std::uint64_t delta) {
+  if (token == 0) return;
+  Slot& s = slots_[slot_of(token)];
+  if (s.token.load(std::memory_order_acquire) != token) return;
+  s.progress.fetch_add(delta, std::memory_order_relaxed);
+  s.last_progress_us.store(now_us, std::memory_order_relaxed);
+}
+
+void InflightTable::end(std::uint64_t token) {
+  if (token == 0) return;
+  Slot& s = slots_[slot_of(token)];
+  std::uint64_t expected = token;
+  s.token.compare_exchange_strong(expected, 0, std::memory_order_acq_rel,
+                                  std::memory_order_relaxed);
+}
+
+std::size_t InflightTable::active() const {
+  std::size_t n = 0;
+  for (const Slot& s : slots_) {
+    const std::uint64_t t = s.token.load(std::memory_order_relaxed);
+    if (t != 0 && t != kClaimed) ++n;
+  }
+  return n;
+}
+
+bool InflightTable::read_slot(const Slot& s, Op* out) const {
+  const std::uint64_t token = s.token.load(std::memory_order_acquire);
+  if (token == 0 || token == kClaimed) return false;
+  Op op;
+  op.token = token;
+  const std::uint64_t meta = s.meta.load(std::memory_order_relaxed);
+  op.kind = OpKind(meta & 0xff);
+  op.node = std::uint32_t(meta >> 8);
+  op.peer = s.peer.load(std::memory_order_relaxed);
+  op.start_us = s.start_us.load(std::memory_order_relaxed);
+  op.last_progress_us = s.last_progress_us.load(std::memory_order_relaxed);
+  op.progress = s.progress.load(std::memory_order_relaxed);
+  op.target = s.target.load(std::memory_order_relaxed);
+  char label[kLabelBytes];
+  for (std::size_t w = 0; w < kLabelBytes / 8; ++w) {
+    const std::uint64_t word = s.label[w].load(std::memory_order_relaxed);
+    std::memcpy(label + w * 8, &word, 8);
+  }
+  label[kLabelBytes - 1] = '\0';
+  op.group.assign(label);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (s.token.load(std::memory_order_relaxed) != token) return false;
+  *out = std::move(op);
+  return true;
+}
+
+std::vector<InflightTable::Op> InflightTable::snapshot() const {
+  std::vector<Op> out;
+  for (const Slot& s : slots_) {
+    Op op;
+    if (read_slot(s, &op)) out.push_back(std::move(op));
+  }
+  return out;
+}
+
+std::vector<InflightTable::Op> InflightTable::stalled(
+    std::int64_t now_us, std::int64_t threshold_us) const {
+  std::vector<Op> out;
+  for (const Slot& s : slots_) {
+    Op op;
+    if (read_slot(s, &op) && now_us - op.last_progress_us >= threshold_us) {
+      out.push_back(std::move(op));
+    }
+  }
+  return out;
+}
+
+std::string InflightTable::to_json(std::int64_t now_us) const {
+  const auto ops = snapshot();
+  std::string out;
+  out.reserve(64 + ops.size() * 160);
+  out += "{\"schema\":\"clash-inflight-v1\",\"now_us\":";
+  out += std::to_string(now_us);
+  out += ",\"active\":";
+  out += std::to_string(ops.size());
+  out += ",\"overflow\":";
+  out += std::to_string(overflow());
+  out += ",\"ops\":[";
+  bool first = true;
+  for (const auto& op : ops) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"kind\":\"";
+    out += op_kind_name(op.kind);
+    out += "\",\"node\":";
+    out += std::to_string(op.node);
+    out += ",\"group\":\"";
+    append_escaped(out, op.group);
+    out += "\",\"peer\":";
+    out += std::to_string(op.peer);
+    out += ",\"start_us\":";
+    out += std::to_string(op.start_us);
+    out += ",\"last_progress_us\":";
+    out += std::to_string(op.last_progress_us);
+    out += ",\"age_us\":";
+    out += std::to_string(now_us - op.start_us);
+    out += ",\"since_progress_us\":";
+    out += std::to_string(now_us - op.last_progress_us);
+    out += ",\"progress\":";
+    out += std::to_string(op.progress);
+    out += ",\"target\":";
+    out += std::to_string(op.target);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+void InflightTable::clear() {
+  for (Slot& s : slots_) s.token.store(0, std::memory_order_relaxed);
+  overflow_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace clash::obs

@@ -1,0 +1,245 @@
+// FlightRecorder + InflightTable: the per-node black box.
+//
+// The trace ring (obs/trace.hpp) answers "what did the last few
+// milliseconds look like"; by the time a soak run trips an invariant it
+// has wrapped past the interesting moment. The flight recorder keeps a
+// second, much sparser timeline of *structured lifecycle events* —
+// state transitions, epoch bumps, membership verdicts, snapshot
+// transfer lifecycle, WAL fsync/rollover, fault-injector decisions —
+// compact enough that hours of runtime fit in a few thousand slots.
+//
+// The InflightTable tracks every long-lived pending operation (a
+// ReplAppend batch awaiting acks, a snapshot transfer in either
+// direction, a recovery pull, an async connect) with its start time and
+// last-progress time, so a postmortem can name exactly what was stuck
+// when the process died.
+//
+// Both structures are lock-free and readable from any thread —
+// including a crash-signal handler — without taking a lock:
+//   * FlightRecorder slots are seqlock-stamped: the writer invalidates
+//     (stamp=0), writes the payload as relaxed atomic words, then
+//     publishes (stamp=seq+1, release). A reader accepts a slot only
+//     when the stamp it saw before and after the copy is the exact
+//     sequence it expected, so torn or overwritten slots are skipped,
+//     never misreported.
+//   * InflightTable slots are claimed by CAS on an atomic token; every
+//     field is a relaxed atomic word, and tokens embed the slot index
+//     so progress/end are O(1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clash::obs {
+
+/// One event class per lifecycle edge worth replaying after a crash.
+/// Append-only: postmortem consumers key on the name, not the value.
+enum class FlightKind : std::uint8_t {
+  kGroupActivated = 0,   // a: group id
+  kGroupDeactivated,     // a: group id
+  kEpochBump,            // a: group id, b: new epoch
+  kMemberSuspected,      // a: member
+  kMemberDead,           // a: member
+  kMemberJoined,         // a: member
+  kSnapshotOfferSent,    // a: group id, b: destination
+  kSnapshotOfferRecv,    // a: group id, b: sender
+  kSnapshotInstalled,    // a: group id, b: chunks received
+  kSnapshotAborted,      // a: group id, b: peer
+  kRecoveryBegin,        // a: group id
+  kRecoveryFinish,       // a: group id, b: ops replayed
+  kRecoveryAbandon,      // a: group id
+  kReplicaPromoted,      // a: group id, b: epoch
+  kWalFsync,             // a: duration usec, b: 1 on failure
+  kWalRollover,          // a: new segment index
+  kFaultDrop,            // a: peer fd, b: frames dropped so far
+  kFaultCorrupt,         // a: peer fd
+  kCorruptReject,        // a: peer / source id (CRC fence rejection)
+  kStallTick,            // a: tick age usec, b: tick seq
+  kStallOp,              // a: op token, b: stall age usec
+  kTickOverrun,          // a: tick duration usec, b: budget usec
+  kPostmortemDump,       // a: dump ordinal
+  kInvariantFail,        // a: caller-defined code
+};
+
+[[nodiscard]] const char* flight_kind_name(FlightKind kind);
+
+/// One recorded event. `node` is the recording node's id, `t_us` is the
+/// host's microsecond clock (sim time or wall time — whichever clock
+/// the embedding layer runs on; consistency within a node is what
+/// matters), `a`/`b` are kind-specific payload words (see FlightKind).
+struct FlightEvent {
+  std::int64_t t_us = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint32_t node = 0;
+  FlightKind kind = FlightKind::kGroupActivated;
+};
+
+class FlightRecorder {
+ public:
+  /// Capacity is rounded up to a power of two; oldest events are
+  /// overwritten once the ring is full.
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// Recording gate: a single relaxed load on the hot path. Enabled by
+  /// default — the recorder exists for the crashes nobody planned.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Record one event. Lock-free, wait-free apart from the fetch_add;
+  /// safe from any thread. When two writers collide on one slot (the
+  /// ring wrapped within their race window) the loser's event is
+  /// dropped rather than torn.
+  void record(FlightKind kind, std::uint32_t node, std::int64_t t_us,
+              std::uint64_t a = 0, std::uint64_t b = 0);
+
+  /// Events ever recorded (including overwritten ones).
+  [[nodiscard]] std::uint64_t total() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  /// Events lost to ring wraparound.
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Snapshot of the surviving window, oldest first. Slots being
+  /// concurrently rewritten are skipped (never misread). Safe from any
+  /// thread, including a signal handler (allocates, so only "safe" in
+  /// the best-effort crash-dump sense).
+  [[nodiscard]] std::vector<FlightEvent> events() const;
+
+  /// Self-describing JSON: {"schema":"clash-flightrec-v1",...}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Reset for test/bench reuse. NOT safe concurrently with record().
+  void clear();
+
+ private:
+  // Payload packed into four relaxed-atomic words so concurrent
+  // overwrite is a well-defined race the stamp protocol resolves,
+  // not UB (and TSan-clean).
+  /// Slot-claim sentinel: a writer CASes the stamp to this before
+  /// touching the payload, so colliding writers never interleave.
+  static constexpr std::uint64_t kWriting = ~std::uint64_t{0};
+
+  struct Slot {
+    std::atomic<std::uint64_t> stamp{0};  // 0 empty, kWriting claimed,
+                                          // seq+1 published
+    std::atomic<std::uint64_t> w0{0};  // t_us
+    std::atomic<std::uint64_t> w1{0};  // a
+    std::atomic<std::uint64_t> w2{0};  // b
+    std::atomic<std::uint64_t> w3{0};  // node << 8 | kind
+  };
+
+  std::unique_ptr<Slot[]> ring_;
+  std::size_t mask_;
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<bool> enabled_{true};
+};
+
+/// Long-lived async operation classes tracked in the InflightTable.
+enum class OpKind : std::uint8_t {
+  kReplAppend = 0,  // un-acked append batch(es) toward a group's peers
+  kSnapshotOut,     // outbound snapshot transfer (offer + chunk stream)
+  kSnapshotIn,      // inbound snapshot assembly
+  kRecoveryPull,    // grace-window recovery session for a group
+  kConnect,         // async TCP connect toward a peer
+};
+
+[[nodiscard]] const char* op_kind_name(OpKind kind);
+
+class InflightTable {
+ public:
+  static constexpr std::size_t kCapacity = 256;
+  /// Group labels longer than this are truncated (quadtree labels at
+  /// sane depths fit comfortably).
+  static constexpr std::size_t kLabelBytes = 32;
+
+  /// Read-side view of one live operation.
+  struct Op {
+    std::uint64_t token = 0;
+    OpKind kind = OpKind::kReplAppend;
+    std::uint32_t node = 0;
+    std::uint64_t peer = 0;
+    std::string group;
+    std::int64_t start_us = 0;
+    std::int64_t last_progress_us = 0;
+    std::uint64_t progress = 0;  // kind-specific units (chunks, acks…)
+    std::uint64_t target = 0;    // expected total, 0 when unknown
+  };
+
+  InflightTable();
+
+  /// Register a new in-flight operation; returns its token (never 0).
+  /// Returns 0 when the table is full (the op simply goes untracked —
+  /// counted in overflow()). Safe from any thread.
+  std::uint64_t begin(OpKind kind, std::uint32_t node,
+                      std::string_view group, std::uint64_t peer,
+                      std::int64_t now_us, std::uint64_t target = 0);
+
+  /// Bump progress (acked one batch, received one chunk…). Tokens from
+  /// a failed begin() (0) are ignored, as are stale tokens.
+  void progress(std::uint64_t token, std::int64_t now_us,
+                std::uint64_t delta = 1);
+
+  /// The operation finished (successfully or not) — free its slot.
+  void end(std::uint64_t token);
+
+  [[nodiscard]] std::size_t active() const;
+  /// begin() calls refused because the table was full.
+  [[nodiscard]] std::uint64_t overflow() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+
+  /// Consistent-enough snapshot of live ops (token re-validated around
+  /// the field copy; ops ending mid-copy are dropped).
+  [[nodiscard]] std::vector<Op> snapshot() const;
+
+  /// Live ops whose last progress is older than `threshold_us`.
+  [[nodiscard]] std::vector<Op> stalled(std::int64_t now_us,
+                                        std::int64_t threshold_us) const;
+
+  /// Self-describing JSON: {"schema":"clash-inflight-v1",...}.
+  [[nodiscard]] std::string to_json(std::int64_t now_us) const;
+
+  /// Reset for test reuse. NOT safe concurrently with begin/end.
+  void clear();
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> token{0};  // 0 free, kClaimed transient
+    std::atomic<std::uint64_t> meta{0};   // node << 8 | kind
+    std::atomic<std::uint64_t> peer{0};
+    std::atomic<std::int64_t> start_us{0};
+    std::atomic<std::int64_t> last_progress_us{0};
+    std::atomic<std::uint64_t> progress{0};
+    std::atomic<std::uint64_t> target{0};
+    // Group label, 8 chars per word, NUL-padded.
+    std::atomic<std::uint64_t> label[kLabelBytes / 8]{};
+  };
+
+  static constexpr std::uint64_t kClaimed = ~std::uint64_t{0};
+
+  /// Tokens embed the slot index in the low byte: (counter<<8)|slot.
+  static std::size_t slot_of(std::uint64_t token) {
+    return std::size_t(token & (kCapacity - 1));
+  }
+
+  bool read_slot(const Slot& s, Op* out) const;
+
+  Slot slots_[kCapacity];
+  std::atomic<std::uint64_t> next_token_{1};
+  std::atomic<std::uint64_t> overflow_{0};
+};
+
+}  // namespace clash::obs

@@ -1,10 +1,12 @@
-// obs::Hub: one metrics registry + one trace recorder — the unit of
-// observability a ServerEnv hands the protocol code. The sim substrate
-// and benches share the process-global hub; each net::ClashNode owns a
-// private one so scrapes stay per-node in multi-node processes (and
-// the stats endpoint serves exactly its node's view).
+// obs::Hub: one metrics registry + one trace recorder + one flight
+// recorder / in-flight table — the unit of observability a ServerEnv
+// hands the protocol code. The sim substrate and benches share the
+// process-global hub; each net::ClashNode owns a private one so
+// scrapes stay per-node in multi-node processes (and the stats
+// endpoint serves exactly its node's view).
 #pragma once
 
+#include "obs/flightrec.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -13,6 +15,8 @@ namespace clash::obs {
 struct Hub {
   Registry registry;
   TraceRecorder tracer;
+  FlightRecorder flight;
+  InflightTable inflight;
 
   static Hub& global() {
     static Hub* h = new Hub();  // never destroyed: instrumented code

@@ -522,6 +522,15 @@ void SimCluster::count_message(const Message& msg) {
 }
 
 std::optional<std::string> SimCluster::check_invariants() const {
+  auto err = check_invariants_impl();
+  if (err) {
+    obs::Hub::global().flight.record(obs::FlightKind::kInvariantFail, 0,
+                                     now().usec);
+  }
+  return err;
+}
+
+std::optional<std::string> SimCluster::check_invariants_impl() const {
   std::size_t active_total = 0;
   for (const auto& srv : servers_) {
     if (!is_alive(srv->id())) continue;  // dead tables are tombstones

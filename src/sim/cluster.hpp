@@ -214,10 +214,13 @@ class SimCluster {
 
   /// Validates global invariants: every server table consistent, active
   /// groups prefix-free *globally*, owner index matches server tables.
-  /// Returns the first violation, or nullopt.
+  /// Returns the first violation, or nullopt. A violation lands a
+  /// kInvariantFail event in the global flight ring so a postmortem
+  /// dump taken at the abort site carries the verdict.
   [[nodiscard]] std::optional<std::string> check_invariants() const;
 
  private:
+  [[nodiscard]] std::optional<std::string> check_invariants_impl() const;
   class ServerEnvImpl;
   class ClientEnvImpl;
 

@@ -58,8 +58,14 @@ std::uint64_t NodeStore::append_op(const KeyGroup& group, repl::LogHead head,
                                    const repl::LogOp& op, SimTime now) {
   affinity_.assert_held();
   const std::uint64_t before = wal_->stats().bytes;
+  const std::uint64_t segments_before = wal_->stats().segments_opened;
   wal_->append_op(group, head, op);
   stats_.ops_appended++;
+  if (hub_ != nullptr &&
+      wal_->stats().segments_opened != segments_before) {
+    hub_->flight.record(obs::FlightKind::kWalRollover, std::uint32_t(node_),
+                        now.usec, wal_->stats().segments_opened);
+  }
   maybe_sync(now);
   return wal_->stats().bytes - before;
 }
@@ -132,6 +138,9 @@ bool NodeStore::timed_sync(SimTime now) {
   fsync_us_.record(std::uint64_t(us));
   hub_->tracer.record(obs::SpanKind::kWalFsync, node_, now,
                       SimDuration{us});
+  hub_->flight.record(obs::FlightKind::kWalFsync, std::uint32_t(node_),
+                      now.usec, std::uint64_t(us),
+                      std::uint64_t(ok ? 0 : 1));
   return ok;
 }
 

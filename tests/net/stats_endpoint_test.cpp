@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
 
@@ -201,6 +202,32 @@ TEST(StatsEndpoint, ServesTraceAndHealthzDocuments) {
   const auto [m_headers, m_body] = split_http(http_get(node.stats_port()));
   EXPECT_NE(m_headers.find("Content-Type: text/plain"), std::string::npos);
   EXPECT_FALSE(obs::parse_exposition(m_body).empty());
+
+  node.stop();
+}
+
+TEST(StatsEndpoint, ServesTheFlightRecorderDocument) {
+  ClashNode node(single_node_config());
+  node.start();
+  ASSERT_NE(node.stats_port(), 0);
+
+  // /flightrec serves the live black box: the flight-event ring and
+  // the in-flight op table, in the same shape a postmortem dump would
+  // carry for this node.
+  const auto [headers, body] =
+      split_http(http_get(node.stats_port(), "/flightrec"));
+  EXPECT_NE(headers.find("200 OK"), std::string::npos);
+  EXPECT_NE(headers.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_NE(body.find("\"node\":0"), std::string::npos);
+  EXPECT_NE(body.find("\"now_us\":"), std::string::npos);
+  EXPECT_NE(body.find("\"schema\":\"clash-flightrec-v1\""),
+            std::string::npos);
+  EXPECT_NE(body.find("\"schema\":\"clash-inflight-v1\""),
+            std::string::npos);
+  // Balanced braces: the concatenated document stays one JSON value.
+  EXPECT_EQ(std::count(body.begin(), body.end(), '{'),
+            std::count(body.begin(), body.end(), '}'));
 
   node.stop();
 }

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <string>
+#include <thread>
 
 namespace clash::obs {
 namespace {
@@ -88,6 +90,86 @@ TEST(TraceRecorder, ChromeJsonHasCompleteEvents) {
   EXPECT_NE(json.find("\"ts\":100"), std::string::npos);
   EXPECT_NE(json.find("\"dur\":50"), std::string::npos);
   EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+}
+
+TEST(TraceRecorder, WrapManyTimesKeepsExactlyTheNewestSpans) {
+  constexpr std::size_t kCap = 8;
+  constexpr int kTotal = 8 * 10 + 3;  // wrap ten times, land mid-ring
+  TraceRecorder tr(kCap);
+  tr.set_enabled(true);
+  for (int i = 0; i < kTotal; ++i) {
+    tr.record(SpanKind::kIngest, 1, SimTime{i}, SimDuration{1},
+              std::uint64_t(i));
+  }
+  const auto spans = tr.spans();
+  ASSERT_EQ(spans.size(), kCap);
+  EXPECT_EQ(tr.dropped(), std::uint64_t(kTotal) - kCap);
+  // Exactly the newest kCap starts survive, each exactly once.
+  std::vector<std::int64_t> starts;
+  for (const auto& s : spans) starts.push_back(s.start_us);
+  std::sort(starts.begin(), starts.end());
+  for (std::size_t i = 0; i < kCap; ++i) {
+    EXPECT_EQ(starts[i], std::int64_t(kTotal - kCap + i));
+  }
+}
+
+TEST(TraceRecorder, ChromeJsonAfterWrapExportsOnlySurvivors) {
+  TraceRecorder tr(3);
+  tr.set_enabled(true);
+  for (int i = 0; i < 7; ++i) {
+    tr.record(SpanKind::kCommit, 2, SimTime{1000 + i}, SimDuration{5});
+  }
+  const std::string json = tr.to_chrome_json();
+  // Overwritten spans (ts 1000..1003) must not leak into the export;
+  // the three survivors (1004..1006) must all be present.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(json.find("\"ts\":" + std::to_string(1000 + i)),
+              std::string::npos);
+  }
+  for (int i = 4; i < 7; ++i) {
+    EXPECT_NE(json.find("\"ts\":" + std::to_string(1000 + i)),
+              std::string::npos);
+  }
+  // Structurally: one "X" event per surviving span, balanced braces.
+  std::size_t events = 0;
+  for (std::size_t pos = json.find("\"ph\":\"X\"");
+       pos != std::string::npos;
+       pos = json.find("\"ph\":\"X\"", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, 3u);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(TraceRecorder, ConcurrentRecordDuringExportStaysConsistent) {
+  constexpr std::size_t kCap = 64;
+  TraceRecorder tr(kCap);
+  tr.set_enabled(true);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::int64_t t = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      tr.record(SpanKind::kLoopTick, 9, SimTime{t++}, SimDuration{1});
+    }
+  });
+  // Export repeatedly while the writer wraps the ring under us. Every
+  // export must see a coherent ring: never more than capacity spans,
+  // and every span intact (the kind/pid we wrote, non-negative dur).
+  for (int i = 0; i < 200; ++i) {
+    const std::string json = tr.to_chrome_json();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    const auto spans = tr.spans();
+    EXPECT_LE(spans.size(), kCap);
+    for (const auto& s : spans) {
+      EXPECT_EQ(s.kind, SpanKind::kLoopTick);
+      EXPECT_EQ(s.pid, 9u);
+      EXPECT_GE(s.dur_us, 0);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_LE(tr.spans().size(), kCap);
 }
 
 TEST(TraceRecorder, SpanNamesCoverEveryKind) {
